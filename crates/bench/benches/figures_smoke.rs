@@ -1,0 +1,188 @@
+//! Criterion smoke versions of every figure: tiny inputs, one comparison
+//! per figure, so `cargo bench` exercises the full harness quickly. The
+//! real series come from the `figures` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nodb_bench::data::{fits_file, micro_file, tpch_dir};
+use nodb_bench::Scale;
+use nodb_core::{AccessMode, NoDb, NoDbConfig};
+use nodb_csv::CsvOptions;
+use nodb_fits::procedural::ProcAgg;
+use nodb_fits::{FitsProvider, ProceduralFits};
+use nodb_tpch::{queries, TpchGen};
+
+const SCALE: Scale = Scale::Small;
+
+fn micro_engine(cfg: NoDbConfig, mode: AccessMode) -> NoDb {
+    let (path, schema) =
+        micro_file(SCALE.micro_rows(), SCALE.micro_cols(), None).expect("data");
+    let mut db = NoDb::new(cfg).expect("engine");
+    db.register_csv("t", &path, schema, CsvOptions::default(), mode)
+        .expect("register");
+    db
+}
+
+/// Figures 3/5: the core variant comparison on one warm query.
+fn fig_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig05_variants_warm_query");
+    g.sample_size(10);
+    let sql = "select c4, c11, c17, c22, c28 from t";
+    for (name, cfg, mode) in [
+        (
+            "baseline",
+            NoDbConfig::baseline(),
+            AccessMode::ExternalFiles,
+        ),
+        ("pm", NoDbConfig::pm_only(), AccessMode::InSitu),
+        ("cache", NoDbConfig::cache_only(), AccessMode::InSitu),
+        ("pm_c", NoDbConfig::postgres_raw(), AccessMode::InSitu),
+    ] {
+        let db = micro_engine(cfg, mode);
+        db.query(sql).expect("warm"); // build structures
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| db.query(sql).expect("query"));
+        });
+    }
+    g.finish();
+}
+
+/// Figure 3: tight vs unlimited positional-map budget.
+fn fig_budget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig03_posmap_budget");
+    g.sample_size(10);
+    let sql = "select c7, c23, c41 from t";
+    for (name, budget) in [
+        ("tiny_budget", Some(nodb_common::ByteSize::kb(16))),
+        ("unlimited", None),
+    ] {
+        let mut cfg = NoDbConfig::pm_only();
+        cfg.posmap_budget = budget;
+        let db = micro_engine(cfg, AccessMode::InSitu);
+        db.query(sql).expect("warm");
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| db.query(sql).expect("query"));
+        });
+    }
+    g.finish();
+}
+
+/// Figures 7/8: in-situ vs loaded engine on one selective aggregate.
+fn fig_systems(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig07_systems");
+    g.sample_size(10);
+    let sql = "select sum(c1), sum(c2), sum(c3) from t where c0 < 200000000";
+    let raw = micro_engine(NoDbConfig::postgres_raw(), AccessMode::InSitu);
+    raw.query(sql).expect("warm");
+    g.bench_function("postgresraw_warm", |b| {
+        b.iter(|| raw.query(sql).expect("query"));
+    });
+    let mut loaded = micro_engine(NoDbConfig::postgres_raw(), AccessMode::Loaded);
+    loaded.load_table("t").expect("load");
+    g.bench_function("postgresql_loaded", |b| {
+        b.iter(|| loaded.query(sql).expect("query"));
+    });
+    let ext = micro_engine(NoDbConfig::baseline(), AccessMode::ExternalFiles);
+    g.bench_function("external_files", |b| {
+        b.iter(|| ext.query(sql).expect("query"));
+    });
+    g.finish();
+}
+
+/// Figures 9/10/12: TPC-H Q1 across engines and planner settings.
+fn fig_tpch(c: &mut Criterion) {
+    let dir = tpch_dir(SCALE.tpch_sf()).expect("tpch data");
+    let build = |cfg: NoDbConfig, mode: AccessMode| {
+        let mut db = NoDb::new(cfg).expect("engine");
+        for t in TpchGen::table_names() {
+            db.register_csv(
+                t,
+                &dir.join(format!("{t}.tbl")),
+                TpchGen::schema(t).expect("schema"),
+                CsvOptions::pipe(),
+                mode,
+            )
+            .expect("register");
+        }
+        db
+    };
+    let mut g = c.benchmark_group("fig10_tpch_q1_warm");
+    g.sample_size(10);
+    let pmc = build(NoDbConfig::postgres_raw(), AccessMode::InSitu);
+    pmc.query(queries::Q1).expect("warm");
+    g.bench_function("postgresraw_pm_c", |b| {
+        b.iter(|| pmc.query(queries::Q1).expect("q"));
+    });
+    let mut nostats = NoDbConfig::postgres_raw();
+    nostats.enable_stats = false;
+    let no = build(nostats, AccessMode::InSitu);
+    no.query(queries::Q1).expect("warm");
+    g.bench_function("postgresraw_no_stats_fig12", |b| {
+        b.iter(|| no.query(queries::Q1).expect("q"));
+    });
+    let mut pg = build(NoDbConfig::postgres_raw(), AccessMode::Loaded);
+    pg.load_table("lineitem").expect("load");
+    g.bench_function("postgresql_loaded", |b| {
+        b.iter(|| pg.query(queries::Q1).expect("q"));
+    });
+    g.finish();
+}
+
+/// Figure 11: FITS aggregate, cold procedural vs cached in-situ.
+fn fig_fits(c: &mut Criterion) {
+    let path = fits_file(SCALE.fits_rows()).expect("fits data");
+    let mut g = c.benchmark_group("fig11_fits");
+    g.sample_size(10);
+    g.bench_function("cfitsio_style", |b| {
+        let mut proc = ProceduralFits::open(&path).expect("open");
+        b.iter(|| proc.aggregate("f3", ProcAgg::Max).expect("agg"));
+    });
+    let provider = FitsProvider::open(&path, None, true).expect("open");
+    let schema = provider.table().schema().expect("schema");
+    let mut db = NoDb::new(NoDbConfig::postgres_raw()).expect("engine");
+    db.register_provider("sky", schema, Box::new(provider))
+        .expect("register");
+    db.query("select max(f3) from sky").expect("warm");
+    g.bench_function("postgresraw_cached", |b| {
+        b.iter(|| db.query("select max(f3) from sky").expect("q"));
+    });
+    g.finish();
+}
+
+/// Figure 13: wide attributes, loaded vs in-situ.
+fn fig_width(c: &mut Criterion) {
+    let rows = SCALE.micro_rows() / 4;
+    let mut g = c.benchmark_group("fig13_width");
+    g.sample_size(10);
+    for width in [16usize, 64] {
+        let (path, schema) = micro_file(rows, SCALE.micro_cols(), Some(width)).expect("data");
+        let sql = "select max(c1), max(c2) from t";
+        let mut loaded = NoDb::new(NoDbConfig::postgres_raw()).expect("engine");
+        loaded
+            .register_csv("t", &path, schema.clone(), CsvOptions::default(), AccessMode::Loaded)
+            .expect("register");
+        loaded.load_table("t").expect("load");
+        g.bench_function(BenchmarkId::new("postgresql", width), |b| {
+            b.iter(|| loaded.query(sql).expect("q"));
+        });
+        let mut raw = NoDb::new(NoDbConfig::postgres_raw()).expect("engine");
+        raw.register_csv("t", &path, schema, CsvOptions::default(), AccessMode::InSitu)
+            .expect("register");
+        raw.query(sql).expect("warm");
+        g.bench_function(BenchmarkId::new("postgresraw", width), |b| {
+            b.iter(|| raw.query(sql).expect("q"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig_variants,
+    fig_budget,
+    fig_systems,
+    fig_tpch,
+    fig_fits,
+    fig_width
+);
+criterion_main!(figures);

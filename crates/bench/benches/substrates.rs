@@ -1,0 +1,264 @@
+//! Micro-benchmarks of the individual substrates: tokenizer, positional
+//! map, cache, tuple codec, expression evaluation and operators. These
+//! quantify the per-mechanism costs behind the figure-level results
+//! (e.g. how much a map jump saves over re-tokenizing a line).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use nodb_cache::{CacheConfig, ColumnBuilder, RawCache};
+use nodb_common::{DataType, Row, Schema, Value};
+use nodb_csv::tokenize;
+use nodb_exec::ops::{HashAggOp, HashJoinOp, Operator, RowsOp, SortAggOp};
+use nodb_exec::{eval, eval_predicate};
+use nodb_posmap::{BlockCollector, PosMapConfig, PositionalMap};
+use nodb_sql::expr::AggExpr;
+use nodb_sql::{AggFunc, BinOp, BoundExpr, JoinKind};
+use nodb_stats::StatsBuilder;
+
+/// A 150-field CSV line like the micro-benchmark's.
+fn sample_line() -> Vec<u8> {
+    (0..150)
+        .map(|i| ((i * 7919 + 13) % 1_000_000_000).to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+        .into_bytes()
+}
+
+fn bench_tokenizer(c: &mut Criterion) {
+    let line = sample_line();
+    let mut g = c.benchmark_group("substrate_tokenizer");
+    g.throughput(Throughput::Bytes(line.len() as u64));
+    g.bench_function("tokenize_all_150_fields", |b| {
+        let mut out = Vec::with_capacity(160);
+        b.iter(|| {
+            out.clear();
+            tokenize::tokenize_all(&line, b',', &mut out)
+        });
+    });
+    g.bench_function("selective_tokenize_upto_10", |b| {
+        let mut out = Vec::with_capacity(16);
+        b.iter(|| {
+            out.clear();
+            tokenize::tokenize_upto(&line, b',', 10, &mut out)
+        });
+    });
+    g.bench_function("anchored_advance_5_fields", |b| {
+        let mut starts = Vec::new();
+        tokenize::tokenize_all(&line, b',', &mut starts);
+        let anchor = starts[100];
+        b.iter(|| tokenize::advance_forward(&line, b',', anchor, 100, 105));
+    });
+    g.finish();
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_conversion");
+    g.bench_function("parse_int_field", |b| {
+        b.iter(|| Value::parse_field(b"123456789", DataType::Int32).expect("int"));
+    });
+    g.bench_function("parse_float_field", |b| {
+        b.iter(|| Value::parse_field(b"12345.6789", DataType::Float64).expect("float"));
+    });
+    g.bench_function("parse_date_field", |b| {
+        b.iter(|| Value::parse_field(b"1996-03-13", DataType::Date).expect("date"));
+    });
+    g.finish();
+}
+
+fn bench_posmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_posmap");
+    // A populated map: 32 blocks × 4096 rows × 8 attrs.
+    let mut map = PositionalMap::new(PosMapConfig::default());
+    for block in 0..32u64 {
+        let mut col = BlockCollector::new(block, (0..8).collect());
+        for r in 0..4096u32 {
+            let offs: Vec<u32> = (0..8).map(|a| a * 12 + r % 7).collect();
+            col.push_row(&offs);
+        }
+        map.insert(col.build());
+    }
+    g.bench_function("fetch_block_exact", |b| {
+        b.iter(|| map.fetch_block(7, &[2, 5]));
+    });
+    g.bench_function("fetch_block_anchor", |b| {
+        b.iter(|| map.fetch_block(7, &[20])); // uncovered -> nearest anchor
+    });
+    g.bench_function("insert_chunk_4096x8", |b| {
+        b.iter_batched(
+            || {
+                let mut col = BlockCollector::new(99, (0..8).collect());
+                for r in 0..4096u32 {
+                    let offs: Vec<u32> = (0..8).map(|a| a * 12 + r % 7).collect();
+                    col.push_row(&offs);
+                }
+                col.build()
+            },
+            |chunk| map.insert(chunk),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_cache");
+    let mut cache = RawCache::new(CacheConfig::default());
+    let mut b1 = ColumnBuilder::new(0, 3, DataType::Int32, 4096);
+    for i in 0..4096 {
+        b1.set(i, &Value::Int32(i as i32));
+    }
+    cache.insert(b1.build());
+    g.bench_function("lookup_hit", |b| {
+        b.iter(|| cache.get(0, 3).expect("hit").get(1234));
+    });
+    g.bench_function("lookup_miss", |b| {
+        b.iter(|| cache.get(9, 9).is_none());
+    });
+    g.bench_function("build_and_insert_4096_ints", |b| {
+        b.iter_batched(
+            || {
+                let mut bu = ColumnBuilder::new(1, 1, DataType::Int32, 4096);
+                for i in 0..4096 {
+                    bu.set(i, &Value::Int32(i as i32));
+                }
+                bu.build()
+            },
+            |col| cache.insert(col),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_stats");
+    g.bench_function("offer_value", |b| {
+        let mut builder = StatsBuilder::new(DataType::Int32);
+        let mut i = 0i32;
+        b.iter(|| {
+            i = i.wrapping_add(977);
+            builder.offer(&Value::Int32(i));
+        });
+    });
+    g.finish();
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_exec");
+    let row = Row(vec![
+        Value::Int32(5),
+        Value::Float64(2.5),
+        Value::Text("PROMO ANODIZED TIN".into()),
+    ]);
+    let expr = BoundExpr::Binary {
+        op: BinOp::Mul,
+        left: Box::new(BoundExpr::Col(0)),
+        right: Box::new(BoundExpr::Binary {
+            op: BinOp::Sub,
+            left: Box::new(BoundExpr::Lit(Value::Float64(1.0))),
+            right: Box::new(BoundExpr::Col(1)),
+        }),
+    };
+    g.bench_function("eval_arith_expr", |b| {
+        b.iter(|| eval(&expr, &row).expect("eval"));
+    });
+    let like = BoundExpr::Like {
+        expr: Box::new(BoundExpr::Col(2)),
+        pattern: "PROMO%".into(),
+        negated: false,
+    };
+    g.bench_function("eval_like", |b| {
+        b.iter(|| eval_predicate(&like, &row).expect("eval"));
+    });
+
+    let data: Vec<Row> = (0..10_000)
+        .map(|i| Row(vec![Value::Int64(i % 50), Value::Int64(i)]))
+        .collect();
+    let aggs = vec![AggExpr {
+        func: AggFunc::Sum,
+        arg: Some(BoundExpr::Col(1)),
+    }];
+    g.bench_function("hash_agg_10k_rows_50_groups", |b| {
+        b.iter_batched(
+            || Box::new(RowsOp::new(data.clone())),
+            |input| {
+                let mut op = HashAggOp::new(input, vec![0], aggs.clone());
+                while op.next_row().expect("agg").is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("sort_agg_10k_rows_50_groups", |b| {
+        b.iter_batched(
+            || Box::new(RowsOp::new(data.clone())),
+            |input| {
+                let mut op = SortAggOp::new(input, vec![0], aggs.clone());
+                while op.next_row().expect("agg").is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let build: Vec<Row> = (0..1000).map(|i| Row(vec![Value::Int64(i)])).collect();
+    let probe: Vec<Row> = (0..10_000)
+        .map(|i| Row(vec![Value::Int64(i % 2000)]))
+        .collect();
+    g.bench_function("hash_join_1k_x_10k", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Box::new(RowsOp::new(build.clone())),
+                    Box::new(RowsOp::new(probe.clone())),
+                )
+            },
+            |(l, r)| {
+                let mut op = HashJoinOp::new(l, r, vec![(0, 0)], None, JoinKind::Inner);
+                while op.next_row().expect("join").is_some() {}
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    use nodb_storage::tuple;
+    let schema = Schema::parse(
+        "a int, b bigint, c double, d date, e text, f text",
+    )
+    .expect("schema");
+    let row = Row(vec![
+        Value::Int32(42),
+        Value::Int64(1 << 40),
+        Value::Float64(3.25),
+        Value::Date(nodb_common::Date(9000)),
+        Value::Text("DELIVER IN PERSON".into()),
+        Value::Text("carefully final deposits".into()),
+    ]);
+    let mut g = c.benchmark_group("substrate_storage");
+    g.bench_function("tuple_encode", |b| {
+        let mut buf = Vec::new();
+        b.iter(|| tuple::encode(&row, &schema, 24, &mut buf).expect("encode"));
+    });
+    let mut buf = Vec::new();
+    tuple::encode(&row, &schema, 24, &mut buf).expect("encode");
+    g.bench_function("tuple_decode_full", |b| {
+        b.iter(|| tuple::decode_projected(&buf, &schema, 24, &[0, 1, 2, 3, 4, 5]).expect("decode"));
+    });
+    g.bench_function("tuple_decode_projected_2_of_6", |b| {
+        b.iter(|| tuple::decode_projected(&buf, &schema, 24, &[0, 4]).expect("decode"));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_tokenizer,
+    bench_parse,
+    bench_posmap,
+    bench_cache,
+    bench_stats,
+    bench_exec,
+    bench_storage
+);
+criterion_main!(substrates);

@@ -1,0 +1,96 @@
+//! Regenerate the NoDB evaluation figures.
+//!
+//! ```text
+//! figures all                      # every figure at medium scale
+//! figures fig5 fig10               # selected figures
+//! figures fig3 --scale paper       # bigger inputs
+//! figures --list                   # what exists
+//! figures all --out results/       # output directory (default: results/)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nodb_bench::figures::registry;
+use nodb_bench::Scale;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Medium;
+    let mut out = PathBuf::from("results");
+    let mut picks: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                match args.get(i).map(|s| Scale::parse(s)) {
+                    Some(Some(s)) => scale = s,
+                    _ => {
+                        eprintln!("--scale needs one of: small, medium, paper");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = PathBuf::from(p),
+                    None => {
+                        eprintln!("--out needs a directory");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--list" => {
+                for (id, desc, _) in registry() {
+                    println!("{id:>6}  {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => picks.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if picks.is_empty() {
+        eprintln!(
+            "usage: figures [all | fig3 fig4 ... fig13] [--scale small|medium|paper] \
+             [--out DIR] [--list]"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let reg = registry();
+    let selected: Vec<_> = if picks.iter().any(|p| p == "all") {
+        reg
+    } else {
+        let mut v = Vec::new();
+        for p in &picks {
+            match reg.iter().find(|(id, _, _)| id == p) {
+                Some(e) => v.push(*e),
+                None => {
+                    eprintln!("unknown figure `{p}` (try --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        v
+    };
+
+    println!(
+        "regenerating {} figure(s) at {:?} scale (results -> {})",
+        selected.len(),
+        scale,
+        out.display()
+    );
+    for (id, desc, run) in selected {
+        println!("\n########## {id}: {desc}");
+        let t = std::time::Instant::now();
+        if let Err(e) = run(scale, &out) {
+            eprintln!("{id} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  ({:.1}s)", t.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

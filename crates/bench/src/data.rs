@@ -1,0 +1,83 @@
+//! Shared data-file management: generated inputs are cached on disk and
+//! reused across figures (keyed by their generation parameters).
+
+use std::path::{Path, PathBuf};
+
+use nodb_common::{Result, Row, Schema, Value};
+use nodb_csv::MicroGen;
+use nodb_fits::{FitsTableWriter, FitsType};
+use nodb_tpch::TpchGen;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where generated inputs live (removed by `cargo clean` via target/, or
+/// manually).
+pub fn data_dir() -> PathBuf {
+    let base = std::env::var_os("NODB_BENCH_DATA")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/nodb-bench-data"));
+    std::fs::create_dir_all(&base).expect("create bench data dir");
+    base
+}
+
+/// Generate (or reuse) the micro-benchmark file.
+pub fn micro_file(rows: usize, cols: usize, pad: Option<usize>) -> Result<(PathBuf, Schema)> {
+    let name = match pad {
+        Some(w) => format!("micro-{rows}x{cols}-w{w}.csv"),
+        None => format!("micro-{rows}x{cols}.csv"),
+    };
+    let path = data_dir().join(name);
+    let mut spec = MicroGen::default().rows(rows).cols(cols).seed(0xbead);
+    if let Some(w) = pad {
+        spec = spec.pad_width(w);
+    }
+    if !path.exists() {
+        spec.write_to(&path)?;
+    }
+    Ok((path, spec.schema()))
+}
+
+/// Generate (or reuse) a TPC-H directory at `sf`.
+pub fn tpch_dir(sf: f64) -> Result<PathBuf> {
+    let dir = data_dir().join(format!("tpch-{sf}"));
+    let marker = dir.join(".complete");
+    if !marker.exists() {
+        TpchGen::new(sf, 0xcafe).generate_all(&dir)?;
+        std::fs::write(&marker, b"ok")?;
+    }
+    Ok(dir)
+}
+
+/// Generate (or reuse) the FITS table: 10 float columns (the paper's
+/// workload aggregates float columns), plus an id.
+pub fn fits_file(rows: usize) -> Result<PathBuf> {
+    let path = data_dir().join(format!("sky-{rows}.fits"));
+    if path.exists() {
+        return Ok(path);
+    }
+    let mut cols: Vec<(String, FitsType)> = vec![("objid".into(), FitsType::K)];
+    for i in 0..10 {
+        cols.push((format!("f{i}"), FitsType::D));
+    }
+    let mut w = FitsTableWriter::create(&path, cols)?;
+    let mut rng = StdRng::seed_from_u64(0xf175);
+    for i in 0..rows {
+        let mut vals = vec![Value::Int64(i as i64)];
+        for _ in 0..10 {
+            vals.push(Value::Float64(rng.gen_range(-1000.0..1000.0)));
+        }
+        w.write_row(&Row(vals))?;
+    }
+    w.finish()?;
+    Ok(path)
+}
+
+/// Remove a cached input (used when an experiment mutates its file).
+pub fn scratch_copy(src: &Path, tag: &str) -> Result<PathBuf> {
+    let dst = data_dir().join(format!(
+        "scratch-{tag}-{}",
+        src.file_name().and_then(|s| s.to_str()).unwrap_or("file")
+    ));
+    std::fs::copy(src, &dst)?;
+    Ok(dst)
+}

@@ -1,0 +1,153 @@
+//! One regeneration function per figure of the paper's evaluation.
+
+pub mod ablations;
+pub mod fits;
+pub mod micro;
+pub mod systems;
+pub mod tpch;
+
+use std::path::{Path, PathBuf};
+
+use nodb_common::{Result, Schema};
+use nodb_core::{AccessMode, NoDb, NoDbConfig};
+use nodb_csv::CsvOptions;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Scale;
+
+/// Experiment registry: (id, description, runner).
+pub type Runner = fn(Scale, &Path) -> Result<()>;
+
+/// All figures in paper order.
+pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
+    vec![
+        (
+            "fig3",
+            "positional-map storage budget vs average query time",
+            micro::fig3,
+        ),
+        ("fig4", "positional-map scalability with file size", micro::fig4),
+        (
+            "fig5",
+            "query sequence: Baseline / C / PM / PM+C variants",
+            micro::fig5,
+        ),
+        ("fig6", "adapting to workload shifts (5 epochs)", micro::fig6),
+        (
+            "fig7",
+            "cumulative 9-query sequence vs other DBMS (incl. loading)",
+            systems::fig7,
+        ),
+        ("fig8a", "per-query time vs selectivity", systems::fig8a),
+        ("fig8b", "per-query time vs projectivity", systems::fig8b),
+        ("fig9", "TPC-H Q10/Q14 from cold, incl. loading", tpch::fig9),
+        ("fig10", "TPC-H warm query times", tpch::fig10),
+        ("fig11", "FITS: procedural (CFITSIO-style) vs PostgresRaw", fits::fig11),
+        (
+            "fig12",
+            "on-the-fly statistics: 4 instances of TPC-H Q1",
+            tpch::fig12,
+        ),
+        (
+            "fig13",
+            "attribute width 16 vs 64: PostgreSQL vs PostgresRaw",
+            systems::fig13,
+        ),
+        (
+            "abl_block_size",
+            "ablation: positional-map block size",
+            ablations::abl_block_size,
+        ),
+        (
+            "abl_eviction",
+            "ablation: cost-aware vs plain-LRU cache eviction",
+            ablations::abl_eviction,
+        ),
+        (
+            "abl_anchor_distance",
+            "ablation: anchored-navigation distance",
+            ablations::abl_anchor_distance,
+        ),
+    ]
+}
+
+// ----- shared construction helpers ---------------------------------------
+
+/// An engine with one in-situ micro table `t`.
+pub(crate) fn micro_engine(
+    cfg: NoDbConfig,
+    path: &PathBuf,
+    schema: &Schema,
+    mode: AccessMode,
+) -> NoDb {
+    let mut db = NoDb::new(cfg).expect("engine");
+    db.register_csv("t", path, schema.clone(), CsvOptions::default(), mode)
+        .expect("register");
+    db
+}
+
+/// `count` random `width`-attribute projection queries (§5.1.1 setup:
+/// "each query asks for 10 random attributes of the raw file,
+/// selectivity is 100%").
+pub(crate) fn random_projections(
+    cols: usize,
+    count: usize,
+    width: usize,
+    seed: u64,
+) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut picks: Vec<usize> = (0..width).map(|_| rng.gen_range(0..cols)).collect();
+            picks.sort_unstable();
+            picks.dedup();
+            let list = picks
+                .iter()
+                .map(|c| format!("c{c}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("select {list} from t")
+        })
+        .collect()
+}
+
+/// Random projections confined to a column region (Figure 6 epochs).
+pub(crate) fn region_projections(
+    region: std::ops::Range<usize>,
+    count: usize,
+    width: usize,
+    seed: u64,
+) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut picks: Vec<usize> =
+                (0..width).map(|_| rng.gen_range(region.clone())).collect();
+            picks.sort_unstable();
+            picks.dedup();
+            let list = picks
+                .iter()
+                .map(|c| format!("c{c}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("select {list} from t")
+        })
+        .collect()
+}
+
+/// A Figure-7/8 style query: one selection predicate, aggregations over a
+/// fraction of the remaining attributes.
+///
+/// * `selectivity` ∈ (0, 1]: fraction of rows passing `c0 < X` (values
+///   are uniform on [0, 10⁹)).
+/// * `projectivity` ∈ (0, 1]: fraction of attributes aggregated.
+pub(crate) fn sel_proj_query(cols: usize, selectivity: f64, projectivity: f64) -> String {
+    let cutoff = (selectivity * 1e9) as u64;
+    let n_proj = ((cols - 1) as f64 * projectivity).round().max(1.0) as usize;
+    let aggs = (1..=n_proj)
+        .map(|c| format!("sum(c{c})"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("select {aggs} from t where c0 < {cutoff}")
+}

@@ -1,0 +1,286 @@
+//! Cross-system figures (paper §5.1.4 and §6): Figures 7, 8a, 8b and 13.
+
+use std::path::Path;
+
+use nodb_common::Result;
+use nodb_core::{AccessMode, NoDb, NoDbConfig};
+use nodb_csv::CsvOptions;
+use nodb_storage::EngineProfile;
+
+use crate::data::micro_file;
+use crate::figures::{micro_engine, sel_proj_query};
+use crate::report::{secs, Report};
+use crate::{time, Scale};
+
+/// The paper's Figure 7/8 9-query sequence: Q1 = 100 % selectivity,
+/// 100 % projectivity; Q2–Q5 drop selectivity to 20 %; Q6–Q9 drop
+/// projectivity to 20 %.
+fn nine_query_sequence(cols: usize) -> Vec<String> {
+    let mut v = vec![sel_proj_query(cols, 1.0, 1.0)];
+    for sel in [0.8, 0.6, 0.4, 0.2] {
+        v.push(sel_proj_query(cols, sel, 1.0));
+    }
+    for proj in [0.8, 0.6, 0.4, 0.2] {
+        v.push(sel_proj_query(cols, 1.0, proj));
+    }
+    v
+}
+
+fn loaded_engine(profile: EngineProfile, path: &std::path::Path, schema: &nodb_common::Schema) -> (NoDb, f64) {
+    let mut cfg = NoDbConfig::postgres_raw();
+    cfg.loaded_profile = profile;
+    let mut db = NoDb::new(cfg).expect("engine");
+    db.register_csv("t", path, schema.clone(), CsvOptions::default(), AccessMode::Loaded)
+        .expect("register");
+    let (_, load_s) = time(|| db.load_table("t").expect("load"));
+    (db, load_s)
+}
+
+/// Figure 7: cumulative time for the 9-query sequence across systems,
+/// loading included for the loaded engines. Expected shape: external
+/// files are an order of magnitude worse; PostgresRaw has the best
+/// data-to-query story; loaded engines pay their load bar first.
+pub fn fig7(scale: Scale, out: &Path) -> Result<()> {
+    let (path, schema) = micro_file(scale.micro_rows(), scale.micro_cols(), None)?;
+    let queries = nine_query_sequence(scale.micro_cols());
+
+    let mut report = Report::new(
+        "fig7",
+        "cumulative seconds after each query (load included where applicable)",
+        &[
+            "system",
+            "load_s",
+            "q1",
+            "q2",
+            "q3",
+            "q4",
+            "q5",
+            "q6",
+            "q7",
+            "q8",
+            "q9",
+            "total_s",
+        ],
+        out,
+    );
+
+    let run_system = |name: &str, db: &NoDb, load_s: f64, report: &mut Report| {
+        let mut cum = load_s;
+        let mut cells = vec![name.to_string(), secs(load_s)];
+        for q in &queries {
+            let (_, t) = time(|| db.query(q).expect("query"));
+            cum += t;
+            cells.push(secs(cum));
+        }
+        cells.push(secs(cum));
+        report.row(&cells);
+    };
+
+    // External files (straw man; stands in for both MySQL CSV engine and
+    // DBMS X external files — see DESIGN.md §3).
+    let ext = micro_engine(
+        NoDbConfig::baseline(),
+        &path,
+        &schema,
+        AccessMode::ExternalFiles,
+    );
+    run_system("external_files", &ext, 0.0, &mut report);
+
+    // Loaded comparators.
+    for profile in [
+        EngineProfile::MySqlLike,
+        EngineProfile::DbmsXLike,
+        EngineProfile::PostgresLike,
+    ] {
+        let (db, load_s) = loaded_engine(profile, &path, &schema);
+        let name = match profile {
+            EngineProfile::MySqlLike => "mysql_loaded",
+            EngineProfile::DbmsXLike => "dbmsx_loaded",
+            EngineProfile::PostgresLike => "postgresql_loaded",
+        };
+        run_system(name, &db, load_s, &mut report);
+    }
+
+    // PostgresRaw PM+C: no load bar at all.
+    let raw = micro_engine(
+        NoDbConfig::postgres_raw(),
+        &path,
+        &schema,
+        AccessMode::InSitu,
+    );
+    run_system("postgresraw_pm_c", &raw, 0.0, &mut report);
+
+    report.finish()?;
+    Ok(())
+}
+
+fn sweep(
+    figure: &'static str,
+    title: &'static str,
+    points: &[(f64, f64, &'static str)],
+    scale: Scale,
+    out: &Path,
+) -> Result<()> {
+    let (path, schema) = micro_file(scale.micro_rows(), scale.micro_cols(), None)?;
+    let mut report = Report::new(
+        figure,
+        title,
+        &["query", "label", "postgresraw_s", "postgresql_s", "dbmsx_s", "mysql_s"],
+        out,
+    );
+    // Loaded engines, loading cost excluded, cold buffer pools per query
+    // (the paper: "buffer caches are cold, however").
+    let loaded: Vec<(NoDb, &str)> = [
+        EngineProfile::PostgresLike,
+        EngineProfile::DbmsXLike,
+        EngineProfile::MySqlLike,
+    ]
+    .into_iter()
+    .map(|p| {
+        let (db, _) = loaded_engine(p, &path, &schema);
+        let name = match p {
+            EngineProfile::PostgresLike => "postgresql",
+            EngineProfile::DbmsXLike => "dbmsx",
+            EngineProfile::MySqlLike => "mysql",
+        };
+        (db, name)
+    })
+    .collect();
+    let raw = micro_engine(
+        NoDbConfig::postgres_raw(),
+        &path,
+        &schema,
+        AccessMode::InSitu,
+    );
+
+    for (qi, (sel, proj, label)) in points.iter().enumerate() {
+        let sql = sel_proj_query(scale.micro_cols(), *sel, *proj);
+        let (_, t_raw) = time(|| raw.query(&sql).expect("query"));
+        let mut cells = vec![format!("Q{}", qi + 1), label.to_string(), secs(t_raw)];
+        for (db, _) in &loaded {
+            db.clear_buffers();
+            let (_, t) = time(|| db.query(&sql).expect("query"));
+            cells.push(secs(t));
+        }
+        report.row(&cells);
+    }
+    report.finish()?;
+    Ok(())
+}
+
+/// Figure 8a: individual query times as selectivity drops 100 % → 1 %
+/// (projectivity fixed at 100 %). The first query is PostgresRaw's worst
+/// case (empty map and cache); it then outperforms the loaded engines.
+pub fn fig8a(scale: Scale, out: &Path) -> Result<()> {
+    sweep(
+        "fig8a",
+        "query time vs selectivity (projectivity 100 %)",
+        &[
+            (1.0, 1.0, "100%"),
+            (1.0, 1.0, "100%"),
+            (0.8, 1.0, "80%"),
+            (0.6, 1.0, "60%"),
+            (0.4, 1.0, "40%"),
+            (0.2, 1.0, "20%"),
+            (0.01, 1.0, "1%"),
+        ],
+        scale,
+        out,
+    )
+}
+
+/// Figure 8b: individual query times as projectivity drops 100 % → 10 %
+/// (selectivity fixed at 100 %).
+pub fn fig8b(scale: Scale, out: &Path) -> Result<()> {
+    sweep(
+        "fig8b",
+        "query time vs projectivity (selectivity 100 %)",
+        &[
+            (1.0, 1.0, "100%"),
+            (1.0, 1.0, "100%"),
+            (1.0, 0.8, "80%"),
+            (1.0, 0.6, "60%"),
+            (1.0, 0.5, "50%"),
+            (1.0, 0.4, "40%"),
+            (1.0, 0.2, "20%"),
+            (1.0, 0.1, "10%"),
+        ],
+        scale,
+        out,
+    )
+}
+
+/// Figure 13: widen every attribute from 16 to 64 characters. The loaded
+/// engine degrades catastrophically (rows stop fitting in slotted pages
+/// and take the per-tuple overflow path); PostgresRaw merely reads
+/// proportionally more bytes. Paper: PostgreSQL slows 20–70×, PostgresRaw
+/// ≤ 6×.
+pub fn fig13(scale: Scale, out: &Path) -> Result<()> {
+    // Fewer rows: wide rows are big (150 cols × 64 B ≈ 10 KB each).
+    let rows = (scale.micro_rows() / 4).max(1000);
+    let cols = scale.micro_cols();
+    let mut report = Report::new(
+        "fig13",
+        "9-query sequence at attribute width 16 vs 64",
+        &["system", "width", "q", "time_s"],
+        out,
+    );
+    for width in [16usize, 64] {
+        let (path, schema) = micro_file(rows, cols, Some(width))?;
+        // Queries: text columns don't aggregate; count qualifying rows
+        // over a prefix filter instead, with shrinking projectivity via
+        // max(c_k) over text (lexicographic max exercises the width).
+        let queries: Vec<String> = {
+            let mut v = Vec::new();
+            for (sel, proj) in [
+                (1.0, 1.0),
+                (0.8, 1.0),
+                (0.6, 1.0),
+                (0.4, 1.0),
+                (0.2, 1.0),
+                (1.0, 0.8),
+                (1.0, 0.6),
+                (1.0, 0.4),
+                (1.0, 0.2),
+            ] {
+                let cutoff = format!("{:0w$}", (sel * 1e9) as u64, w = width);
+                let n_proj = ((cols - 1) as f64 * proj).round().max(1.0) as usize;
+                let aggs = (1..=n_proj)
+                    .map(|c| format!("max(c{c})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                v.push(format!("select {aggs} from t where c0 < '{cutoff}'"));
+            }
+            v
+        };
+
+        let (pg, _) = loaded_engine(EngineProfile::PostgresLike, &path, &schema);
+        for (qi, q) in queries.iter().enumerate() {
+            pg.clear_buffers();
+            let (_, t) = time(|| pg.query(q).expect("query"));
+            report.row(&[
+                "postgresql".into(),
+                width.to_string(),
+                format!("Q{}", qi + 1),
+                secs(t),
+            ]);
+        }
+        let raw = micro_engine(
+            NoDbConfig::postgres_raw(),
+            &path,
+            &schema,
+            AccessMode::InSitu,
+        );
+        for (qi, q) in queries.iter().enumerate() {
+            let (_, t) = time(|| raw.query(q).expect("query"));
+            report.row(&[
+                "postgresraw".into(),
+                width.to_string(),
+                format!("Q{}", qi + 1),
+                secs(t),
+            ]);
+        }
+    }
+    report.finish()?;
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! TPC-H figures (paper §5.2 and §5.4): Figures 9, 10 and 12.
+
+use std::path::Path;
+
+use nodb_common::Result;
+use nodb_core::{AccessMode, NoDb, NoDbConfig};
+use nodb_csv::CsvOptions;
+use nodb_tpch::{queries, TpchGen};
+
+use crate::data::tpch_dir;
+use crate::report::{secs, Report};
+use crate::{time, Scale};
+
+fn tpch_engine(dir: &Path, cfg: NoDbConfig, mode: AccessMode) -> NoDb {
+    let mut db = NoDb::new(cfg).expect("engine");
+    for t in TpchGen::table_names() {
+        db.register_csv(
+            t,
+            &dir.join(format!("{t}.tbl")),
+            TpchGen::schema(t).expect("schema"),
+            CsvOptions::pipe(),
+            mode,
+        )
+        .expect("register");
+    }
+    db
+}
+
+fn load_all(db: &mut NoDb) -> f64 {
+    let mut total = 0.0;
+    for t in TpchGen::table_names() {
+        let (_, s) = time(|| db.load_table(t).expect("load"));
+        total += s;
+    }
+    total
+}
+
+/// Figure 9: Q10 and Q14 from a completely cold start, *including* data
+/// loading for PostgreSQL. PostgresRaw answers both queries before the
+/// loaded engine finishes loading; PM+C is slightly slower than PM on
+/// this first touch (cache-population overhead), as in the paper.
+pub fn fig9(scale: Scale, out: &Path) -> Result<()> {
+    let dir = tpch_dir(scale.tpch_sf())?;
+    let mut report = Report::new(
+        "fig9",
+        "cold-start TPC-H: loading + Q10 + Q14",
+        &["system", "load_s", "q10_s", "q14_s", "total_s"],
+        out,
+    );
+
+    // PostgreSQL: load everything, then query.
+    let mut pg = tpch_engine(&dir, NoDbConfig::postgres_raw(), AccessMode::Loaded);
+    let load_s = load_all(&mut pg);
+    let (_, q10) = time(|| pg.query(queries::Q10).expect("q10"));
+    let (_, q14) = time(|| pg.query(queries::Q14).expect("q14"));
+    report.row(&[
+        "postgresql".into(),
+        secs(load_s),
+        secs(q10),
+        secs(q14),
+        secs(load_s + q10 + q14),
+    ]);
+
+    // PostgresRaw PM+C and PM: no loading at all.
+    for (name, cfg) in [
+        ("postgresraw_pm_c", NoDbConfig::postgres_raw()),
+        ("postgresraw_pm", NoDbConfig::pm_only()),
+    ] {
+        let db = tpch_engine(&dir, cfg, AccessMode::InSitu);
+        let (_, q10) = time(|| db.query(queries::Q10).expect("q10"));
+        let (_, q14) = time(|| db.query(queries::Q14).expect("q14"));
+        report.row(&[
+            name.into(),
+            secs(0.0),
+            secs(q10),
+            secs(q14),
+            secs(q10 + q14),
+        ]);
+    }
+    report.finish()?;
+    Ok(())
+}
+
+/// Figure 10: the full warm query set. Each engine first runs the whole
+/// set once (warm-up mirrors the paper's "now that PostgreSQL and
+/// PostgresRaw are warm"), then reports per-query times. Expected shape:
+/// PM alone always loses to PostgreSQL; PM+C wins most queries.
+pub fn fig10(scale: Scale, out: &Path) -> Result<()> {
+    let dir = tpch_dir(scale.tpch_sf())?;
+    let set = queries::all();
+    let mut report = Report::new(
+        "fig10",
+        "warm TPC-H query times",
+        &["query", "postgresraw_pm_c_s", "postgresraw_pm_s", "postgresql_s"],
+        out,
+    );
+    let mut pg = tpch_engine(&dir, NoDbConfig::postgres_raw(), AccessMode::Loaded);
+    load_all(&mut pg);
+    let pmc = tpch_engine(&dir, NoDbConfig::postgres_raw(), AccessMode::InSitu);
+    let pm = tpch_engine(&dir, NoDbConfig::pm_only(), AccessMode::InSitu);
+    // Warm-up pass.
+    for (_, sql) in &set {
+        pg.query(sql).expect("warm pg");
+        pmc.query(sql).expect("warm pmc");
+        pm.query(sql).expect("warm pm");
+    }
+    for (id, sql) in &set {
+        let (_, t_pmc) = time(|| pmc.query(sql).expect("q"));
+        let (_, t_pm) = time(|| pm.query(sql).expect("q"));
+        let (_, t_pg) = time(|| pg.query(sql).expect("q"));
+        report.row(&[id.to_string(), secs(t_pmc), secs(t_pm), secs(t_pg)]);
+    }
+    report.finish()?;
+    Ok(())
+}
+
+/// Figure 12: four instances of TPC-H Q1 (as the qgen parameter
+/// variation produces), with on-the-fly statistics enabled vs disabled.
+/// With statistics the optimizer picks hash aggregation after the first
+/// query; without, it must sort — the paper reports ~3× slower queries
+/// and a small collection overhead on the first one.
+pub fn fig12(scale: Scale, out: &Path) -> Result<()> {
+    let dir = tpch_dir(scale.tpch_sf())?;
+    // Q1 instances: DELTA ∈ {60, 90, 120} days, then 90 again.
+    let instance = |delta: u32| {
+        queries::Q1.replace(
+            "interval '90' day",
+            &format!("interval '{delta}' day"),
+        )
+    };
+    let instances = [instance(60), instance(90), instance(120), instance(90)];
+
+    let mut report = Report::new(
+        "fig12",
+        "4 instances of TPC-H Q1: with vs without statistics",
+        &["instance", "with_stats_s", "plan_with", "without_stats_s", "plan_without"],
+        out,
+    );
+    let with = tpch_engine(&dir, NoDbConfig::postgres_raw(), AccessMode::InSitu);
+    let mut cfg_no = NoDbConfig::postgres_raw();
+    cfg_no.enable_stats = false;
+    let without = tpch_engine(&dir, cfg_no, AccessMode::InSitu);
+
+    for (i, sql) in instances.iter().enumerate() {
+        let (_, t_with) = time(|| with.query(sql).expect("q"));
+        let (_, t_without) = time(|| without.query(sql).expect("q"));
+        let agg = |db: &NoDb| {
+            let plan = db.explain(sql).expect("plan");
+            if plan.contains("HashAggregate") {
+                "hash"
+            } else if plan.contains("SortAggregate") {
+                "sort"
+            } else {
+                "plain"
+            }
+        };
+        report.row(&[
+            format!("Q1_{}", (b'a' + i as u8) as char),
+            secs(t_with),
+            agg(&with).to_string(),
+            secs(t_without),
+            agg(&without).to_string(),
+        ]);
+    }
+    report.finish()?;
+    Ok(())
+}

@@ -1,0 +1,324 @@
+//! Cache directory, budget, and cost-aware LRU eviction.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use nodb_common::ByteSize;
+
+use crate::column::CachedColumn;
+
+/// Cache configuration.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Byte budget; `None` = unlimited ("the size of the cache is a
+    /// parameter that can be tuned depending on the resources", §4.3).
+    pub budget: Option<ByteSize>,
+    /// How strongly conversion cost protects an entry from eviction, in
+    /// LRU clock ticks per cost unit. 0 = plain LRU.
+    pub cost_weight: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            budget: None,
+            cost_weight: 16,
+        }
+    }
+}
+
+/// Observability counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` calls that found a column.
+    pub hits: u64,
+    /// `get` calls that found nothing.
+    pub misses: u64,
+    /// Columns inserted (not counting merges into existing entries).
+    pub inserts: u64,
+    /// Partial columns merged into existing entries.
+    pub merges: u64,
+    /// Columns evicted to honour the budget.
+    pub evictions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    col: Arc<CachedColumn>,
+    last_touch: u64,
+}
+
+/// The adaptive cache for one raw file: `(block, attr) → CachedColumn`.
+#[derive(Debug)]
+pub struct RawCache {
+    cfg: CacheConfig,
+    entries: HashMap<(u64, u32), Entry>,
+    clock: u64,
+    bytes: usize,
+    stats: CacheStats,
+}
+
+impl RawCache {
+    /// Create an empty cache.
+    pub fn new(cfg: CacheConfig) -> RawCache {
+        RawCache {
+            cfg,
+            entries: HashMap::new(),
+            clock: 0,
+            bytes: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Fraction of the budget in use, in `[0, 1]` (1.0 when unlimited and
+    /// non-empty would be meaningless, so unlimited reports 0 unless
+    /// empty-aware callers handle it; Figure 6 always sets a budget).
+    pub fn utilization(&self) -> f64 {
+        match self.cfg.budget {
+            Some(b) if b.bytes() > 0 => (self.bytes as f64 / b.bytes() as f64).min(1.0),
+            _ => 0.0,
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of cached columns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up the cached column for `(block, attr)`, updating recency.
+    /// Returns a cheap shared handle (scans hold it without copying the
+    /// column data).
+    pub fn get(&mut self, block: u64, attr: u32) -> Option<Arc<CachedColumn>> {
+        self.clock += 1;
+        match self.entries.get_mut(&(block, attr)) {
+            Some(e) => {
+                e.last_touch = self.clock;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.col))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching recency or counters (for reporting).
+    pub fn peek(&self, block: u64, attr: u32) -> Option<&CachedColumn> {
+        self.entries.get(&(block, attr)).map(|e| e.col.as_ref())
+    }
+
+    /// Insert (or merge) a column produced by a scan, then enforce the
+    /// budget.
+    pub fn insert(&mut self, col: CachedColumn) {
+        self.clock += 1;
+        let key = (col.block, col.attr);
+        match self.entries.get_mut(&key) {
+            Some(existing) => {
+                let before = existing.col.bytes();
+                // Clone-on-write: cheap when no scan holds the column.
+                Arc::make_mut(&mut existing.col).absorb(&col);
+                existing.last_touch = self.clock;
+                self.bytes = self.bytes - before + existing.col.bytes();
+                self.stats.merges += 1;
+            }
+            None => {
+                self.bytes += col.bytes();
+                self.entries.insert(
+                    key,
+                    Entry {
+                        col: Arc::new(col),
+                        last_touch: self.clock,
+                    },
+                );
+                self.stats.inserts += 1;
+            }
+        }
+        self.enforce_budget(key);
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+
+    /// Evict until within budget. The most recent insert (`protect`) is
+    /// only evicted if it alone exceeds the budget.
+    fn enforce_budget(&mut self, protect: (u64, u32)) {
+        let Some(budget) = self.cfg.budget else {
+            return;
+        };
+        let budget = budget.bytes() as usize;
+        while self.bytes > budget && self.entries.len() > 1 {
+            // Victim: minimal last_touch + cost bonus. Expensive-to-convert
+            // types survive longer at equal recency (§4.3).
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != protect)
+                .min_by_key(|(_, e)| {
+                    e.last_touch + e.col.dtype.conversion_cost() as u64 * self.cfg.cost_weight
+                })
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    if let Some(e) = self.entries.remove(&k) {
+                        self.bytes -= e.col.bytes();
+                        self.stats.evictions += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        if self.bytes > budget && self.entries.len() == 1 {
+            // A single oversized entry: honour the budget strictly.
+            if let Some(e) = self.entries.remove(&protect) {
+                self.bytes -= e.col.bytes();
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnBuilder;
+    use nodb_common::{DataType, Value};
+
+    fn full_col(block: u64, attr: u32, dtype: DataType, rows: usize) -> CachedColumn {
+        let mut b = ColumnBuilder::new(block, attr, dtype, rows);
+        for i in 0..rows {
+            let v = match dtype {
+                DataType::Int32 => Value::Int32(i as i32),
+                DataType::Text => Value::Text(format!("v{i:04}")),
+                DataType::Float64 => Value::Float64(i as f64),
+                _ => Value::Int32(i as i32),
+            };
+            b.set(i, &v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let mut c = RawCache::new(CacheConfig::default());
+        c.insert(full_col(0, 5, DataType::Int32, 16));
+        assert!(c.get(0, 5).is_some());
+        assert!(c.get(0, 6).is_none());
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn merge_fills_holes() {
+        let mut c = RawCache::new(CacheConfig::default());
+        let partial1 = {
+            let mut b = ColumnBuilder::new(0, 1, DataType::Int32, 4);
+            b.set(0, &Value::Int32(10));
+            b.build()
+        };
+        let partial2 = {
+            let mut b = ColumnBuilder::new(0, 1, DataType::Int32, 4);
+            b.set(2, &Value::Int32(30));
+            b.build()
+        };
+        c.insert(partial1);
+        c.insert(partial2);
+        assert_eq!(c.stats().merges, 1);
+        let col = c.get(0, 1).unwrap();
+        assert_eq!(col.get(0), Some(Value::Int32(10)));
+        assert_eq!(col.get(2), Some(Value::Int32(30)));
+        assert_eq!(col.get(1), None);
+    }
+
+    #[test]
+    fn budget_is_enforced_with_lru() {
+        let one = full_col(0, 0, DataType::Int32, 256).bytes();
+        let cfg = CacheConfig {
+            budget: Some(ByteSize((one * 2 + one / 2) as u64)),
+            cost_weight: 0, // plain LRU for determinism here
+        };
+        let mut c = RawCache::new(cfg);
+        c.insert(full_col(0, 0, DataType::Int32, 256));
+        c.insert(full_col(1, 0, DataType::Int32, 256));
+        let _ = c.get(0, 0); // make block 1 the LRU
+        c.insert(full_col(2, 0, DataType::Int32, 256));
+        assert!(c.bytes() <= one * 2 + one / 2);
+        assert!(c.peek(0, 0).is_some(), "recently used survives");
+        assert!(c.peek(1, 0).is_none(), "LRU evicted");
+        assert!(c.peek(2, 0).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn costly_types_outlive_cheap_ones() {
+        // Float columns (cost 8) should outlive text columns (cost 1) at
+        // equal recency.
+        let fcol = full_col(0, 0, DataType::Float64, 128);
+        let tcol = full_col(1, 1, DataType::Text, 128);
+        let budget = fcol.bytes() + tcol.bytes() + 64;
+        let cfg = CacheConfig {
+            budget: Some(ByteSize(budget as u64)),
+            cost_weight: 1000,
+        };
+        let mut c = RawCache::new(cfg);
+        c.insert(tcol);
+        c.insert(fcol);
+        // Insert another text column forcing one eviction.
+        c.insert(full_col(2, 1, DataType::Text, 128));
+        assert!(c.peek(0, 0).is_some(), "expensive float column survives");
+        assert!(c.peek(1, 1).is_none(), "cheap text column evicted");
+    }
+
+    #[test]
+    fn oversized_single_entry_is_rejected() {
+        let col = full_col(0, 0, DataType::Int32, 1024);
+        let cfg = CacheConfig {
+            budget: Some(ByteSize((col.bytes() / 2) as u64)),
+            cost_weight: 0,
+        };
+        let mut c = RawCache::new(cfg);
+        c.insert(col);
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn utilization_reflects_budget() {
+        let col = full_col(0, 0, DataType::Int32, 256);
+        let cfg = CacheConfig {
+            budget: Some(ByteSize((col.bytes() * 2) as u64)),
+            cost_weight: 0,
+        };
+        let mut c = RawCache::new(cfg);
+        assert_eq!(c.utilization(), 0.0);
+        c.insert(col);
+        assert!((c.utilization() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = RawCache::new(CacheConfig::default());
+        c.insert(full_col(0, 0, DataType::Int32, 16));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.bytes(), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Shell-command parsing (kept separate from I/O for testability).
+
+/// One shell action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Register a file as a table.
+    Register {
+        /// Table name.
+        name: String,
+        /// File path.
+        path: String,
+        /// Schema description for CSV (`None` for FITS).
+        schema: Option<String>,
+        /// Field delimiter.
+        delimiter: u8,
+    },
+    /// Show work counters.
+    Metrics {
+        /// Table name.
+        table: String,
+    },
+    /// Show a plan.
+    Explain {
+        /// Query text.
+        sql: String,
+    },
+    /// Run SQL.
+    Sql {
+        /// Query text.
+        sql: String,
+    },
+    /// Print help.
+    Help,
+    /// Exit.
+    Quit,
+}
+
+/// Split a line respecting double-quoted segments.
+fn tokens(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    for ch in line.chars() {
+        match ch {
+            '"' => quoted = !quoted,
+            c if c.is_whitespace() && !quoted => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse one input line into a [`Command`].
+pub fn parse_line(input: &str) -> Result<Command, String> {
+    let input = input.trim();
+    if let Some(rest) = input.strip_prefix('\\') {
+        let toks = tokens(rest);
+        match toks.first().map(|s| s.as_str()) {
+            Some("register") => {
+                if toks.len() < 3 {
+                    return Err("usage: \\register NAME PATH [\"col type, ...\"]".into());
+                }
+                let schema = toks.get(3).cloned();
+                if !toks[2].ends_with(".fits") && schema.is_none() {
+                    return Err("CSV registration needs a schema string".into());
+                }
+                Ok(Command::Register {
+                    name: toks[1].clone(),
+                    path: toks[2].clone(),
+                    schema,
+                    delimiter: b',',
+                })
+            }
+            Some("sep") => {
+                if toks.len() < 5 {
+                    return Err(
+                        "usage: \\sep NAME PATH 'D' \"col type, ...\" (D = delimiter char)"
+                            .into(),
+                    );
+                }
+                let d = toks[3].trim_matches('\'');
+                if d.len() != 1 {
+                    return Err("delimiter must be a single character".into());
+                }
+                Ok(Command::Register {
+                    name: toks[1].clone(),
+                    path: toks[2].clone(),
+                    schema: Some(toks[4].clone()),
+                    delimiter: d.as_bytes()[0],
+                })
+            }
+            Some("metrics") => match toks.get(1) {
+                Some(t) => Ok(Command::Metrics { table: t.clone() }),
+                None => Err("usage: \\metrics NAME".into()),
+            },
+            Some("explain") => {
+                let sql = rest.trim_start_matches("explain").trim();
+                if sql.is_empty() {
+                    return Err("usage: \\explain SELECT ...".into());
+                }
+                Ok(Command::Explain {
+                    sql: sql.trim_end_matches(';').to_string(),
+                })
+            }
+            Some("help") => Ok(Command::Help),
+            Some("quit") | Some("q") | Some("exit") => Ok(Command::Quit),
+            other => Err(format!("unknown command {other:?} (\\help lists commands)")),
+        }
+    } else {
+        Ok(Command::Sql {
+            sql: input.trim_end_matches(';').to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_register_with_quoted_schema() {
+        let c = parse_line("\\register t data.csv \"a int, b text\"").unwrap();
+        assert_eq!(
+            c,
+            Command::Register {
+                name: "t".into(),
+                path: "data.csv".into(),
+                schema: Some("a int, b text".into()),
+                delimiter: b',',
+            }
+        );
+    }
+
+    #[test]
+    fn parses_fits_register_without_schema() {
+        let c = parse_line("\\register sky cat.fits").unwrap();
+        assert!(matches!(c, Command::Register { schema: None, .. }));
+        // ... but CSV without schema is rejected.
+        assert!(parse_line("\\register t data.csv").is_err());
+    }
+
+    #[test]
+    fn parses_sep_with_pipe() {
+        let c = parse_line("\\sep li lineitem.tbl '|' \"a int, b text\"").unwrap();
+        match c {
+            Command::Register { delimiter, .. } => assert_eq!(delimiter, b'|'),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_line("\\sep li lineitem.tbl '||' \"a int\"").is_err());
+    }
+
+    #[test]
+    fn parses_sql_and_strips_semicolon() {
+        let c = parse_line("select 1 from t;").unwrap();
+        assert_eq!(
+            c,
+            Command::Sql {
+                sql: "select 1 from t".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_meta_commands() {
+        assert_eq!(parse_line("\\quit").unwrap(), Command::Quit);
+        assert_eq!(parse_line("\\help").unwrap(), Command::Help);
+        assert_eq!(
+            parse_line("\\metrics t").unwrap(),
+            Command::Metrics { table: "t".into() }
+        );
+        assert!(matches!(
+            parse_line("\\explain select a from t;").unwrap(),
+            Command::Explain { .. }
+        ));
+        assert!(parse_line("\\metrics").is_err());
+        assert!(parse_line("\\bogus").is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! `nodb` — an interactive SQL shell over raw data files.
+//!
+//! ```text
+//! $ nodb
+//! nodb> \register events ./events.csv "day date, user text, action text, ms int"
+//! nodb> select action, count(*) from events group by action order by count desc;
+//! nodb> \metrics events
+//! nodb> \quit
+//! ```
+//!
+//! No loading step, ever: files are queried in place, and the engine's
+//! positional map / cache / statistics build up behind your session.
+
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+use nodb_common::Schema;
+use nodb_core::{AccessMode, NoDb, NoDbConfig};
+use nodb_csv::CsvOptions;
+use nodb_fits::FitsProvider;
+
+mod commands;
+
+use commands::{parse_line, Command};
+
+fn main() {
+    let mut db = match NoDb::new(NoDbConfig::postgres_raw()) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("failed to start engine: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Register files passed on the command line as TABLE=PATH pairs with
+    // inferred-from-extension handling (schema must follow for CSV).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+
+    println!("nodb — in-situ SQL over raw files (\\help for commands)");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        print!("nodb> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Accumulate SQL until a terminating `;`; backslash-commands are
+        // single-line.
+        if !line.starts_with('\\') {
+            buffer.push_str(line);
+            buffer.push(' ');
+            if !line.ends_with(';') {
+                continue;
+            }
+        }
+        let input = if line.starts_with('\\') {
+            line.to_string()
+        } else {
+            std::mem::take(&mut buffer)
+        };
+        match parse_line(&input) {
+            Ok(Command::Quit) => break,
+            Ok(Command::Help) => print_help(),
+            Ok(cmd) => {
+                if let Err(e) = execute(&mut db, cmd) {
+                    eprintln!("error: {e}");
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+fn execute(db: &mut NoDb, cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match cmd {
+        Command::Register {
+            name,
+            path,
+            schema,
+            delimiter,
+        } => {
+            let p = Path::new(&path);
+            if path.ends_with(".fits") {
+                let provider = FitsProvider::open(p, None, true)?;
+                let schema = provider.table().schema()?;
+                db.register_provider(&name, schema, Box::new(provider))?;
+            } else {
+                let schema = Schema::parse(&schema.ok_or("CSV files need a schema string")?)?;
+                let opts = CsvOptions {
+                    delimiter,
+                    has_header: false,
+                };
+                db.register_csv(&name, p, schema, opts, AccessMode::InSitu)?;
+            }
+            println!("registered `{name}` -> {path}");
+        }
+        Command::Metrics { table } => {
+            let m = db.metrics(&table)?;
+            let i = db.aux_info(&table)?;
+            println!(
+                "scans={} rows_emitted={} tokenized={} parsed={} from_cache={} \
+                 via_map={} via_anchor={}",
+                m.scans,
+                m.rows_emitted,
+                m.fields_tokenized,
+                m.fields_parsed,
+                m.fields_from_cache,
+                m.fields_via_map,
+                m.fields_via_anchor
+            );
+            println!(
+                "posmap: {} pointers / {} bytes; cache: {} bytes; stats on {} attrs",
+                i.posmap_pointers, i.posmap_bytes, i.cache_bytes, i.stats_attrs
+            );
+        }
+        Command::Explain { sql } => {
+            print!("{}", db.explain(&sql)?);
+        }
+        Command::Sql { sql } => {
+            let t = std::time::Instant::now();
+            let r = db.query(&sql)?;
+            let elapsed = t.elapsed();
+            println!("{}", r.columns().join(" | "));
+            for row in r.rows.iter().take(50) {
+                println!("{row}");
+            }
+            if r.rows.len() > 50 {
+                println!("... ({} rows total)", r.rows.len());
+            }
+            println!("({} rows, {:.1} ms)", r.rows.len(), elapsed.as_secs_f64() * 1e3);
+        }
+        Command::Quit | Command::Help => {}
+    }
+    Ok(())
+}
+
+fn print_help() {
+    println!(
+        "\\register NAME PATH \"col type, ...\"   register a CSV file (in situ)\n\
+         \\register NAME PATH.fits              register a FITS binary table\n\
+         \\sep NAME PATH '|' \"col type, ...\"    register with a delimiter\n\
+         \\explain SELECT ...                   show the query plan\n\
+         \\metrics NAME                         show scan work counters\n\
+         \\help                                 this text\n\
+         \\quit                                 exit\n\
+         SELECT ... ;                          run SQL (terminate with ;)"
+    );
+}

@@ -1,0 +1,228 @@
+//! Civil-date arithmetic without external dependencies.
+//!
+//! Dates are stored as a signed day count since the Unix epoch
+//! (1970-01-01 = day 0), which keeps comparisons and interval arithmetic
+//! trivial. Conversions use Howard Hinnant's `days_from_civil` algorithm.
+
+use std::fmt;
+
+use crate::error::{NoDbError, Result};
+
+/// A calendar date, stored as days since 1970-01-01.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date(pub i32);
+
+impl Date {
+    /// Construct from a civil (proleptic Gregorian) year/month/day.
+    ///
+    /// Returns an error when the month or day is out of range.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Date> {
+        if !(1..=12).contains(&month) {
+            return Err(NoDbError::parse(format!("month {month} out of range")));
+        }
+        if day < 1 || day > days_in_month(year, month) {
+            return Err(NoDbError::parse(format!(
+                "day {day} out of range for {year:04}-{month:02}"
+            )));
+        }
+        Ok(Date(days_from_civil(year, month, day)))
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Result<Date> {
+        Self::parse_bytes(s.as_bytes())
+    }
+
+    /// Parse `YYYY-MM-DD` from raw bytes (the CSV fast path).
+    pub fn parse_bytes(b: &[u8]) -> Result<Date> {
+        if b.len() != 10 || b[4] != b'-' || b[7] != b'-' {
+            return Err(NoDbError::parse(format!(
+                "bad date literal `{}`",
+                String::from_utf8_lossy(b)
+            )));
+        }
+        let year = ascii_u32(&b[0..4])? as i32;
+        let month = ascii_u32(&b[5..7])?;
+        let day = ascii_u32(&b[8..10])?;
+        Date::from_ymd(year, month, day)
+    }
+
+    /// Decompose into (year, month, day).
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// Add a number of days (negative to subtract).
+    pub fn add_days(self, days: i32) -> Date {
+        Date(self.0 + days)
+    }
+
+    /// Add calendar months, clamping the day to the target month's length
+    /// (e.g. Jan 31 + 1 month = Feb 28/29), matching SQL interval semantics.
+    pub fn add_months(self, months: i32) -> Date {
+        let (y, m, d) = self.to_ymd();
+        let total = y as i64 * 12 + (m as i64 - 1) + months as i64;
+        let ny = total.div_euclid(12) as i32;
+        let nm = (total.rem_euclid(12) + 1) as u32;
+        let nd = d.min(days_in_month(ny, nm));
+        Date(days_from_civil(ny, nm, nd))
+    }
+
+    /// Add calendar years (via [`Date::add_months`]).
+    pub fn add_years(self, years: i32) -> Date {
+        self.add_months(years * 12)
+    }
+
+    /// Number of days since the Unix epoch.
+    pub fn days(self) -> i32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+fn ascii_u32(b: &[u8]) -> Result<u32> {
+    let mut v: u32 = 0;
+    for &c in b {
+        if !c.is_ascii_digit() {
+            return Err(NoDbError::parse("non-digit in date"));
+        }
+        v = v * 10 + (c - b'0') as u32;
+    }
+    Ok(v)
+}
+
+/// True for leap years in the proleptic Gregorian calendar.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in the given month.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Civil date for a day count since 1970-01-01 (Hinnant's algorithm).
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).unwrap().days(), 0);
+        assert_eq!(Date(0).to_string(), "1970-01-01");
+    }
+
+    #[test]
+    fn known_dates() {
+        // TPC-H date range boundaries.
+        assert_eq!(Date::parse("1992-01-01").unwrap().days(), 8035);
+        assert_eq!(Date::parse("1998-12-31").unwrap().days(), 10591);
+        // Leap day.
+        assert_eq!(
+            Date::parse("2000-02-29").unwrap(),
+            Date::from_ymd(2000, 2, 29).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_literals() {
+        assert!(Date::parse("1998/12/01").is_err());
+        assert!(Date::parse("1998-13-01").is_err());
+        assert!(Date::parse("1998-02-30").is_err());
+        assert!(Date::parse("98-02-03").is_err());
+        assert!(Date::parse("1998-0a-03").is_err());
+    }
+
+    #[test]
+    fn interval_day_arithmetic() {
+        let d = Date::parse("1998-12-01").unwrap();
+        assert_eq!(d.add_days(-90).to_string(), "1998-09-02");
+        assert_eq!(d.add_days(90).add_days(-90), d);
+    }
+
+    #[test]
+    fn interval_month_arithmetic_clamps() {
+        let jan31 = Date::parse("1999-01-31").unwrap();
+        assert_eq!(jan31.add_months(1).to_string(), "1999-02-28");
+        assert_eq!(jan31.add_months(13).to_string(), "2000-02-29");
+        let d = Date::parse("1995-09-01").unwrap();
+        assert_eq!(d.add_months(1).to_string(), "1995-10-01");
+        assert_eq!(d.add_years(1).to_string(), "1996-09-01");
+        assert_eq!(d.add_months(-9).to_string(), "1994-12-01");
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        assert!(Date::parse("1994-01-01").unwrap() < Date::parse("1994-01-02").unwrap());
+        assert!(Date::parse("1993-12-31").unwrap() < Date::parse("1994-01-01").unwrap());
+    }
+
+    proptest! {
+        #[test]
+        fn ymd_roundtrip(days in -1_000_000i32..1_000_000i32) {
+            let d = Date(days);
+            let (y, m, dd) = d.to_ymd();
+            prop_assert_eq!(Date::from_ymd(y, m, dd).unwrap(), d);
+        }
+
+        #[test]
+        fn display_parse_roundtrip(days in 0i32..200_000i32) {
+            let d = Date(days);
+            prop_assert_eq!(Date::parse(&d.to_string()).unwrap(), d);
+        }
+
+        #[test]
+        fn successive_days_increment(days in -100_000i32..100_000i32) {
+            let a = Date(days).to_ymd();
+            let b = Date(days + 1).to_ymd();
+            // Either same month with day+1, or a month/year rollover to day 1.
+            if a.0 == b.0 && a.1 == b.1 {
+                prop_assert_eq!(b.2, a.2 + 1);
+            } else {
+                prop_assert_eq!(b.2, 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared kernel for the NoDB / PostgresRaw reproduction.
+//!
+//! This crate holds the vocabulary types every other crate speaks:
+//! [`DataType`], [`Value`], [`Schema`], [`Date`], [`Row`], and the common
+//! [`NoDbError`] / [`Result`] pair. It also provides small utilities that
+//! would otherwise pull in external dependencies: a self-cleaning temporary
+//! directory ([`TempDir`]) and human-readable byte sizes ([`ByteSize`]).
+//!
+//! Nothing here is specific to in-situ processing; it is the substrate the
+//! paper assumes from its host DBMS (PostgreSQL's type system and tuple
+//! vocabulary).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bytesize;
+pub mod date;
+pub mod error;
+pub mod like;
+pub mod row;
+pub mod schema;
+pub mod tempdir;
+pub mod types;
+pub mod value;
+
+pub use bytesize::ByteSize;
+pub use date::Date;
+pub use error::{NoDbError, Result};
+pub use row::Row;
+pub use schema::{Field, Schema};
+pub use tempdir::TempDir;
+pub use types::DataType;
+pub use value::Value;

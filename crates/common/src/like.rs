@@ -1,0 +1,93 @@
+//! SQL `LIKE` pattern matching (`%` = any run, `_` = any single char).
+//!
+//! Shared by the expression evaluator (nodb-exec) and selectivity
+//! estimation (nodb-stats). Matching is byte-oriented and case-sensitive,
+//! as in PostgreSQL.
+
+/// Does `text` match the SQL LIKE `pattern`?
+///
+/// Iterative two-pointer algorithm with backtracking to the last `%`;
+/// O(n·m) worst case, linear on typical patterns.
+pub fn like_match(text: &str, pattern: &str) -> bool {
+    let t = text.as_bytes();
+    let p = pattern.as_bytes();
+    let (mut ti, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == b'_' || p[pi] == t[ti]) && p[pi] != b'%' {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == b'%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let % absorb one more character.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// The literal prefix of a pattern (bytes before the first wildcard),
+/// useful for range-based selectivity estimation.
+pub fn literal_prefix(pattern: &str) -> &str {
+    match pattern.find(['%', '_']) {
+        Some(i) => &pattern[..i],
+        None => pattern,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_without_wildcards() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+        assert!(!like_match("ab", "abc"));
+    }
+
+    #[test]
+    fn percent_matches_any_run() {
+        assert!(like_match("PROMO BURNISHED", "PROMO%"));
+        assert!(!like_match("STANDARD BURNISHED", "PROMO%"));
+        assert!(like_match("abcdef", "%def"));
+        assert!(like_match("abcdef", "a%f"));
+        assert!(like_match("abcdef", "%cd%"));
+        assert!(like_match("", "%"));
+        assert!(like_match("anything", "%%"));
+    }
+
+    #[test]
+    fn underscore_matches_single_char() {
+        assert!(like_match("cat", "c_t"));
+        assert!(!like_match("cart", "c_t"));
+        assert!(like_match("cart", "c__t"));
+        assert!(!like_match("", "_"));
+    }
+
+    #[test]
+    fn mixed_wildcards_backtrack() {
+        assert!(like_match("xayybzc", "%a%b%c"));
+        assert!(like_match("mississippi", "%iss%pi"));
+        assert!(!like_match("mississipp", "%iss%pi"));
+        assert!(like_match("abab", "%ab"));
+    }
+
+    #[test]
+    fn prefix_extraction() {
+        assert_eq!(literal_prefix("PROMO%"), "PROMO");
+        assert_eq!(literal_prefix("a_c"), "a");
+        assert_eq!(literal_prefix("abc"), "abc");
+        assert_eq!(literal_prefix("%x"), "");
+    }
+}

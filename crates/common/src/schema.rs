@@ -1,0 +1,191 @@
+//! Relation schemas: ordered, named, typed attributes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{NoDbError, Result};
+use crate::types::DataType;
+
+/// One attribute of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Attribute name (matched case-insensitively during planning).
+    pub name: String,
+    /// Logical type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of [`Field`]s with case-insensitive name lookup.
+///
+/// The paper assumes the user declares the schema of each in-situ table up
+/// front ("automated schema discovery is … orthogonal", §3.1); this type is
+/// that declaration.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+    by_name: Arc<HashMap<String, usize>>,
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+impl Schema {
+    /// Build a schema from fields. Duplicate names (case-insensitive) are
+    /// rejected.
+    pub fn new(fields: Vec<Field>) -> Result<Schema> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name.to_ascii_lowercase(), i).is_some() {
+                return Err(NoDbError::catalog(format!(
+                    "duplicate column name `{}`",
+                    f.name
+                )));
+            }
+        }
+        Ok(Schema {
+            fields: Arc::new(fields),
+            by_name: Arc::new(by_name),
+        })
+    }
+
+    /// Convenience builder from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Result<Schema> {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Parse a compact schema description like
+    /// `"a int, b text, c date"`.
+    pub fn parse(desc: &str) -> Result<Schema> {
+        let mut fields = Vec::new();
+        for part in desc.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let mut it = part.split_whitespace();
+            let name = it
+                .next()
+                .ok_or_else(|| NoDbError::catalog("missing column name"))?;
+            let ty = it
+                .next()
+                .ok_or_else(|| NoDbError::catalog(format!("missing type for `{name}`")))?;
+            if it.next().is_some() {
+                return Err(NoDbError::catalog(format!(
+                    "unexpected tokens after type in `{part}`"
+                )));
+            }
+            fields.push(Field::new(name, DataType::parse(ty)?));
+        }
+        Schema::new(fields)
+    }
+
+    /// The fields, in attribute order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at ordinal `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Ordinal of the column named `name` (case-insensitive).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Like [`Schema::index_of`] but returns a planning error mentioning
+    /// the name.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| NoDbError::plan(format!("unknown column `{name}`")))
+    }
+
+    /// A new schema containing only the given ordinals, in that order.
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let fields = indices
+            .iter()
+            .map(|&i| {
+                self.fields
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| NoDbError::internal(format!("projection index {i} out of range")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Schema::new(fields)
+    }
+
+    /// The column types, in attribute order.
+    pub fn types(&self) -> Vec<DataType> {
+        self.fields.iter().map(|f| f.dtype).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = Schema::parse("L_ShipDate date, l_quantity double").unwrap();
+        assert_eq!(s.index_of("l_shipdate"), Some(0));
+        assert_eq!(s.index_of("L_QUANTITY"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        assert!(Schema::parse("a int, A text").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_descriptions() {
+        assert!(Schema::parse("a").is_err());
+        assert!(Schema::parse("a int extra").is_err());
+        assert!(Schema::parse("a blob").is_err());
+    }
+
+    #[test]
+    fn projection_reorders_fields() {
+        let s = Schema::parse("a int, b text, c date").unwrap();
+        let p = s.project(&[2, 0]).unwrap();
+        assert_eq!(p.field(0).name, "c");
+        assert_eq!(p.field(1).name, "a");
+        assert!(s.project(&[9]).is_err());
+    }
+
+    #[test]
+    fn resolve_reports_unknown_columns() {
+        let s = Schema::parse("a int").unwrap();
+        let err = s.resolve("zz").unwrap_err().to_string();
+        assert!(err.contains("zz"), "{err}");
+    }
+}

@@ -1,0 +1,73 @@
+//! A tiny self-cleaning temporary directory, so tests and benches do not
+//! need an external `tempfile` dependency.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp root that is removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory with the given prefix.
+    pub fn new(prefix: &str) -> std::io::Result<TempDir> {
+        let pid = std::process::id();
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.subsec_nanos())
+                .unwrap_or(0);
+            let path = std::env::temp_dir().join(format!("{prefix}-{pid}-{n}-{nanos}"));
+            match std::fs::create_dir(&path) {
+                Ok(()) => return Ok(TempDir { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for a file inside the directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes_directory() {
+        let kept_path;
+        {
+            let td = TempDir::new("nodb-test").unwrap();
+            kept_path = td.path().to_path_buf();
+            assert!(kept_path.is_dir());
+            std::fs::write(td.file("x.txt"), b"hello").unwrap();
+        }
+        assert!(!kept_path.exists());
+    }
+
+    #[test]
+    fn two_tempdirs_do_not_collide() {
+        let a = TempDir::new("nodb-test").unwrap();
+        let b = TempDir::new("nodb-test").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

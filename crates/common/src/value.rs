@@ -1,0 +1,368 @@
+//! Runtime values flowing through the engine.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::date::Date;
+use crate::error::{NoDbError, Result};
+use crate::types::DataType;
+
+/// A single dynamically-typed value.
+///
+/// `Value` is the unit the Volcano operators exchange. The in-situ scan
+/// produces them by converting raw ASCII fields (the paper's "data type
+/// conversion" cost); the loaded engine decodes them from binary pages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL (empty CSV field).
+    Null,
+    /// 32-bit integer.
+    Int32(i32),
+    /// 64-bit integer.
+    Int64(i64),
+    /// 64-bit float.
+    Float64(f64),
+    /// Text.
+    Text(String),
+    /// Calendar date.
+    Date(Date),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The logical type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int32(_) => Some(DataType::Int32),
+            Value::Int64(_) => Some(DataType::Int64),
+            Value::Float64(_) => Some(DataType::Float64),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Date(_) => Some(DataType::Date),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// True when this value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view as `f64`, if the value is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int32(v) => Some(*v as f64),
+            Value::Int64(v) => Some(*v as f64),
+            Value::Float64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Integer view as `i64`, if the value is an integer or date.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int32(v) => Some(*v as i64),
+            Value::Int64(v) => Some(*v),
+            Value::Date(d) => Some(d.days() as i64),
+            _ => None,
+        }
+    }
+
+    /// Text view, if the value is text.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view, if the value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison with NULL propagation: returns `None` when either
+    /// side is NULL or the types are incomparable. Numeric types compare
+    /// cross-width (e.g. `Int32` vs `Float64`).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Text(a), Text(b)) => Some(a.as_str().cmp(b.as_str())),
+            (Date(a), Date(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Int32(a), Int32(b)) => Some(a.cmp(b)),
+            (Int64(a), Int64(b)) => Some(a.cmp(b)),
+            (Int32(a), Int64(b)) => Some((*a as i64).cmp(b)),
+            (Int64(a), Int32(b)) => Some(a.cmp(&(*b as i64))),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Total order for sorting: NULLs first, then by [`Value::sql_cmp`];
+    /// incomparable pairs fall back to a type-rank order so sorts never
+    /// panic on heterogeneous data.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => return Ordering::Equal,
+            (true, false) => return Ordering::Less,
+            (false, true) => return Ordering::Greater,
+            _ => {}
+        }
+        self.sql_cmp(other)
+            .unwrap_or_else(|| type_rank(self).cmp(&type_rank(other)))
+    }
+
+    /// Approximate heap footprint for cache byte accounting.
+    pub fn heap_size(&self) -> usize {
+        match self {
+            Value::Text(s) => std::mem::size_of::<Value>() + s.capacity(),
+            _ => std::mem::size_of::<Value>(),
+        }
+    }
+
+    /// Parse a raw ASCII field into a value of `dtype`. Empty input is NULL.
+    ///
+    /// This is the conversion the paper identifies as a "fundamental
+    /// overhead" of in-situ querying (§6, Data Type Conversion); both the
+    /// in-situ scan and the bulk loader funnel through it.
+    pub fn parse_field(bytes: &[u8], dtype: DataType) -> Result<Value> {
+        if bytes.is_empty() {
+            return Ok(Value::Null);
+        }
+        match dtype {
+            DataType::Int32 => parse_i64(bytes).and_then(|v| {
+                i32::try_from(v)
+                    .map(Value::Int32)
+                    .map_err(|_| NoDbError::parse("int out of range"))
+            }),
+            DataType::Int64 => parse_i64(bytes).map(Value::Int64),
+            DataType::Float64 => std::str::from_utf8(bytes)
+                .ok()
+                .and_then(|s| s.trim().parse::<f64>().ok())
+                .map(Value::Float64)
+                .ok_or_else(|| {
+                    NoDbError::parse(format!(
+                        "bad float `{}`",
+                        String::from_utf8_lossy(bytes)
+                    ))
+                }),
+            DataType::Text => Ok(Value::Text(
+                String::from_utf8_lossy(bytes).into_owned(),
+            )),
+            DataType::Date => Date::parse_bytes(bytes).map(Value::Date),
+            DataType::Bool => match bytes {
+                b"t" | b"true" | b"T" | b"1" => Ok(Value::Bool(true)),
+                b"f" | b"false" | b"F" | b"0" => Ok(Value::Bool(false)),
+                _ => Err(NoDbError::parse(format!(
+                    "bad bool `{}`",
+                    String::from_utf8_lossy(bytes)
+                ))),
+            },
+        }
+    }
+
+    /// Render the value in CSV form (inverse of [`Value::parse_field`]).
+    pub fn to_csv_field(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Int32(v) => v.to_string(),
+            Value::Int64(v) => v.to_string(),
+            Value::Float64(v) => format_f64(*v),
+            Value::Text(s) => s.clone(),
+            Value::Date(d) => d.to_string(),
+            Value::Bool(b) => (if *b { "t" } else { "f" }).to_string(),
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int32(_) | Value::Int64(_) | Value::Float64(_) => 2,
+        Value::Date(_) => 3,
+        Value::Text(_) => 4,
+    }
+}
+
+/// Format a float so that `parse::<f64>` roundtrips and integral values
+/// keep a trailing `.0` marker (so type inference on re-read stays stable).
+fn format_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Fast ASCII integer parser (accepts leading `-`/`+`).
+fn parse_i64(bytes: &[u8]) -> Result<i64> {
+    let (neg, digits) = match bytes.first() {
+        Some(b'-') => (true, &bytes[1..]),
+        Some(b'+') => (false, &bytes[1..]),
+        _ => (false, bytes),
+    };
+    if digits.is_empty() || digits.len() > 19 {
+        return Err(NoDbError::parse(format!(
+            "bad int `{}`",
+            String::from_utf8_lossy(bytes)
+        )));
+    }
+    let mut v: i64 = 0;
+    for &c in digits {
+        if !c.is_ascii_digit() {
+            return Err(NoDbError::parse(format!(
+                "bad int `{}`",
+                String::from_utf8_lossy(bytes)
+            )));
+        }
+        v = v
+            .checked_mul(10)
+            .and_then(|v| v.checked_add((c - b'0') as i64))
+            .ok_or_else(|| NoDbError::parse("int overflow"))?;
+    }
+    Ok(if neg { -v } else { v })
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int32(v) => write!(f, "{v}"),
+            Value::Int64(v) => write!(f, "{v}"),
+            Value::Float64(v) => write!(f, "{}", format_f64(*v)),
+            Value::Text(s) => f.write_str(s),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_field_handles_each_type() {
+        assert_eq!(
+            Value::parse_field(b"42", DataType::Int32).unwrap(),
+            Value::Int32(42)
+        );
+        assert_eq!(
+            Value::parse_field(b"-7", DataType::Int64).unwrap(),
+            Value::Int64(-7)
+        );
+        assert_eq!(
+            Value::parse_field(b"3.5", DataType::Float64).unwrap(),
+            Value::Float64(3.5)
+        );
+        assert_eq!(
+            Value::parse_field(b"hi", DataType::Text).unwrap(),
+            Value::Text("hi".into())
+        );
+        assert_eq!(
+            Value::parse_field(b"1996-03-13", DataType::Date).unwrap(),
+            Value::Date(Date::parse("1996-03-13").unwrap())
+        );
+        assert_eq!(
+            Value::parse_field(b"t", DataType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn empty_field_is_null_for_every_type() {
+        for dt in [
+            DataType::Int32,
+            DataType::Int64,
+            DataType::Float64,
+            DataType::Text,
+            DataType::Date,
+            DataType::Bool,
+        ] {
+            assert_eq!(Value::parse_field(b"", dt).unwrap(), Value::Null);
+        }
+    }
+
+    #[test]
+    fn parse_field_rejects_garbage() {
+        assert!(Value::parse_field(b"abc", DataType::Int32).is_err());
+        assert!(Value::parse_field(b"12x", DataType::Int64).is_err());
+        assert!(Value::parse_field(b"--3", DataType::Int32).is_err());
+        assert!(Value::parse_field(b"1.2.3", DataType::Float64).is_err());
+        assert!(Value::parse_field(b"maybe", DataType::Bool).is_err());
+    }
+
+    #[test]
+    fn int32_range_is_enforced() {
+        assert!(Value::parse_field(b"2147483647", DataType::Int32).is_ok());
+        assert!(Value::parse_field(b"2147483648", DataType::Int32).is_err());
+    }
+
+    #[test]
+    fn sql_cmp_propagates_null() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int32(1)), None);
+        assert_eq!(Value::Int32(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_crosses_numeric_widths() {
+        assert_eq!(
+            Value::Int32(2).sql_cmp(&Value::Float64(1.5)),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Value::Int64(3).sql_cmp(&Value::Int32(3)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn total_cmp_sorts_nulls_first() {
+        let mut v = vec![Value::Int32(2), Value::Null, Value::Int32(1)];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v, vec![Value::Null, Value::Int32(1), Value::Int32(2)]);
+    }
+
+    #[test]
+    fn csv_field_roundtrip_examples() {
+        for (v, dt) in [
+            (Value::Int32(-5), DataType::Int32),
+            (Value::Float64(2.25), DataType::Float64),
+            (Value::Float64(4.0), DataType::Float64),
+            (Value::Text("BUILDING".into()), DataType::Text),
+            (Value::Bool(false), DataType::Bool),
+        ] {
+            let s = v.to_csv_field();
+            assert_eq!(Value::parse_field(s.as_bytes(), dt).unwrap(), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn int_roundtrip(v in any::<i64>()) {
+            let s = v.to_string();
+            prop_assert_eq!(
+                Value::parse_field(s.as_bytes(), DataType::Int64).unwrap(),
+                Value::Int64(v)
+            );
+        }
+
+        #[test]
+        fn float_roundtrip(v in any::<i32>().prop_map(|x| x as f64 / 128.0)) {
+            let s = Value::Float64(v).to_csv_field();
+            let got = Value::parse_field(s.as_bytes(), DataType::Float64).unwrap();
+            prop_assert_eq!(got, Value::Float64(v));
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Engine configuration: the switches the paper's experiments toggle.
+
+use std::path::PathBuf;
+
+use nodb_common::ByteSize;
+use nodb_storage::EngineProfile;
+
+/// Which auxiliary structures an in-situ table maintains. The paper's
+/// §5.1.2 variants map directly:
+///
+/// * `PM+C`  — [`NoDbConfig::postgres_raw`] (everything on)
+/// * `PM`    — cache disabled
+/// * `C`     — positional map disabled (end-of-line index only)
+/// * `Baseline` — register the table with [`AccessMode::ExternalFiles`]
+#[derive(Debug, Clone)]
+pub struct NoDbConfig {
+    /// Maintain the adaptive positional map (§4.2).
+    pub enable_posmap: bool,
+    /// Maintain the binary cache (§4.3).
+    pub enable_cache: bool,
+    /// Collect statistics on the fly and let the planner use them (§4.4).
+    pub enable_stats: bool,
+    /// Storage threshold for the positional map (attribute chunks).
+    pub posmap_budget: Option<ByteSize>,
+    /// Byte budget for the cache.
+    pub cache_budget: Option<ByteSize>,
+    /// How strongly conversion cost protects cache entries from eviction
+    /// (LRU clock ticks per cost unit; 0 = plain LRU). §4.3: "the
+    /// PostgresRaw cache always gives priority to attributes more costly
+    /// to convert".
+    pub cache_cost_weight: u64,
+    /// Tuples per positional-map block.
+    pub posmap_block_rows: usize,
+    /// Spill directory for evicted positional-map chunks.
+    pub posmap_spill_dir: Option<PathBuf>,
+    /// Offer every `stats_sample_stride`-th row to the statistics
+    /// builders (1 = every row).
+    pub stats_sample_stride: u64,
+    /// Profile for tables registered in [`AccessMode::Loaded`].
+    pub loaded_profile: EngineProfile,
+    /// Buffer-pool capacity (pages) for loaded tables.
+    pub pool_pages: usize,
+    /// Directory for loaded-mode heap files. `None` = a self-cleaning
+    /// temporary directory.
+    pub data_dir: Option<PathBuf>,
+}
+
+impl Default for NoDbConfig {
+    fn default() -> Self {
+        Self::postgres_raw()
+    }
+}
+
+impl NoDbConfig {
+    /// Full PostgresRaw: positional map + cache + statistics.
+    pub fn postgres_raw() -> NoDbConfig {
+        NoDbConfig {
+            enable_posmap: true,
+            enable_cache: true,
+            enable_stats: true,
+            posmap_budget: None,
+            cache_budget: None,
+            cache_cost_weight: 16,
+            posmap_block_rows: 4096,
+            posmap_spill_dir: None,
+            stats_sample_stride: 16,
+            loaded_profile: EngineProfile::PostgresLike,
+            pool_pages: 4096,
+            data_dir: None,
+        }
+    }
+
+    /// The paper's "PostgresRaw PM" variant: map only.
+    pub fn pm_only() -> NoDbConfig {
+        NoDbConfig {
+            enable_cache: false,
+            ..Self::postgres_raw()
+        }
+    }
+
+    /// The paper's "PostgresRaw C" variant: cache plus the minimal
+    /// end-of-line index.
+    pub fn cache_only() -> NoDbConfig {
+        NoDbConfig {
+            enable_posmap: false,
+            ..Self::postgres_raw()
+        }
+    }
+
+    /// Straw-man in-situ processing: no auxiliary structures at all.
+    pub fn baseline() -> NoDbConfig {
+        NoDbConfig {
+            enable_posmap: false,
+            enable_cache: false,
+            enable_stats: false,
+            ..Self::postgres_raw()
+        }
+    }
+}
+
+/// How a registered table is accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// PostgresRaw in-situ access with this engine's auxiliary
+    /// structures.
+    InSitu,
+    /// Straw-man external files: every query re-tokenizes the whole raw
+    /// file; nothing is remembered between queries (MySQL CSV engine /
+    /// "DBMS X with external files").
+    ExternalFiles,
+    /// Conventional loaded table: must be loaded before querying
+    /// ([`crate::NoDb::load_table`]); queries then read binary heap
+    /// pages.
+    Loaded,
+}

@@ -1,0 +1,530 @@
+//! **nodb-core** — the PostgresRaw engine: query raw data files in situ,
+//! with adaptive positional maps, result caching and on-the-fly
+//! statistics, or fall back to the paper's baselines (external files /
+//! conventional loading) for comparison.
+//!
+//! ```no_run
+//! use nodb_core::{AccessMode, NoDb, NoDbConfig};
+//! use nodb_common::Schema;
+//! use nodb_csv::CsvOptions;
+//!
+//! let mut db = NoDb::new(NoDbConfig::postgres_raw()).unwrap();
+//! let schema = Schema::parse("id int, name text, score double").unwrap();
+//! db.register_csv(
+//!     "people",
+//!     std::path::Path::new("people.csv"),
+//!     schema,
+//!     CsvOptions::default(),
+//!     AccessMode::InSitu,
+//! )
+//! .unwrap();
+//! // No loading step: the first query touches the raw file directly.
+//! let result = db.query("select name, score from people where score > 0.5").unwrap();
+//! for row in &result.rows {
+//!     println!("{row}");
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod idle;
+pub mod runtime;
+pub mod scan;
+
+pub use config::{AccessMode, NoDbConfig};
+pub use idle::{IdleFocus, IdleReport};
+pub use runtime::{RawTableRuntime, ScanMetrics};
+pub use scan::{AuxFlags, InSituScanOp};
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use nodb_common::{NoDbError, Result, Row, Schema, TempDir, Value};
+use nodb_csv::lines::LineReader;
+use nodb_csv::{tokenize, CsvOptions};
+use nodb_exec::{build_plan, run_to_vec, BoxOp, ExecCatalog, TableProvider};
+use nodb_sql::binder::{CatalogView, PlannerOptions};
+use nodb_sql::{plan_query, BoundExpr, LogicalPlan};
+use nodb_stats::{StatsBuilder, TableStats};
+use nodb_storage::{LoadReport, LoadedTable, StorageEngine};
+
+/// A query result: column names plus rows.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output schema (names from aliases, inferred types).
+    pub schema: Schema,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Column names.
+    pub fn columns(&self) -> Vec<&str> {
+        self.schema.fields().iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+/// Snapshot of a table's auxiliary-structure footprint (for experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct AuxInfo {
+    /// Positional-map bytes in memory (attribute chunks).
+    pub posmap_bytes: usize,
+    /// Total positional pointers held (incl. the end-of-line index).
+    pub posmap_pointers: u64,
+    /// Cache bytes in memory.
+    pub cache_bytes: usize,
+    /// Cache utilization in `[0, 1]` (0 when no budget set).
+    pub cache_utilization: f64,
+    /// Number of attributes with collected statistics.
+    pub stats_attrs: usize,
+}
+
+pub(crate) enum Provider {
+    InSitu(InSituProvider),
+    External(ExternalProvider),
+    Loaded(Arc<LoadedTable>),
+    Custom(Box<dyn TableProvider>),
+}
+
+pub(crate) struct TableEntry {
+    pub(crate) schema: Schema,
+    pub(crate) provider: Option<Provider>,
+    pub(crate) runtime: Option<Arc<Mutex<RawTableRuntime>>>,
+    path: Option<PathBuf>,
+    opts: CsvOptions,
+    mode: AccessMode,
+    loaded_stats: Option<TableStats>,
+}
+
+/// The NoDB engine.
+pub struct NoDb {
+    config: NoDbConfig,
+    tables: HashMap<String, TableEntry>,
+    storage: Option<StorageEngine>,
+    _tmp: Option<TempDir>,
+    data_dir: PathBuf,
+}
+
+impl NoDb {
+    /// Create an engine.
+    pub fn new(config: NoDbConfig) -> Result<NoDb> {
+        let (tmp, data_dir) = match &config.data_dir {
+            Some(d) => {
+                std::fs::create_dir_all(d)?;
+                (None, d.clone())
+            }
+            None => {
+                let t = TempDir::new("nodb-data")?;
+                let p = t.path().to_path_buf();
+                (Some(t), p)
+            }
+        };
+        Ok(NoDb {
+            config,
+            tables: HashMap::new(),
+            storage: None,
+            _tmp: tmp,
+            data_dir,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NoDbConfig {
+        &self.config
+    }
+
+    /// Register a raw CSV file as a table. For [`AccessMode::Loaded`] the
+    /// table must be loaded with [`NoDb::load_table`] before it can be
+    /// queried — that is precisely the cost the other modes avoid.
+    pub fn register_csv(
+        &mut self,
+        name: &str,
+        path: &Path,
+        schema: Schema,
+        opts: CsvOptions,
+        mode: AccessMode,
+    ) -> Result<()> {
+        let name = name.to_ascii_lowercase();
+        if self.tables.contains_key(&name) {
+            return Err(NoDbError::catalog(format!("table `{name}` already exists")));
+        }
+        if opts.has_header && mode != AccessMode::Loaded {
+            return Err(NoDbError::catalog(
+                "header rows are only supported for Loaded tables; strip the header or \
+                 register as Loaded",
+            ));
+        }
+        let entry = match mode {
+            AccessMode::InSitu => {
+                let runtime = Arc::new(Mutex::new(RawTableRuntime::new(&self.config)));
+                let provider = InSituProvider {
+                    runtime: Arc::clone(&runtime),
+                    path: path.to_path_buf(),
+                    schema: schema.clone(),
+                    opts,
+                    flags: AuxFlags {
+                        posmap: self.config.enable_posmap,
+                        cache: self.config.enable_cache,
+                        eol: self.config.enable_posmap || self.config.enable_cache,
+                        stats: self.config.enable_stats,
+                    },
+                    stride: self.config.stats_sample_stride,
+                };
+                TableEntry {
+                    schema,
+                    provider: Some(Provider::InSitu(provider)),
+                    runtime: Some(runtime),
+                    path: Some(path.to_path_buf()),
+                    opts,
+                    mode,
+                    loaded_stats: None,
+                }
+            }
+            AccessMode::ExternalFiles => TableEntry {
+                schema: schema.clone(),
+                provider: Some(Provider::External(ExternalProvider {
+                    path: path.to_path_buf(),
+                    schema,
+                    opts,
+                })),
+                runtime: None,
+                path: Some(path.to_path_buf()),
+                opts,
+                mode,
+                loaded_stats: None,
+            },
+            AccessMode::Loaded => TableEntry {
+                schema,
+                provider: None,
+                runtime: None,
+                path: Some(path.to_path_buf()),
+                opts,
+                mode,
+                loaded_stats: None,
+            },
+        };
+        self.tables.insert(name, entry);
+        Ok(())
+    }
+
+    /// Register an externally implemented table provider (format
+    /// plugins — e.g. the FITS provider from `nodb-fits`).
+    pub fn register_provider(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        provider: Box<dyn TableProvider>,
+    ) -> Result<()> {
+        let name = name.to_ascii_lowercase();
+        if self.tables.contains_key(&name) {
+            return Err(NoDbError::catalog(format!("table `{name}` already exists")));
+        }
+        self.tables.insert(
+            name,
+            TableEntry {
+                schema,
+                provider: Some(Provider::Custom(provider)),
+                runtime: None,
+                path: None,
+                opts: CsvOptions::default(),
+                mode: AccessMode::InSitu,
+                loaded_stats: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Perform the up-front load of a [`AccessMode::Loaded`] table
+    /// (parse + convert + write binary pages + analyze), returning the
+    /// cost report. This is the "Load" bar in the paper's figures.
+    pub fn load_table(&mut self, name: &str) -> Result<LoadReport> {
+        let name = name.to_ascii_lowercase();
+        let entry = self
+            .tables
+            .get(&name)
+            .ok_or_else(|| NoDbError::catalog(format!("unknown table `{name}`")))?;
+        if entry.mode != AccessMode::Loaded {
+            return Err(NoDbError::catalog(format!(
+                "table `{name}` is not registered as Loaded"
+            )));
+        }
+        let path = entry
+            .path
+            .clone()
+            .ok_or_else(|| NoDbError::internal("loaded table without a path"))?;
+        let schema = entry.schema.clone();
+        let opts = entry.opts;
+        if self.storage.is_none() {
+            self.storage = Some(StorageEngine::new(
+                &self.data_dir.join("heap"),
+                self.config.loaded_profile,
+                self.config.pool_pages,
+            )?);
+        }
+        let storage = self.storage.as_mut().expect("created above");
+        let report = storage.load_csv(&name, &path, &schema, opts)?;
+        let loaded = storage.table(&name)?;
+        // Post-load ANALYZE (conventional engines collect statistics after
+        // loading; giving the baseline good plans keeps the comparison
+        // honest).
+        let stats = analyze_csv(&path, &schema, opts, self.config.stats_sample_stride)?;
+        let entry = self.tables.get_mut(&name).expect("checked above");
+        entry.provider = Some(Provider::Loaded(loaded));
+        entry.loaded_stats = Some(stats);
+        Ok(report)
+    }
+
+    /// Run a SQL query.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let options = PlannerOptions {
+            use_stats: self.config.enable_stats,
+        };
+        let plan = plan_query(sql, self, &options)?;
+        let schema = plan.schema().clone();
+        let op: BoxOp = build_plan(&plan, self)?;
+        let rows = run_to_vec(op)?;
+        Ok(QueryResult { schema, rows })
+    }
+
+    /// Plan a query without executing it.
+    pub fn plan(&self, sql: &str) -> Result<LogicalPlan> {
+        let options = PlannerOptions {
+            use_stats: self.config.enable_stats,
+        };
+        plan_query(sql, self, &options)
+    }
+
+    /// EXPLAIN-style plan rendering.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        Ok(self.plan(sql)?.explain())
+    }
+
+    /// Cumulative scan metrics for an in-situ table.
+    pub fn metrics(&self, table: &str) -> Result<ScanMetrics> {
+        let entry = self.entry(table)?;
+        match &entry.runtime {
+            Some(rt) => Ok(rt.lock().metrics),
+            None => Err(NoDbError::catalog(format!(
+                "table `{table}` has no in-situ runtime"
+            ))),
+        }
+    }
+
+    /// Auxiliary-structure footprint for an in-situ table.
+    pub fn aux_info(&self, table: &str) -> Result<AuxInfo> {
+        let entry = self.entry(table)?;
+        match &entry.runtime {
+            Some(rt) => {
+                let rt = rt.lock();
+                Ok(AuxInfo {
+                    posmap_bytes: rt.posmap.bytes_in_memory(),
+                    posmap_pointers: rt.posmap.pointer_count(),
+                    cache_bytes: rt.cache.bytes(),
+                    cache_utilization: rt.cache.utilization(),
+                    stats_attrs: rt.stats.analyzed_attrs().len(),
+                })
+            }
+            None => Err(NoDbError::catalog(format!(
+                "table `{table}` has no in-situ runtime"
+            ))),
+        }
+    }
+
+    /// Drop a table's auxiliary structures (the map is "an auxiliary
+    /// structure and may be dropped fully or partly at any time", §4.2).
+    pub fn drop_aux(&self, table: &str) -> Result<()> {
+        let entry = self.entry(table)?;
+        if let Some(rt) = &entry.runtime {
+            let mut rt = rt.lock();
+            rt.posmap.clear();
+            rt.cache.clear();
+            rt.stats.clear();
+            rt.file_len_seen = 0;
+        }
+        Ok(())
+    }
+
+    /// Drop the loaded engine's buffer pool (cold-cache runs).
+    pub fn clear_buffers(&self) {
+        if let Some(s) = &self.storage {
+            s.clear_buffers();
+        }
+    }
+
+    /// Spend up to `budget` of idle time pre-building the table's
+    /// auxiliary structures (paper §7, "Auto Tuning Tools"): the
+    /// end-of-line index, positional map, cache and statistics advance
+    /// block by block and whatever is finished when the budget expires
+    /// keeps serving future queries.
+    pub fn exploit_idle_time(
+        &self,
+        table: &str,
+        budget: std::time::Duration,
+        focus: IdleFocus,
+    ) -> Result<IdleReport> {
+        idle::run_idle(self, table, budget, focus)
+    }
+
+    pub(crate) fn entry(&self, table: &str) -> Result<&TableEntry> {
+        self.tables
+            .get(&table.to_ascii_lowercase())
+            .ok_or_else(|| NoDbError::catalog(format!("unknown table `{table}`")))
+    }
+}
+
+impl CatalogView for NoDb {
+    fn schema_of(&self, table: &str) -> Result<Schema> {
+        Ok(self.entry(table)?.schema.clone())
+    }
+
+    fn stats_of(&self, table: &str) -> Option<TableStats> {
+        let entry = self.entry(table).ok()?;
+        if let Some(stats) = &entry.loaded_stats {
+            return Some(stats.clone());
+        }
+        let rt = entry.runtime.as_ref()?;
+        let rt = rt.lock();
+        if rt.stats.row_count().is_none() && rt.stats.analyzed_attrs().is_empty() {
+            None
+        } else {
+            Some(rt.stats.clone())
+        }
+    }
+}
+
+impl ExecCatalog for NoDb {
+    fn provider(&self, table: &str) -> Result<&dyn TableProvider> {
+        let entry = self.entry(table)?;
+        match &entry.provider {
+            Some(Provider::InSitu(p)) => Ok(p),
+            Some(Provider::External(p)) => Ok(p),
+            Some(Provider::Loaded(p)) => Ok(p.as_ref()),
+            Some(Provider::Custom(p)) => Ok(p.as_ref()),
+            None => Err(NoDbError::catalog(format!(
+                "table `{table}` is registered as Loaded but has not been loaded \
+                 (call load_table first — or register it InSitu and skip loading entirely)"
+            ))),
+        }
+    }
+}
+
+pub(crate) struct InSituProvider {
+    runtime: Arc<Mutex<RawTableRuntime>>,
+    path: PathBuf,
+    schema: Schema,
+    opts: CsvOptions,
+    flags: AuxFlags,
+    stride: u64,
+}
+
+impl InSituProvider {
+    /// A projection-only scan used by idle-time exploitation: same flags
+    /// as query scans (so it builds the same structures), no filters.
+    pub(crate) fn scan_for_idle(&self, attrs: &[usize]) -> Result<BoxOp> {
+        let mut attrs = attrs.to_vec();
+        attrs.sort_unstable();
+        attrs.dedup();
+        self.scan(&attrs, &[])
+    }
+}
+
+impl TableProvider for InSituProvider {
+    fn scan(&self, projection: &[usize], filters: &[BoundExpr]) -> Result<BoxOp> {
+        Ok(Box::new(InSituScanOp::new(
+            Arc::clone(&self.runtime),
+            self.path.clone(),
+            self.schema.clone(),
+            self.opts,
+            projection.to_vec(),
+            filters.to_vec(),
+            self.flags,
+            self.stride,
+        )))
+    }
+}
+
+/// Straw-man external files: a fresh scan with no auxiliary structures;
+/// nothing learned, nothing remembered ("every query needs to perform
+/// loading from scratch", §3.1).
+struct ExternalProvider {
+    path: PathBuf,
+    schema: Schema,
+    opts: CsvOptions,
+}
+
+impl TableProvider for ExternalProvider {
+    fn scan(&self, projection: &[usize], filters: &[BoundExpr]) -> Result<BoxOp> {
+        let throwaway = Arc::new(Mutex::new(RawTableRuntime::new(&NoDbConfig::baseline())));
+        Ok(Box::new(InSituScanOp::new(
+            throwaway,
+            self.path.clone(),
+            self.schema.clone(),
+            self.opts,
+            projection.to_vec(),
+            filters.to_vec(),
+            AuxFlags {
+                posmap: false,
+                cache: false,
+                eol: false,
+                stats: false,
+            },
+            u64::MAX,
+        )))
+    }
+}
+
+/// Post-load statistics pass (ANALYZE): parse every `stride`-th row and
+/// build per-column statistics.
+fn analyze_csv(
+    path: &Path,
+    schema: &Schema,
+    opts: CsvOptions,
+    stride: u64,
+) -> Result<TableStats> {
+    let stride = stride.max(1);
+    let mut reader = LineReader::open(path)?;
+    let mut line = Vec::new();
+    let mut starts: Vec<u32> = Vec::new();
+    let mut builders: Vec<StatsBuilder> = schema
+        .fields()
+        .iter()
+        .map(|f| StatsBuilder::new(f.dtype))
+        .collect();
+    let mut row_id: u64 = 0;
+    let mut skipped_header = !opts.has_header;
+    while reader.next_line(&mut line)?.is_some() {
+        if !skipped_header {
+            skipped_header = true;
+            continue;
+        }
+        if row_id % stride == 0 {
+            starts.clear();
+            tokenize::tokenize_all(&line, opts.delimiter, &mut starts);
+            for (i, f) in schema.fields().iter().enumerate() {
+                if let Some(&s) = starts.get(i) {
+                    let bytes = tokenize::field_at(&line, opts.delimiter, s);
+                    if let Ok(v) = Value::parse_field(bytes, f.dtype) {
+                        builders[i].offer(&v);
+                    }
+                }
+            }
+        }
+        row_id += 1;
+    }
+    let mut stats = TableStats::new();
+    stats.set_row_count(row_id);
+    for (i, b) in builders.into_iter().enumerate() {
+        if b.offered() > 0 {
+            stats.set_column(i as u32, b.finalize(Some(row_id as f64)));
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,91 @@
+//! Per-table runtime state: the auxiliary structures a raw file
+//! accumulates across queries, plus observability counters.
+
+use std::collections::HashMap;
+
+use nodb_cache::{CacheConfig, RawCache};
+use nodb_common::Result;
+use nodb_posmap::{PosMapConfig, PositionalMap};
+use nodb_stats::{StatsBuilder, TableStats};
+
+use crate::config::NoDbConfig;
+
+/// Cumulative work counters for one raw table. Benchmarks and tests use
+/// these to verify *why* performance changes (e.g. the second query
+/// tokenizes fewer fields), not just that it does.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScanMetrics {
+    /// Queries that scanned this table.
+    pub scans: u64,
+    /// Tuples emitted to query plans.
+    pub rows_emitted: u64,
+    /// Fields located by scanning characters (full or partial
+    /// tokenization).
+    pub fields_tokenized: u64,
+    /// Fields located by jumping straight to a map position.
+    pub fields_via_map: u64,
+    /// Fields located by incremental parsing from a map anchor.
+    pub fields_via_anchor: u64,
+    /// Field values converted from ASCII to binary.
+    pub fields_parsed: u64,
+    /// Field values served from the binary cache.
+    pub fields_from_cache: u64,
+    /// Bytes of raw file consumed by sequential tokenization.
+    pub bytes_tokenized: u64,
+}
+
+/// The adaptive state of one in-situ table.
+pub struct RawTableRuntime {
+    /// Positional map (also owns the end-of-line index, which the
+    /// cache-only variant keeps).
+    pub posmap: PositionalMap,
+    /// Binary cache.
+    pub cache: RawCache,
+    /// On-the-fly statistics.
+    pub stats: TableStats,
+    /// In-progress statistics builders (attr → builder), finalized when a
+    /// scan completes a full pass.
+    pub stat_builders: HashMap<u32, StatsBuilder>,
+    /// File length when the auxiliary structures were last valid (append
+    /// / in-place-edit detection, §4.5).
+    pub file_len_seen: u64,
+    /// Work counters.
+    pub metrics: ScanMetrics,
+}
+
+impl RawTableRuntime {
+    /// Fresh runtime from the engine configuration.
+    pub fn new(cfg: &NoDbConfig) -> RawTableRuntime {
+        RawTableRuntime {
+            posmap: PositionalMap::new(PosMapConfig {
+                block_rows: cfg.posmap_block_rows,
+                budget: cfg.posmap_budget,
+                spill_dir: cfg.posmap_spill_dir.clone(),
+            }),
+            cache: RawCache::new(CacheConfig {
+                budget: cfg.cache_budget,
+                cost_weight: cfg.cache_cost_weight,
+            }),
+            stats: TableStats::new(),
+            stat_builders: HashMap::new(),
+            file_len_seen: 0,
+            metrics: ScanMetrics::default(),
+        }
+    }
+
+    /// React to the file's current length (§4.5): growth re-opens the
+    /// end-of-line index for appends; shrinkage invalidates everything.
+    pub fn observe_file_len(&mut self, len: u64) -> Result<()> {
+        if len < self.file_len_seen {
+            // In-place modification: auxiliary structures are stale.
+            self.posmap.clear();
+            self.cache.clear();
+            self.stats.clear();
+            self.stat_builders.clear();
+        } else if len > self.file_len_seen && self.posmap.eol().is_complete() {
+            self.posmap.eol_mut().reopen_for_append();
+        }
+        self.file_len_seen = len;
+        Ok(())
+    }
+}

@@ -1,0 +1,693 @@
+//! The PostgresRaw in-situ scan operator (§4).
+//!
+//! This operator is where the paper's techniques meet:
+//!
+//! * **Selective tokenizing** — sequential passes stop scanning a tuple at
+//!   the last attribute the query needs.
+//! * **Selective parsing** — WHERE attributes are converted first; SELECT
+//!   attributes only for qualifying tuples.
+//! * **Selective tuple formation** — emitted rows carry only the
+//!   projected attributes.
+//! * **Positional map** — once the end-of-line index covers a block, the
+//!   scan jumps to known attribute positions (or the nearest indexed
+//!   anchor, tokenizing forward/backward) instead of re-tokenizing from
+//!   the line start; positions computed along the way are fed back.
+//! * **Cache** — values converted for this query are inserted; future
+//!   queries read them without touching the raw file.
+//! * **Statistics** — a sample of parsed values feeds the optimizer on
+//!   first touch of each attribute.
+//!
+//! Internally the scan works block-at-a-time (one positional-map block,
+//! default 4096 tuples) for locality, but exposes the Volcano
+//! one-tuple-per-call interface the host executor expects.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use std::sync::Arc as StdArc;
+
+use nodb_cache::{CachedColumn, ColumnBuilder};
+use nodb_common::{NoDbError, Result, Row, Schema, Value};
+use nodb_csv::lines::{LineReader, SlidingWindow};
+use nodb_csv::tokenize;
+use nodb_csv::CsvOptions;
+use nodb_exec::{eval_predicate, Operator};
+use nodb_posmap::{AttrPositions, BlockCollector};
+use nodb_sql::BoundExpr;
+use nodb_stats::StatsBuilder;
+
+use crate::runtime::{RawTableRuntime, ScanMetrics};
+
+/// Which auxiliary structures this scan may read and write.
+#[derive(Debug, Clone, Copy)]
+pub struct AuxFlags {
+    /// Use/populate the positional map's attribute chunks.
+    pub posmap: bool,
+    /// Use/populate the binary cache.
+    pub cache: bool,
+    /// Keep the end-of-line index between queries (the minimal map; on
+    /// for every variant except the external-files straw man).
+    pub eol: bool,
+    /// Collect statistics.
+    pub stats: bool,
+}
+
+/// Immutable per-scan context (kept apart from the mutable scan state so
+/// helpers can borrow them disjointly).
+struct Ctx {
+    schema: Schema,
+    /// Projected table attributes, ascending.
+    projection: Vec<usize>,
+    /// Conjuncts bound to projection-space ordinals.
+    filters: Vec<BoundExpr>,
+    delim: u8,
+    where_locals: Vec<usize>,
+    select_locals: Vec<usize>,
+    sample_stride: u64,
+}
+
+impl Ctx {
+    fn dtype(&self, local: usize) -> nodb_common::DataType {
+        self.schema.field(self.projection[local]).dtype
+    }
+}
+
+/// The in-situ scan operator.
+pub struct InSituScanOp {
+    runtime: Arc<Mutex<RawTableRuntime>>,
+    path: PathBuf,
+    flags: AuxFlags,
+    ctx: Ctx,
+
+    prepared: bool,
+    done: bool,
+    out: VecDeque<Row>,
+    window: Option<SlidingWindow>,
+    reader: Option<LineReader>,
+    next_row: u64,
+    stat_builders: Vec<(usize, StatsBuilder)>,
+}
+
+impl InSituScanOp {
+    /// Create a scan. `projection` must be ascending table ordinals;
+    /// `filters` are bound against the projection layout.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        runtime: Arc<Mutex<RawTableRuntime>>,
+        path: PathBuf,
+        schema: Schema,
+        opts: CsvOptions,
+        projection: Vec<usize>,
+        filters: Vec<BoundExpr>,
+        flags: AuxFlags,
+        sample_stride: u64,
+    ) -> InSituScanOp {
+        InSituScanOp {
+            runtime,
+            path,
+            flags,
+            ctx: Ctx {
+                schema,
+                projection,
+                filters,
+                delim: opts.delimiter,
+                where_locals: Vec::new(),
+                select_locals: Vec::new(),
+                sample_stride: sample_stride.max(1),
+            },
+            prepared: false,
+            done: false,
+            out: VecDeque::new(),
+            window: None,
+            reader: None,
+            next_row: 0,
+            stat_builders: Vec::new(),
+        }
+    }
+
+    fn prepare(&mut self) -> Result<()> {
+        let file_len = std::fs::metadata(&self.path)?.len();
+        let mut rt = self.runtime.lock();
+        rt.observe_file_len(file_len)?;
+        rt.metrics.scans += 1;
+
+        let mut where_set = std::collections::BTreeSet::new();
+        for f in &self.ctx.filters {
+            f.referenced_columns(&mut where_set);
+        }
+        self.ctx.where_locals = where_set.iter().copied().collect();
+        self.ctx.select_locals = (0..self.ctx.projection.len())
+            .filter(|i| !where_set.contains(i))
+            .collect();
+
+        // Statistics: only for attributes whose values this scan parses
+        // for *every* tuple (WHERE attributes always; SELECT attributes
+        // only when there is no predicate), and without stats yet.
+        if self.flags.stats {
+            let candidates: Vec<usize> = if self.ctx.filters.is_empty() {
+                (0..self.ctx.projection.len()).collect()
+            } else {
+                self.ctx.where_locals.clone()
+            };
+            for local in candidates {
+                let attr = self.ctx.projection[local] as u32;
+                if !rt.stats.has_column(attr) {
+                    self.stat_builders
+                        .push((local, StatsBuilder::new(self.ctx.dtype(local))));
+                }
+            }
+        }
+        self.prepared = true;
+        Ok(())
+    }
+
+    /// Sequential-tokenization region: rows past the end-of-line
+    /// frontier. Populates the EOL index and (optionally) map, cache and
+    /// statistics while emitting qualifying tuples.
+    fn process_sequential_block(&mut self, rt: &mut RawTableRuntime) -> Result<()> {
+        let block_rows = rt.posmap.block_rows() as u64;
+        let max_attr = self.ctx.projection.last().copied().unwrap_or(0);
+        let block = rt.posmap.block_of(self.next_row);
+        let block_end = (block + 1) * block_rows;
+
+        if self.reader.is_none() {
+            self.reader = Some(LineReader::open_at(&self.path, rt.posmap.eol().frontier())?);
+        }
+        let mut line = Vec::new();
+        let mut starts: Vec<u32> = Vec::with_capacity(max_attr + 1);
+        // Keep every position tokenized along the way (§4.2, "all
+        // positions from 1 to 15 may be kept").
+        let mut collector = if self.flags.posmap && !self.ctx.projection.is_empty() {
+            Some(BlockCollector::new(block, (0..=max_attr as u32).collect()))
+        } else {
+            None
+        };
+        // Values are staged and sized to the rows actually seen (the last
+        // block of a file is short; preallocating full columns would
+        // inflate cache accounting).
+        let mut staged: Vec<Vec<(u32, Value)>> =
+            (0..self.ctx.projection.len()).map(|_| Vec::new()).collect();
+        let mut row_buf: Vec<Value> = vec![Value::Null; self.ctx.projection.len()];
+
+        while self.next_row < block_end {
+            let reader = self.reader.as_mut().expect("created above");
+            let Some(_line_start) = reader.next_line(&mut line)? else {
+                if self.flags.eol {
+                    rt.posmap.eol_mut().set_complete();
+                }
+                self.done = true;
+                break;
+            };
+            let line_start = _line_start;
+            let next_start = reader.offset();
+            if self.flags.eol {
+                rt.posmap
+                    .eol_mut()
+                    .record(self.next_row, line_start, next_start);
+            }
+            rt.metrics.bytes_tokenized += line.len() as u64 + 1;
+            if self.ctx.projection.is_empty() {
+                // Pure row counting (e.g. COUNT(*)): nothing to tokenize.
+                self.out.push_back(Row::new());
+                rt.metrics.rows_emitted += 1;
+                self.next_row += 1;
+                continue;
+            }
+            starts.clear();
+            let found = tokenize::tokenize_upto(&line, self.ctx.delim, max_attr, &mut starts);
+            if found < max_attr + 1 {
+                return Err(NoDbError::parse(format!(
+                    "row {} has {found} fields, need at least {}",
+                    self.next_row,
+                    max_attr + 1
+                )));
+            }
+            rt.metrics.fields_tokenized += found as u64;
+            if let Some(c) = collector.as_mut() {
+                c.push_row(&starts);
+            }
+
+            // Selective parsing: WHERE attributes first.
+            let local_row = (self.next_row % block_rows) as usize;
+            for v in row_buf.iter_mut() {
+                *v = Value::Null;
+            }
+            let mut ok = true;
+            for li in 0..self.ctx.where_locals.len() {
+                let local = self.ctx.where_locals[li];
+                let start = starts[self.ctx.projection[local]];
+                let v = parse_value(&self.ctx, &line, start, local, self.next_row, &mut rt.metrics)?;
+                if self.flags.cache {
+                    staged[local].push((local_row as u32, v.clone()));
+                }
+                offer_stat(&self.ctx, &mut self.stat_builders, local, self.next_row, &v);
+                row_buf[local] = v;
+            }
+            for f in &self.ctx.filters {
+                if !eval_predicate(f, &Row(row_buf.clone()))? {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for li in 0..self.ctx.select_locals.len() {
+                    let local = self.ctx.select_locals[li];
+                    let start = starts[self.ctx.projection[local]];
+                    let v = parse_value(&self.ctx, &line, start, local, self.next_row, &mut rt.metrics)?;
+                    if self.flags.cache {
+                        staged[local].push((local_row as u32, v.clone()));
+                    }
+                    offer_stat(&self.ctx, &mut self.stat_builders, local, self.next_row, &v);
+                    row_buf[local] = v;
+                }
+                self.out.push_back(Row(row_buf.clone()));
+                rt.metrics.rows_emitted += 1;
+            }
+            self.next_row += 1;
+        }
+
+        let rows_seen = (self.next_row - block * block_rows) as usize;
+        if let Some(c) = collector {
+            if c.rows() > 0 {
+                rt.posmap.insert(c.build());
+            }
+        }
+        if self.flags.cache && rows_seen > 0 {
+            for (local, vals) in staged.into_iter().enumerate() {
+                if vals.is_empty() {
+                    continue;
+                }
+                let attr = self.ctx.projection[local];
+                let mut b = ColumnBuilder::new(
+                    block,
+                    attr as u32,
+                    self.ctx.schema.field(attr).dtype,
+                    rows_seen,
+                );
+                for (r, v) in vals {
+                    b.set(r as usize, &v);
+                }
+                rt.cache.insert(b.build());
+            }
+        }
+        Ok(())
+    }
+
+    /// Map-assisted region: the EOL index covers these rows.
+    fn process_mapped_block(&mut self, rt: &mut RawTableRuntime) -> Result<()> {
+        let block_rows = rt.posmap.block_rows() as u64;
+        let block = rt.posmap.block_of(self.next_row);
+        let block_start = block * block_rows;
+        let covered = rt.posmap.eol().indexed_rows();
+        let cov_end = covered.min(block_start + block_rows);
+        let rows = (cov_end - block_start) as usize;
+        debug_assert!(rows > 0, "mapped block must cover at least one row");
+
+        let line_starts: Vec<u64> = rt
+            .posmap
+            .eol()
+            .starts(block_start, cov_end)
+            .ok_or_else(|| NoDbError::internal("EOL coverage changed mid-scan"))?
+            .to_vec();
+        let end_bound = rt
+            .posmap
+            .eol()
+            .start_of(cov_end)
+            .unwrap_or_else(|| rt.posmap.eol().frontier());
+
+        let needed: Vec<u32> = self.ctx.projection.iter().map(|&a| a as u32).collect();
+        let (entries, collect) = if self.flags.posmap && !needed.is_empty() {
+            // Re-collect when the combination rule fires *or* the block
+            // grew past existing chunks (append, §4.5).
+            let collect = rt.posmap.should_collect(block, &needed)
+                || needed
+                    .iter()
+                    .any(|&a| (rt.posmap.covered_rows(block, a) as u64) < (cov_end - block_start));
+            let view = rt.posmap.fetch_block(block, &needed);
+            (view.entries, collect)
+        } else {
+            (vec![AttrPositions::None; needed.len()], false)
+        };
+        let cached: Vec<Option<StdArc<CachedColumn>>> = if self.flags.cache {
+            needed
+                .iter()
+                .map(|&a| rt.cache.get(block, a))
+                .collect()
+        } else {
+            vec![None; needed.len()]
+        };
+
+        let mut collector = if collect {
+            Some(BlockCollector::new(block, needed.clone()))
+        } else {
+            None
+        };
+        // Cache columns are only (re)built for attributes the file must
+        // supply; fully cached columns add no write-back work — warm
+        // queries must not pay for the cache they benefit from.
+        let mut cache_builders: Vec<Option<ColumnBuilder>> = (0..needed.len())
+            .map(|i| {
+                let complete = cached[i].as_ref().is_some_and(|c| c.is_complete());
+                if self.flags.cache && !complete {
+                    Some(ColumnBuilder::new(
+                        block,
+                        needed[i],
+                        self.ctx.dtype(i),
+                        rows,
+                    ))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        // When every needed column is completely cached (or the query
+        // needs no columns at all — COUNT(*) over an indexed region) and
+        // no chunk is being collected, the raw file is not touched — the
+        // paper's "avoid raw file access altogether" (§4.3).
+        let all_cached = !collect
+            && (needed.is_empty()
+                || cached
+                    .iter()
+                    .all(|c| c.as_ref().is_some_and(|c| c.is_complete())));
+        let mut row_buf: Vec<Value> = vec![Value::Null; needed.len()];
+        let mut positions: Vec<u32> = vec![0; needed.len()];
+        let mut line_buf: Vec<u8> = Vec::new();
+
+        if self.window.is_none() && !all_cached {
+            self.window = Some(SlidingWindow::open(&self.path)?);
+        }
+
+        for r in 0..rows {
+            if !all_cached {
+                let line_start = line_starts[r];
+                let line_end = if r + 1 < rows {
+                    line_starts[r + 1]
+                } else {
+                    end_bound
+                };
+                line_buf.clear();
+                let w = self.window.as_mut().expect("opened above");
+                let s = w.slice(line_start, (line_end - line_start) as usize)?;
+                line_buf.extend_from_slice(s);
+                while matches!(line_buf.last(), Some(b'\n') | Some(b'\r')) {
+                    line_buf.pop();
+                }
+            }
+            let line: &[u8] = &line_buf;
+
+            // When collecting a new combination chunk, positions for all
+            // needed attributes are resolved up front (the paper's
+            // pre-computed temporary map); otherwise lazily.
+            if collector.is_some() {
+                for i in 0..needed.len() {
+                    positions[i] = resolve_position(
+                        line,
+                        self.ctx.delim,
+                        &needed,
+                        i,
+                        &entries[i],
+                        r,
+                        &mut rt.metrics,
+                    )?;
+                }
+                if let Some(c) = collector.as_mut() {
+                    c.push_row(&positions);
+                }
+            }
+
+            for v in row_buf.iter_mut() {
+                *v = Value::Null;
+            }
+            let row_id = block_start + r as u64;
+            let mut ok = true;
+            for li in 0..self.ctx.where_locals.len() {
+                let local = self.ctx.where_locals[li];
+                let (v, from_cache) = value_for(
+                    &self.ctx,
+                    line,
+                    &needed,
+                    local,
+                    &entries,
+                    &cached,
+                    r,
+                    collect.then_some(&positions),
+                    row_id,
+                    &mut rt.metrics,
+                )?;
+                if !from_cache {
+                    if let Some(b) = cache_builders[local].as_mut() {
+                        b.set(r, &v);
+                    }
+                    offer_stat(&self.ctx, &mut self.stat_builders, local, row_id, &v);
+                }
+                row_buf[local] = v;
+            }
+            for f in &self.ctx.filters {
+                if !eval_predicate(f, &Row(row_buf.clone()))? {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            for li in 0..self.ctx.select_locals.len() {
+                let local = self.ctx.select_locals[li];
+                let (v, from_cache) = value_for(
+                    &self.ctx,
+                    line,
+                    &needed,
+                    local,
+                    &entries,
+                    &cached,
+                    r,
+                    collect.then_some(&positions),
+                    row_id,
+                    &mut rt.metrics,
+                )?;
+                if !from_cache {
+                    if let Some(b) = cache_builders[local].as_mut() {
+                        b.set(r, &v);
+                    }
+                    offer_stat(&self.ctx, &mut self.stat_builders, local, row_id, &v);
+                }
+                row_buf[local] = v;
+            }
+            self.out.push_back(Row(row_buf.clone()));
+            rt.metrics.rows_emitted += 1;
+        }
+
+        if let Some(c) = collector {
+            if c.rows() > 0 {
+                rt.posmap.insert(c.build());
+            }
+        }
+        insert_cache(self.flags, rt, cache_builders);
+        self.next_row = cov_end;
+        if rt.posmap.eol().is_complete() && Some(self.next_row) == rt.posmap.eol().row_count() {
+            self.done = true;
+        }
+        Ok(())
+    }
+
+    fn finish_stats(&mut self) {
+        if !self.flags.stats || self.stat_builders.is_empty() {
+            return;
+        }
+        let mut rt = self.runtime.lock();
+        let row_count = rt.posmap.eol().row_count();
+        if let Some(n) = row_count {
+            rt.stats.set_row_count(n);
+        }
+        let hint = row_count.map(|n| n as f64);
+        for (local, b) in self.stat_builders.drain(..) {
+            let attr = self.ctx.projection[local] as u32;
+            if !rt.stats.has_column(attr) && b.offered() > 0 {
+                rt.stats.set_column(attr, b.finalize(hint));
+            }
+        }
+    }
+
+    fn pump(&mut self) -> Result<()> {
+        if !self.prepared {
+            self.prepare()?;
+        }
+        while self.out.is_empty() && !self.done {
+            let runtime = Arc::clone(&self.runtime);
+            let mut rt = runtime.lock();
+            if rt.posmap.eol().is_complete()
+                && Some(self.next_row) == rt.posmap.eol().row_count()
+            {
+                self.done = true;
+                break;
+            }
+            if self.flags.eol && self.next_row < rt.posmap.eol().indexed_rows() {
+                self.process_mapped_block(&mut rt)?;
+            } else {
+                self.process_sequential_block(&mut rt)?;
+            }
+        }
+        if self.done {
+            self.finish_stats();
+        }
+        Ok(())
+    }
+}
+
+impl Operator for InSituScanOp {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        loop {
+            if let Some(r) = self.out.pop_front() {
+                return Ok(Some(r));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            self.pump()?;
+            if self.out.is_empty() && self.done {
+                return Ok(None);
+            }
+        }
+    }
+}
+
+// ----- free helpers (disjoint borrows of scan state) ---------------------
+
+fn parse_value(
+    ctx: &Ctx,
+    line: &[u8],
+    start: u32,
+    local: usize,
+    row_id: u64,
+    metrics: &mut ScanMetrics,
+) -> Result<Value> {
+    let bytes = tokenize::field_at(line, ctx.delim, start);
+    metrics.fields_parsed += 1;
+    Value::parse_field(bytes, ctx.dtype(local)).map_err(|e| {
+        NoDbError::parse(format!(
+            "row {row_id}, column `{}`: {e}",
+            ctx.schema.field(ctx.projection[local]).name
+        ))
+    })
+}
+
+fn offer_stat(
+    ctx: &Ctx,
+    builders: &mut [(usize, StatsBuilder)],
+    local: usize,
+    row_id: u64,
+    v: &Value,
+) {
+    if builders.is_empty() || row_id % ctx.sample_stride != 0 {
+        return;
+    }
+    for (l, b) in builders.iter_mut() {
+        if *l == local {
+            b.offer(v);
+        }
+    }
+}
+
+fn insert_cache(flags: AuxFlags, rt: &mut RawTableRuntime, builders: Vec<Option<ColumnBuilder>>) {
+    if !flags.cache {
+        return;
+    }
+    for b in builders.into_iter().flatten() {
+        if b.filled() > 0 {
+            rt.cache.insert(b.build());
+        }
+    }
+}
+
+/// Fetch one attribute's value for a row: cache first, then the raw file
+/// via the best positional information. The boolean reports whether the
+/// cache supplied it (so callers skip write-back and stats for values
+/// that never touched the file).
+#[allow(clippy::too_many_arguments)]
+fn value_for(
+    ctx: &Ctx,
+    line: &[u8],
+    needed: &[u32],
+    local: usize,
+    entries: &[AttrPositions],
+    cached: &[Option<StdArc<CachedColumn>>],
+    r: usize,
+    precomputed: Option<&Vec<u32>>,
+    row_id: u64,
+    metrics: &mut ScanMetrics,
+) -> Result<(Value, bool)> {
+    if let Some(col) = &cached[local] {
+        if let Some(v) = col.get(r) {
+            metrics.fields_from_cache += 1;
+            return Ok((v, true));
+        }
+    }
+    let start = match precomputed {
+        Some(p) => p[local],
+        None => resolve_position(line, ctx.delim, needed, local, &entries[local], r, metrics)?,
+    };
+    parse_value(ctx, line, start, local, row_id, metrics).map(|v| (v, false))
+}
+
+/// Locate the start of attribute `needed[i]` on a line using the best
+/// positional information, counting the work class in `metrics`.
+fn resolve_position(
+    line: &[u8],
+    delim: u8,
+    needed: &[u32],
+    i: usize,
+    entry: &AttrPositions,
+    r: usize,
+    metrics: &mut ScanMetrics,
+) -> Result<u32> {
+    let attr = needed[i] as usize;
+    match entry {
+        // Position arrays may cover fewer rows than the block after an
+        // append (§4.5); rows past the indexed extent fall back to full
+        // tokenization from the line start.
+        AttrPositions::Exact(col) => match col.get(r) {
+            Some(&p) => {
+                metrics.fields_via_map += 1;
+                Ok(p)
+            }
+            None => tokenize_to(line, delim, attr, metrics),
+        },
+        AttrPositions::Anchor {
+            anchor_attr,
+            positions,
+        } => {
+            let Some(&anchor) = positions.get(r) else {
+                return tokenize_to(line, delim, attr, metrics);
+            };
+            metrics.fields_via_anchor += 1;
+            let a = *anchor_attr as usize;
+            let res = if a <= attr {
+                tokenize::advance_forward(line, delim, anchor, a, attr)
+            } else {
+                tokenize::advance_backward(line, delim, anchor, a, attr)
+            };
+            res.ok_or_else(|| {
+                NoDbError::parse(format!("row has too few fields for attribute {attr}"))
+            })
+        }
+        AttrPositions::None => tokenize_to(line, delim, attr, metrics),
+    }
+}
+
+/// Tokenize from the line start up to `attr` (the no-positional-help
+/// path).
+fn tokenize_to(line: &[u8], delim: u8, attr: usize, metrics: &mut ScanMetrics) -> Result<u32> {
+    let mut starts = Vec::with_capacity(attr + 1);
+    let found = tokenize::tokenize_upto(line, delim, attr, &mut starts);
+    metrics.fields_tokenized += found as u64;
+    if found < attr + 1 {
+        return Err(NoDbError::parse(format!(
+            "row has {found} fields, need at least {}",
+            attr + 1
+        )));
+    }
+    Ok(starts[attr])
+}

@@ -1,0 +1,456 @@
+//! Engine-level unit tests: correctness of in-situ execution and the
+//! adaptive behaviours the paper claims.
+
+use std::path::PathBuf;
+
+use nodb_common::{Schema, TempDir, Value};
+use nodb_csv::{CsvOptions, MicroGen};
+
+use crate::{AccessMode, NoDb, NoDbConfig};
+
+fn micro_file(rows: usize, cols: usize) -> (TempDir, PathBuf, Schema) {
+    let td = TempDir::new("nodb-core-test").unwrap();
+    let p = td.file("micro.csv");
+    let spec = MicroGen::default().rows(rows).cols(cols).seed(7);
+    spec.write_to(&p).unwrap();
+    let schema = spec.schema();
+    (td, p, schema)
+}
+
+fn engine_with(config: NoDbConfig, path: &std::path::Path, schema: &Schema, mode: AccessMode) -> NoDb {
+    let mut db = NoDb::new(config).unwrap();
+    db.register_csv("t", path, schema.clone(), CsvOptions::default(), mode)
+        .unwrap();
+    db
+}
+
+#[test]
+fn first_query_without_loading() {
+    let (_td, p, schema) = micro_file(300, 10);
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    let r = db.query("select c0, c5 from t where c2 < 500000000").unwrap();
+    assert!(!r.rows.is_empty());
+    assert_eq!(r.schema.len(), 2);
+    for row in &r.rows {
+        assert_eq!(row.len(), 2);
+    }
+}
+
+#[test]
+fn all_variants_agree_with_external_baseline() {
+    let (_td, p, schema) = micro_file(500, 12);
+    let queries = [
+        "select c0 from t",
+        "select c1, c7 from t where c3 < 300000000",
+        "select sum(c2), count(*), min(c4), max(c4), avg(c6) from t",
+        "select c11 from t where c0 between 100000000 and 900000000",
+        "select count(*) from t where c5 < 100000000 or c6 > 900000000",
+    ];
+    let configs: Vec<(&str, NoDbConfig)> = vec![
+        ("pm+c", NoDbConfig::postgres_raw()),
+        ("pm", NoDbConfig::pm_only()),
+        ("c", NoDbConfig::cache_only()),
+        ("baseline", NoDbConfig::baseline()),
+    ];
+    for q in queries {
+        let reference = engine_with(
+            NoDbConfig::baseline(),
+            &p,
+            &schema,
+            AccessMode::ExternalFiles,
+        )
+        .query(q)
+        .unwrap();
+        for (label, cfg) in &configs {
+            let db = engine_with(cfg.clone(), &p, &schema, AccessMode::InSitu);
+            // Run twice: the second run exercises the map/cache paths.
+            let first = db.query(q).unwrap();
+            let second = db.query(q).unwrap();
+            assert_eq!(first.rows, reference.rows, "{label} first run of `{q}`");
+            assert_eq!(second.rows, reference.rows, "{label} second run of `{q}`");
+        }
+    }
+}
+
+#[test]
+fn loaded_mode_agrees_and_requires_load() {
+    let (_td, p, schema) = micro_file(400, 6);
+    let mut db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::Loaded);
+    // Querying before loading is an error mentioning the fix.
+    let err = db.query("select c0 from t").unwrap_err().to_string();
+    assert!(err.contains("load_table"), "{err}");
+    let report = db.load_table("t").unwrap();
+    assert_eq!(report.rows, 400);
+    let loaded = db.query("select c0, c3 from t where c1 < 400000000").unwrap();
+
+    let insitu = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    let expect = insitu
+        .query("select c0, c3 from t where c1 < 400000000")
+        .unwrap();
+    assert_eq!(loaded.rows, expect.rows);
+}
+
+#[test]
+fn second_query_does_less_tokenization_work() {
+    let (_td, p, schema) = micro_file(2000, 20);
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    db.query("select c10, c15 from t").unwrap();
+    let m1 = db.metrics("t").unwrap();
+    db.query("select c10, c15 from t").unwrap();
+    let m2 = db.metrics("t").unwrap();
+    let first_tokenized = m1.fields_tokenized;
+    let second_tokenized = m2.fields_tokenized - m1.fields_tokenized;
+    assert!(
+        second_tokenized == 0,
+        "second identical query should tokenize nothing \
+         (first={first_tokenized}, second={second_tokenized})"
+    );
+    // Values came from the cache, not re-parsing.
+    assert!(m2.fields_from_cache > 0);
+    assert_eq!(
+        m2.fields_parsed, m1.fields_parsed,
+        "no re-conversion on the second query"
+    );
+}
+
+#[test]
+fn pm_only_uses_map_positions_on_second_query() {
+    let (_td, p, schema) = micro_file(1000, 20);
+    let db = engine_with(NoDbConfig::pm_only(), &p, &schema, AccessMode::InSitu);
+    db.query("select c5, c12 from t").unwrap();
+    let m1 = db.metrics("t").unwrap();
+    assert_eq!(m1.fields_via_map, 0, "first query has no map yet");
+    db.query("select c5, c12 from t").unwrap();
+    let m2 = db.metrics("t").unwrap();
+    assert!(
+        m2.fields_via_map > 0,
+        "second query must jump via map positions"
+    );
+    // Without the cache, values are re-parsed every time.
+    assert!(m2.fields_parsed > m1.fields_parsed);
+    assert_eq!(m2.fields_from_cache, 0);
+}
+
+#[test]
+fn anchored_navigation_for_neighbouring_attribute() {
+    let (_td, p, schema) = micro_file(800, 30);
+    let db = engine_with(NoDbConfig::pm_only(), &p, &schema, AccessMode::InSitu);
+    db.query("select c10 from t").unwrap();
+    // c11 is not indexed, but c10 is: expect anchored navigation, not
+    // full tokenization.
+    db.query("select c11 from t").unwrap();
+    let m = db.metrics("t").unwrap();
+    assert!(
+        m.fields_via_anchor > 0,
+        "expected anchor-based incremental parsing: {m:?}"
+    );
+}
+
+#[test]
+fn baseline_mode_never_learns() {
+    let (_td, p, schema) = micro_file(500, 10);
+    let db = engine_with(
+        NoDbConfig::baseline(),
+        &p,
+        &schema,
+        AccessMode::ExternalFiles,
+    );
+    let a = db.query("select c2 from t").unwrap();
+    let b = db.query("select c2 from t").unwrap();
+    assert_eq!(a.rows, b.rows);
+    // External tables expose no runtime to inspect.
+    assert!(db.metrics("t").is_err());
+}
+
+#[test]
+fn aux_info_reports_structures() {
+    let (_td, p, schema) = micro_file(600, 8);
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    db.query("select c1 from t where c0 < 500000000").unwrap();
+    let info = db.aux_info("t").unwrap();
+    assert!(info.posmap_pointers > 0);
+    assert!(info.posmap_bytes > 0);
+    assert!(info.cache_bytes > 0);
+    assert!(info.stats_attrs >= 1, "WHERE attribute must get stats");
+}
+
+#[test]
+fn stats_influence_plans_but_not_results() {
+    let (_td, p, schema) = micro_file(1200, 6);
+    // With stats.
+    let with = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    with.query("select c0 from t").unwrap(); // collect stats
+    let plan_with = with
+        .plan("select c1, count(*) from t group by c1")
+        .unwrap()
+        .explain();
+    // Without stats.
+    let mut cfg = NoDbConfig::postgres_raw();
+    cfg.enable_stats = false;
+    let without = engine_with(cfg, &p, &schema, AccessMode::InSitu);
+    let plan_without = without
+        .plan("select c1, count(*) from t group by c1")
+        .unwrap()
+        .explain();
+    assert!(plan_with.contains("HashAggregate"), "{plan_with}");
+    assert!(plan_without.contains("SortAggregate"), "{plan_without}");
+    let a = with.query("select c1, count(*) from t group by c1 order by c1").unwrap();
+    let b = without
+        .query("select c1, count(*) from t group by c1 order by c1")
+        .unwrap();
+    assert_eq!(a.rows, b.rows);
+}
+
+#[test]
+fn append_is_visible_without_reregistration() {
+    let td = TempDir::new("nodb-core-test").unwrap();
+    let p = td.file("m.csv");
+    let spec = MicroGen::default().rows(100).cols(4).seed(3);
+    spec.write_to(&p).unwrap();
+    let schema = spec.schema();
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    let before = db.query("select count(*) from t").unwrap();
+    assert_eq!(before.rows[0].get(0), &Value::Int64(100));
+    spec.append_to(&p, 50).unwrap();
+    let after = db.query("select count(*) from t").unwrap();
+    assert_eq!(
+        after.rows[0].get(0),
+        &Value::Int64(150),
+        "appended rows must be immediately visible (§4.5)"
+    );
+    // Aux structures for the old region still work.
+    let r = db.query("select c0 from t where c1 < 500000000").unwrap();
+    assert!(!r.rows.is_empty());
+}
+
+#[test]
+fn in_place_edit_invalidates_aux() {
+    let td = TempDir::new("nodb-core-test").unwrap();
+    let p = td.file("m.csv");
+    std::fs::write(&p, "1,10\n2,20\n3,30\n").unwrap();
+    let schema = Schema::parse("a int, b int").unwrap();
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    let r = db.query("select b from t where a = 2").unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int32(20));
+    // Rewrite the file in place with different (shorter) content.
+    std::fs::write(&p, "1,11\n2,22\n").unwrap();
+    let r = db.query("select b from t where a = 2").unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int32(22), "stale aux must be dropped");
+}
+
+#[test]
+fn posmap_budget_is_respected_during_queries() {
+    let (_td, p, schema) = micro_file(3000, 30);
+    let mut cfg = NoDbConfig::pm_only();
+    cfg.posmap_budget = Some(nodb_common::ByteSize::kb(32));
+    cfg.posmap_block_rows = 512;
+    let db = engine_with(cfg, &p, &schema, AccessMode::InSitu);
+    for i in 0..6 {
+        let c = i * 4;
+        db.query(&format!("select c{c} from t")).unwrap();
+        let info = db.aux_info("t").unwrap();
+        assert!(
+            info.posmap_bytes <= 32_000,
+            "budget violated: {} bytes",
+            info.posmap_bytes
+        );
+    }
+}
+
+#[test]
+fn cache_budget_is_respected() {
+    let (_td, p, schema) = micro_file(3000, 30);
+    let mut cfg = NoDbConfig::cache_only();
+    cfg.cache_budget = Some(nodb_common::ByteSize::kb(64));
+    let db = engine_with(cfg, &p, &schema, AccessMode::InSitu);
+    for i in 0..6 {
+        let c = i * 4;
+        db.query(&format!("select c{c} from t")).unwrap();
+        let info = db.aux_info("t").unwrap();
+        assert!(
+            info.cache_bytes <= 64_000,
+            "budget violated: {} bytes",
+            info.cache_bytes
+        );
+    }
+}
+
+#[test]
+fn count_star_after_indexing_reads_no_bytes() {
+    let (_td, p, schema) = micro_file(1000, 5);
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    db.query("select c0 from t").unwrap();
+    let m1 = db.metrics("t").unwrap();
+    let r = db.query("select count(*) from t").unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int64(1000));
+    let m2 = db.metrics("t").unwrap();
+    assert_eq!(
+        m2.bytes_tokenized, m1.bytes_tokenized,
+        "row count must come from the EOL index"
+    );
+}
+
+#[test]
+fn drop_aux_resets_and_rebuilds() {
+    let (_td, p, schema) = micro_file(300, 6);
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    db.query("select c0 from t").unwrap();
+    assert!(db.aux_info("t").unwrap().posmap_pointers > 0);
+    db.drop_aux("t").unwrap();
+    assert_eq!(db.aux_info("t").unwrap().posmap_pointers, 0);
+    // Next query rebuilds from scratch and still answers correctly.
+    let r = db.query("select count(*) from t").unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int64(300));
+}
+
+#[test]
+fn selective_parsing_skips_nonqualifying_select_attrs() {
+    let (_td, p, schema) = micro_file(1000, 10);
+    let db = engine_with(NoDbConfig::baseline(), &p, &schema, AccessMode::InSitu);
+    // ~10% selectivity filter: SELECT attribute c7 should be parsed only
+    // for qualifying rows.
+    db.query("select c7 from t where c1 < 100000000").unwrap();
+    let m = db.metrics("t").unwrap();
+    // c1 parsed for all rows; c7 only for qualifying.
+    let qualifying = m.rows_emitted;
+    assert_eq!(m.fields_parsed, 1000 + qualifying);
+    assert!(qualifying < 300, "selectivity sanity: {qualifying}");
+}
+
+#[test]
+fn register_errors() {
+    let (_td, p, schema) = micro_file(10, 3);
+    let mut db = NoDb::new(NoDbConfig::postgres_raw()).unwrap();
+    db.register_csv("t", &p, schema.clone(), CsvOptions::default(), AccessMode::InSitu)
+        .unwrap();
+    // Duplicate name.
+    assert!(db
+        .register_csv("T", &p, schema.clone(), CsvOptions::default(), AccessMode::InSitu)
+        .is_err());
+    // Header not supported in situ.
+    let opts = CsvOptions {
+        has_header: true,
+        ..CsvOptions::default()
+    };
+    assert!(db
+        .register_csv("h", &p, schema, opts, AccessMode::InSitu)
+        .is_err());
+    // Unknown table in query.
+    assert!(db.query("select x from missing").is_err());
+}
+
+#[test]
+fn idle_time_prebuilds_structures() {
+    use crate::IdleFocus;
+    use std::time::Duration;
+
+    let (_td, p, schema) = micro_file(2000, 20);
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    // Generous budget: the whole file gets covered.
+    let report = db
+        .exploit_idle_time("t", Duration::from_secs(30), IdleFocus::AllAttributes)
+        .unwrap();
+    assert!(report.completed);
+    assert_eq!(report.rows_processed, 2000);
+    assert!(report.pointers_added > 0);
+    assert!(report.cache_bytes_added > 0);
+    // The first user query now behaves like a warm one: nothing parsed.
+    let m_before = db.metrics("t").unwrap();
+    db.query("select c3, c17 from t").unwrap();
+    let m_after = db.metrics("t").unwrap();
+    assert_eq!(
+        m_after.fields_parsed, m_before.fields_parsed,
+        "idle work must make the first query cache-resident"
+    );
+}
+
+#[test]
+fn idle_time_respects_zero_budget() {
+    use crate::IdleFocus;
+    use std::time::Duration;
+
+    let (_td, p, schema) = micro_file(5000, 30);
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    let report = db
+        .exploit_idle_time("t", Duration::ZERO, IdleFocus::AllAttributes)
+        .unwrap();
+    assert!(!report.completed);
+    assert!(report.rows_processed < 5000);
+    // Partial structures are valid: queries still answer correctly.
+    let r = db.query("select count(*) from t").unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int64(5000));
+}
+
+#[test]
+fn idle_time_focuses_on_workload_attributes() {
+    use crate::IdleFocus;
+    use std::time::Duration;
+
+    let (_td, p, schema) = micro_file(1500, 30);
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    // Teach the engine a workload (stats on c2 only).
+    db.query("select c2 from t").unwrap();
+    let before = db.aux_info("t").unwrap();
+    db.exploit_idle_time("t", Duration::from_secs(30), IdleFocus::WorkloadAttributes)
+        .unwrap();
+    let after = db.aux_info("t").unwrap();
+    // c2 was already fully covered by the query, so focused idle work
+    // adds nothing beyond what the workload built.
+    assert_eq!(after.cache_bytes, before.cache_bytes);
+    // Loaded tables refuse.
+    let mut loaded = NoDb::new(NoDbConfig::postgres_raw()).unwrap();
+    loaded
+        .register_csv("t", &p, schema, CsvOptions::default(), AccessMode::Loaded)
+        .unwrap();
+    assert!(loaded
+        .exploit_idle_time("t", Duration::from_secs(1), IdleFocus::AllAttributes)
+        .is_err());
+}
+
+#[test]
+fn distinct_and_having_work_end_to_end() {
+    let td = TempDir::new("nodb-core-test").unwrap();
+    let p = td.file("m.csv");
+    std::fs::write(
+        &p,
+        "a,1\na,2\nb,3\nb,4\nb,5\nc,6\na,1\n", // duplicate (a,1) row
+    )
+    .unwrap();
+    let schema = Schema::parse("k text, v int").unwrap();
+    let mut db = NoDb::new(NoDbConfig::postgres_raw()).unwrap();
+    db.register_csv("t", &p, schema, CsvOptions::default(), AccessMode::InSitu)
+        .unwrap();
+
+    // DISTINCT over whole rows.
+    let r = db.query("select distinct k, v from t order by k, v").unwrap();
+    assert_eq!(r.rows.len(), 6, "duplicate (a,1) collapsed");
+    // DISTINCT over a single column.
+    let r = db.query("select distinct k from t order by k").unwrap();
+    assert_eq!(
+        r.rows
+            .iter()
+            .map(|x| x.get(0).as_str().unwrap().to_string())
+            .collect::<Vec<_>>(),
+        vec!["a", "b", "c"]
+    );
+
+    // HAVING on an aggregate that is also projected.
+    let r = db
+        .query("select k, count(*) n from t group by k having count(*) >= 2 order by k")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2); // a (3), b (3)
+    // HAVING on an aggregate that is NOT in the select list.
+    let r = db
+        .query("select k from t group by k having sum(v) > 5 order by k")
+        .unwrap();
+    // Sums: a = 1+2+1 = 4, b = 12, c = 6 -> only b and c qualify.
+    let names: Vec<&str> = r.rows.iter().map(|x| x.get(0).as_str().unwrap()).collect();
+    assert_eq!(names, vec!["b", "c"]);
+
+    // HAVING mixed with group key comparison.
+    let r = db
+        .query("select k, sum(v) s from t group by k having k <> 'c' order by s desc")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    assert_eq!(r.rows[0].get(0).as_str().unwrap(), "b");
+}

@@ -1,0 +1,211 @@
+//! Micro-benchmark data generator.
+//!
+//! The paper's micro-benchmarks (§5.1) use "a raw data file of 11 GB,
+//! containing 7.5 × 10⁶ tuples. Each tuple contains 150 attributes with
+//! integers distributed randomly in the range [0, 10⁹)". Figure 13 varies
+//! the *width* of attributes (16 → 64 characters). [`MicroGen`] reproduces
+//! both shapes at arbitrary scale, deterministically from a seed.
+
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nodb_common::{DataType, Field, Result, Schema};
+
+use crate::writer::CsvWriter;
+use crate::CsvOptions;
+
+/// Specification of a synthetic micro-benchmark table.
+#[derive(Debug, Clone)]
+pub struct MicroGen {
+    /// Number of tuples.
+    pub rows: usize,
+    /// Number of attributes per tuple (the paper uses 150).
+    pub cols: usize,
+    /// RNG seed; identical specs produce identical files.
+    pub seed: u64,
+    /// Exclusive upper bound for generated integers (the paper uses 10⁹).
+    pub max_value: u32,
+    /// When set, each value is zero-padded to exactly this many characters
+    /// (Figure 13's attribute-width experiment). The schema then declares
+    /// the columns as `text`, since the padded form is what a width-N
+    /// attribute is.
+    pub pad_width: Option<usize>,
+}
+
+impl Default for MicroGen {
+    fn default() -> Self {
+        MicroGen {
+            rows: 10_000,
+            cols: 150,
+            seed: 0x6e6f_6462, // "nodb"
+            max_value: 1_000_000_000,
+            pad_width: None,
+        }
+    }
+}
+
+impl MicroGen {
+    /// Builder-style row count.
+    pub fn rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Builder-style column count.
+    pub fn cols(mut self, cols: usize) -> Self {
+        self.cols = cols;
+        self
+    }
+
+    /// Builder-style seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style attribute width (Figure 13).
+    pub fn pad_width(mut self, width: usize) -> Self {
+        self.pad_width = Some(width);
+        self
+    }
+
+    /// The schema of the generated file: `c0, c1, ... c{cols-1}`, typed
+    /// `int` (or `text` when padded).
+    pub fn schema(&self) -> Schema {
+        let dtype = if self.pad_width.is_some() {
+            DataType::Text
+        } else {
+            DataType::Int32
+        };
+        Schema::new(
+            (0..self.cols)
+                .map(|i| Field::new(format!("c{i}"), dtype))
+                .collect(),
+        )
+        .expect("generated names are unique")
+    }
+
+    /// Write the file to `path`, returning the number of bytes written.
+    pub fn write_to(&self, path: &Path) -> Result<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut w = CsvWriter::create(path, CsvOptions::default())?;
+        let mut fields: Vec<String> = vec![String::new(); self.cols];
+        for _ in 0..self.rows {
+            for f in fields.iter_mut() {
+                let v: u32 = rng.gen_range(0..self.max_value);
+                f.clear();
+                match self.pad_width {
+                    Some(w) => {
+                        use std::fmt::Write as _;
+                        let _ = write!(f, "{v:0w$}");
+                    }
+                    None => {
+                        use std::fmt::Write as _;
+                        let _ = write!(f, "{v}");
+                    }
+                }
+            }
+            w.write_fields(&fields)?;
+        }
+        w.finish()?;
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    /// Append `extra_rows` more tuples (continuing the RNG stream from a
+    /// derived seed), for the paper's append-update scenario (§4.5).
+    pub fn append_to(&self, path: &Path, extra_rows: usize) -> Result<()> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x9e37_79b9));
+        let mut w = CsvWriter::append(path, CsvOptions::default())?;
+        let mut fields: Vec<String> = vec![String::new(); self.cols];
+        for _ in 0..extra_rows {
+            for f in fields.iter_mut() {
+                let v: u32 = rng.gen_range(0..self.max_value);
+                f.clear();
+                use std::fmt::Write as _;
+                match self.pad_width {
+                    Some(w) => {
+                        let _ = write!(f, "{v:0w$}");
+                    }
+                    None => {
+                        let _ = write!(f, "{v}");
+                    }
+                }
+            }
+            w.write_fields(&fields)?;
+        }
+        w.finish()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_common::TempDir;
+
+    #[test]
+    fn generates_requested_shape() {
+        let td = TempDir::new("nodb-gen").unwrap();
+        let p = td.file("micro.csv");
+        let spec = MicroGen::default().rows(25).cols(7).seed(1);
+        spec.write_to(&p).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 25);
+        for l in &lines {
+            assert_eq!(l.split(',').count(), 7);
+            for f in l.split(',') {
+                let v: u32 = f.parse().unwrap();
+                assert!(v < 1_000_000_000);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let td = TempDir::new("nodb-gen").unwrap();
+        let a = td.file("a.csv");
+        let b = td.file("b.csv");
+        MicroGen::default().rows(10).cols(3).seed(42).write_to(&a).unwrap();
+        MicroGen::default().rows(10).cols(3).seed(42).write_to(&b).unwrap();
+        assert_eq!(
+            std::fs::read(&a).unwrap(),
+            std::fs::read(&b).unwrap()
+        );
+        let c = td.file("c.csv");
+        MicroGen::default().rows(10).cols(3).seed(43).write_to(&c).unwrap();
+        assert_ne!(std::fs::read(&a).unwrap(), std::fs::read(&c).unwrap());
+    }
+
+    #[test]
+    fn pad_width_fixes_field_length_and_schema_type() {
+        let td = TempDir::new("nodb-gen").unwrap();
+        let p = td.file("wide.csv");
+        let spec = MicroGen::default().rows(5).cols(4).pad_width(16);
+        spec.write_to(&p).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        for l in text.lines() {
+            for f in l.split(',') {
+                assert_eq!(f.len(), 16);
+            }
+        }
+        assert_eq!(spec.schema().field(0).dtype, DataType::Text);
+        assert_eq!(
+            MicroGen::default().schema().field(0).dtype,
+            DataType::Int32
+        );
+    }
+
+    #[test]
+    fn append_adds_rows() {
+        let td = TempDir::new("nodb-gen").unwrap();
+        let p = td.file("m.csv");
+        let spec = MicroGen::default().rows(4).cols(2);
+        spec.write_to(&p).unwrap();
+        spec.append_to(&p, 3).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(text.lines().count(), 7);
+    }
+}

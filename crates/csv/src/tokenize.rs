@@ -1,0 +1,239 @@
+//! Field tokenization primitives.
+//!
+//! All functions operate on a single line (no terminating newline) and work
+//! with *start offsets*: the byte index where a field's value begins. This
+//! matches the paper's positional map, which stores positions of attribute
+//! starts and reconstructs a value as "the characters that appear between
+//! two positions" (§4.2).
+
+/// Tokenize the start offsets of fields `0..=upto`, appending them to
+/// `out`. Scanning stops as soon as the start of field `upto` is known —
+/// the paper's *selective tokenizing* (§4.1): a query needing attributes 4
+/// and 8 tokenizes each tuple only up to attribute 8.
+///
+/// Returns the number of field starts appended (may be fewer than
+/// `upto + 1` if the line has fewer fields).
+pub fn tokenize_upto(line: &[u8], delim: u8, upto: usize, out: &mut Vec<u32>) -> usize {
+    let before = out.len();
+    out.push(0);
+    if upto == 0 {
+        return 1;
+    }
+    let mut found = 1;
+    for (i, &b) in line.iter().enumerate() {
+        if b == delim {
+            out.push(i as u32 + 1);
+            found += 1;
+            if found > upto {
+                break;
+            }
+        }
+    }
+    out.len() - before
+}
+
+/// Tokenize start offsets of *all* fields on the line.
+pub fn tokenize_all(line: &[u8], delim: u8, out: &mut Vec<u32>) -> usize {
+    tokenize_upto(line, delim, usize::MAX - 1, out)
+}
+
+/// Number of fields on the line (1 + number of delimiters).
+pub fn count_fields(line: &[u8], delim: u8) -> usize {
+    1 + line.iter().filter(|&&b| b == delim).count()
+}
+
+/// End offset (exclusive) of the field starting at `start`: scans forward
+/// to the next delimiter or end of line.
+pub fn field_end(line: &[u8], delim: u8, start: u32) -> u32 {
+    let s = start as usize;
+    match line[s.min(line.len())..].iter().position(|&b| b == delim) {
+        Some(off) => (s + off) as u32,
+        None => line.len() as u32,
+    }
+}
+
+/// The bytes of the field starting at `start`.
+pub fn field_at(line: &[u8], delim: u8, start: u32) -> &[u8] {
+    let end = field_end(line, delim, start);
+    &line[start as usize..end as usize]
+}
+
+/// Incremental *forward* parsing (§4.2): given the known start of field
+/// `from_idx`, return the start of field `to_idx > from_idx` by scanning
+/// only the bytes in between. Returns `None` if the line ends first.
+pub fn advance_forward(
+    line: &[u8],
+    delim: u8,
+    from_start: u32,
+    from_idx: usize,
+    to_idx: usize,
+) -> Option<u32> {
+    debug_assert!(to_idx >= from_idx);
+    let mut remaining = to_idx - from_idx;
+    if remaining == 0 {
+        return Some(from_start);
+    }
+    let mut i = from_start as usize;
+    while i < line.len() {
+        if line[i] == delim {
+            remaining -= 1;
+            if remaining == 0 {
+                return Some(i as u32 + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Incremental *backward* parsing (§4.2: "jumps initially to the position
+/// of the 12th attribute and tokenizes backwards"): given the known start
+/// of field `from_idx`, return the start of field `to_idx < from_idx`.
+pub fn advance_backward(
+    line: &[u8],
+    delim: u8,
+    from_start: u32,
+    from_idx: usize,
+    to_idx: usize,
+) -> Option<u32> {
+    debug_assert!(to_idx <= from_idx);
+    let remaining = from_idx - to_idx;
+    if remaining == 0 {
+        return Some(from_start);
+    }
+    // from_start points just past a delimiter (or 0). Walk left over
+    // `remaining` additional delimiters; the target field starts right
+    // after the (remaining+1)-th delimiter counted from here.
+    let mut seen = 0usize;
+    let mut i = from_start as usize;
+    while i > 0 {
+        i -= 1;
+        if line[i] == delim {
+            seen += 1;
+            if seen == remaining + 1 {
+                return Some(i as u32 + 1);
+            }
+        }
+    }
+    if seen == remaining {
+        Some(0)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const LINE: &[u8] = b"aa,b,,dddd,e";
+
+    #[test]
+    fn tokenize_all_finds_every_start() {
+        let mut out = Vec::new();
+        let n = tokenize_all(LINE, b',', &mut out);
+        assert_eq!(n, 5);
+        assert_eq!(out, vec![0, 3, 5, 6, 11]);
+    }
+
+    #[test]
+    fn tokenize_upto_stops_early() {
+        let mut out = Vec::new();
+        let n = tokenize_upto(LINE, b',', 2, &mut out);
+        assert_eq!(n, 3);
+        assert_eq!(out, vec![0, 3, 5]);
+    }
+
+    #[test]
+    fn tokenize_upto_handles_short_lines() {
+        let mut out = Vec::new();
+        let n = tokenize_upto(b"x,y", b',', 5, &mut out);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn field_extraction() {
+        assert_eq!(field_at(LINE, b',', 0), b"aa");
+        assert_eq!(field_at(LINE, b',', 3), b"b");
+        assert_eq!(field_at(LINE, b',', 5), b"");
+        assert_eq!(field_at(LINE, b',', 6), b"dddd");
+        assert_eq!(field_at(LINE, b',', 11), b"e");
+    }
+
+    #[test]
+    fn empty_line_is_one_empty_field() {
+        let mut out = Vec::new();
+        assert_eq!(tokenize_all(b"", b',', &mut out), 1);
+        assert_eq!(field_at(b"", b',', 0), b"");
+        assert_eq!(count_fields(b"", b','), 1);
+    }
+
+    #[test]
+    fn forward_navigation_from_anchor() {
+        // Know field 1 starts at 3; find field 3.
+        assert_eq!(advance_forward(LINE, b',', 3, 1, 3), Some(6));
+        assert_eq!(advance_forward(LINE, b',', 3, 1, 1), Some(3));
+        assert_eq!(advance_forward(LINE, b',', 3, 1, 9), None);
+    }
+
+    #[test]
+    fn backward_navigation_from_anchor() {
+        // Know field 3 starts at 6; find field 1.
+        assert_eq!(advance_backward(LINE, b',', 6, 3, 1), Some(3));
+        // ... and field 0.
+        assert_eq!(advance_backward(LINE, b',', 6, 3, 0), Some(0));
+        assert_eq!(advance_backward(LINE, b',', 6, 3, 3), Some(6));
+    }
+
+    proptest! {
+        /// Forward/backward navigation from any anchor must agree with a
+        /// full tokenization.
+        #[test]
+        fn navigation_agrees_with_full_tokenize(
+            fields in proptest::collection::vec("[a-z]{0,6}", 1..12),
+            from in 0usize..12,
+            to in 0usize..12,
+        ) {
+            let line = fields.join(",").into_bytes();
+            let mut starts = Vec::new();
+            tokenize_all(&line, b',', &mut starts);
+            let n = starts.len();
+            prop_assume!(from < n && to < n);
+            let anchor = starts[from];
+            let got = if to >= from {
+                advance_forward(&line, b',', anchor, from, to)
+            } else {
+                advance_backward(&line, b',', anchor, from, to)
+            };
+            prop_assert_eq!(got, Some(starts[to]));
+        }
+
+        /// Selective tokenization is a prefix of full tokenization.
+        #[test]
+        fn selective_is_prefix_of_full(
+            fields in proptest::collection::vec("[a-z]{0,4}", 1..10),
+            upto in 0usize..10,
+        ) {
+            let line = fields.join(",").into_bytes();
+            let mut full = Vec::new();
+            tokenize_all(&line, b',', &mut full);
+            let mut sel = Vec::new();
+            tokenize_upto(&line, b',', upto, &mut sel);
+            let expect = full.len().min(upto + 1);
+            prop_assert_eq!(&sel[..], &full[..expect]);
+        }
+
+        /// Extracted fields match a straightforward split.
+        #[test]
+        fn fields_match_split(fields in proptest::collection::vec("[a-z]{0,5}", 1..10)) {
+            let line = fields.join(",").into_bytes();
+            let mut starts = Vec::new();
+            tokenize_all(&line, b',', &mut starts);
+            prop_assert_eq!(starts.len(), fields.len());
+            for (i, f) in fields.iter().enumerate() {
+                prop_assert_eq!(field_at(&line, b',', starts[i]), f.as_bytes());
+            }
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Scalar expression evaluation with SQL three-valued logic.
+
+use nodb_common::like::like_match;
+use nodb_common::{NoDbError, Result, Row, Value};
+use nodb_sql::{BinOp, BoundExpr, UnOp};
+
+/// Evaluate an expression against a row. NULL propagates through
+/// arithmetic and comparisons; AND/OR follow Kleene logic.
+pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
+    match expr {
+        BoundExpr::Col(i) => row
+            .values()
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| NoDbError::internal(format!("column #{i} out of range"))),
+        BoundExpr::Lit(v) => Ok(v.clone()),
+        BoundExpr::Binary { op, left, right } => match op {
+            BinOp::And => {
+                let l = eval(left, row)?;
+                // Short-circuit FALSE.
+                if l == Value::Bool(false) {
+                    return Ok(Value::Bool(false));
+                }
+                let r = eval(right, row)?;
+                Ok(match (bool3(&l), bool3(&r)) {
+                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                })
+            }
+            BinOp::Or => {
+                let l = eval(left, row)?;
+                if l == Value::Bool(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let r = eval(right, row)?;
+                Ok(match (bool3(&l), bool3(&r)) {
+                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                })
+            }
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                let l = eval(left, row)?;
+                let r = eval(right, row)?;
+                Ok(match l.sql_cmp(&r) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(match op {
+                        BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                        BinOp::NotEq => ord != std::cmp::Ordering::Equal,
+                        BinOp::Lt => ord == std::cmp::Ordering::Less,
+                        BinOp::LtEq => ord != std::cmp::Ordering::Greater,
+                        BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                        BinOp::GtEq => ord != std::cmp::Ordering::Less,
+                        _ => unreachable!("comparison ops only"),
+                    }),
+                })
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                let l = eval(left, row)?;
+                let r = eval(right, row)?;
+                arith(*op, &l, &r)
+            }
+        },
+        BoundExpr::Unary { op, expr } => {
+            let v = eval(expr, row)?;
+            match op {
+                UnOp::Not => Ok(match bool3(&v) {
+                    Some(b) => Value::Bool(!b),
+                    None => Value::Null,
+                }),
+                UnOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int32(x) => Ok(Value::Int32(-x)),
+                    Value::Int64(x) => Ok(Value::Int64(-x)),
+                    Value::Float64(x) => Ok(Value::Float64(-x)),
+                    other => Err(NoDbError::execution(format!("cannot negate {other}"))),
+                },
+            }
+        }
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, row)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
+                other => Err(NoDbError::execution(format!("LIKE on non-text {other}"))),
+            }
+        }
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval(expr, row)?;
+            let lo = eval(low, row)?;
+            let hi = eval(high, row)?;
+            let ge = v.sql_cmp(&lo).map(|o| o != std::cmp::Ordering::Less);
+            let le = v.sql_cmp(&hi).map(|o| o != std::cmp::Ordering::Greater);
+            Ok(match (ge, le) {
+                (Some(a), Some(b)) => Value::Bool((a && b) != *negated),
+                _ => Value::Null,
+            })
+        }
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, row)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut saw_null = false;
+            for cand in list {
+                match v.sql_cmp(cand) {
+                    Some(std::cmp::Ordering::Equal) => {
+                        return Ok(Value::Bool(!*negated));
+                    }
+                    None if cand.is_null() => saw_null = true,
+                    _ => {}
+                }
+            }
+            if saw_null {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Bool(*negated))
+            }
+        }
+        BoundExpr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (cond, res) in branches {
+                if eval_predicate(cond, row)? {
+                    return eval(res, row);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, row),
+                None => Ok(Value::Null),
+            }
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let v = eval(expr, row)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+    }
+}
+
+/// Evaluate as a WHERE predicate: TRUE passes; FALSE and NULL reject.
+pub fn eval_predicate(expr: &BoundExpr, row: &Row) -> Result<bool> {
+    Ok(eval(expr, row)? == Value::Bool(true))
+}
+
+fn bool3(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    // Date ± integer days.
+    if let (Value::Date(d), Some(n)) = (l, r.as_i64()) {
+        if !matches!(r, Value::Float64(_)) {
+            match op {
+                BinOp::Add => return Ok(Value::Date(d.add_days(n as i32))),
+                BinOp::Sub => {
+                    if let Value::Date(d2) = r {
+                        return Ok(Value::Int64((d.days() - d2.days()) as i64));
+                    }
+                    return Ok(Value::Date(d.add_days(-(n as i32))));
+                }
+                _ => {}
+            }
+        }
+    }
+    let use_float = matches!(l, Value::Float64(_))
+        || matches!(r, Value::Float64(_))
+        || op == BinOp::Div;
+    if use_float {
+        let (a, b) = (
+            l.as_f64()
+                .ok_or_else(|| NoDbError::execution(format!("non-numeric operand {l}")))?,
+            r.as_f64()
+                .ok_or_else(|| NoDbError::execution(format!("non-numeric operand {r}")))?,
+        );
+        let v = match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => {
+                if b == 0.0 {
+                    return Err(NoDbError::execution("division by zero"));
+                }
+                a / b
+            }
+            _ => unreachable!("arith ops only"),
+        };
+        Ok(Value::Float64(v))
+    } else {
+        let (a, b) = (
+            l.as_i64()
+                .ok_or_else(|| NoDbError::execution(format!("non-numeric operand {l}")))?,
+            r.as_i64()
+                .ok_or_else(|| NoDbError::execution(format!("non-numeric operand {r}")))?,
+        );
+        let v = match op {
+            BinOp::Add => a.checked_add(b),
+            BinOp::Sub => a.checked_sub(b),
+            BinOp::Mul => a.checked_mul(b),
+            _ => unreachable!("arith ops only"),
+        }
+        .ok_or_else(|| NoDbError::execution("integer overflow"))?;
+        Ok(Value::Int64(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_common::Date;
+
+    fn row() -> Row {
+        Row(vec![
+            Value::Int32(10),
+            Value::Float64(2.5),
+            Value::Text("PROMO ANODIZED".into()),
+            Value::Null,
+            Value::Date(Date::parse("1994-06-15").unwrap()),
+        ])
+    }
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Col(i)
+    }
+
+    fn lit(v: Value) -> BoundExpr {
+        BoundExpr::Lit(v)
+    }
+
+    fn bin(op: BinOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn arithmetic_coerces_and_divides_as_float() {
+        let r = row();
+        assert_eq!(
+            eval(&bin(BinOp::Mul, col(0), col(1)), &r).unwrap(),
+            Value::Float64(25.0)
+        );
+        assert_eq!(
+            eval(&bin(BinOp::Add, col(0), lit(Value::Int64(5))), &r).unwrap(),
+            Value::Int64(15)
+        );
+        assert_eq!(
+            eval(
+                &bin(BinOp::Div, lit(Value::Int64(7)), lit(Value::Int64(2))),
+                &r
+            )
+            .unwrap(),
+            Value::Float64(3.5)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let r = row();
+        assert!(eval(
+            &bin(BinOp::Div, lit(Value::Int64(1)), lit(Value::Int64(0))),
+            &r
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn null_propagates_through_arith_and_cmp() {
+        let r = row();
+        assert_eq!(
+            eval(&bin(BinOp::Add, col(3), col(0)), &r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval(&bin(BinOp::Eq, col(3), col(0)), &r).unwrap(),
+            Value::Null
+        );
+        assert!(!eval_predicate(&bin(BinOp::Eq, col(3), col(0)), &r).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let r = row();
+        let null = col(3);
+        let t = lit(Value::Bool(true));
+        let f = lit(Value::Bool(false));
+        assert_eq!(
+            eval(&bin(BinOp::And, f.clone(), null.clone()), &r).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(&bin(BinOp::And, t.clone(), null.clone()), &r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval(&bin(BinOp::Or, t.clone(), null.clone()), &r).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(&bin(BinOp::Or, f.clone(), null.clone()), &r).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn like_between_inlist() {
+        let r = row();
+        let like = BoundExpr::Like {
+            expr: Box::new(col(2)),
+            pattern: "PROMO%".into(),
+            negated: false,
+        };
+        assert_eq!(eval(&like, &r).unwrap(), Value::Bool(true));
+        let between = BoundExpr::Between {
+            expr: Box::new(col(0)),
+            low: Box::new(lit(Value::Int64(5))),
+            high: Box::new(lit(Value::Int64(10))),
+            negated: false,
+        };
+        assert_eq!(eval(&between, &r).unwrap(), Value::Bool(true));
+        let inlist = BoundExpr::InList {
+            expr: Box::new(col(0)),
+            list: vec![Value::Int64(1), Value::Int64(10)],
+            negated: false,
+        };
+        assert_eq!(eval(&inlist, &r).unwrap(), Value::Bool(true));
+        let notin = BoundExpr::InList {
+            expr: Box::new(col(0)),
+            list: vec![Value::Int64(1)],
+            negated: true,
+        };
+        assert_eq!(eval(&notin, &r).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn case_falls_through_to_else() {
+        let r = row();
+        let case = BoundExpr::Case {
+            branches: vec![(
+                bin(BinOp::Gt, col(0), lit(Value::Int64(100))),
+                lit(Value::Int64(1)),
+            )],
+            else_expr: Some(Box::new(lit(Value::Int64(0)))),
+        };
+        assert_eq!(eval(&case, &r).unwrap(), Value::Int64(0));
+        let no_else = BoundExpr::Case {
+            branches: vec![(
+                bin(BinOp::Gt, col(0), lit(Value::Int64(100))),
+                lit(Value::Int64(1)),
+            )],
+            else_expr: None,
+        };
+        assert_eq!(eval(&no_else, &r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn date_minus_date_and_date_plus_days() {
+        let r = row();
+        let base = Date::parse("1994-06-15").unwrap();
+        assert_eq!(
+            eval(&bin(BinOp::Add, col(4), lit(Value::Int64(10))), &r).unwrap(),
+            Value::Date(base.add_days(10))
+        );
+        assert_eq!(
+            eval(
+                &bin(BinOp::Sub, col(4), lit(Value::Date(base.add_days(-5)))),
+                &r
+            )
+            .unwrap(),
+            Value::Int64(5)
+        );
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let r = row();
+        let isnull = BoundExpr::IsNull {
+            expr: Box::new(col(3)),
+            negated: false,
+        };
+        assert_eq!(eval(&isnull, &r).unwrap(), Value::Bool(true));
+        let isnotnull = BoundExpr::IsNull {
+            expr: Box::new(col(0)),
+            negated: true,
+        };
+        assert_eq!(eval(&isnotnull, &r).unwrap(), Value::Bool(true));
+    }
+}

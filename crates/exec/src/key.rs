@@ -1,0 +1,103 @@
+//! Hashable/equatable group and join keys.
+//!
+//! `Value` itself is not `Eq + Hash` (floats); `GroupKey` is a normalized
+//! form safe for hash tables: floats by bits (with integral floats
+//! canonicalized to integers so `1.0` groups with `1`), NULL as a distinct
+//! marker.
+
+use nodb_common::Value;
+
+/// One normalized key part.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyPart {
+    /// SQL NULL (groups with other NULLs, as GROUP BY does).
+    Null,
+    /// Any integer-valued number or date day-count.
+    Int(i64),
+    /// Non-integral float, by bit pattern.
+    FloatBits(u64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Text(String),
+}
+
+/// A composite key over several values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroupKey(pub Vec<KeyPart>);
+
+impl GroupKey {
+    /// Build a key from values.
+    pub fn from_values<'a>(vals: impl Iterator<Item = &'a Value>) -> GroupKey {
+        GroupKey(vals.map(KeyPart::from_value).collect())
+    }
+
+    /// Does any part contain NULL? (Join keys with NULL never match.)
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(|p| matches!(p, KeyPart::Null))
+    }
+}
+
+impl KeyPart {
+    /// Normalize one value.
+    pub fn from_value(v: &Value) -> KeyPart {
+        match v {
+            Value::Null => KeyPart::Null,
+            Value::Int32(x) => KeyPart::Int(*x as i64),
+            Value::Int64(x) => KeyPart::Int(*x),
+            Value::Date(d) => KeyPart::Int(d.days() as i64 | (1 << 62)),
+            Value::Bool(b) => KeyPart::Bool(*b),
+            Value::Float64(f) => {
+                if f.fract() == 0.0 && f.abs() < 9e15 {
+                    KeyPart::Int(*f as i64)
+                } else {
+                    KeyPart::FloatBits(f.to_bits())
+                }
+            }
+            Value::Text(s) => KeyPart::Text(s.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn numeric_widths_share_keys() {
+        let a = KeyPart::from_value(&Value::Int32(7));
+        let b = KeyPart::from_value(&Value::Int64(7));
+        let c = KeyPart::from_value(&Value::Float64(7.0));
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn dates_do_not_collide_with_ints() {
+        let d = KeyPart::from_value(&Value::Date(nodb_common::Date(5)));
+        let i = KeyPart::from_value(&Value::Int64(5));
+        assert_ne!(d, i);
+    }
+
+    #[test]
+    fn composite_keys_work_in_hashmaps() {
+        let mut m: HashMap<GroupKey, usize> = HashMap::new();
+        let k1 = GroupKey::from_values(
+            [Value::Text("A".into()), Value::Int32(1)].iter(),
+        );
+        let k2 = GroupKey::from_values(
+            [Value::Text("A".into()), Value::Int64(1)].iter(),
+        );
+        m.insert(k1, 10);
+        assert_eq!(m.get(&k2), Some(&10));
+    }
+
+    #[test]
+    fn null_detection() {
+        let k = GroupKey::from_values([Value::Null, Value::Int32(1)].iter());
+        assert!(k.has_null());
+        let k = GroupKey::from_values([Value::Int32(1)].iter());
+        assert!(!k.has_null());
+    }
+}

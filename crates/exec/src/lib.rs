@@ -1,0 +1,39 @@
+//! Volcano-style execution engine.
+//!
+//! PostgresRaw keeps its host's executor untouched — "each tuple is then
+//! passed one-by-one through the operators of a query plan" (§3). This
+//! crate is that executor: pull-based operators exchanging [`Row`]s, plus
+//! the physical planner that lowers a [`nodb_sql::LogicalPlan`] onto
+//! whatever leaf scans a [`TableProvider`] supplies.
+//!
+//! The same operator tree therefore runs over
+//! * in-situ raw-file scans (PostgresRaw),
+//! * straw-man external-file scans, and
+//! * conventional heap-file scans,
+//!
+//! which is exactly the controlled comparison the paper's evaluation
+//! depends on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod eval;
+pub mod key;
+pub mod ops;
+
+pub use build::{build_plan, ExecCatalog, TableProvider};
+pub use eval::{eval, eval_predicate};
+pub use key::GroupKey;
+pub use ops::{BoxOp, DistinctOp, Operator, RowsOp};
+
+use nodb_common::{Result, Row};
+
+/// Drain an operator into a vector (convenience for tests and engines).
+pub fn run_to_vec(mut op: BoxOp) -> Result<Vec<Row>> {
+    let mut out = Vec::new();
+    while let Some(r) = op.next_row()? {
+        out.push(r);
+    }
+    Ok(out)
+}

@@ -1,0 +1,924 @@
+//! Physical operators (pull-based, one tuple per `next_row` call).
+
+use std::collections::HashMap;
+
+use nodb_common::{NoDbError, Result, Row, Value};
+use nodb_sql::expr::AggExpr;
+use nodb_sql::{AggFunc, BoundExpr, JoinKind, SortKey};
+
+use crate::eval::{eval, eval_predicate};
+use crate::key::GroupKey;
+
+/// The operator interface: a stream of rows.
+pub trait Operator {
+    /// The next output tuple, or `None` when exhausted.
+    fn next_row(&mut self) -> Result<Option<Row>>;
+}
+
+/// Boxed operator.
+pub type BoxOp = Box<dyn Operator>;
+
+/// A fixed in-memory rowset (tests, cached results).
+pub struct RowsOp {
+    iter: std::vec::IntoIter<Row>,
+}
+
+impl RowsOp {
+    /// Wrap a vector of rows.
+    pub fn new(rows: Vec<Row>) -> RowsOp {
+        RowsOp {
+            iter: rows.into_iter(),
+        }
+    }
+}
+
+impl Operator for RowsOp {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        Ok(self.iter.next())
+    }
+}
+
+/// Filter: passes rows whose predicate evaluates to TRUE.
+pub struct FilterOp {
+    input: BoxOp,
+    predicate: BoundExpr,
+}
+
+impl FilterOp {
+    /// Create a filter.
+    pub fn new(input: BoxOp, predicate: BoundExpr) -> FilterOp {
+        FilterOp { input, predicate }
+    }
+}
+
+impl Operator for FilterOp {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        while let Some(r) = self.input.next_row()? {
+            if eval_predicate(&self.predicate, &r)? {
+                return Ok(Some(r));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Projection: computes expressions over each input row.
+pub struct ProjectOp {
+    input: BoxOp,
+    exprs: Vec<BoundExpr>,
+}
+
+impl ProjectOp {
+    /// Create a projection.
+    pub fn new(input: BoxOp, exprs: Vec<BoundExpr>) -> ProjectOp {
+        ProjectOp { input, exprs }
+    }
+}
+
+impl Operator for ProjectOp {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        match self.input.next_row()? {
+            None => Ok(None),
+            Some(r) => {
+                let mut out = Row::with_capacity(self.exprs.len());
+                for e in &self.exprs {
+                    out.push(eval(e, &r)?);
+                }
+                Ok(Some(out))
+            }
+        }
+    }
+}
+
+/// Limit: stops after `n` rows.
+pub struct LimitOp {
+    input: BoxOp,
+    remaining: u64,
+}
+
+impl LimitOp {
+    /// Create a limit.
+    pub fn new(input: BoxOp, n: u64) -> LimitOp {
+        LimitOp {
+            input,
+            remaining: n,
+        }
+    }
+}
+
+impl Operator for LimitOp {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        match self.input.next_row()? {
+            None => Ok(None),
+            Some(r) => {
+                self.remaining -= 1;
+                Ok(Some(r))
+            }
+        }
+    }
+}
+
+/// Sort: fully materializes, then emits in key order (NULLs first).
+pub struct SortOp {
+    input: Option<BoxOp>,
+    keys: Vec<SortKey>,
+    sorted: Option<std::vec::IntoIter<Row>>,
+}
+
+impl SortOp {
+    /// Create a sort.
+    pub fn new(input: BoxOp, keys: Vec<SortKey>) -> SortOp {
+        SortOp {
+            input: Some(input),
+            keys,
+            sorted: None,
+        }
+    }
+}
+
+impl Operator for SortOp {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.sorted.is_none() {
+            let mut input = self.input.take().expect("sort input consumed once");
+            let mut rows = Vec::new();
+            while let Some(r) = input.next_row()? {
+                rows.push(r);
+            }
+            let keys = self.keys.clone();
+            rows.sort_by(|a, b| {
+                for k in &keys {
+                    let ord = a.get(k.col).total_cmp(b.get(k.col));
+                    let ord = if k.desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            self.sorted = Some(rows.into_iter());
+        }
+        Ok(self.sorted.as_mut().expect("initialized above").next())
+    }
+}
+
+/// Hash join.
+///
+/// * `Inner`: builds a hash table on the **left** child (the planner puts
+///   the smaller side left when it has statistics), probes with the right,
+///   emits `left ++ right`.
+/// * `Semi`/`Anti`: builds on the **right** child (the EXISTS inner
+///   relation), probes with left rows, emits the left row on (no) match.
+///
+/// With an empty key list every row lands in one bucket, degrading to a
+/// (filtered) cross product — the planner only does this when a query has
+/// no equi-join predicate.
+pub struct HashJoinOp {
+    left: Option<BoxOp>,
+    right: Option<BoxOp>,
+    on: Vec<(usize, usize)>,
+    residual: Option<BoundExpr>,
+    kind: JoinKind,
+    table: Option<HashMap<GroupKey, Vec<Row>>>,
+    /// Pending inner-join outputs for the current probe row.
+    pending: Vec<Row>,
+}
+
+impl HashJoinOp {
+    /// Create a hash join.
+    pub fn new(
+        left: BoxOp,
+        right: BoxOp,
+        on: Vec<(usize, usize)>,
+        residual: Option<BoundExpr>,
+        kind: JoinKind,
+    ) -> HashJoinOp {
+        HashJoinOp {
+            left: Some(left),
+            right: Some(right),
+            on,
+            residual,
+            kind,
+            table: None,
+            pending: Vec::new(),
+        }
+    }
+
+    fn build(&mut self) -> Result<()> {
+        let mut table: HashMap<GroupKey, Vec<Row>> = HashMap::new();
+        let (mut src, key_side): (BoxOp, Side) = match self.kind {
+            JoinKind::Inner => (
+                self.left.take().expect("build once"),
+                Side::Left,
+            ),
+            JoinKind::Semi | JoinKind::Anti => (
+                self.right.take().expect("build once"),
+                Side::Right,
+            ),
+        };
+        while let Some(r) = src.next_row()? {
+            let key = self.key_of(&r, key_side);
+            if key.has_null() {
+                continue; // NULL keys never match
+            }
+            table.entry(key).or_default().push(r);
+        }
+        self.table = Some(table);
+        Ok(())
+    }
+
+    fn key_of(&self, row: &Row, side: Side) -> GroupKey {
+        GroupKey::from_values(self.on.iter().map(|&(l, r)| {
+            let i = match side {
+                Side::Left => l,
+                Side::Right => r,
+            };
+            row.get(i)
+        }))
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Side {
+    Left,
+    Right,
+}
+
+impl Operator for HashJoinOp {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.table.is_none() {
+            self.build()?;
+        }
+        match self.kind {
+            JoinKind::Inner => {
+                loop {
+                    if let Some(r) = self.pending.pop() {
+                        return Ok(Some(r));
+                    }
+                    let probe = self
+                        .right
+                        .as_mut()
+                        .expect("probe side present for inner join")
+                        .next_row()?;
+                    let Some(probe) = probe else {
+                        return Ok(None);
+                    };
+                    let key = self.key_of(&probe, Side::Right);
+                    if key.has_null() {
+                        continue;
+                    }
+                    if let Some(matches) = self.table.as_ref().expect("built").get(&key) {
+                        for b in matches {
+                            let out = b.clone().concat(&probe);
+                            let ok = match &self.residual {
+                                Some(p) => eval_predicate(p, &out)?,
+                                None => true,
+                            };
+                            if ok {
+                                self.pending.push(out);
+                            }
+                        }
+                    }
+                }
+            }
+            JoinKind::Semi | JoinKind::Anti => {
+                let anti = self.kind == JoinKind::Anti;
+                loop {
+                    let probe = self
+                        .left
+                        .as_mut()
+                        .expect("probe side present for semi join")
+                        .next_row()?;
+                    let Some(probe) = probe else {
+                        return Ok(None);
+                    };
+                    let key = self.key_of(&probe, Side::Left);
+                    let matched = if key.has_null() {
+                        false
+                    } else {
+                        match self.table.as_ref().expect("built").get(&key) {
+                            None => false,
+                            Some(matches) => match &self.residual {
+                                None => !matches.is_empty(),
+                                Some(p) => {
+                                    let mut any = false;
+                                    for m in matches {
+                                        let joined = probe.clone().concat(m);
+                                        if eval_predicate(p, &joined)? {
+                                            any = true;
+                                            break;
+                                        }
+                                    }
+                                    any
+                                }
+                            },
+                        }
+                    };
+                    if matched != anti {
+                        return Ok(Some(probe));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streaming duplicate elimination over whole rows (SELECT DISTINCT).
+pub struct DistinctOp {
+    input: BoxOp,
+    seen: std::collections::HashSet<GroupKey>,
+}
+
+impl DistinctOp {
+    /// Create a distinct operator.
+    pub fn new(input: BoxOp) -> DistinctOp {
+        DistinctOp {
+            input,
+            seen: std::collections::HashSet::new(),
+        }
+    }
+}
+
+impl Operator for DistinctOp {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        while let Some(r) = self.input.next_row()? {
+            let key = GroupKey::from_values(r.values().iter());
+            if self.seen.insert(key) {
+                return Ok(Some(r));
+            }
+        }
+        Ok(None)
+    }
+}
+
+// ----- aggregation ------------------------------------------------------
+
+/// One running aggregate state.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    Sum {
+        i: i64,
+        f: f64,
+        is_float: bool,
+        seen: bool,
+    },
+    Avg {
+        sum: f64,
+        n: i64,
+    },
+    Min(Option<Value>),
+    Max(Option<Value>),
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum {
+                i: 0,
+                f: 0.0,
+                is_float: false,
+                seen: false,
+            },
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+        }
+    }
+
+    /// `arg = None` means COUNT(*) (count the row unconditionally).
+    fn update(&mut self, arg: Option<&Value>) -> Result<()> {
+        match self {
+            Acc::Count(n) => {
+                match arg {
+                    None => *n += 1,
+                    Some(v) if !v.is_null() => *n += 1,
+                    _ => {}
+                }
+                Ok(())
+            }
+            Acc::Sum {
+                i,
+                f,
+                is_float,
+                seen,
+            } => {
+                let Some(v) = arg else {
+                    return Err(NoDbError::execution("SUM requires an argument"));
+                };
+                match v {
+                    Value::Null => {}
+                    Value::Int32(x) => {
+                        *i += *x as i64;
+                        *f += *x as f64;
+                        *seen = true;
+                    }
+                    Value::Int64(x) => {
+                        *i += x;
+                        *f += *x as f64;
+                        *seen = true;
+                    }
+                    Value::Float64(x) => {
+                        *f += x;
+                        *is_float = true;
+                        *seen = true;
+                    }
+                    other => {
+                        return Err(NoDbError::execution(format!("SUM of non-number {other}")))
+                    }
+                }
+                Ok(())
+            }
+            Acc::Avg { sum, n } => {
+                let Some(v) = arg else {
+                    return Err(NoDbError::execution("AVG requires an argument"));
+                };
+                if let Some(x) = v.as_f64() {
+                    *sum += x;
+                    *n += 1;
+                } else if !v.is_null() {
+                    return Err(NoDbError::execution(format!("AVG of non-number {v}")));
+                }
+                Ok(())
+            }
+            Acc::Min(cur) => {
+                if let Some(v) = arg {
+                    if !v.is_null()
+                        && cur
+                            .as_ref()
+                            .map_or(true, |c| v.sql_cmp(c) == Some(std::cmp::Ordering::Less))
+                    {
+                        *cur = Some(v.clone());
+                    }
+                }
+                Ok(())
+            }
+            Acc::Max(cur) => {
+                if let Some(v) = arg {
+                    if !v.is_null()
+                        && cur.as_ref().map_or(true, |c| {
+                            v.sql_cmp(c) == Some(std::cmp::Ordering::Greater)
+                        })
+                    {
+                        *cur = Some(v.clone());
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn finalize(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int64(n),
+            Acc::Sum {
+                i,
+                f,
+                is_float,
+                seen,
+            } => {
+                if !seen {
+                    Value::Null
+                } else if is_float {
+                    Value::Float64(f)
+                } else {
+                    Value::Int64(i)
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(sum / n as f64)
+                }
+            }
+            Acc::Min(v) => v.unwrap_or(Value::Null),
+            Acc::Max(v) => v.unwrap_or(Value::Null),
+        }
+    }
+}
+
+fn update_accs(accs: &mut [Acc], aggs: &[AggExpr], row: &Row) -> Result<()> {
+    for (acc, agg) in accs.iter_mut().zip(aggs) {
+        match &agg.arg {
+            None => acc.update(None)?,
+            Some(e) => {
+                let v = eval(e, row)?;
+                acc.update(Some(&v))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Hash aggregation: one hash-table pass, groups emitted in first-seen
+/// order.
+pub struct HashAggOp {
+    input: Option<BoxOp>,
+    group: Vec<usize>,
+    aggs: Vec<AggExpr>,
+    out: Option<std::vec::IntoIter<Row>>,
+}
+
+impl HashAggOp {
+    /// Create a hash aggregation.
+    pub fn new(input: BoxOp, group: Vec<usize>, aggs: Vec<AggExpr>) -> HashAggOp {
+        HashAggOp {
+            input: Some(input),
+            group,
+            aggs,
+            out: None,
+        }
+    }
+}
+
+impl Operator for HashAggOp {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.out.is_none() {
+            let mut input = self.input.take().expect("agg input consumed once");
+            let mut index: HashMap<GroupKey, usize> = HashMap::new();
+            let mut groups: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
+            while let Some(r) = input.next_row()? {
+                let key = GroupKey::from_values(self.group.iter().map(|&i| r.get(i)));
+                let slot = match index.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        let key_vals: Vec<Value> =
+                            self.group.iter().map(|&i| r.get(i).clone()).collect();
+                        let accs: Vec<Acc> =
+                            self.aggs.iter().map(|a| Acc::new(a.func)).collect();
+                        groups.push((key_vals, accs));
+                        index.insert(key, groups.len() - 1);
+                        groups.len() - 1
+                    }
+                };
+                update_accs(&mut groups[slot].1, &self.aggs, &r)?;
+            }
+            let rows: Vec<Row> = groups
+                .into_iter()
+                .map(|(mut keys, accs)| {
+                    keys.extend(accs.into_iter().map(Acc::finalize));
+                    Row(keys)
+                })
+                .collect();
+            self.out = Some(rows.into_iter());
+        }
+        Ok(self.out.as_mut().expect("initialized above").next())
+    }
+}
+
+/// Sort-based aggregation: materializes and sorts the input by the group
+/// keys, then aggregates adjacent runs.
+///
+/// This is what a planner must fall back to when it cannot bound the
+/// number of groups — the "without statistics" plan of Figure 12. The
+/// sort is genuine work, which is exactly why the statistics-informed
+/// hash plan beats it.
+pub struct SortAggOp {
+    input: Option<BoxOp>,
+    group: Vec<usize>,
+    aggs: Vec<AggExpr>,
+    out: Option<std::vec::IntoIter<Row>>,
+}
+
+impl SortAggOp {
+    /// Create a sort aggregation.
+    pub fn new(input: BoxOp, group: Vec<usize>, aggs: Vec<AggExpr>) -> SortAggOp {
+        SortAggOp {
+            input: Some(input),
+            group,
+            aggs,
+            out: None,
+        }
+    }
+}
+
+impl Operator for SortAggOp {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.out.is_none() {
+            let mut input = self.input.take().expect("agg input consumed once");
+            let mut rows = Vec::new();
+            while let Some(r) = input.next_row()? {
+                rows.push(r);
+            }
+            let group = self.group.clone();
+            rows.sort_by(|a, b| {
+                for &g in &group {
+                    let ord = a.get(g).total_cmp(b.get(g));
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let mut out = Vec::new();
+            let mut run_key: Option<GroupKey> = None;
+            let mut key_vals: Vec<Value> = Vec::new();
+            let mut accs: Vec<Acc> = Vec::new();
+            for r in rows {
+                let key = GroupKey::from_values(self.group.iter().map(|&i| r.get(i)));
+                if run_key.as_ref() != Some(&key) {
+                    if run_key.is_some() {
+                        let mut vals = std::mem::take(&mut key_vals);
+                        vals.extend(std::mem::take(&mut accs).into_iter().map(Acc::finalize));
+                        out.push(Row(vals));
+                    }
+                    run_key = Some(key);
+                    key_vals = self.group.iter().map(|&i| r.get(i).clone()).collect();
+                    accs = self.aggs.iter().map(|a| Acc::new(a.func)).collect();
+                }
+                update_accs(&mut accs, &self.aggs, &r)?;
+            }
+            if run_key.is_some() {
+                let mut vals = key_vals;
+                vals.extend(accs.into_iter().map(Acc::finalize));
+                out.push(Row(vals));
+            }
+            self.out = Some(out.into_iter());
+        }
+        Ok(self.out.as_mut().expect("initialized above").next())
+    }
+}
+
+/// Aggregation without GROUP BY: always exactly one output row, even for
+/// empty input (`COUNT(*) = 0`, other aggregates NULL).
+pub struct PlainAggOp {
+    input: Option<BoxOp>,
+    aggs: Vec<AggExpr>,
+    done: bool,
+}
+
+impl PlainAggOp {
+    /// Create a plain aggregation.
+    pub fn new(input: BoxOp, aggs: Vec<AggExpr>) -> PlainAggOp {
+        PlainAggOp {
+            input: Some(input),
+            aggs,
+            done: false,
+        }
+    }
+}
+
+impl Operator for PlainAggOp {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        let mut input = self.input.take().expect("agg input consumed once");
+        let mut accs: Vec<Acc> = self.aggs.iter().map(|a| Acc::new(a.func)).collect();
+        while let Some(r) = input.next_row()? {
+            update_accs(&mut accs, &self.aggs, &r)?;
+        }
+        Ok(Some(Row(accs.into_iter().map(Acc::finalize).collect())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_sql::BinOp;
+
+    fn ints(rows: &[&[i64]]) -> BoxOp {
+        Box::new(RowsOp::new(
+            rows.iter()
+                .map(|r| Row(r.iter().map(|&v| Value::Int64(v)).collect()))
+                .collect(),
+        ))
+    }
+
+    fn drain(mut op: impl Operator) -> Vec<Row> {
+        let mut out = Vec::new();
+        while let Some(r) = op.next_row().unwrap() {
+            out.push(r);
+        }
+        out
+    }
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Col(i)
+    }
+
+    #[test]
+    fn filter_and_project_and_limit() {
+        let pred = BoundExpr::Binary {
+            op: BinOp::Gt,
+            left: Box::new(col(0)),
+            right: Box::new(BoundExpr::Lit(Value::Int64(1))),
+        };
+        let f = FilterOp::new(ints(&[&[1, 10], &[2, 20], &[3, 30]]), pred);
+        let p = ProjectOp::new(Box::new(f), vec![col(1)]);
+        let l = LimitOp::new(Box::new(p), 1);
+        let rows = drain(l);
+        assert_eq!(rows, vec![Row(vec![Value::Int64(20)])]);
+    }
+
+    #[test]
+    fn sort_orders_with_desc_and_nulls_first() {
+        let input = Box::new(RowsOp::new(vec![
+            Row(vec![Value::Int64(2)]),
+            Row(vec![Value::Null]),
+            Row(vec![Value::Int64(1)]),
+        ]));
+        let rows = drain(SortOp::new(input, vec![SortKey { col: 0, desc: false }]));
+        assert_eq!(rows[0], Row(vec![Value::Null]));
+        assert_eq!(rows[2], Row(vec![Value::Int64(2)]));
+        let input = Box::new(RowsOp::new(vec![
+            Row(vec![Value::Int64(2)]),
+            Row(vec![Value::Int64(1)]),
+        ]));
+        let rows = drain(SortOp::new(input, vec![SortKey { col: 0, desc: true }]));
+        assert_eq!(rows[0], Row(vec![Value::Int64(2)]));
+    }
+
+    #[test]
+    fn inner_hash_join_matches_keys() {
+        // left: (k, a), right: (k, b); join on k.
+        let left = ints(&[&[1, 100], &[2, 200], &[3, 300]]);
+        let right = ints(&[&[2, 21], &[2, 22], &[4, 41]]);
+        let j = HashJoinOp::new(left, right, vec![(0, 0)], None, JoinKind::Inner);
+        let mut rows = drain(j);
+        rows.sort_by(|a, b| a.get(3).total_cmp(b.get(3)));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            Row(vec![
+                Value::Int64(2),
+                Value::Int64(200),
+                Value::Int64(2),
+                Value::Int64(21)
+            ])
+        );
+    }
+
+    #[test]
+    fn inner_join_respects_residual() {
+        let left = ints(&[&[1, 10]]);
+        let right = ints(&[&[1, 5], &[1, 20]]);
+        // residual: left.a < right.b  (ordinals 1 and 3 in concat layout)
+        let residual = BoundExpr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(col(1)),
+            right: Box::new(col(3)),
+        };
+        let j = HashJoinOp::new(left, right, vec![(0, 0)], Some(residual), JoinKind::Inner);
+        let rows = drain(j);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(3), &Value::Int64(20));
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let left = Box::new(RowsOp::new(vec![Row(vec![Value::Null, Value::Int64(1)])]));
+        let right = ints(&[&[1, 2]]);
+        let j = HashJoinOp::new(left, right, vec![(0, 0)], None, JoinKind::Inner);
+        assert!(drain(j).is_empty());
+    }
+
+    #[test]
+    fn semi_and_anti_join() {
+        let outer = ints(&[&[1], &[2], &[3]]);
+        let inner = ints(&[&[2], &[2], &[9]]);
+        let semi = HashJoinOp::new(outer, inner, vec![(0, 0)], None, JoinKind::Semi);
+        let rows = drain(semi);
+        assert_eq!(rows, vec![Row(vec![Value::Int64(2)])]);
+
+        let outer = ints(&[&[1], &[2], &[3]]);
+        let inner = ints(&[&[2]]);
+        let anti = HashJoinOp::new(outer, inner, vec![(0, 0)], None, JoinKind::Anti);
+        let rows = drain(anti);
+        assert_eq!(
+            rows,
+            vec![Row(vec![Value::Int64(1)]), Row(vec![Value::Int64(3)])]
+        );
+    }
+
+    #[test]
+    fn cross_join_with_empty_keys() {
+        let left = ints(&[&[1], &[2]]);
+        let right = ints(&[&[10], &[20]]);
+        let j = HashJoinOp::new(left, right, vec![], None, JoinKind::Inner);
+        assert_eq!(drain(j).len(), 4);
+    }
+
+    fn agg(func: AggFunc, arg: Option<usize>) -> AggExpr {
+        AggExpr {
+            func,
+            arg: arg.map(BoundExpr::Col),
+        }
+    }
+
+    #[test]
+    fn hash_and_sort_agg_agree() {
+        let data: &[&[i64]] = &[&[1, 10], &[2, 20], &[1, 30], &[2, 40], &[1, 50]];
+        let aggs = vec![
+            agg(AggFunc::Count, None),
+            agg(AggFunc::Sum, Some(1)),
+            agg(AggFunc::Avg, Some(1)),
+            agg(AggFunc::Min, Some(1)),
+            agg(AggFunc::Max, Some(1)),
+        ];
+        let mut h = drain(HashAggOp::new(ints(data), vec![0], aggs.clone()));
+        let mut s = drain(SortAggOp::new(ints(data), vec![0], aggs));
+        h.sort_by(|a, b| a.get(0).total_cmp(b.get(0)));
+        s.sort_by(|a, b| a.get(0).total_cmp(b.get(0)));
+        assert_eq!(h, s);
+        assert_eq!(
+            h[0],
+            Row(vec![
+                Value::Int64(1),
+                Value::Int64(3),
+                Value::Int64(90),
+                Value::Float64(30.0),
+                Value::Int64(10),
+                Value::Int64(50),
+            ])
+        );
+    }
+
+    #[test]
+    fn plain_agg_on_empty_input_yields_one_row() {
+        let aggs = vec![agg(AggFunc::Count, None), agg(AggFunc::Sum, Some(0))];
+        let rows = drain(PlainAggOp::new(ints(&[]), aggs));
+        assert_eq!(rows, vec![Row(vec![Value::Int64(0), Value::Null])]);
+    }
+
+    #[test]
+    fn grouped_agg_on_empty_input_yields_no_rows() {
+        let aggs = vec![agg(AggFunc::Count, None)];
+        assert!(drain(HashAggOp::new(ints(&[]), vec![0], aggs.clone())).is_empty());
+        assert!(drain(SortAggOp::new(ints(&[]), vec![0], aggs)).is_empty());
+    }
+
+    #[test]
+    fn count_ignores_nulls_with_arg() {
+        let input = Box::new(RowsOp::new(vec![
+            Row(vec![Value::Int64(1)]),
+            Row(vec![Value::Null]),
+            Row(vec![Value::Int64(3)]),
+        ]));
+        let rows = drain(PlainAggOp::new(
+            input,
+            vec![agg(AggFunc::Count, Some(0)), agg(AggFunc::Count, None)],
+        ));
+        assert_eq!(rows[0], Row(vec![Value::Int64(2), Value::Int64(3)]));
+    }
+
+    #[test]
+    fn sum_switches_to_float_when_needed() {
+        let input = Box::new(RowsOp::new(vec![
+            Row(vec![Value::Int64(1)]),
+            Row(vec![Value::Float64(0.5)]),
+        ]));
+        let rows = drain(PlainAggOp::new(input, vec![agg(AggFunc::Sum, Some(0))]));
+        assert_eq!(rows[0], Row(vec![Value::Float64(1.5)]));
+    }
+}
+
+#[cfg(test)]
+mod distinct_tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keeps_first_occurrence_order() {
+        let rows = vec![
+            Row(vec![Value::Int64(2)]),
+            Row(vec![Value::Int64(1)]),
+            Row(vec![Value::Int64(2)]),
+            Row(vec![Value::Null]),
+            Row(vec![Value::Null]),
+            Row(vec![Value::Int64(1)]),
+        ];
+        let mut op = DistinctOp::new(Box::new(RowsOp::new(rows)));
+        let mut out = Vec::new();
+        while let Some(r) = op.next_row().unwrap() {
+            out.push(r);
+        }
+        assert_eq!(
+            out,
+            vec![
+                Row(vec![Value::Int64(2)]),
+                Row(vec![Value::Int64(1)]),
+                Row(vec![Value::Null]),
+            ]
+        );
+    }
+
+    #[test]
+    fn distinct_normalizes_numeric_widths() {
+        let rows = vec![
+            Row(vec![Value::Int32(7)]),
+            Row(vec![Value::Int64(7)]),
+            Row(vec![Value::Float64(7.0)]),
+        ];
+        let mut op = DistinctOp::new(Box::new(RowsOp::new(rows)));
+        let mut n = 0;
+        while op.next_row().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1, "7 == 7i64 == 7.0 group together");
+    }
+}

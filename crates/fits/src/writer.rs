@@ -1,0 +1,241 @@
+//! FITS file writing: empty primary HDU + one BINTABLE extension.
+
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use nodb_common::{NoDbError, Result, Row, Value};
+
+use crate::types::FitsType;
+use crate::{BLOCK, CARD};
+
+/// Streaming BINTABLE writer. The row count is patched into the header on
+/// [`FitsTableWriter::finish`], since FITS headers precede data.
+pub struct FitsTableWriter {
+    out: BufWriter<File>,
+    cols: Vec<(String, FitsType)>,
+    row_bytes: usize,
+    rows: u64,
+    /// File offset of the NAXIS2 card (for the final patch).
+    naxis2_card_at: u64,
+    data_start: u64,
+}
+
+fn card(key: &str, value: &str, comment: &str) -> [u8; CARD] {
+    let mut c = [b' '; CARD];
+    let text = if key == "END" || key == "COMMENT" {
+        format!("{key:<8}{value}")
+    } else {
+        format!("{key:<8}= {value:>20} / {comment}")
+    };
+    let bytes = text.as_bytes();
+    let n = bytes.len().min(CARD);
+    c[..n].copy_from_slice(&bytes[..n]);
+    c
+}
+
+fn pad_to_block(out: &mut BufWriter<File>, written: usize, fill: u8) -> Result<()> {
+    let rem = written % BLOCK;
+    if rem != 0 {
+        let pad = vec![fill; BLOCK - rem];
+        out.write_all(&pad)?;
+    }
+    Ok(())
+}
+
+impl FitsTableWriter {
+    /// Create a file with the given named, typed columns.
+    pub fn create(path: &Path, cols: Vec<(String, FitsType)>) -> Result<FitsTableWriter> {
+        if cols.is_empty() {
+            return Err(NoDbError::catalog("FITS table needs at least one column"));
+        }
+        let mut out = BufWriter::new(File::create(path)?);
+        // Primary HDU: no data.
+        let mut written = 0;
+        for c in [
+            card("SIMPLE", "T", "conforms to FITS"),
+            card("BITPIX", "8", ""),
+            card("NAXIS", "0", "no primary data"),
+            card("EXTEND", "T", "extensions follow"),
+            card("END", "", ""),
+        ] {
+            out.write_all(&c)?;
+            written += CARD;
+        }
+        pad_to_block(&mut out, written, b' ')?;
+
+        // BINTABLE extension header.
+        let row_bytes: usize = cols.iter().map(|(_, t)| t.width()).sum();
+        let ext_start = (written.div_ceil(BLOCK) * BLOCK) as u64;
+        let mut ext_written = 0usize;
+        let mut naxis2_card_at = 0u64;
+        let mut cards: Vec<[u8; CARD]> = vec![
+            card("XTENSION", "'BINTABLE'", "binary table"),
+            card("BITPIX", "8", ""),
+            card("NAXIS", "2", ""),
+            card("NAXIS1", &row_bytes.to_string(), "bytes per row"),
+            card("NAXIS2", "0", "rows (patched on finish)"),
+            card("PCOUNT", "0", ""),
+            card("GCOUNT", "1", ""),
+            card("TFIELDS", &cols.len().to_string(), ""),
+        ];
+        let naxis2_index = 4;
+        for (i, (name, t)) in cols.iter().enumerate() {
+            cards.push(card(
+                &format!("TTYPE{}", i + 1),
+                &format!("'{name}'"),
+                "",
+            ));
+            cards.push(card(
+                &format!("TFORM{}", i + 1),
+                &format!("'{}'", t.tform()),
+                "",
+            ));
+        }
+        cards.push(card("END", "", ""));
+        for (i, c) in cards.iter().enumerate() {
+            if i == naxis2_index {
+                naxis2_card_at = ext_start + ext_written as u64;
+            }
+            out.write_all(c)?;
+            ext_written += CARD;
+        }
+        pad_to_block(&mut out, ext_written, b' ')?;
+        let data_start = ext_start + (ext_written.div_ceil(BLOCK) * BLOCK) as u64;
+
+        Ok(FitsTableWriter {
+            out,
+            cols,
+            row_bytes,
+            rows: 0,
+            naxis2_card_at,
+            data_start,
+        })
+    }
+
+    /// Append one row (values must match the column types; `Int64` is
+    /// accepted for `J` columns when it fits).
+    pub fn write_row(&mut self, row: &Row) -> Result<()> {
+        if row.len() != self.cols.len() {
+            return Err(NoDbError::execution(format!(
+                "row has {} values, table has {} columns",
+                row.len(),
+                self.cols.len()
+            )));
+        }
+        for (v, (name, t)) in row.values().iter().zip(&self.cols) {
+            match (t, v) {
+                (FitsType::J, _) => {
+                    let x = v.as_i64().and_then(|x| i32::try_from(x).ok()).ok_or_else(
+                        || NoDbError::execution(format!("column `{name}`: need i32, got {v}")),
+                    )?;
+                    self.out.write_all(&x.to_be_bytes())?;
+                }
+                (FitsType::K, _) => {
+                    let x = v.as_i64().ok_or_else(|| {
+                        NoDbError::execution(format!("column `{name}`: need i64, got {v}"))
+                    })?;
+                    self.out.write_all(&x.to_be_bytes())?;
+                }
+                (FitsType::E, _) => {
+                    let x = v.as_f64().ok_or_else(|| {
+                        NoDbError::execution(format!("column `{name}`: need float, got {v}"))
+                    })? as f32;
+                    self.out.write_all(&x.to_be_bytes())?;
+                }
+                (FitsType::D, _) => {
+                    let x = v.as_f64().ok_or_else(|| {
+                        NoDbError::execution(format!("column `{name}`: need float, got {v}"))
+                    })?;
+                    self.out.write_all(&x.to_be_bytes())?;
+                }
+                (FitsType::A(n), Value::Text(s)) => {
+                    let mut buf = vec![b' '; *n];
+                    let bytes = s.as_bytes();
+                    let len = bytes.len().min(*n);
+                    buf[..len].copy_from_slice(&bytes[..len]);
+                    self.out.write_all(&buf)?;
+                }
+                (FitsType::A(_), other) => {
+                    return Err(NoDbError::execution(format!(
+                        "column `{name}`: need text, got {other}"
+                    )))
+                }
+            }
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Pad the final data block and patch the row count into the header.
+    pub fn finish(mut self) -> Result<u64> {
+        let data_bytes = self.rows as usize * self.row_bytes;
+        pad_to_block(&mut self.out, data_bytes, 0)?;
+        self.out.flush()?;
+        let mut f = self.out.into_inner().map_err(|e| {
+            NoDbError::Io(std::io::Error::other(format!("flush failed: {e}")))
+        })?;
+        f.seek(SeekFrom::Start(self.naxis2_card_at))?;
+        f.write_all(&card("NAXIS2", &self.rows.to_string(), "rows"))?;
+        f.flush()?;
+        Ok(self.rows)
+    }
+
+    /// Offset where table data begins (useful for tests).
+    pub fn data_start(&self) -> u64 {
+        self.data_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_common::TempDir;
+
+    #[test]
+    fn file_is_block_aligned_with_patched_rows() {
+        let td = TempDir::new("fits").unwrap();
+        let p = td.file("t.fits");
+        let mut w = FitsTableWriter::create(
+            &p,
+            vec![
+                ("id".into(), FitsType::J),
+                ("flux".into(), FitsType::D),
+                ("tag".into(), FitsType::A(4)),
+            ],
+        )
+        .unwrap();
+        for i in 0..100 {
+            w.write_row(&Row(vec![
+                Value::Int32(i),
+                Value::Float64(i as f64 / 3.0),
+                Value::Text(format!("t{i:02}")),
+            ]))
+            .unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), 100);
+        let bytes = std::fs::read(&p).unwrap();
+        assert_eq!(bytes.len() % BLOCK, 0);
+        let text = String::from_utf8_lossy(&bytes[..BLOCK * 2]);
+        assert!(text.contains("'BINTABLE'"), "{text}");
+        // The patched NAXIS2 card must carry the final row count.
+        let naxis2_line = text
+            .match_indices("NAXIS2")
+            .map(|(i, _)| &text[i..i + 80])
+            .next()
+            .expect("NAXIS2 card present");
+        assert!(naxis2_line.contains("100"), "{naxis2_line}");
+    }
+
+    #[test]
+    fn rejects_wrong_arity_and_types() {
+        let td = TempDir::new("fits").unwrap();
+        let p = td.file("t.fits");
+        let mut w =
+            FitsTableWriter::create(&p, vec![("id".into(), FitsType::J)]).unwrap();
+        assert!(w.write_row(&Row(vec![])).is_err());
+        assert!(w
+            .write_row(&Row(vec![Value::Text("no".into())]))
+            .is_err());
+    }
+}

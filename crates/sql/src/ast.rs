@@ -1,0 +1,247 @@
+//! Abstract syntax tree produced by the parser.
+
+use nodb_common::Value;
+
+/// Units for SQL `INTERVAL` literals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalUnit {
+    /// Days.
+    Day,
+    /// Months.
+    Month,
+    /// Years.
+    Year,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFuncAst {
+    /// `COUNT(*)` / `COUNT(expr)`.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+}
+
+/// Binary operators (comparison, arithmetic, boolean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AstBinOp {
+    /// `OR`
+    Or,
+    /// `AND`
+    And,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Column reference `col` or `tbl.col`.
+    Column {
+        /// Optional table qualifier.
+        table: Option<String>,
+        /// Column name (lowercased).
+        name: String,
+    },
+    /// Literal value (`1`, `2.5`, `'text'`, `date '1994-01-01'`).
+    Literal(Value),
+    /// `INTERVAL 'n' unit`.
+    Interval {
+        /// Count.
+        n: i64,
+        /// Unit.
+        unit: IntervalUnit,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: AstBinOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// `NOT expr`.
+    Not(Box<AstExpr>),
+    /// `-expr`.
+    Neg(Box<AstExpr>),
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<AstExpr>,
+        /// Pattern (usually a string literal).
+        pattern: Box<AstExpr>,
+        /// NOT LIKE.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<AstExpr>,
+        /// Lower bound (inclusive).
+        low: Box<AstExpr>,
+        /// Upper bound (inclusive).
+        high: Box<AstExpr>,
+        /// NOT BETWEEN.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<AstExpr>,
+        /// Candidate values.
+        list: Vec<AstExpr>,
+        /// NOT IN.
+        negated: bool,
+    },
+    /// `CASE [WHEN cond THEN res]… [ELSE e] END`.
+    Case {
+        /// WHEN/THEN pairs.
+        branches: Vec<(AstExpr, AstExpr)>,
+        /// ELSE branch.
+        else_expr: Option<Box<AstExpr>>,
+    },
+    /// Aggregate call.
+    Agg {
+        /// Function.
+        func: AggFuncAst,
+        /// Argument; `None` = `COUNT(*)`.
+        arg: Option<Box<AstExpr>>,
+    },
+    /// `[NOT] EXISTS (subquery)`.
+    Exists {
+        /// The subquery.
+        subquery: Box<SelectStmt>,
+        /// NOT EXISTS.
+        negated: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<AstExpr>,
+        /// IS NOT NULL.
+        negated: bool,
+    },
+}
+
+/// One SELECT-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `expr [AS alias]`.
+    Expr {
+        /// The expression.
+        expr: AstExpr,
+        /// Output name.
+        alias: Option<String>,
+    },
+}
+
+/// A table in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name (lowercased).
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    /// The sort expression (column, alias or projected expression).
+    pub expr: AstExpr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// SELECT DISTINCT?
+    pub distinct: bool,
+    /// SELECT list.
+    pub projections: Vec<SelectItem>,
+    /// FROM tables (comma-joined; `JOIN … ON` is desugared to WHERE
+    /// conjuncts by the parser).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<AstExpr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<AstExpr>,
+    /// HAVING predicate (over aggregate output).
+    pub having: Option<AstExpr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderByItem>,
+    /// LIMIT.
+    pub limit: Option<u64>,
+}
+
+impl AstExpr {
+    /// Build `left AND right`, treating `None` as TRUE.
+    pub fn and_opt(left: Option<AstExpr>, right: AstExpr) -> AstExpr {
+        match left {
+            None => right,
+            Some(l) => AstExpr::Binary {
+                op: AstBinOp::And,
+                left: Box::new(l),
+                right: Box::new(right),
+            },
+        }
+    }
+
+    /// Does this expression (sub)tree contain an aggregate call?
+    pub fn contains_agg(&self) -> bool {
+        match self {
+            AstExpr::Agg { .. } => true,
+            AstExpr::Column { .. } | AstExpr::Literal(_) | AstExpr::Interval { .. } => false,
+            AstExpr::Binary { left, right, .. } => left.contains_agg() || right.contains_agg(),
+            AstExpr::Not(e) | AstExpr::Neg(e) => e.contains_agg(),
+            AstExpr::Like { expr, pattern, .. } => {
+                expr.contains_agg() || pattern.contains_agg()
+            }
+            AstExpr::Between {
+                expr, low, high, ..
+            } => expr.contains_agg() || low.contains_agg() || high.contains_agg(),
+            AstExpr::InList { expr, list, .. } => {
+                expr.contains_agg() || list.iter().any(AstExpr::contains_agg)
+            }
+            AstExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, r)| c.contains_agg() || r.contains_agg())
+                    || else_expr.as_ref().is_some_and(|e| e.contains_agg())
+            }
+            AstExpr::Exists { .. } => false,
+            AstExpr::IsNull { expr, .. } => expr.contains_agg(),
+        }
+    }
+}

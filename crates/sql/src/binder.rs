@@ -1,0 +1,1730 @@
+//! Binder: turns a parsed [`SelectStmt`] into an optimized
+//! [`LogicalPlan`].
+//!
+//! Planning and optimization are interleaved: predicate classification,
+//! projection pruning, join ordering and strategy choices all happen while
+//! the plan is assembled, because each decision changes the column layout
+//! the next one binds against.
+
+use std::collections::BTreeSet;
+
+use nodb_common::{DataType, Field, NoDbError, Result, Schema, Value};
+use nodb_stats::TableStats;
+
+use crate::ast::*;
+use crate::expr::{AggExpr, AggFunc, BinOp, BoundExpr, UnOp};
+use crate::optimizer::{
+    conjunct_selectivity, factor_or, join_cardinality, split_conjuncts, NoStats,
+    ScanStatsLookup, DEFAULT_NDV, DEFAULT_TABLE_ROWS, HASH_AGG_GROUP_LIMIT,
+};
+use crate::plan::{AggStrategy, JoinKind, LogicalPlan, SortKey};
+
+/// What the planner needs to know about registered tables.
+pub trait CatalogView {
+    /// Schema of `table` (error when unknown).
+    fn schema_of(&self, table: &str) -> Result<Schema>;
+    /// Current statistics for `table`, if any were collected.
+    fn stats_of(&self, table: &str) -> Option<TableStats>;
+}
+
+/// Planner knobs.
+#[derive(Debug, Clone)]
+pub struct PlannerOptions {
+    /// Consult statistics for join ordering, build-side choice and
+    /// aggregation strategy. Off = the paper's "w/o statistics" regime
+    /// (Figure 12): as-written join order, pessimistic sort aggregation.
+    pub use_stats: bool,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions { use_stats: true }
+    }
+}
+
+/// Bind and optimize a statement.
+pub fn bind(
+    stmt: &SelectStmt,
+    catalog: &dyn CatalogView,
+    options: &PlannerOptions,
+) -> Result<LogicalPlan> {
+    Binder {
+        catalog,
+        options,
+        tables: Vec::new(),
+    }
+    .run(stmt)
+}
+
+struct BoundTable {
+    alias: String,
+    schema: Schema,
+    stats: Option<TableStats>,
+    name: String,
+}
+
+struct Rel {
+    plan: LogicalPlan,
+    layout: Vec<(usize, usize)>,
+    tables: BTreeSet<usize>,
+    est: f64,
+}
+
+struct ExistsSpec {
+    inner_table: String,
+    inner_schema: Schema,
+    inner_stats: Option<TableStats>,
+    /// (outer (t, col), inner col ordinal in inner schema).
+    on: Vec<((usize, usize), usize)>,
+    /// Inner-only conjuncts (AST, bound later against the inner scan).
+    inner_filters: Vec<AstExpr>,
+    negated: bool,
+}
+
+struct Binder<'a> {
+    catalog: &'a dyn CatalogView,
+    options: &'a PlannerOptions,
+    tables: Vec<BoundTable>,
+}
+
+impl Binder<'_> {
+    fn run(mut self, stmt: &SelectStmt) -> Result<LogicalPlan> {
+        if stmt.from.is_empty() {
+            return Err(NoDbError::plan("FROM clause is required"));
+        }
+        // 1. Resolve FROM tables.
+        for tr in &stmt.from {
+            let schema = self.catalog.schema_of(&tr.name)?;
+            let alias = tr.alias.clone().unwrap_or_else(|| tr.name.clone());
+            if self.tables.iter().any(|t| t.alias == alias) {
+                return Err(NoDbError::plan(format!("duplicate table alias `{alias}`")));
+            }
+            let stats = if self.options.use_stats {
+                self.catalog.stats_of(&tr.name)
+            } else {
+                None
+            };
+            self.tables.push(BoundTable {
+                alias,
+                schema,
+                stats,
+                name: tr.name.clone(),
+            });
+        }
+
+        // 2. Expand the projection list.
+        let mut projections: Vec<(AstExpr, Option<String>)> = Vec::new();
+        for item in &stmt.projections {
+            match item {
+                SelectItem::Wildcard => {
+                    for (ti, t) in self.tables.iter().enumerate() {
+                        for f in t.schema.fields() {
+                            projections.push((
+                                AstExpr::Column {
+                                    table: Some(self.tables[ti].alias.clone()),
+                                    name: f.name.to_ascii_lowercase(),
+                                },
+                                Some(f.name.clone()),
+                            ));
+                        }
+                    }
+                }
+                SelectItem::Expr { expr, alias } => {
+                    projections.push((expr.clone(), alias.clone()))
+                }
+            }
+        }
+        if projections.is_empty() {
+            return Err(NoDbError::plan("empty select list"));
+        }
+
+        // 3. Split WHERE into conjuncts; factor OR-of-conjunctions.
+        let mut raw_conjuncts = Vec::new();
+        if let Some(w) = &stmt.where_clause {
+            split_conjuncts(w, &mut raw_conjuncts);
+        }
+        let mut conjuncts: Vec<AstExpr> = Vec::new();
+        for c in raw_conjuncts {
+            conjuncts.extend(factor_or(&c));
+        }
+
+        // 4. Extract EXISTS specs.
+        let mut exists_specs: Vec<ExistsSpec> = Vec::new();
+        let mut plain_conjuncts: Vec<AstExpr> = Vec::new();
+        for c in conjuncts {
+            match c {
+                AstExpr::Exists { subquery, negated } => {
+                    exists_specs.push(self.exists_spec(&subquery, negated)?);
+                }
+                AstExpr::Not(inner) => match *inner {
+                    AstExpr::Exists { subquery, negated } => {
+                        exists_specs.push(self.exists_spec(&subquery, !negated)?);
+                    }
+                    other => plain_conjuncts.push(AstExpr::Not(Box::new(other))),
+                },
+                other => plain_conjuncts.push(other),
+            }
+        }
+
+        // 5. Column usage per table (drives projection pruning).
+        let mut used: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.tables.len()];
+        for (e, _) in &projections {
+            self.collect_usage(e, &mut used)?;
+        }
+        for e in &plain_conjuncts {
+            self.collect_usage(e, &mut used)?;
+        }
+        for e in &stmt.group_by {
+            self.collect_usage(e, &mut used)?;
+        }
+        if let Some(h) = &stmt.having {
+            self.collect_usage(h, &mut used)?;
+        }
+        for ob in &stmt.order_by {
+            // Order-by may reference output aliases; only mark genuine
+            // columns.
+            let _ = self.collect_usage(&ob.expr, &mut used);
+        }
+        for spec in &exists_specs {
+            for ((t, c), _) in &spec.on {
+                used[*t].insert(*c);
+            }
+        }
+
+        // 6. Classify conjuncts: per-table filters, equi-join edges,
+        //    residuals.
+        let mut scan_filters: Vec<Vec<AstExpr>> = vec![Vec::new(); self.tables.len()];
+        let mut edges: Vec<((usize, usize), (usize, usize))> = Vec::new();
+        let mut residuals: Vec<AstExpr> = Vec::new();
+        for c in plain_conjuncts {
+            if c.contains_agg() {
+                return Err(NoDbError::plan(
+                    "aggregates are not allowed in WHERE",
+                ));
+            }
+            let mut tset = BTreeSet::new();
+            self.tables_of(&c, &mut tset)?;
+            match tset.len() {
+                1 => {
+                    let t = *tset.iter().next().expect("len 1");
+                    scan_filters[t].push(c);
+                }
+                2 => {
+                    if let Some(edge) = self.as_equi_edge(&c)? {
+                        edges.push(edge);
+                    } else {
+                        residuals.push(c);
+                    }
+                }
+                // 0 (constant) or >2 tables: residual, bound once enough
+                // tables are joined (constants bind at the very end).
+                _ => residuals.push(c),
+            }
+        }
+
+        // 7. Build scans.
+        let mut rels: Vec<Rel> = Vec::new();
+        for (t, bt) in self.tables.iter().enumerate() {
+            let projection: Vec<usize> = used[t].iter().copied().collect();
+            let resolver = |table: Option<&str>, name: &str| -> Result<usize> {
+                let (rt, rc) = self.resolve_required(table, name)?;
+                if rt != t {
+                    return Err(NoDbError::internal("cross-table filter on scan"));
+                }
+                projection
+                    .iter()
+                    .position(|&c| c == rc)
+                    .ok_or_else(|| NoDbError::internal("filter column not projected"))
+            };
+            let filters: Vec<BoundExpr> = scan_filters[t]
+                .iter()
+                .map(|f| self.bind_scalar(f, &resolver))
+                .collect::<Result<_>>()?;
+            let schema = bt.schema.project(&projection)?;
+            let est = {
+                let base = bt
+                    .stats
+                    .as_ref()
+                    .and_then(|s| s.row_count())
+                    .map_or(DEFAULT_TABLE_ROWS, |r| r as f64);
+                let sel = match bt.stats.as_ref() {
+                    Some(st) => conjunct_selectivity(
+                        &filters,
+                        &ScanStatsLookup {
+                            stats: st,
+                            projection: &projection,
+                        },
+                    ),
+                    None => conjunct_selectivity(&filters, &NoStats),
+                };
+                (base * sel).max(1.0)
+            };
+            rels.push(Rel {
+                layout: projection.iter().map(|&c| (t, c)).collect(),
+                tables: std::iter::once(t).collect(),
+                plan: LogicalPlan::Scan {
+                    table: bt.name.clone(),
+                    projection,
+                    filters,
+                    schema,
+                    estimated_rows: est,
+                },
+                est,
+            });
+        }
+
+        // 8. Join tree.
+        let mut tree = self.build_join_tree(rels, &edges, &mut residuals)?;
+        if !residuals.is_empty() {
+            // Residuals not attachable (constant predicates): bind against
+            // the final layout.
+            for r in std::mem::take(&mut residuals) {
+                let layout = tree.layout.clone();
+                let resolver = self.layout_resolver(&layout);
+                let predicate = self.bind_scalar(&r, &resolver)?;
+                tree.plan = LogicalPlan::Filter {
+                    input: Box::new(tree.plan),
+                    predicate,
+                };
+            }
+        }
+
+        // 9. Semi/anti joins for EXISTS.
+        for spec in exists_specs {
+            tree = self.apply_exists(tree, spec)?;
+        }
+
+        // 10/11. Aggregate + Project.
+        let has_agg = !stmt.group_by.is_empty()
+            || stmt.having.is_some()
+            || projections.iter().any(|(e, _)| e.contains_agg());
+        let (plan_below_sort, out_names, proj_asts) = if has_agg {
+            self.plan_aggregate(tree, stmt, &projections)?
+        } else {
+            let layout = tree.layout.clone();
+            let resolver = self.layout_resolver(&layout);
+            let mut exprs = Vec::with_capacity(projections.len());
+            for (e, _) in &projections {
+                exprs.push(self.bind_scalar(e, &resolver)?);
+            }
+            let input_types = tree.plan.schema().types();
+            let names = self.output_names(&projections);
+            let schema = named_schema(&names, &exprs, &input_types)?;
+            let proj_asts: Vec<AstExpr> =
+                projections.iter().map(|(e, _)| e.clone()).collect();
+            (
+                LogicalPlan::Project {
+                    input: Box::new(tree.plan),
+                    exprs,
+                    schema,
+                    },
+                names,
+                proj_asts,
+            )
+        };
+
+        // 12. DISTINCT (over complete output rows), then Sort.
+        let mut plan = plan_below_sort;
+        if stmt.distinct {
+            plan = LogicalPlan::Distinct {
+                input: Box::new(plan),
+            };
+        }
+        if !stmt.order_by.is_empty() {
+            let mut keys = Vec::with_capacity(stmt.order_by.len());
+            for ob in &stmt.order_by {
+                let col = self.resolve_order_key(&ob.expr, &out_names, &proj_asts)?;
+                keys.push(SortKey { col, desc: ob.desc });
+            }
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
+        }
+
+        // 13. Limit.
+        if let Some(n) = stmt.limit {
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                n,
+            };
+        }
+        Ok(plan)
+    }
+
+    // ----- name resolution ---------------------------------------------
+
+    /// Resolve a column to `(table idx, column idx)`, or `None` when the
+    /// name is unknown (callers decide whether that is an error).
+    fn try_resolve(&self, table: Option<&str>, name: &str) -> Result<Option<(usize, usize)>> {
+        match table {
+            Some(q) => {
+                let Some(t) = self.tables.iter().position(|bt| bt.alias == q) else {
+                    return Ok(None);
+                };
+                Ok(self.tables[t].schema.index_of(name).map(|c| (t, c)))
+            }
+            None => {
+                let mut found = None;
+                for (t, bt) in self.tables.iter().enumerate() {
+                    if let Some(c) = bt.schema.index_of(name) {
+                        if found.is_some() {
+                            return Err(NoDbError::plan(format!(
+                                "ambiguous column `{name}`"
+                            )));
+                        }
+                        found = Some((t, c));
+                    }
+                }
+                Ok(found)
+            }
+        }
+    }
+
+    fn resolve_required(&self, table: Option<&str>, name: &str) -> Result<(usize, usize)> {
+        self.try_resolve(table, name)?.ok_or_else(|| {
+            NoDbError::plan(format!(
+                "unknown column `{}{name}`",
+                table.map(|t| format!("{t}.")).unwrap_or_default()
+            ))
+        })
+    }
+
+    fn layout_resolver<'b>(
+        &'b self,
+        layout: &'b [(usize, usize)],
+    ) -> impl Fn(Option<&str>, &str) -> Result<usize> + 'b {
+        move |table, name| {
+            let (t, c) = self.resolve_required(table, name)?;
+            layout
+                .iter()
+                .position(|&(lt, lc)| lt == t && lc == c)
+                .ok_or_else(|| {
+                    NoDbError::internal(format!("column `{name}` missing from layout"))
+                })
+        }
+    }
+
+    /// Record which base-table columns an expression touches.
+    fn collect_usage(&self, e: &AstExpr, used: &mut [BTreeSet<usize>]) -> Result<()> {
+        match e {
+            AstExpr::Column { table, name } => {
+                if let Some((t, c)) = self.try_resolve(table.as_deref(), name)? {
+                    used[t].insert(c);
+                }
+                Ok(())
+            }
+            AstExpr::Literal(_) | AstExpr::Interval { .. } => Ok(()),
+            AstExpr::Binary { left, right, .. } => {
+                self.collect_usage(left, used)?;
+                self.collect_usage(right, used)
+            }
+            AstExpr::Not(x) | AstExpr::Neg(x) => self.collect_usage(x, used),
+            AstExpr::Like { expr, pattern, .. } => {
+                self.collect_usage(expr, used)?;
+                self.collect_usage(pattern, used)
+            }
+            AstExpr::Between {
+                expr, low, high, ..
+            } => {
+                self.collect_usage(expr, used)?;
+                self.collect_usage(low, used)?;
+                self.collect_usage(high, used)
+            }
+            AstExpr::InList { expr, list, .. } => {
+                self.collect_usage(expr, used)?;
+                for i in list {
+                    self.collect_usage(i, used)?;
+                }
+                Ok(())
+            }
+            AstExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    self.collect_usage(c, used)?;
+                    self.collect_usage(r, used)?;
+                }
+                if let Some(x) = else_expr {
+                    self.collect_usage(x, used)?;
+                }
+                Ok(())
+            }
+            AstExpr::Agg { arg, .. } => match arg {
+                Some(a) => self.collect_usage(a, used),
+                None => Ok(()),
+            },
+            AstExpr::Exists { .. } => Ok(()),
+            AstExpr::IsNull { expr, .. } => self.collect_usage(expr, used),
+        }
+    }
+
+    /// The set of FROM tables an expression references.
+    fn tables_of(&self, e: &AstExpr, out: &mut BTreeSet<usize>) -> Result<()> {
+        let mut used: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.tables.len()];
+        self.collect_usage(e, &mut used)?;
+        for (t, s) in used.iter().enumerate() {
+            if !s.is_empty() {
+                out.insert(t);
+            }
+        }
+        Ok(())
+    }
+
+    /// Is this conjunct `colA = colB` across two different tables?
+    fn as_equi_edge(
+        &self,
+        e: &AstExpr,
+    ) -> Result<Option<((usize, usize), (usize, usize))>> {
+        if let AstExpr::Binary {
+            op: AstBinOp::Eq,
+            left,
+            right,
+        } = e
+        {
+            if let (
+                AstExpr::Column {
+                    table: ta,
+                    name: na,
+                },
+                AstExpr::Column {
+                    table: tb,
+                    name: nb,
+                },
+            ) = (left.as_ref(), right.as_ref())
+            {
+                let a = self.resolve_required(ta.as_deref(), na)?;
+                let b = self.resolve_required(tb.as_deref(), nb)?;
+                if a.0 != b.0 {
+                    return Ok(Some((a, b)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    // ----- join tree ----------------------------------------------------
+
+    fn build_join_tree(
+        &self,
+        mut rels: Vec<Rel>,
+        edges: &[((usize, usize), (usize, usize))],
+        residuals: &mut Vec<AstExpr>,
+    ) -> Result<Rel> {
+        if rels.len() == 1 {
+            let mut only = rels.pop().expect("len 1");
+            self.attach_residuals(&mut only, residuals)?;
+            return Ok(only);
+        }
+        // Pick starting relation.
+        let start = if self.options.use_stats {
+            rels.iter()
+                .enumerate()
+                .min_by(|a, b| a.1.est.total_cmp(&b.1.est))
+                .map(|(i, _)| i)
+                .expect("non-empty")
+        } else {
+            0
+        };
+        let mut current = rels.remove(start);
+        self.attach_residuals(&mut current, residuals)?;
+        while !rels.is_empty() {
+            // Candidates connected to the current tree by an edge.
+            let connected: Vec<usize> = rels
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| {
+                    edges.iter().any(|(a, b)| {
+                        (current.tables.contains(&a.0) && r.tables.contains(&b.0))
+                            || (current.tables.contains(&b.0) && r.tables.contains(&a.0))
+                    })
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let pick = if self.options.use_stats {
+                let pool = if connected.is_empty() {
+                    (0..rels.len()).collect::<Vec<_>>()
+                } else {
+                    connected
+                };
+                pool.into_iter()
+                    .min_by(|&a, &b| {
+                        let ca = self.join_est(&current, &rels[a], edges);
+                        let cb = self.join_est(&current, &rels[b], edges);
+                        ca.total_cmp(&cb)
+                    })
+                    .expect("non-empty pool")
+            } else if let Some(&first) = connected.first() {
+                first
+            } else {
+                0
+            };
+            let next = rels.remove(pick);
+            current = self.join_pair(current, next, edges)?;
+            self.attach_residuals(&mut current, residuals)?;
+        }
+        Ok(current)
+    }
+
+    fn key_ndv(&self, (t, c): (usize, usize)) -> f64 {
+        self.tables[t]
+            .stats
+            .as_ref()
+            .and_then(|s| s.column(c as u32).map(|cs| cs.distinct()))
+            .unwrap_or(DEFAULT_NDV)
+    }
+
+    fn join_est(&self, a: &Rel, b: &Rel, edges: &[((usize, usize), (usize, usize))]) -> f64 {
+        let mut ndvs = Vec::new();
+        for (x, y) in edges {
+            if a.tables.contains(&x.0) && b.tables.contains(&y.0) {
+                ndvs.push((self.key_ndv(*x), self.key_ndv(*y)));
+            } else if a.tables.contains(&y.0) && b.tables.contains(&x.0) {
+                ndvs.push((self.key_ndv(*y), self.key_ndv(*x)));
+            }
+        }
+        join_cardinality(a.est, b.est, &ndvs)
+    }
+
+    fn join_pair(
+        &self,
+        a: Rel,
+        b: Rel,
+        edges: &[((usize, usize), (usize, usize))],
+    ) -> Result<Rel> {
+        // Hash joins build on the left input: put the smaller side left
+        // when statistics are available; otherwise keep the accumulated
+        // tree on the left (the uninformed default the paper penalizes).
+        let (build, probe) = if self.options.use_stats && b.est < a.est {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        let est = self.join_est(&build, &probe, edges);
+        let mut on = Vec::new();
+        for (x, y) in edges {
+            let (bx, px) = (
+                build.tables.contains(&x.0) && probe.tables.contains(&y.0),
+                build.tables.contains(&y.0) && probe.tables.contains(&x.0),
+            );
+            if bx {
+                on.push((
+                    layout_pos(&build.layout, *x)?,
+                    layout_pos(&probe.layout, *y)?,
+                ));
+            } else if px {
+                on.push((
+                    layout_pos(&build.layout, *y)?,
+                    layout_pos(&probe.layout, *x)?,
+                ));
+            }
+        }
+        let mut layout = build.layout.clone();
+        layout.extend_from_slice(&probe.layout);
+        let mut tables = build.tables.clone();
+        tables.extend(probe.tables.iter().copied());
+        let schema = self.layout_schema(&layout)?;
+        Ok(Rel {
+            plan: LogicalPlan::Join {
+                left: Box::new(build.plan),
+                right: Box::new(probe.plan),
+                on,
+                residual: None,
+                kind: JoinKind::Inner,
+                schema,
+                estimated_rows: est,
+            },
+            layout,
+            tables,
+            est,
+        })
+    }
+
+    /// Attach any residual conjunct fully covered by `rel`'s tables.
+    fn attach_residuals(&self, rel: &mut Rel, residuals: &mut Vec<AstExpr>) -> Result<()> {
+        let mut keep = Vec::new();
+        for r in std::mem::take(residuals) {
+            let mut tset = BTreeSet::new();
+            self.tables_of(&r, &mut tset)?;
+            if tset.is_subset(&rel.tables) && !tset.is_empty() {
+                let resolver = self.layout_resolver(&rel.layout);
+                let predicate = self.bind_scalar(&r, &resolver)?;
+                let plan = std::mem::replace(
+                    &mut rel.plan,
+                    LogicalPlan::Limit {
+                        input: Box::new(LogicalPlan::Scan {
+                            table: String::new(),
+                            projection: vec![],
+                            filters: vec![],
+                            schema: Schema::new(vec![])?,
+                            estimated_rows: 0.0,
+                        }),
+                        n: 0,
+                    },
+                );
+                rel.plan = LogicalPlan::Filter {
+                    input: Box::new(plan),
+                    predicate,
+                };
+            } else {
+                keep.push(r);
+            }
+        }
+        *residuals = keep;
+        Ok(())
+    }
+
+    fn layout_schema(&self, layout: &[(usize, usize)]) -> Result<Schema> {
+        let fields = layout
+            .iter()
+            .map(|&(t, c)| {
+                let f = self.tables[t].schema.field(c);
+                Field::new(
+                    format!("{}.{}", self.tables[t].alias, f.name),
+                    f.dtype,
+                )
+            })
+            .collect();
+        Schema::new(fields)
+    }
+
+    // ----- EXISTS -------------------------------------------------------
+
+    fn exists_spec(&self, sub: &SelectStmt, negated: bool) -> Result<ExistsSpec> {
+        if sub.from.len() != 1 {
+            return Err(NoDbError::plan(
+                "EXISTS subqueries must reference exactly one table",
+            ));
+        }
+        let inner_name = sub.from[0].name.clone();
+        let inner_schema = self.catalog.schema_of(&inner_name)?;
+        let inner_stats = if self.options.use_stats {
+            self.catalog.stats_of(&inner_name)
+        } else {
+            None
+        };
+        let mut on = Vec::new();
+        let mut inner_filters = Vec::new();
+        let mut conjuncts = Vec::new();
+        if let Some(w) = &sub.where_clause {
+            split_conjuncts(w, &mut conjuncts);
+        }
+        for c in conjuncts {
+            // Try: inner-col = outer-col correlation.
+            if let AstExpr::Binary {
+                op: AstBinOp::Eq,
+                left,
+                right,
+            } = &c
+            {
+                let l = self.classify_sub_column(left, &inner_schema)?;
+                let r = self.classify_sub_column(right, &inner_schema)?;
+                match (l, r) {
+                    (SubCol::Inner(ic), SubCol::Outer(oc)) => {
+                        on.push((oc, ic));
+                        continue;
+                    }
+                    (SubCol::Outer(oc), SubCol::Inner(ic)) => {
+                        on.push((oc, ic));
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            // Otherwise the conjunct must be inner-only.
+            if self.is_inner_only(&c, &inner_schema)? {
+                inner_filters.push(c);
+            } else {
+                return Err(NoDbError::plan(
+                    "unsupported correlated predicate in EXISTS (only inner-col = outer-col \
+                     equality plus inner-only filters are supported)",
+                ));
+            }
+        }
+        if on.is_empty() {
+            return Err(NoDbError::plan(
+                "uncorrelated EXISTS subqueries are not supported",
+            ));
+        }
+        Ok(ExistsSpec {
+            inner_table: inner_name,
+            inner_schema,
+            inner_stats,
+            on,
+            inner_filters,
+            negated,
+        })
+    }
+
+    fn classify_sub_column(&self, e: &AstExpr, inner: &Schema) -> Result<SubCol> {
+        if let AstExpr::Column { table, name } = e {
+            if table.is_none() {
+                if let Some(c) = inner.index_of(name) {
+                    return Ok(SubCol::Inner(c));
+                }
+            }
+            if let Some((t, c)) = self.try_resolve(table.as_deref(), name)? {
+                return Ok(SubCol::Outer((t, c)));
+            }
+            return Err(NoDbError::plan(format!(
+                "unknown column `{name}` in EXISTS subquery"
+            )));
+        }
+        Ok(SubCol::Neither)
+    }
+
+    fn is_inner_only(&self, e: &AstExpr, inner: &Schema) -> Result<bool> {
+        match e {
+            AstExpr::Column { table, name } => {
+                Ok(table.is_none() && inner.index_of(name).is_some())
+            }
+            AstExpr::Literal(_) | AstExpr::Interval { .. } => Ok(true),
+            AstExpr::Binary { left, right, .. } => {
+                Ok(self.is_inner_only(left, inner)? && self.is_inner_only(right, inner)?)
+            }
+            AstExpr::Not(x) | AstExpr::Neg(x) => self.is_inner_only(x, inner),
+            AstExpr::Like { expr, pattern, .. } => {
+                Ok(self.is_inner_only(expr, inner)? && self.is_inner_only(pattern, inner)?)
+            }
+            AstExpr::Between {
+                expr, low, high, ..
+            } => Ok(self.is_inner_only(expr, inner)?
+                && self.is_inner_only(low, inner)?
+                && self.is_inner_only(high, inner)?),
+            AstExpr::InList { expr, list, .. } => {
+                if !self.is_inner_only(expr, inner)? {
+                    return Ok(false);
+                }
+                for i in list {
+                    if !self.is_inner_only(i, inner)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            AstExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    if !self.is_inner_only(c, inner)? || !self.is_inner_only(r, inner)? {
+                        return Ok(false);
+                    }
+                }
+                match else_expr {
+                    Some(x) => self.is_inner_only(x, inner),
+                    None => Ok(true),
+                }
+            }
+            AstExpr::IsNull { expr, .. } => self.is_inner_only(expr, inner),
+            AstExpr::Agg { .. } | AstExpr::Exists { .. } => Ok(false),
+        }
+    }
+
+    fn apply_exists(&self, outer: Rel, spec: ExistsSpec) -> Result<Rel> {
+        // Inner scan projection: correlation columns + filter columns.
+        let mut used: BTreeSet<usize> = spec.on.iter().map(|&(_, ic)| ic).collect();
+        for f in &spec.inner_filters {
+            collect_schema_usage(f, &spec.inner_schema, &mut used);
+        }
+        let projection: Vec<usize> = used.into_iter().collect();
+        let resolver = |_table: Option<&str>, name: &str| -> Result<usize> {
+            let c = spec.inner_schema.resolve(name)?;
+            projection
+                .iter()
+                .position(|&p| p == c)
+                .ok_or_else(|| NoDbError::internal("inner filter column not projected"))
+        };
+        let filters: Vec<BoundExpr> = spec
+            .inner_filters
+            .iter()
+            .map(|f| self.bind_scalar(f, &resolver))
+            .collect::<Result<_>>()?;
+        let schema = spec.inner_schema.project(&projection)?;
+        let est = {
+            let base = spec
+                .inner_stats
+                .as_ref()
+                .and_then(|s| s.row_count())
+                .map_or(DEFAULT_TABLE_ROWS, |r| r as f64);
+            base * conjunct_selectivity(&filters, &NoStats)
+        };
+        let inner_plan = LogicalPlan::Scan {
+            table: spec.inner_table,
+            projection: projection.clone(),
+            filters,
+            schema,
+            estimated_rows: est,
+        };
+        let mut on = Vec::new();
+        for (oc, ic) in &spec.on {
+            on.push((
+                layout_pos(&outer.layout, *oc)?,
+                projection
+                    .iter()
+                    .position(|&p| p == *ic)
+                    .ok_or_else(|| NoDbError::internal("correlation column missing"))?,
+            ));
+        }
+        let kind = if spec.negated {
+            JoinKind::Anti
+        } else {
+            JoinKind::Semi
+        };
+        let schema = self.layout_schema(&outer.layout)?;
+        let est_out = (outer.est * 0.5).max(1.0);
+        Ok(Rel {
+            plan: LogicalPlan::Join {
+                left: Box::new(outer.plan),
+                right: Box::new(inner_plan),
+                on,
+                residual: None,
+                kind,
+                schema,
+                estimated_rows: est_out,
+            },
+            layout: outer.layout,
+            tables: outer.tables,
+            est: est_out,
+        })
+    }
+
+    // ----- aggregation ---------------------------------------------------
+
+    #[allow(clippy::type_complexity)]
+    fn plan_aggregate(
+        &self,
+        tree: Rel,
+        stmt: &SelectStmt,
+        projections: &[(AstExpr, Option<String>)],
+    ) -> Result<(LogicalPlan, Vec<String>, Vec<AstExpr>)> {
+        let layout = tree.layout.clone();
+        let resolver = self.layout_resolver(&layout);
+        // Group keys must be plain columns (the TPC-H subset never groups
+        // on computed expressions).
+        let mut group: Vec<usize> = Vec::new();
+        for g in &stmt.group_by {
+            match g {
+                AstExpr::Column { table, name } => {
+                    group.push(resolver(table.as_deref(), name)?);
+                }
+                other => {
+                    return Err(NoDbError::plan(format!(
+                        "GROUP BY supports plain columns only, got {other:?}"
+                    )))
+                }
+            }
+        }
+        // Collect aggregate calls (dedup structurally) and rewrite the
+        // select expressions over [group keys ++ agg results].
+        let mut agg_asts: Vec<AstExpr> = Vec::new();
+        let mut aggs: Vec<AggExpr> = Vec::new();
+        let mut out_exprs = Vec::with_capacity(projections.len());
+        for (e, _) in projections {
+            out_exprs.push(self.rewrite_agg_expr(
+                e,
+                &stmt.group_by,
+                group.len(),
+                &mut agg_asts,
+                &mut aggs,
+                &resolver,
+            )?);
+        }
+
+        let input_types = tree.plan.schema().types();
+        // Aggregate output schema.
+        let mut fields = Vec::new();
+        for (i, &g) in group.iter().enumerate() {
+            let f = tree.plan.schema().field(g);
+            fields.push(Field::new(format!("g{i}.{}", f.name), f.dtype));
+        }
+        for (i, a) in aggs.iter().enumerate() {
+            fields.push(Field::new(format!("agg{i}"), a.output_type(&input_types)));
+        }
+        let agg_schema = Schema::new(fields)?;
+
+        // Strategy (the Figure 12 mechanism).
+        let strategy = if group.is_empty() {
+            AggStrategy::Plain
+        } else if self.options.use_stats {
+            let mut groups = 1.0f64;
+            for &g in &group {
+                let (t, c) = layout[g];
+                let ndv = self.tables[t]
+                    .stats
+                    .as_ref()
+                    .and_then(|s| s.column(c as u32).map(|cs| cs.distinct()))
+                    .unwrap_or(DEFAULT_NDV);
+                groups *= ndv.max(1.0);
+            }
+            let groups = groups.min(tree.est.max(1.0));
+            if groups <= HASH_AGG_GROUP_LIMIT {
+                AggStrategy::Hash
+            } else {
+                AggStrategy::Sort
+            }
+        } else {
+            // Without statistics the group count is unknown; fall back to
+            // sort aggregation (safe for any cardinality, slower for few
+            // groups — exactly the penalty Figure 12 shows).
+            AggStrategy::Sort
+        };
+
+        let mut agg_plan = LogicalPlan::Aggregate {
+            input: Box::new(tree.plan),
+            group,
+            aggs: aggs.clone(),
+            strategy,
+            schema: agg_schema.clone(),
+        };
+        // HAVING filters groups: it binds exactly like a select
+        // expression (group keys + aggregate slots) and sits between the
+        // aggregation and the projection.
+        if let Some(h) = &stmt.having {
+            let n_group = match &agg_plan {
+                LogicalPlan::Aggregate { group, .. } => group.len(),
+                _ => 0,
+            };
+            let predicate = self.rewrite_agg_expr(
+                h,
+                &stmt.group_by,
+                n_group,
+                &mut agg_asts,
+                &mut aggs,
+                &resolver,
+            )?;
+            // HAVING may introduce aggregates not in the SELECT list;
+            // rebuild the aggregate node if so.
+            if let LogicalPlan::Aggregate {
+                aggs: plan_aggs,
+                schema,
+                ..
+            } = &mut agg_plan
+            {
+                if aggs.len() > plan_aggs.len() {
+                    let input_types: Vec<nodb_common::DataType> = layout
+                        .iter()
+                        .map(|&(t, c)| self.tables[t].schema.field(c).dtype)
+                        .collect();
+                    let mut fields = schema.fields().to_vec();
+                    for a in aggs.iter().skip(plan_aggs.len()) {
+                        fields.push(Field::new(
+                            format!("agg{}", fields.len()),
+                            a.output_type(&input_types),
+                        ));
+                    }
+                    *schema = Schema::new(fields)?;
+                    *plan_aggs = aggs.clone();
+                }
+            }
+            agg_plan = LogicalPlan::Filter {
+                input: Box::new(agg_plan),
+                predicate,
+            };
+        }
+
+        let agg_types = match &agg_plan {
+            LogicalPlan::Filter { input, .. } => input.schema().types(),
+            other => other.schema().types(),
+        };
+        let names = self.output_names(projections);
+        let out_schema = named_schema(&names, &out_exprs, &agg_types)?;
+        let proj_asts: Vec<AstExpr> = projections.iter().map(|(e, _)| e.clone()).collect();
+        Ok((
+            LogicalPlan::Project {
+                input: Box::new(agg_plan),
+                exprs: out_exprs,
+                schema: out_schema,
+            },
+            names,
+            proj_asts,
+        ))
+    }
+
+    /// Rewrite a select expression over the aggregate's output layout.
+    #[allow(clippy::too_many_arguments)]
+    fn rewrite_agg_expr(
+        &self,
+        e: &AstExpr,
+        group_asts: &[AstExpr],
+        n_group: usize,
+        agg_asts: &mut Vec<AstExpr>,
+        aggs: &mut Vec<AggExpr>,
+        input_resolver: &dyn Fn(Option<&str>, &str) -> Result<usize>,
+    ) -> Result<BoundExpr> {
+        // A group-by expression evaluates to its key slot.
+        if let Some(pos) = group_asts.iter().position(|g| g == e) {
+            return Ok(BoundExpr::Col(pos));
+        }
+        match e {
+            AstExpr::Agg { func, arg } => {
+                let key = e.clone();
+                let idx = match agg_asts.iter().position(|a| a == &key) {
+                    Some(i) => i,
+                    None => {
+                        let bound_arg = match arg {
+                            Some(a) => Some(self.bind_scalar(a, input_resolver)?),
+                            None => None,
+                        };
+                        let func = match func {
+                            AggFuncAst::Count => AggFunc::Count,
+                            AggFuncAst::Sum => AggFunc::Sum,
+                            AggFuncAst::Avg => AggFunc::Avg,
+                            AggFuncAst::Min => AggFunc::Min,
+                            AggFuncAst::Max => AggFunc::Max,
+                        };
+                        agg_asts.push(key);
+                        aggs.push(AggExpr {
+                            func,
+                            arg: bound_arg,
+                        });
+                        agg_asts.len() - 1
+                    }
+                };
+                Ok(BoundExpr::Col(n_group + idx))
+            }
+            AstExpr::Column { table, name } => Err(NoDbError::plan(format!(
+                "column `{}{name}` must appear in GROUP BY or inside an aggregate",
+                table.as_deref().map(|t| format!("{t}.")).unwrap_or_default()
+            ))),
+            AstExpr::Literal(v) => Ok(BoundExpr::Lit(v.clone())),
+            AstExpr::Interval { .. } => {
+                Err(NoDbError::plan("INTERVAL outside date arithmetic"))
+            }
+            AstExpr::Binary { op, left, right } => {
+                let l =
+                    self.rewrite_agg_expr(left, group_asts, n_group, agg_asts, aggs, input_resolver)?;
+                let r = self.rewrite_agg_expr(
+                    right,
+                    group_asts,
+                    n_group,
+                    agg_asts,
+                    aggs,
+                    input_resolver,
+                )?;
+                Ok(BoundExpr::Binary {
+                    op: convert_op(*op),
+                    left: Box::new(l),
+                    right: Box::new(r),
+                })
+            }
+            AstExpr::Not(x) => Ok(BoundExpr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(self.rewrite_agg_expr(
+                    x,
+                    group_asts,
+                    n_group,
+                    agg_asts,
+                    aggs,
+                    input_resolver,
+                )?),
+            }),
+            AstExpr::Neg(x) => Ok(BoundExpr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(self.rewrite_agg_expr(
+                    x,
+                    group_asts,
+                    n_group,
+                    agg_asts,
+                    aggs,
+                    input_resolver,
+                )?),
+            }),
+            AstExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                let mut bs = Vec::with_capacity(branches.len());
+                for (c, r) in branches {
+                    bs.push((
+                        self.rewrite_agg_expr(c, group_asts, n_group, agg_asts, aggs, input_resolver)?,
+                        self.rewrite_agg_expr(r, group_asts, n_group, agg_asts, aggs, input_resolver)?,
+                    ));
+                }
+                let else_expr = match else_expr {
+                    Some(x) => Some(Box::new(self.rewrite_agg_expr(
+                        x,
+                        group_asts,
+                        n_group,
+                        agg_asts,
+                        aggs,
+                        input_resolver,
+                    )?)),
+                    None => None,
+                };
+                Ok(BoundExpr::Case {
+                    branches: bs,
+                    else_expr,
+                })
+            }
+            other => Err(NoDbError::plan(format!(
+                "unsupported expression over aggregate output: {other:?}"
+            ))),
+        }
+    }
+
+    // ----- scalar binding -------------------------------------------------
+
+    fn bind_scalar(
+        &self,
+        e: &AstExpr,
+        resolve: &dyn Fn(Option<&str>, &str) -> Result<usize>,
+    ) -> Result<BoundExpr> {
+        match e {
+            AstExpr::Column { table, name } => {
+                Ok(BoundExpr::Col(resolve(table.as_deref(), name)?))
+            }
+            AstExpr::Literal(v) => Ok(BoundExpr::Lit(v.clone())),
+            AstExpr::Interval { .. } => Err(NoDbError::plan(
+                "INTERVAL is only supported in date ± interval arithmetic with literal dates",
+            )),
+            AstExpr::Binary { op, left, right } => {
+                // Fold `date ± interval` eagerly.
+                if let AstExpr::Interval { n, unit } = right.as_ref() {
+                    let base = self.bind_scalar(left, resolve)?;
+                    if let BoundExpr::Lit(Value::Date(d)) = base {
+                        let n = match op {
+                            AstBinOp::Add => *n,
+                            AstBinOp::Sub => -*n,
+                            _ => {
+                                return Err(NoDbError::plan(
+                                    "INTERVAL only supports + and -",
+                                ))
+                            }
+                        };
+                        let folded = match unit {
+                            IntervalUnit::Day => d.add_days(n as i32),
+                            IntervalUnit::Month => d.add_months(n as i32),
+                            IntervalUnit::Year => d.add_years(n as i32),
+                        };
+                        return Ok(BoundExpr::Lit(Value::Date(folded)));
+                    }
+                    return Err(NoDbError::plan(
+                        "interval arithmetic requires a literal date",
+                    ));
+                }
+                let l = self.bind_scalar(left, resolve)?;
+                let r = self.bind_scalar(right, resolve)?;
+                Ok(BoundExpr::Binary {
+                    op: convert_op(*op),
+                    left: Box::new(l),
+                    right: Box::new(r),
+                })
+            }
+            AstExpr::Not(x) => Ok(BoundExpr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(self.bind_scalar(x, resolve)?),
+            }),
+            AstExpr::Neg(x) => Ok(BoundExpr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(self.bind_scalar(x, resolve)?),
+            }),
+            AstExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let bound = self.bind_scalar(expr, resolve)?;
+                match pattern.as_ref() {
+                    AstExpr::Literal(Value::Text(p)) => Ok(BoundExpr::Like {
+                        expr: Box::new(bound),
+                        pattern: p.clone(),
+                        negated: *negated,
+                    }),
+                    other => Err(NoDbError::plan(format!(
+                        "LIKE pattern must be a string literal, got {other:?}"
+                    ))),
+                }
+            }
+            AstExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => Ok(BoundExpr::Between {
+                expr: Box::new(self.bind_scalar(expr, resolve)?),
+                low: Box::new(self.bind_scalar(low, resolve)?),
+                high: Box::new(self.bind_scalar(high, resolve)?),
+                negated: *negated,
+            }),
+            AstExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let bound = self.bind_scalar(expr, resolve)?;
+                let mut values = Vec::with_capacity(list.len());
+                for item in list {
+                    match self.bind_scalar(item, resolve)? {
+                        BoundExpr::Lit(v) => values.push(v),
+                        other => {
+                            return Err(NoDbError::plan(format!(
+                                "IN list items must be literals, got {other}"
+                            )))
+                        }
+                    }
+                }
+                Ok(BoundExpr::InList {
+                    expr: Box::new(bound),
+                    list: values,
+                    negated: *negated,
+                })
+            }
+            AstExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                let mut bs = Vec::with_capacity(branches.len());
+                for (c, r) in branches {
+                    bs.push((self.bind_scalar(c, resolve)?, self.bind_scalar(r, resolve)?));
+                }
+                let else_expr = match else_expr {
+                    Some(x) => Some(Box::new(self.bind_scalar(x, resolve)?)),
+                    None => None,
+                };
+                Ok(BoundExpr::Case {
+                    branches: bs,
+                    else_expr,
+                })
+            }
+            AstExpr::IsNull { expr, negated } => Ok(BoundExpr::IsNull {
+                expr: Box::new(self.bind_scalar(expr, resolve)?),
+                negated: *negated,
+            }),
+            AstExpr::Agg { .. } => Err(NoDbError::plan(
+                "aggregate calls are not allowed in this context",
+            )),
+            AstExpr::Exists { .. } => Err(NoDbError::plan(
+                "EXISTS is only supported as a top-level WHERE conjunct",
+            )),
+        }
+    }
+
+    // ----- output naming / order-by -------------------------------------
+
+    fn output_names(&self, projections: &[(AstExpr, Option<String>)]) -> Vec<String> {
+        let mut names = Vec::with_capacity(projections.len());
+        for (e, alias) in projections {
+            let base = match alias {
+                Some(a) => a.clone(),
+                None => derive_name(e),
+            };
+            let mut name = base.clone();
+            let mut k = 1;
+            while names.contains(&name) {
+                k += 1;
+                name = format!("{base}_{k}");
+            }
+            names.push(name);
+        }
+        names
+    }
+
+    fn resolve_order_key(
+        &self,
+        e: &AstExpr,
+        out_names: &[String],
+        proj_asts: &[AstExpr],
+    ) -> Result<usize> {
+        // 1. Alias / output-name match.
+        if let AstExpr::Column { table: None, name } = e {
+            if let Some(i) = out_names
+                .iter()
+                .position(|n| n.eq_ignore_ascii_case(name))
+            {
+                return Ok(i);
+            }
+        }
+        // 2. Structural match with a projected expression.
+        if let Some(i) = proj_asts.iter().position(|p| p == e) {
+            return Ok(i);
+        }
+        Err(NoDbError::plan(format!(
+            "ORDER BY expression must be a projected column or alias, got {e:?}"
+        )))
+    }
+}
+
+enum SubCol {
+    Inner(usize),
+    Outer((usize, usize)),
+    Neither,
+}
+
+fn convert_op(op: AstBinOp) -> BinOp {
+    match op {
+        AstBinOp::Or => BinOp::Or,
+        AstBinOp::And => BinOp::And,
+        AstBinOp::Eq => BinOp::Eq,
+        AstBinOp::NotEq => BinOp::NotEq,
+        AstBinOp::Lt => BinOp::Lt,
+        AstBinOp::LtEq => BinOp::LtEq,
+        AstBinOp::Gt => BinOp::Gt,
+        AstBinOp::GtEq => BinOp::GtEq,
+        AstBinOp::Add => BinOp::Add,
+        AstBinOp::Sub => BinOp::Sub,
+        AstBinOp::Mul => BinOp::Mul,
+        AstBinOp::Div => BinOp::Div,
+    }
+}
+
+fn derive_name(e: &AstExpr) -> String {
+    match e {
+        AstExpr::Column { name, .. } => name.clone(),
+        AstExpr::Agg { func, .. } => match func {
+            AggFuncAst::Count => "count".into(),
+            AggFuncAst::Sum => "sum".into(),
+            AggFuncAst::Avg => "avg".into(),
+            AggFuncAst::Min => "min".into(),
+            AggFuncAst::Max => "max".into(),
+        },
+        AstExpr::Case { .. } => "case".into(),
+        _ => "?column?".into(),
+    }
+}
+
+fn named_schema(names: &[String], exprs: &[BoundExpr], input: &[DataType]) -> Result<Schema> {
+    let fields = names
+        .iter()
+        .zip(exprs)
+        .map(|(n, e)| Field::new(n.clone(), e.infer_type(input)))
+        .collect();
+    Schema::new(fields)
+}
+
+fn layout_pos(layout: &[(usize, usize)], key: (usize, usize)) -> Result<usize> {
+    layout
+        .iter()
+        .position(|&p| p == key)
+        .ok_or_else(|| NoDbError::internal("join key missing from layout"))
+}
+
+/// Collect schema-local column usage for inner-scope (EXISTS) expressions.
+fn collect_schema_usage(e: &AstExpr, schema: &Schema, used: &mut BTreeSet<usize>) {
+    match e {
+        AstExpr::Column { table: None, name } => {
+            if let Some(c) = schema.index_of(name) {
+                used.insert(c);
+            }
+        }
+        AstExpr::Column { .. } | AstExpr::Literal(_) | AstExpr::Interval { .. } => {}
+        AstExpr::Binary { left, right, .. } => {
+            collect_schema_usage(left, schema, used);
+            collect_schema_usage(right, schema, used);
+        }
+        AstExpr::Not(x) | AstExpr::Neg(x) => collect_schema_usage(x, schema, used),
+        AstExpr::Like { expr, pattern, .. } => {
+            collect_schema_usage(expr, schema, used);
+            collect_schema_usage(pattern, schema, used);
+        }
+        AstExpr::Between {
+            expr, low, high, ..
+        } => {
+            collect_schema_usage(expr, schema, used);
+            collect_schema_usage(low, schema, used);
+            collect_schema_usage(high, schema, used);
+        }
+        AstExpr::InList { expr, list, .. } => {
+            collect_schema_usage(expr, schema, used);
+            for i in list {
+                collect_schema_usage(i, schema, used);
+            }
+        }
+        AstExpr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (c, r) in branches {
+                collect_schema_usage(c, schema, used);
+                collect_schema_usage(r, schema, used);
+            }
+            if let Some(x) = else_expr {
+                collect_schema_usage(x, schema, used);
+            }
+        }
+        AstExpr::Agg { arg: Some(a), .. } => collect_schema_usage(a, schema, used),
+        AstExpr::Agg { arg: None, .. } | AstExpr::Exists { .. } => {}
+        AstExpr::IsNull { expr, .. } => collect_schema_usage(expr, schema, used),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use nodb_stats::StatsBuilder;
+
+    struct MockCatalog {
+        tables: Vec<(String, Schema, Option<TableStats>)>,
+    }
+
+    impl CatalogView for MockCatalog {
+        fn schema_of(&self, table: &str) -> Result<Schema> {
+            self.tables
+                .iter()
+                .find(|(n, _, _)| n == table)
+                .map(|(_, s, _)| s.clone())
+                .ok_or_else(|| NoDbError::catalog(format!("unknown table `{table}`")))
+        }
+        fn stats_of(&self, table: &str) -> Option<TableStats> {
+            self.tables
+                .iter()
+                .find(|(n, _, _)| n == table)
+                .and_then(|(_, _, st)| st.clone())
+        }
+    }
+
+    fn col_stats(ndv: i64, rows: usize) -> nodb_stats::ColumnStats {
+        let mut b = StatsBuilder::new(DataType::Int32);
+        for i in 0..rows {
+            b.offer(&Value::Int32((i as i64 % ndv) as i32));
+        }
+        b.finalize(Some(rows as f64))
+    }
+
+    fn catalog() -> MockCatalog {
+        let t1 = Schema::parse("a int, b int, c text, d date").unwrap();
+        let t2 = Schema::parse("x int, y int, z text").unwrap();
+        let mut st1 = TableStats::new();
+        st1.set_row_count(10_000);
+        st1.set_column(0, col_stats(10_000, 4000)); // a: key-like
+        st1.set_column(1, col_stats(5, 4000)); // b: 5 distinct
+        let mut st2 = TableStats::new();
+        st2.set_row_count(100);
+        st2.set_column(0, col_stats(100, 100)); // x: key-like
+        MockCatalog {
+            tables: vec![
+                ("t1".into(), t1, Some(st1)),
+                ("t2".into(), t2, Some(st2)),
+            ],
+        }
+    }
+
+    fn plan(sql: &str) -> LogicalPlan {
+        bind(&parse(sql).unwrap(), &catalog(), &PlannerOptions::default()).unwrap()
+    }
+
+    fn plan_no_stats(sql: &str) -> LogicalPlan {
+        bind(
+            &parse(sql).unwrap(),
+            &catalog(),
+            &PlannerOptions { use_stats: false },
+        )
+        .unwrap()
+    }
+
+    fn find_scan<'a>(p: &'a LogicalPlan, table: &str) -> &'a LogicalPlan {
+        fn walk<'a>(p: &'a LogicalPlan, table: &str, out: &mut Option<&'a LogicalPlan>) {
+            match p {
+                LogicalPlan::Scan { table: t, .. } if t == table => *out = Some(p),
+                LogicalPlan::Scan { .. } => {}
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Aggregate { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Limit { input, .. }
+                | LogicalPlan::Distinct { input } => walk(input, table, out),
+                LogicalPlan::Join { left, right, .. } => {
+                    walk(left, table, out);
+                    walk(right, table, out);
+                }
+            }
+        }
+        let mut out = None;
+        walk(p, table, &mut out);
+        out.unwrap_or_else(|| panic!("no scan of {table} in:\n{p}"))
+    }
+
+    #[test]
+    fn projection_pruning_keeps_only_used_columns() {
+        let p = plan("select a from t1 where b < 3");
+        match find_scan(&p, "t1") {
+            LogicalPlan::Scan {
+                projection,
+                filters,
+                ..
+            } => {
+                assert_eq!(projection, &vec![0, 1]); // a, b
+                assert_eq!(filters.len(), 1);
+                // Filter bound to projection space: b is local ordinal 1.
+                assert_eq!(filters[0].to_string(), "(#1 < 3)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wildcard_projects_everything() {
+        let p = plan("select * from t2");
+        match find_scan(&p, "t2") {
+            LogicalPlan::Scan { projection, .. } => assert_eq!(projection, &vec![0, 1, 2]),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.schema().len(), 3);
+    }
+
+    #[test]
+    fn join_extracts_equi_edge_and_orders_by_size() {
+        // t2 (100 rows) is smaller than t1 (10k): with stats it becomes
+        // the build (left) side.
+        let p = plan("select a, x from t1, t2 where a = x");
+        match &p {
+            LogicalPlan::Project { input, .. } => match input.as_ref() {
+                LogicalPlan::Join {
+                    left, right, on, ..
+                } => {
+                    assert!(matches!(left.as_ref(), LogicalPlan::Scan { table, .. } if table == "t2"));
+                    assert!(matches!(right.as_ref(), LogicalPlan::Scan { table, .. } if table == "t1"));
+                    assert_eq!(on.len(), 1);
+                }
+                other => panic!("expected join, got:\n{other}"),
+            },
+            other => panic!("{other}"),
+        }
+        // Without stats: as-written order (t1 left).
+        let p = plan_no_stats("select a, x from t1, t2 where a = x");
+        match &p {
+            LogicalPlan::Project { input, .. } => match input.as_ref() {
+                LogicalPlan::Join { left, .. } => {
+                    assert!(matches!(left.as_ref(), LogicalPlan::Scan { table, .. } if table == "t1"));
+                }
+                other => panic!("{other}"),
+            },
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn exists_becomes_semi_join() {
+        let p = plan(
+            "select count(*) from t1 where exists \
+             (select * from t2 where x = a and y > 0)",
+        );
+        let s = p.explain();
+        assert!(s.contains("SemiJoin"), "{s}");
+        // Inner filter pushed to t2's scan.
+        match find_scan(&p, "t2") {
+            LogicalPlan::Scan {
+                filters,
+                projection,
+                ..
+            } => {
+                assert_eq!(filters.len(), 1);
+                assert_eq!(projection, &vec![0, 1]); // x (correlation), y (filter)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_exists_becomes_anti_join() {
+        let p = plan(
+            "select count(*) from t1 where not exists (select * from t2 where x = a)",
+        );
+        assert!(p.explain().contains("AntiJoin"), "{}", p.explain());
+    }
+
+    #[test]
+    fn aggregate_strategy_follows_stats() {
+        // b has 5 distinct values -> hash aggregation with stats.
+        let p = plan("select b, count(*) from t1 group by b");
+        assert!(p.explain().contains("HashAggregate"), "{}", p.explain());
+        // Without stats -> pessimistic sort aggregation.
+        let p = plan_no_stats("select b, count(*) from t1 group by b");
+        assert!(p.explain().contains("SortAggregate"), "{}", p.explain());
+        // No GROUP BY -> plain.
+        let p = plan("select count(*) from t1");
+        assert!(p.explain().contains("PlainAggregate"), "{}", p.explain());
+    }
+
+    #[test]
+    fn aggregate_projection_rewrites_over_agg_output() {
+        let p = plan("select b, sum(a) * 2 from t1 group by b");
+        match &p {
+            LogicalPlan::Project { exprs, .. } => {
+                assert_eq!(exprs[0].to_string(), "#0"); // group key
+                assert_eq!(exprs[1].to_string(), "(#1 * 2)"); // agg slot
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_aggregates_are_shared() {
+        let p = plan("select sum(a), sum(a) + 1 from t1");
+        match &p {
+            LogicalPlan::Project { input, .. } => match input.as_ref() {
+                LogicalPlan::Aggregate { aggs, .. } => assert_eq!(aggs.len(), 1),
+                other => panic!("{other}"),
+            },
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn order_by_alias_and_column() {
+        let p = plan("select b, sum(a) total from t1 group by b order by total desc, b");
+        match &p {
+            LogicalPlan::Sort { keys, .. } => {
+                assert_eq!(keys[0].col, 1);
+                assert!(keys[0].desc);
+                assert_eq!(keys[1].col, 0);
+                assert!(!keys[1].desc);
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn or_factoring_exposes_join() {
+        // Q19 shape: both disjuncts contain a = x.
+        let p = plan(
+            "select count(*) from t1, t2 where \
+             (a = x and b = 1 and y = 2) or (a = x and b = 3 and y = 4)",
+        );
+        let s = p.explain();
+        assert!(s.contains("InnerJoin on=[("), "join missing:\n{s}");
+        assert!(s.contains("Filter"), "residual OR missing:\n{s}");
+    }
+
+    #[test]
+    fn interval_arithmetic_folds() {
+        let p = plan("select a from t1 where d < date '1994-01-01' + interval '1' year");
+        match find_scan(&p, "t1") {
+            LogicalPlan::Scan { filters, .. } => {
+                assert_eq!(filters[0].to_string(), "(#1 < 1995-01-01)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let c = catalog();
+        let opts = PlannerOptions::default();
+        let run = |sql: &str| bind(&parse(sql).unwrap(), &c, &opts);
+        assert!(run("select nope from t1").is_err());
+        assert!(run("select a from missing").is_err());
+        assert!(run("select a, count(*) from t1").is_err()); // a not grouped
+        assert!(run("select a from t1 where sum(b) > 1").is_err()); // agg in WHERE
+        assert!(run("select a from t1 order by zzz").is_err());
+        // Ambiguity: both tables have no common names here, so make one.
+        assert!(run("select a from t1, t1").is_err()); // duplicate alias
+    }
+
+    #[test]
+    fn scan_estimates_reflect_stats() {
+        let p = plan("select a from t1 where b = 1");
+        match find_scan(&p, "t1") {
+            LogicalPlan::Scan { estimated_rows, .. } => {
+                // b has 5 distinct values over 10k rows -> ~2000.
+                assert!(
+                    (500.0..5000.0).contains(estimated_rows),
+                    "est={estimated_rows}"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! Bound expressions: AST expressions with columns resolved to input
+//! ordinals, ready for evaluation.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use nodb_common::{DataType, Value};
+
+/// Binary operators of bound expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Logical OR.
+    Or,
+    /// Logical AND.
+    And,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinOp {
+    /// Is this a comparison producing a boolean?
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical NOT.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Aggregate functions (bound form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// COUNT (`arg = None` ⇒ COUNT(*)).
+    Count,
+    /// SUM.
+    Sum,
+    /// AVG.
+    Avg,
+    /// MIN.
+    Min,
+    /// MAX.
+    Max,
+}
+
+/// An expression bound to input-row ordinals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoundExpr {
+    /// Input column by ordinal.
+    Col(usize),
+    /// Constant.
+    Lit(Value),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<BoundExpr>,
+        /// Right operand.
+        right: Box<BoundExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<BoundExpr>,
+    },
+    /// LIKE with a constant pattern.
+    Like {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Pattern.
+        pattern: String,
+        /// NOT LIKE.
+        negated: bool,
+    },
+    /// BETWEEN (inclusive bounds).
+    Between {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Lower bound.
+        low: Box<BoundExpr>,
+        /// Upper bound.
+        high: Box<BoundExpr>,
+        /// NOT BETWEEN.
+        negated: bool,
+    },
+    /// IN with a constant list.
+    InList {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Constant candidates.
+        list: Vec<Value>,
+        /// NOT IN.
+        negated: bool,
+    },
+    /// Searched CASE.
+    Case {
+        /// WHEN/THEN pairs.
+        branches: Vec<(BoundExpr, BoundExpr)>,
+        /// ELSE result.
+        else_expr: Option<Box<BoundExpr>>,
+    },
+    /// IS \[NOT\] NULL.
+    IsNull {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// IS NOT NULL.
+        negated: bool,
+    },
+}
+
+impl BoundExpr {
+    /// Convenience: `a AND b`.
+    pub fn and(a: BoundExpr, b: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(a),
+            right: Box::new(b),
+        }
+    }
+
+    /// AND-combine a list (empty ⇒ TRUE literal).
+    pub fn conjunction(mut exprs: Vec<BoundExpr>) -> BoundExpr {
+        match exprs.len() {
+            0 => BoundExpr::Lit(Value::Bool(true)),
+            1 => exprs.pop().expect("len checked"),
+            _ => {
+                let mut it = exprs.into_iter();
+                let first = it.next().expect("len checked");
+                it.fold(first, BoundExpr::and)
+            }
+        }
+    }
+
+    /// Collect the input ordinals referenced by this expression.
+    pub fn referenced_columns(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            BoundExpr::Col(i) => {
+                out.insert(*i);
+            }
+            BoundExpr::Lit(_) => {}
+            BoundExpr::Binary { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            BoundExpr::Unary { expr, .. } => expr.referenced_columns(out),
+            BoundExpr::Like { expr, .. } => expr.referenced_columns(out),
+            BoundExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.referenced_columns(out);
+                low.referenced_columns(out);
+                high.referenced_columns(out);
+            }
+            BoundExpr::InList { expr, .. } => expr.referenced_columns(out),
+            BoundExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    c.referenced_columns(out);
+                    r.referenced_columns(out);
+                }
+                if let Some(e) = else_expr {
+                    e.referenced_columns(out);
+                }
+            }
+            BoundExpr::IsNull { expr, .. } => expr.referenced_columns(out),
+        }
+    }
+
+    /// Rewrite column ordinals through `f`.
+    pub fn map_columns(&self, f: &impl Fn(usize) -> usize) -> BoundExpr {
+        match self {
+            BoundExpr::Col(i) => BoundExpr::Col(f(*i)),
+            BoundExpr::Lit(v) => BoundExpr::Lit(v.clone()),
+            BoundExpr::Binary { op, left, right } => BoundExpr::Binary {
+                op: *op,
+                left: Box::new(left.map_columns(f)),
+                right: Box::new(right.map_columns(f)),
+            },
+            BoundExpr::Unary { op, expr } => BoundExpr::Unary {
+                op: *op,
+                expr: Box::new(expr.map_columns(f)),
+            },
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BoundExpr::Like {
+                expr: Box::new(expr.map_columns(f)),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => BoundExpr::Between {
+                expr: Box::new(expr.map_columns(f)),
+                low: Box::new(low.map_columns(f)),
+                high: Box::new(high.map_columns(f)),
+                negated: *negated,
+            },
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
+                expr: Box::new(expr.map_columns(f)),
+                list: list.clone(),
+                negated: *negated,
+            },
+            BoundExpr::Case {
+                branches,
+                else_expr,
+            } => BoundExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| (c.map_columns(f), r.map_columns(f)))
+                    .collect(),
+                else_expr: else_expr.as_ref().map(|e| Box::new(e.map_columns(f))),
+            },
+            BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(expr.map_columns(f)),
+                negated: *negated,
+            },
+        }
+    }
+
+    /// Infer the result type given input column types. Comparisons and
+    /// boolean combinators yield `Bool`; arithmetic widens to `Float64`
+    /// when any side is a float or on division; `Date ± Int` stays `Date`.
+    pub fn infer_type(&self, input: &[DataType]) -> DataType {
+        match self {
+            BoundExpr::Col(i) => input.get(*i).copied().unwrap_or(DataType::Text),
+            BoundExpr::Lit(v) => v.data_type().unwrap_or(DataType::Text),
+            BoundExpr::Binary { op, left, right } => {
+                if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
+                    DataType::Bool
+                } else {
+                    let lt = left.infer_type(input);
+                    let rt = right.infer_type(input);
+                    match (op, lt, rt) {
+                        (BinOp::Div, _, _) => DataType::Float64,
+                        (_, DataType::Float64, _) | (_, _, DataType::Float64) => {
+                            DataType::Float64
+                        }
+                        (_, DataType::Date, _) => DataType::Date,
+                        (_, _, DataType::Date) => DataType::Date,
+                        (_, DataType::Int64, _) | (_, _, DataType::Int64) => DataType::Int64,
+                        _ => lt,
+                    }
+                }
+            }
+            BoundExpr::Unary { op: UnOp::Not, .. } => DataType::Bool,
+            BoundExpr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => expr.infer_type(input),
+            BoundExpr::Like { .. }
+            | BoundExpr::Between { .. }
+            | BoundExpr::InList { .. }
+            | BoundExpr::IsNull { .. } => DataType::Bool,
+            BoundExpr::Case {
+                branches,
+                else_expr,
+            } => branches
+                .first()
+                .map(|(_, r)| r.infer_type(input))
+                .or_else(|| else_expr.as_ref().map(|e| e.infer_type(input)))
+                .unwrap_or(DataType::Text),
+        }
+    }
+}
+
+/// A bound aggregate call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// Function.
+    pub func: AggFunc,
+    /// Argument (`None` for COUNT(*)), bound to the aggregate's input.
+    pub arg: Option<BoundExpr>,
+}
+
+impl AggExpr {
+    /// Result type of the aggregate given input column types.
+    pub fn output_type(&self, input: &[DataType]) -> DataType {
+        match self.func {
+            AggFunc::Count => DataType::Int64,
+            AggFunc::Avg => DataType::Float64,
+            AggFunc::Sum => match self.arg.as_ref().map(|a| a.infer_type(input)) {
+                Some(DataType::Float64) => DataType::Float64,
+                Some(DataType::Int32) | Some(DataType::Int64) => DataType::Int64,
+                Some(other) => other,
+                None => DataType::Int64,
+            },
+            AggFunc::Min | AggFunc::Max => self
+                .arg
+                .as_ref()
+                .map(|a| a.infer_type(input))
+                .unwrap_or(DataType::Text),
+        }
+    }
+}
+
+impl fmt::Display for BoundExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundExpr::Col(i) => write!(f, "#{i}"),
+            BoundExpr::Lit(v) => write!(f, "{v}"),
+            BoundExpr::Binary { op, left, right } => {
+                let sym = match op {
+                    BinOp::Or => "OR",
+                    BinOp::And => "AND",
+                    BinOp::Eq => "=",
+                    BinOp::NotEq => "<>",
+                    BinOp::Lt => "<",
+                    BinOp::LtEq => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::GtEq => ">=",
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                };
+                write!(f, "({left} {sym} {right})")
+            }
+            BoundExpr::Unary { op, expr } => match op {
+                UnOp::Not => write!(f, "NOT {expr}"),
+                UnOp::Neg => write!(f, "-{expr}"),
+            },
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}LIKE '{pattern}'",
+                if *negated { "NOT " } else { "" }
+            ),
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "{expr} {}BETWEEN {low} AND {high}",
+                if *negated { "NOT " } else { "" }
+            ),
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "{expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str(")")
+            }
+            BoundExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                f.write_str("CASE")?;
+                for (c, r) in branches {
+                    write!(f, " WHEN {c} THEN {r}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                f.write_str(" END")
+            }
+            BoundExpr::IsNull { expr, negated } => {
+                write!(f, "{expr} IS {}NULL", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_columns_walks_the_tree() {
+        let e = BoundExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(BoundExpr::Between {
+                expr: Box::new(BoundExpr::Col(3)),
+                low: Box::new(BoundExpr::Lit(Value::Int64(1))),
+                high: Box::new(BoundExpr::Col(7)),
+                negated: false,
+            }),
+            right: Box::new(BoundExpr::Col(1)),
+        };
+        let mut s = BTreeSet::new();
+        e.referenced_columns(&mut s);
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![1, 3, 7]);
+    }
+
+    #[test]
+    fn map_columns_rewrites_ordinals() {
+        let e = BoundExpr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(BoundExpr::Col(2)),
+            right: Box::new(BoundExpr::Col(5)),
+        };
+        let m = e.map_columns(&|i| i * 10);
+        let mut s = BTreeSet::new();
+        m.referenced_columns(&mut s);
+        assert_eq!(s.into_iter().collect::<Vec<_>>(), vec![20, 50]);
+    }
+
+    #[test]
+    fn type_inference() {
+        let input = [DataType::Int32, DataType::Float64, DataType::Date];
+        let mul = BoundExpr::Binary {
+            op: BinOp::Mul,
+            left: Box::new(BoundExpr::Col(0)),
+            right: Box::new(BoundExpr::Col(1)),
+        };
+        assert_eq!(mul.infer_type(&input), DataType::Float64);
+        let div = BoundExpr::Binary {
+            op: BinOp::Div,
+            left: Box::new(BoundExpr::Col(0)),
+            right: Box::new(BoundExpr::Col(0)),
+        };
+        assert_eq!(div.infer_type(&input), DataType::Float64);
+        let cmp = BoundExpr::Binary {
+            op: BinOp::Lt,
+            left: Box::new(BoundExpr::Col(2)),
+            right: Box::new(BoundExpr::Lit(Value::Date(nodb_common::Date(0)))),
+        };
+        assert_eq!(cmp.infer_type(&input), DataType::Bool);
+    }
+
+    #[test]
+    fn agg_output_types() {
+        let input = [DataType::Int32, DataType::Float64];
+        let sum_int = AggExpr {
+            func: AggFunc::Sum,
+            arg: Some(BoundExpr::Col(0)),
+        };
+        assert_eq!(sum_int.output_type(&input), DataType::Int64);
+        let avg = AggExpr {
+            func: AggFunc::Avg,
+            arg: Some(BoundExpr::Col(0)),
+        };
+        assert_eq!(avg.output_type(&input), DataType::Float64);
+        let count = AggExpr {
+            func: AggFunc::Count,
+            arg: None,
+        };
+        assert_eq!(count.output_type(&input), DataType::Int64);
+    }
+
+    #[test]
+    fn conjunction_of_none_is_true() {
+        assert_eq!(
+            BoundExpr::conjunction(vec![]),
+            BoundExpr::Lit(Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = BoundExpr::Binary {
+            op: BinOp::LtEq,
+            left: Box::new(BoundExpr::Col(0)),
+            right: Box::new(BoundExpr::Lit(Value::Int64(10))),
+        };
+        assert_eq!(e.to_string(), "(#0 <= 10)");
+    }
+}

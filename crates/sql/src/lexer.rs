@@ -1,0 +1,293 @@
+//! SQL tokenizer.
+
+use nodb_common::{NoDbError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (normalized to lowercase; originals carry no
+    /// case significance in this dialect).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `.`
+    Dot,
+}
+
+impl Token {
+    /// Is this the keyword `kw` (case-insensitive; `kw` must be lowercase)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s == kw)
+    }
+}
+
+/// Tokenize SQL text. Comments (`-- …`) are skipped.
+pub fn lex(sql: &str) -> Result<Vec<Token>> {
+    let b = sql.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            b'!' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Token::NotEq);
+                i += 2;
+            }
+            b'<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'>' {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= b.len() {
+                        return Err(NoDbError::sql("unterminated string literal"));
+                    }
+                    if b[i] == b'\'' {
+                        if i + 1 < b.len() && b[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(b[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'.' if i + 1 < b.len() && b[i + 1].is_ascii_digit() => {
+                // .5 style float
+                let start = i;
+                i += 1;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap();
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| NoDbError::sql(format!("bad number `{text}`")))?;
+                out.push(Token::Float(v));
+            }
+            b'.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                } else if i < b.len() && b[i] == b'.' {
+                    // `1.` style
+                    is_float = true;
+                    i += 1;
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < b.len() && (b[i] == b'+' || b[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap();
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| NoDbError::sql(format!("bad number `{text}`")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => out.push(Token::Int(v)),
+                        Err(_) => {
+                            let v: f64 = text.parse().map_err(|_| {
+                                NoDbError::sql(format!("bad number `{text}`"))
+                            })?;
+                            out.push(Token::Float(v));
+                        }
+                    }
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&b[start..i]).unwrap();
+                out.push(Token::Ident(text.to_ascii_lowercase()));
+            }
+            other => {
+                return Err(NoDbError::sql(format!(
+                    "unexpected character `{}`",
+                    other as char
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_keywords_and_operators() {
+        let toks = lex("SELECT a, b FROM t WHERE x <= 5 AND y <> 'it''s'").unwrap();
+        assert_eq!(toks[0], Token::Ident("select".into()));
+        assert!(toks.contains(&Token::LtEq));
+        assert!(toks.contains(&Token::NotEq));
+        assert!(toks.contains(&Token::Str("it's".into())));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let toks = lex("1 2.5 100.00 .5 1e3 3.2e-2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(1),
+                Token::Float(2.5),
+                Token::Float(100.0),
+                Token::Float(0.5),
+                Token::Float(1000.0),
+                Token::Float(0.032),
+            ]
+        );
+    }
+
+    #[test]
+    fn minus_is_a_token_not_a_sign() {
+        let toks = lex("1-2").unwrap();
+        assert_eq!(toks, vec![Token::Int(1), Token::Minus, Token::Int(2)]);
+    }
+
+    #[test]
+    fn skips_comments() {
+        let toks = lex("select -- comment here\n 1").unwrap();
+        assert_eq!(toks, vec![Token::Ident("select".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn qualified_names_use_dot() {
+        let toks = lex("t.col").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t".into()),
+                Token::Dot,
+                Token::Ident("col".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(lex("select 'unterminated").is_err());
+        assert!(lex("select @").is_err());
+    }
+}

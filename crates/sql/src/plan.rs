@@ -1,0 +1,283 @@
+//! Logical query plans.
+
+use std::fmt;
+
+use nodb_common::Schema;
+
+use crate::expr::{AggExpr, BoundExpr};
+
+/// Join kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Inner equi-join (plus residual filter).
+    Inner,
+    /// Left semi-join (EXISTS).
+    Semi,
+    /// Left anti-join (NOT EXISTS).
+    Anti,
+}
+
+/// Aggregation strategy, chosen by the optimizer from estimated group
+/// counts — the mechanism behind the paper's Figure 12 (with statistics
+/// the planner picks hash aggregation; without, it must assume many
+/// groups and sort).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggStrategy {
+    /// No GROUP BY: a single accumulator.
+    Plain,
+    /// Hash aggregation (few groups expected).
+    Hash,
+    /// Sort-based aggregation (group count unknown or huge).
+    Sort,
+}
+
+/// One sort key over the input's output ordinals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    /// Column ordinal in the input schema.
+    pub col: usize,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// A logical plan node. Children are boxed; leaves are scans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Leaf: scan of a registered table.
+    ///
+    /// `projection` lists the table-schema ordinals produced, in
+    /// ascending file order (selective tuple formation starts here).
+    /// `filters` are conjuncts over the *projected* ordinals, pushed down
+    /// for selective parsing.
+    Scan {
+        /// Registered table name.
+        table: String,
+        /// Projected table-column ordinals (ascending).
+        projection: Vec<usize>,
+        /// Pushed-down conjuncts, bound to projection-space ordinals.
+        filters: Vec<BoundExpr>,
+        /// Output schema (the projected fields).
+        schema: Schema,
+        /// Estimated output rows (filled by the optimizer; used by tests
+        /// and EXPLAIN output).
+        estimated_rows: f64,
+    },
+    /// Residual filter.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Predicate over the input schema.
+        predicate: BoundExpr,
+    },
+    /// Join of two inputs. Output layout = left columns ++ right columns
+    /// (Inner); Semi/Anti output only left columns.
+    Join {
+        /// Build/left input.
+        left: Box<LogicalPlan>,
+        /// Probe/right input.
+        right: Box<LogicalPlan>,
+        /// Equi-join key pairs `(left ordinal, right ordinal)`.
+        on: Vec<(usize, usize)>,
+        /// Residual predicate over the concatenated layout.
+        residual: Option<BoundExpr>,
+        /// Join kind.
+        kind: JoinKind,
+        /// Output schema.
+        schema: Schema,
+        /// Estimated output rows.
+        estimated_rows: f64,
+    },
+    /// Aggregation. Output layout = group keys ++ aggregate results.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group-key ordinals in the input schema.
+        group: Vec<usize>,
+        /// Aggregate calls (args bound to the input schema).
+        aggs: Vec<AggExpr>,
+        /// Execution strategy.
+        strategy: AggStrategy,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Projection: compute expressions over the input.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output expressions.
+        exprs: Vec<BoundExpr>,
+        /// Output schema (names from aliases).
+        schema: Schema,
+    },
+    /// Sort by keys over the input's output ordinals.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys, major first.
+        keys: Vec<SortKey>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Maximum rows.
+        n: u64,
+    },
+    /// Duplicate elimination over complete output rows (SELECT DISTINCT).
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+}
+
+impl LogicalPlan {
+    /// Output schema of this node.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            LogicalPlan::Scan { schema, .. } => schema,
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Join { schema, .. } => schema,
+            LogicalPlan::Aggregate { schema, .. } => schema,
+            LogicalPlan::Project { schema, .. } => schema,
+            LogicalPlan::Sort { input, .. } => input.schema(),
+            LogicalPlan::Limit { input, .. } => input.schema(),
+            LogicalPlan::Distinct { input } => input.schema(),
+        }
+    }
+
+    /// Multi-line indented EXPLAIN-style rendering.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.fmt_indent(&mut out, 0);
+        out
+    }
+
+    fn fmt_indent(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan {
+                table,
+                projection,
+                filters,
+                estimated_rows,
+                ..
+            } => {
+                let _ = write!(out, "{pad}Scan {table} proj={projection:?}");
+                if !filters.is_empty() {
+                    let _ = write!(out, " filters=[");
+                    for (i, f) in filters.iter().enumerate() {
+                        if i > 0 {
+                            let _ = write!(out, ", ");
+                        }
+                        let _ = write!(out, "{f}");
+                    }
+                    let _ = write!(out, "]");
+                }
+                let _ = writeln!(out, " (~{estimated_rows:.0} rows)");
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "{pad}Filter {predicate}");
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                residual,
+                kind,
+                estimated_rows,
+                ..
+            } => {
+                let _ = write!(out, "{pad}{kind:?}Join on={on:?}");
+                if let Some(r) = residual {
+                    let _ = write!(out, " residual={r}");
+                }
+                let _ = writeln!(out, " (~{estimated_rows:.0} rows)");
+                left.fmt_indent(out, depth + 1);
+                right.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group,
+                aggs,
+                strategy,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}{strategy:?}Aggregate group={group:?} aggs={}",
+                    aggs.len()
+                );
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Project { input, exprs, .. } => {
+                let _ = write!(out, "{pad}Project [");
+                for (i, e) in exprs.iter().enumerate() {
+                    if i > 0 {
+                        let _ = write!(out, ", ");
+                    }
+                    let _ = write!(out, "{e}");
+                }
+                let _ = writeln!(out, "]");
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let _ = write!(out, "{pad}Sort [");
+                for (i, k) in keys.iter().enumerate() {
+                    if i > 0 {
+                        let _ = write!(out, ", ");
+                    }
+                    let _ = write!(out, "#{}{}", k.col, if k.desc { " desc" } else { "" });
+                }
+                let _ = writeln!(out, "]");
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Limit { input, n } => {
+                let _ = writeln!(out, "{pad}Limit {n}");
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Distinct { input } => {
+                let _ = writeln!(out, "{pad}Distinct");
+                input.fmt_indent(out, depth + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_common::{DataType, Value};
+
+    #[test]
+    fn explain_renders_tree() {
+        let scan = LogicalPlan::Scan {
+            table: "t".into(),
+            projection: vec![0, 2],
+            filters: vec![BoundExpr::Binary {
+                op: crate::expr::BinOp::Lt,
+                left: Box::new(BoundExpr::Col(0)),
+                right: Box::new(BoundExpr::Lit(Value::Int64(5))),
+            }],
+            schema: Schema::from_pairs(&[("a", DataType::Int32), ("c", DataType::Int32)])
+                .unwrap(),
+            estimated_rows: 42.0,
+        };
+        let plan = LogicalPlan::Limit {
+            input: Box::new(scan),
+            n: 10,
+        };
+        let s = plan.explain();
+        assert!(s.contains("Limit 10"));
+        assert!(s.contains("Scan t proj=[0, 2]"));
+        assert!(s.contains("(#0 < 5)"));
+        assert!(s.contains("~42 rows"));
+    }
+}

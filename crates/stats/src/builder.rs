@@ -1,0 +1,269 @@
+//! Incremental statistics collection fed by the scan.
+
+use std::collections::HashMap;
+
+use nodb_common::{DataType, Value};
+
+use crate::column::{numeric_proj, ColumnStats};
+use crate::histogram::Histogram;
+use crate::sketch::{hash_bytes, mix64, KmvSketch};
+
+/// Reservoir capacity; large enough for stable histograms, small enough
+/// that the on-the-fly overhead stays in the paper's "small overhead"
+/// regime.
+const RESERVOIR_CAP: usize = 8_192;
+/// KMV size: ~6 % NDV error.
+const KMV_K: usize = 256;
+/// Number of most-common values retained.
+const MCV_CAP: usize = 8;
+/// Histogram buckets.
+const HIST_BUCKETS: usize = 64;
+
+/// Builds [`ColumnStats`] from values the scan offers.
+///
+/// Offering is cheap: a hash into the KMV sketch, a min/max comparison and
+/// (with decreasing probability) a reservoir insertion. The scan decides
+/// *which* rows to offer (it samples a stride of tuples); the builder is
+/// agnostic.
+#[derive(Debug)]
+pub struct StatsBuilder {
+    dtype: DataType,
+    offered: u64,
+    nulls: u64,
+    min: Option<Value>,
+    max: Option<Value>,
+    kmv: KmvSketch,
+    reservoir: Vec<Value>,
+}
+
+impl StatsBuilder {
+    /// New builder for a column of `dtype`.
+    pub fn new(dtype: DataType) -> StatsBuilder {
+        StatsBuilder {
+            dtype,
+            offered: 0,
+            nulls: 0,
+            min: None,
+            max: None,
+            kmv: KmvSketch::new(KMV_K),
+            reservoir: Vec::new(),
+        }
+    }
+
+    /// Values offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Offer one sampled value.
+    pub fn offer(&mut self, v: &Value) {
+        self.offered += 1;
+        if v.is_null() {
+            self.nulls += 1;
+            return;
+        }
+        self.kmv.offer_hash(value_hash(v));
+        match &self.min {
+            Some(m) if v.sql_cmp(m) != Some(std::cmp::Ordering::Less) => {}
+            _ => self.min = Some(v.clone()),
+        }
+        match &self.max {
+            Some(m) if v.sql_cmp(m) != Some(std::cmp::Ordering::Greater) => {}
+            _ => self.max = Some(v.clone()),
+        }
+        // Deterministic reservoir sampling (Vitter's algorithm R with a
+        // hash-derived "random" index).
+        if self.reservoir.len() < RESERVOIR_CAP {
+            self.reservoir.push(v.clone());
+        } else {
+            let j = (mix64(self.offered.wrapping_mul(0x2545_f491_4f6c_dd1d))
+                % self.offered) as usize;
+            if j < RESERVOIR_CAP {
+                self.reservoir[j] = v.clone();
+            }
+        }
+    }
+
+    /// Finalize into [`ColumnStats`].
+    ///
+    /// `total_rows_hint` is the (estimated) total number of rows in the
+    /// table; when provided, the distinct count is extrapolated from the
+    /// sample with the GEE estimator (`√(N/n)·f₁ + Σ_{j≥2} f_j`),
+    /// otherwise the KMV estimate over the offered values is used as-is.
+    pub fn finalize(&self, total_rows_hint: Option<f64>) -> ColumnStats {
+        let non_null = self.offered - self.nulls;
+        // Value counts over the reservoir for MCVs and GEE f-statistics.
+        let mut counts: HashMap<u64, (Value, u64)> = HashMap::new();
+        for v in &self.reservoir {
+            let e = counts
+                .entry(value_hash(v))
+                .or_insert_with(|| (v.clone(), 0));
+            e.1 += 1;
+        }
+        let ndv = self.estimate_ndv(&counts, non_null, total_rows_hint);
+
+        // MCVs: top values by reservoir count, only if they repeat.
+        let res_len = self.reservoir.len().max(1) as f64;
+        let mut by_count: Vec<(&Value, u64)> =
+            counts.values().map(|(v, c)| (v, *c)).collect();
+        by_count.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(b.0)));
+        let mcv: Vec<(Value, f64)> = by_count
+            .iter()
+            .take(MCV_CAP)
+            .filter(|(_, c)| *c >= 2)
+            .map(|(v, c)| ((*v).clone(), *c as f64 / res_len))
+            .collect();
+
+        // Histogram over the numeric projection of the reservoir.
+        let nums: Vec<f64> = self
+            .reservoir
+            .iter()
+            .filter_map(numeric_proj)
+            .collect();
+        let histogram = Histogram::build(&nums, HIST_BUCKETS);
+
+        ColumnStats {
+            dtype: self.dtype,
+            rows_sampled: self.offered,
+            null_count: self.nulls,
+            min: self.min.clone(),
+            max: self.max.clone(),
+            ndv,
+            histogram,
+            mcv,
+        }
+    }
+
+    fn estimate_ndv(
+        &self,
+        counts: &HashMap<u64, (Value, u64)>,
+        non_null: u64,
+        total_rows_hint: Option<f64>,
+    ) -> f64 {
+        let kmv_est = self.kmv.estimate();
+        let Some(total) = total_rows_hint else {
+            return kmv_est;
+        };
+        let total_non_null = (total * (non_null as f64 / self.offered.max(1) as f64)).max(1.0);
+        let n_res = self.reservoir.len() as f64;
+        if n_res == 0.0 {
+            return kmv_est;
+        }
+        let d_res = counts.len() as f64;
+        if d_res >= n_res * 0.999 {
+            // Every sampled value distinct: key-like column.
+            return total_non_null;
+        }
+        let f1 = counts.values().filter(|(_, c)| *c == 1).count() as f64;
+        let gee = (total_non_null / n_res).sqrt() * f1 + (d_res - f1);
+        gee.clamp(d_res.min(kmv_est), total_non_null)
+    }
+}
+
+/// Hash a value to 64 bits for sketching, consistent across numeric
+/// widths that compare equal.
+fn value_hash(v: &Value) -> u64 {
+    match v {
+        Value::Null => 0,
+        Value::Int32(x) => mix64(*x as i64 as u64),
+        Value::Int64(x) => mix64(*x as u64),
+        Value::Float64(x) => {
+            // Normalize integral floats to hash like their integer peers.
+            if x.fract() == 0.0 && x.abs() < 9e15 {
+                mix64(*x as i64 as u64)
+            } else {
+                mix64(x.to_bits())
+            }
+        }
+        Value::Date(d) => mix64(d.0 as i64 as u64 ^ 0xdace_dace),
+        Value::Bool(b) => mix64(*b as u64 ^ 0xb001),
+        Value::Text(s) => hash_bytes(s.as_bytes()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_max_are_exact_over_offered() {
+        let mut b = StatsBuilder::new(DataType::Int32);
+        for v in [5, -2, 9, 0] {
+            b.offer(&Value::Int32(v));
+        }
+        let s = b.finalize(None);
+        assert_eq!(s.min, Some(Value::Int32(-2)));
+        assert_eq!(s.max, Some(Value::Int32(9)));
+        assert_eq!(s.rows_sampled, 4);
+    }
+
+    #[test]
+    fn ndv_exact_for_small_domains() {
+        let mut b = StatsBuilder::new(DataType::Int32);
+        for i in 0..5000 {
+            b.offer(&Value::Int32(i % 7));
+        }
+        let s = b.finalize(Some(5000.0));
+        assert!((s.ndv - 7.0).abs() < 1.0, "ndv={}", s.ndv);
+    }
+
+    #[test]
+    fn ndv_extrapolates_key_columns() {
+        let mut b = StatsBuilder::new(DataType::Int64);
+        // Sample of 2k distinct values from a 1M-row key column.
+        for i in 0..2000 {
+            b.offer(&Value::Int64(i * 499));
+        }
+        let s = b.finalize(Some(1_000_000.0));
+        assert!(s.ndv > 500_000.0, "key-like ndv={}", s.ndv);
+    }
+
+    #[test]
+    fn mcv_captures_heavy_hitters() {
+        let mut b = StatsBuilder::new(DataType::Text);
+        for i in 0..3000 {
+            let v = match i % 10 {
+                0..=4 => "A",
+                5..=7 => "B",
+                _ => "C",
+            };
+            b.offer(&Value::Text(v.into()));
+        }
+        let s = b.finalize(Some(3000.0));
+        assert!(!s.mcv.is_empty());
+        let top = &s.mcv[0];
+        assert_eq!(top.0, Value::Text("A".into()));
+        assert!((top.1 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn reservoir_is_bounded() {
+        let mut b = StatsBuilder::new(DataType::Int32);
+        for i in 0..100_000 {
+            b.offer(&Value::Int32(i));
+        }
+        assert!(b.reservoir.len() <= RESERVOIR_CAP);
+        let s = b.finalize(Some(100_000.0));
+        assert!(s.histogram.is_some());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut b = StatsBuilder::new(DataType::Int32);
+            for i in 0..50_000 {
+                b.offer(&Value::Int32(i % 321));
+            }
+            b.finalize(Some(50_000.0)).ndv
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn integral_floats_hash_like_ints() {
+        assert_eq!(
+            value_hash(&Value::Float64(42.0)),
+            value_hash(&Value::Int64(42))
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Equi-width histograms over numeric/date attributes.
+
+/// An equi-width histogram over the numeric projection of a column
+/// (integers and floats as themselves, dates as day numbers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Build from sample values with `nbuckets` buckets.
+    pub fn build(values: &[f64], nbuckets: usize) -> Option<Histogram> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            if !v.is_finite() {
+                continue;
+            }
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if !min.is_finite() || !max.is_finite() {
+            return None;
+        }
+        let nbuckets = nbuckets.max(1);
+        let mut buckets = vec![0u64; nbuckets];
+        let width = (max - min) / nbuckets as f64;
+        let mut total = 0u64;
+        for &v in values {
+            if !v.is_finite() {
+                continue;
+            }
+            let b = if width == 0.0 {
+                0
+            } else {
+                (((v - min) / width) as usize).min(nbuckets - 1)
+            };
+            buckets[b] += 1;
+            total += 1;
+        }
+        Some(Histogram {
+            min,
+            max,
+            buckets,
+            total,
+        })
+    }
+
+    /// Estimated fraction of values `< x` (linear interpolation within a
+    /// bucket).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if x <= self.min {
+            return 0.0;
+        }
+        if x > self.max {
+            return 1.0;
+        }
+        let width = (self.max - self.min) / self.buckets.len() as f64;
+        if width == 0.0 {
+            // Degenerate: all values equal.
+            return if x > self.min { 1.0 } else { 0.0 };
+        }
+        let pos = (x - self.min) / width;
+        let idx = (pos as usize).min(self.buckets.len() - 1);
+        let frac_in_bucket = pos - idx as f64;
+        let below: u64 = self.buckets[..idx].iter().sum();
+        let partial = self.buckets[idx] as f64 * frac_in_bucket;
+        (below as f64 + partial) / self.total as f64
+    }
+
+    /// Estimated fraction inside `[low, high)` with open/closed bounds
+    /// approximated continuously.
+    pub fn fraction_between(&self, low: Option<f64>, high: Option<f64>) -> f64 {
+        let lo = low.map_or(0.0, |l| self.fraction_below(l));
+        let hi = high.map_or(1.0, |h| self.fraction_below(h));
+        (hi - lo).clamp(0.0, 1.0)
+    }
+
+    /// Smallest sampled value.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sampled value.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_data_gives_linear_cdf() {
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let h = Histogram::build(&values, 64).unwrap();
+        for q in [0.1, 0.25, 0.5, 0.9] {
+            let est = h.fraction_below(q * 10_000.0);
+            assert!((est - q).abs() < 0.03, "q={q} est={est}");
+        }
+        assert_eq!(h.fraction_below(-5.0), 0.0);
+        assert_eq!(h.fraction_below(1e9), 1.0);
+    }
+
+    #[test]
+    fn between_combines_bounds() {
+        let values: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = Histogram::build(&values, 32).unwrap();
+        let f = h.fraction_between(Some(250.0), Some(750.0));
+        assert!((f - 0.5).abs() < 0.05);
+        assert!((h.fraction_between(None, Some(100.0)) - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn degenerate_single_value() {
+        let h = Histogram::build(&[5.0, 5.0, 5.0], 8).unwrap();
+        assert_eq!(h.fraction_below(5.0), 0.0);
+        assert_eq!(h.fraction_below(5.1), 1.0);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(Histogram::build(&[], 8).is_none());
+        assert!(Histogram::build(&[f64::NAN], 8).is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! **On-the-fly statistics** (NoDB paper, §4.4).
+//!
+//! Conventional engines collect statistics after loading; PostgresRaw
+//! "extend\[s\] the scan operator to create statistics on-the-fly",
+//! feeding the native optimizer with a *sample* of the data, only for the
+//! attributes a query actually reads, augmenting them incrementally as
+//! later queries touch more attributes.
+//!
+//! This crate provides:
+//!
+//! * [`StatsBuilder`] — fed by the scan with sampled values; cheap enough
+//!   to run inline (the paper measures ~a few % overhead on first touch).
+//! * [`ColumnStats`] — min/max, null fraction, distinct-count estimate
+//!   (KMV sketch + GEE sample extrapolation), equi-width histogram and
+//!   most-common values.
+//! * Selectivity estimation for `=`, ranges, `LIKE` prefixes and
+//!   group-count estimation — the inputs the optimizer needs for join
+//!   ordering and aggregate-strategy choice (the Figure 12 mechanism).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod column;
+pub mod histogram;
+pub mod sketch;
+pub mod table;
+
+pub use builder::StatsBuilder;
+pub use column::ColumnStats;
+pub use histogram::Histogram;
+pub use sketch::KmvSketch;
+pub use table::TableStats;
+
+/// Default selectivity for equality predicates when nothing is known
+/// (mirrors PostgreSQL's `DEFAULT_EQ_SEL`).
+pub const DEFAULT_EQ_SEL: f64 = 0.005;
+/// Default selectivity for inequality/range predicates when nothing is
+/// known (mirrors PostgreSQL's `DEFAULT_INEQ_SEL`).
+pub const DEFAULT_INEQ_SEL: f64 = 1.0 / 3.0;
+/// Default selectivity for `LIKE` when nothing is known.
+pub const DEFAULT_LIKE_SEL: f64 = 0.05;

@@ -1,0 +1,130 @@
+//! Per-table statistics registry.
+
+use std::collections::HashMap;
+
+use crate::column::ColumnStats;
+
+/// Fallback distinct-count guess for attributes without statistics
+/// (mirrors PostgreSQL's 200-distinct default).
+pub const DEFAULT_NDV: f64 = 200.0;
+
+/// Statistics for one table: row count plus per-attribute stats, grown
+/// incrementally "as queries request more attributes of a raw file"
+/// (§4.4).
+#[derive(Debug, Default, Clone)]
+pub struct TableStats {
+    columns: HashMap<u32, ColumnStats>,
+    row_count: Option<u64>,
+}
+
+impl TableStats {
+    /// Empty statistics.
+    pub fn new() -> TableStats {
+        TableStats::default()
+    }
+
+    /// Known or estimated row count.
+    pub fn row_count(&self) -> Option<u64> {
+        self.row_count
+    }
+
+    /// Record the exact row count (known once a scan reaches EOF).
+    pub fn set_row_count(&mut self, n: u64) {
+        self.row_count = Some(n);
+    }
+
+    /// Statistics for attribute `attr`, if collected.
+    pub fn column(&self, attr: u32) -> Option<&ColumnStats> {
+        self.columns.get(&attr)
+    }
+
+    /// Whether stats exist for `attr` (used by the scan to avoid
+    /// re-analyzing).
+    pub fn has_column(&self, attr: u32) -> bool {
+        self.columns.contains_key(&attr)
+    }
+
+    /// Install (or replace) statistics for one attribute.
+    pub fn set_column(&mut self, attr: u32, stats: ColumnStats) {
+        self.columns.insert(attr, stats);
+    }
+
+    /// Attributes with statistics.
+    pub fn analyzed_attrs(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.columns.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Estimated number of groups produced by grouping on `attrs`:
+    /// the product of per-attribute distinct counts, damped and capped by
+    /// the row count (the classic optimizer heuristic that drives the
+    /// hash-vs-sort aggregate choice in Figure 12).
+    pub fn estimate_groups(&self, attrs: &[u32]) -> f64 {
+        let rows = self.row_count.map_or(1e6, |r| r as f64).max(1.0);
+        let mut groups = 1.0f64;
+        for &a in attrs {
+            let ndv = self
+                .columns
+                .get(&a)
+                .map_or(DEFAULT_NDV, |c| c.distinct());
+            groups *= ndv.max(1.0);
+            if groups > rows {
+                return rows;
+            }
+        }
+        groups.min(rows)
+    }
+
+    /// Drop all statistics (file invalidated).
+    pub fn clear(&mut self) {
+        self.columns.clear();
+        self.row_count = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::StatsBuilder;
+    use nodb_common::{DataType, Value};
+
+    fn stats_with_ndv(vals: i32) -> ColumnStats {
+        let mut b = StatsBuilder::new(DataType::Int32);
+        for i in 0..5000 {
+            b.offer(&Value::Int32(i % vals));
+        }
+        b.finalize(Some(5000.0))
+    }
+
+    #[test]
+    fn group_estimate_multiplies_and_caps() {
+        let mut t = TableStats::new();
+        t.set_row_count(10_000);
+        t.set_column(0, stats_with_ndv(3));
+        t.set_column(1, stats_with_ndv(4));
+        let g = t.estimate_groups(&[0, 1]);
+        assert!((g - 12.0).abs() < 3.0, "g={g}");
+        // Unknown attr uses the default NDV.
+        let g = t.estimate_groups(&[0, 9]);
+        assert!(g >= 3.0 * DEFAULT_NDV * 0.9);
+        // Capped by row count.
+        t.set_column(2, stats_with_ndv(5000));
+        let g = t.estimate_groups(&[2, 1, 0]);
+        assert!(g <= 10_000.0);
+    }
+
+    #[test]
+    fn incremental_attribute_coverage() {
+        let mut t = TableStats::new();
+        assert!(!t.has_column(4));
+        t.set_column(4, stats_with_ndv(10));
+        assert!(t.has_column(4));
+        assert_eq!(t.analyzed_attrs(), vec![4]);
+        t.set_column(1, stats_with_ndv(10));
+        assert_eq!(t.analyzed_attrs(), vec![1, 4]);
+        t.clear();
+        assert!(t.analyzed_attrs().is_empty());
+        assert_eq!(t.row_count(), None);
+    }
+}

@@ -1,0 +1,33 @@
+//! Conventional row-store substrate: what PostgresRaw is compared
+//! *against*.
+//!
+//! The paper's baselines (PostgreSQL, MySQL, "DBMS X") are loaded
+//! engines: data must first be parsed, converted to binary and written
+//! into slotted pages before the first query can run; queries then read
+//! those pages through a buffer pool. This crate builds that stack from
+//! scratch:
+//!
+//! * [`page`] — 8 KiB slotted pages.
+//! * [`tuple`](crate::tuple) — binary row codec with configurable tuple-header
+//!   overhead, plus an overflow path for rows larger than a page (the
+//!   mechanism behind Figure 13's wide-attribute degradation).
+//! * [`bufpool`] — an LRU buffer pool.
+//! * [`heap`] — heap files + scans.
+//! * [`engine`] — the loaded-table engine implementing
+//!   [`nodb_exec::TableProvider`], with three [`EngineProfile`]s standing
+//!   in for the paper's comparators (see DESIGN.md §3 for the
+//!   substitution rationale).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bufpool;
+pub mod engine;
+pub mod heap;
+pub mod page;
+pub mod tuple;
+
+pub use bufpool::BufferPool;
+pub use engine::{EngineProfile, LoadReport, LoadedTable, StorageEngine};
+pub use heap::HeapFile;
+pub use page::{Page, PAGE_SIZE};

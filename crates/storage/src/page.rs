@@ -1,0 +1,171 @@
+//! Slotted pages.
+//!
+//! Classic layout: a small header, a slot array growing forward, tuple
+//! data growing backward from the page end. "Each page contains a
+//! collection of tuples as well as additional metadata information to
+//! help in-page navigation" (§3).
+
+/// Page size in bytes (PostgreSQL's default).
+pub const PAGE_SIZE: usize = 8192;
+
+const HDR: usize = 4; // n_slots u16, free_start offset implied
+const SLOT: usize = 4; // offset u16, len u16
+
+/// A slotted page over an owned byte buffer.
+#[derive(Clone)]
+pub struct Page {
+    data: Vec<u8>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// Fresh empty page.
+    pub fn new() -> Page {
+        let mut data = vec![0u8; PAGE_SIZE];
+        // free_end starts at PAGE_SIZE.
+        data[2..4].copy_from_slice(&(PAGE_SIZE as u16).to_le_bytes());
+        Page { data }
+    }
+
+    /// Interpret existing bytes as a page.
+    pub fn from_bytes(data: Vec<u8>) -> Page {
+        debug_assert_eq!(data.len(), PAGE_SIZE);
+        Page { data }
+    }
+
+    /// The raw bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Consume into raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Number of tuples stored.
+    pub fn n_slots(&self) -> usize {
+        u16::from_le_bytes([self.data[0], self.data[1]]) as usize
+    }
+
+    fn free_end(&self) -> usize {
+        u16::from_le_bytes([self.data[2], self.data[3]]) as usize
+    }
+
+    /// Bytes available for one more tuple (including its slot entry).
+    pub fn free_space(&self) -> usize {
+        let slots_end = HDR + self.n_slots() * SLOT;
+        self.free_end().saturating_sub(slots_end)
+    }
+
+    /// Largest tuple that can ever fit in an empty page.
+    pub fn max_tuple_len() -> usize {
+        PAGE_SIZE - HDR - SLOT
+    }
+
+    /// Insert a tuple; returns its slot index, or `None` if it does not
+    /// fit.
+    pub fn insert(&mut self, tuple: &[u8]) -> Option<usize> {
+        if tuple.len() + SLOT > self.free_space() || tuple.len() > u16::MAX as usize {
+            return None;
+        }
+        let n = self.n_slots();
+        let end = self.free_end();
+        let start = end - tuple.len();
+        self.data[start..end].copy_from_slice(tuple);
+        let slot_off = HDR + n * SLOT;
+        self.data[slot_off..slot_off + 2].copy_from_slice(&(start as u16).to_le_bytes());
+        self.data[slot_off + 2..slot_off + 4]
+            .copy_from_slice(&(tuple.len() as u16).to_le_bytes());
+        self.data[0..2].copy_from_slice(&((n + 1) as u16).to_le_bytes());
+        self.data[2..4].copy_from_slice(&(start as u16).to_le_bytes());
+        Some(n)
+    }
+
+    /// Tuple bytes at `slot`.
+    pub fn tuple(&self, slot: usize) -> &[u8] {
+        tuple_of(&self.data, slot)
+    }
+}
+
+/// Number of tuples in a raw page image (zero-copy view used by scans —
+/// a page is pinned once and never copied per tuple).
+pub fn n_slots_of(page: &[u8]) -> usize {
+    u16::from_le_bytes([page[0], page[1]]) as usize
+}
+
+/// Tuple bytes at `slot` of a raw page image.
+pub fn tuple_of(page: &[u8], slot: usize) -> &[u8] {
+    let slot_off = HDR + slot * SLOT;
+    let start = u16::from_le_bytes([page[slot_off], page[slot_off + 1]]) as usize;
+    let len = u16::from_le_bytes([page[slot_off + 2], page[slot_off + 3]]) as usize;
+    &page[start..start + len]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut p = Page::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!!").unwrap();
+        assert_eq!(p.n_slots(), 2);
+        assert_eq!(p.tuple(a), b"hello");
+        assert_eq!(p.tuple(b), b"world!!");
+    }
+
+    #[test]
+    fn rejects_when_full() {
+        let mut p = Page::new();
+        let big = vec![7u8; 4000];
+        assert!(p.insert(&big).is_some());
+        assert!(p.insert(&big).is_some());
+        assert!(p.insert(&big).is_none()); // 3rd does not fit
+        assert_eq!(p.n_slots(), 2);
+    }
+
+    #[test]
+    fn max_tuple_fits_exactly() {
+        let mut p = Page::new();
+        let t = vec![1u8; Page::max_tuple_len()];
+        assert!(p.insert(&t).is_some());
+        assert_eq!(p.free_space(), 0);
+        assert!(p.insert(b"x").is_none());
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut p = Page::new();
+        p.insert(b"abc").unwrap();
+        let q = Page::from_bytes(p.bytes().to_vec());
+        assert_eq!(q.n_slots(), 1);
+        assert_eq!(q.tuple(0), b"abc");
+    }
+
+    proptest! {
+        #[test]
+        fn random_tuples_roundtrip(
+            tuples in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..300), 0..40)
+        ) {
+            let mut p = Page::new();
+            let mut stored = Vec::new();
+            for t in &tuples {
+                if let Some(slot) = p.insert(t) {
+                    stored.push((slot, t.clone()));
+                }
+            }
+            for (slot, t) in stored {
+                prop_assert_eq!(p.tuple(slot), &t[..]);
+            }
+        }
+    }
+}

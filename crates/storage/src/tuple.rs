@@ -1,0 +1,224 @@
+//! Binary tuple codec.
+//!
+//! Loaded engines store rows as: `header padding` (emulating the host's
+//! per-tuple bookkeeping — PostgreSQL's HeapTupleHeader is 23+ bytes,
+//! which is a real source of its larger tables), a null bitmap, then the
+//! values (fixed-width numerics, length-prefixed text).
+
+use nodb_common::{DataType, Date, NoDbError, Result, Row, Schema, Value};
+
+/// Encode a row. `header_bytes` zeros are prepended (profile-dependent).
+pub fn encode(row: &Row, schema: &Schema, header_bytes: usize, out: &mut Vec<u8>) -> Result<()> {
+    out.clear();
+    out.resize(header_bytes, 0);
+    let n = schema.len();
+    let bitmap_at = out.len();
+    out.resize(bitmap_at + n.div_ceil(8), 0);
+    for (i, (v, f)) in row.values().iter().zip(schema.fields()).enumerate() {
+        if v.is_null() {
+            out[bitmap_at + i / 8] |= 1 << (i % 8);
+            continue;
+        }
+        match (f.dtype, v) {
+            (DataType::Int32, Value::Int32(x)) => out.extend_from_slice(&x.to_le_bytes()),
+            (DataType::Int64, Value::Int64(x)) => out.extend_from_slice(&x.to_le_bytes()),
+            (DataType::Float64, Value::Float64(x)) => {
+                out.extend_from_slice(&x.to_le_bytes())
+            }
+            (DataType::Date, Value::Date(d)) => out.extend_from_slice(&d.0.to_le_bytes()),
+            (DataType::Bool, Value::Bool(b)) => out.push(*b as u8),
+            (DataType::Text, Value::Text(s)) => {
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            (dt, v) => {
+                return Err(NoDbError::internal(format!(
+                    "value {v} does not match column type {dt}"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decode the `projection` columns (ascending table ordinals) of an
+/// encoded tuple.
+pub fn decode_projected(
+    bytes: &[u8],
+    schema: &Schema,
+    header_bytes: usize,
+    projection: &[usize],
+) -> Result<Row> {
+    let n = schema.len();
+    let bitmap = &bytes[header_bytes..header_bytes + n.div_ceil(8)];
+    let mut pos = header_bytes + n.div_ceil(8);
+    let mut out = Row::with_capacity(projection.len());
+    let mut want = projection.iter().peekable();
+    for (i, f) in schema.fields().iter().enumerate() {
+        let is_null = bitmap[i / 8] & (1 << (i % 8)) != 0;
+        let wanted = want.peek() == Some(&&i);
+        if is_null {
+            if wanted {
+                out.push(Value::Null);
+                want.next();
+            }
+            continue;
+        }
+        let val_len = match f.dtype {
+            DataType::Int32 | DataType::Date => 4,
+            DataType::Int64 | DataType::Float64 => 8,
+            DataType::Bool => 1,
+            DataType::Text => {
+                let len = u32::from_le_bytes(
+                    bytes[pos..pos + 4]
+                        .try_into()
+                        .map_err(|_| NoDbError::internal("truncated tuple"))?,
+                ) as usize;
+                4 + len
+            }
+        };
+        if wanted {
+            let v = &bytes[pos..pos + val_len];
+            let value = match f.dtype {
+                DataType::Int32 => Value::Int32(i32::from_le_bytes(
+                    v.try_into().map_err(|_| NoDbError::internal("bad i32"))?,
+                )),
+                DataType::Date => Value::Date(Date(i32::from_le_bytes(
+                    v.try_into().map_err(|_| NoDbError::internal("bad date"))?,
+                ))),
+                DataType::Int64 => Value::Int64(i64::from_le_bytes(
+                    v.try_into().map_err(|_| NoDbError::internal("bad i64"))?,
+                )),
+                DataType::Float64 => Value::Float64(f64::from_le_bytes(
+                    v.try_into().map_err(|_| NoDbError::internal("bad f64"))?,
+                )),
+                DataType::Bool => Value::Bool(v[0] != 0),
+                DataType::Text => Value::Text(
+                    String::from_utf8_lossy(&v[4..]).into_owned(),
+                ),
+            };
+            out.push(value);
+            want.next();
+        }
+        pos += val_len;
+    }
+    if want.peek().is_some() {
+        return Err(NoDbError::internal("projection index beyond schema"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn schema() -> Schema {
+        Schema::parse("a int, b text, c double, d date, e bool, f bigint").unwrap()
+    }
+
+    fn sample() -> Row {
+        Row(vec![
+            Value::Int32(-42),
+            Value::Text("hello world".into()),
+            Value::Float64(2.75),
+            Value::Date(Date(9000)),
+            Value::Bool(true),
+            Value::Int64(1 << 40),
+        ])
+    }
+
+    #[test]
+    fn full_roundtrip() {
+        let s = schema();
+        let mut buf = Vec::new();
+        encode(&sample(), &s, 24, &mut buf).unwrap();
+        let row = decode_projected(&buf, &s, 24, &[0, 1, 2, 3, 4, 5]).unwrap();
+        assert_eq!(row, sample());
+    }
+
+    #[test]
+    fn projected_decode_skips_unneeded() {
+        let s = schema();
+        let mut buf = Vec::new();
+        encode(&sample(), &s, 8, &mut buf).unwrap();
+        let row = decode_projected(&buf, &s, 8, &[1, 4]).unwrap();
+        assert_eq!(
+            row,
+            Row(vec![Value::Text("hello world".into()), Value::Bool(true)])
+        );
+        let row = decode_projected(&buf, &s, 8, &[]).unwrap();
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    fn nulls_roundtrip() {
+        let s = schema();
+        let r = Row(vec![
+            Value::Null,
+            Value::Null,
+            Value::Float64(1.0),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ]);
+        let mut buf = Vec::new();
+        encode(&r, &s, 24, &mut buf).unwrap();
+        let row = decode_projected(&buf, &s, 24, &[0, 2, 5]).unwrap();
+        assert_eq!(row, Row(vec![Value::Null, Value::Float64(1.0), Value::Null]));
+    }
+
+    #[test]
+    fn header_bytes_affect_size_only() {
+        let s = schema();
+        let mut small = Vec::new();
+        let mut big = Vec::new();
+        encode(&sample(), &s, 8, &mut small).unwrap();
+        encode(&sample(), &s, 24, &mut big).unwrap();
+        assert_eq!(big.len() - small.len(), 16);
+        assert_eq!(
+            decode_projected(&small, &s, 8, &[0]).unwrap(),
+            decode_projected(&big, &s, 24, &[0]).unwrap()
+        );
+    }
+
+    #[test]
+    fn type_mismatch_is_an_error() {
+        let s = Schema::parse("a int").unwrap();
+        let mut buf = Vec::new();
+        assert!(encode(&Row(vec![Value::Text("x".into())]), &s, 0, &mut buf).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn random_rows_roundtrip(
+            a in any::<i32>(),
+            b in "[a-zA-Z0-9 ]{0,40}",
+            c in any::<i32>().prop_map(|x| x as f64 / 7.0),
+            d in -100_000i32..100_000,
+            e in any::<bool>(),
+            f in any::<i64>(),
+            null_mask in 0u8..64,
+        ) {
+            let s = schema();
+            let mut vals = vec![
+                Value::Int32(a),
+                Value::Text(b),
+                Value::Float64(c),
+                Value::Date(Date(d)),
+                Value::Bool(e),
+                Value::Int64(f),
+            ];
+            for (i, v) in vals.iter_mut().enumerate() {
+                if null_mask & (1 << i) != 0 {
+                    *v = Value::Null;
+                }
+            }
+            let row = Row(vals);
+            let mut buf = Vec::new();
+            encode(&row, &s, 16, &mut buf).unwrap();
+            let back = decode_projected(&buf, &s, 16, &[0, 1, 2, 3, 4, 5]).unwrap();
+            prop_assert_eq!(back, row);
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! The dbgen-style generator.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nodb_common::{Date, NoDbError, Result, Schema};
+use nodb_csv::{CsvOptions, CsvWriter};
+
+use crate::text::*;
+
+/// First order date in the spec.
+const STARTDATE: &str = "1992-01-01";
+/// Spec's CURRENTDATE used for return flags and line status.
+const CURRENTDATE: &str = "1995-06-17";
+/// Days in the order-date range [1992-01-01, 1998-08-02].
+const ORDERDATE_SPAN: i32 = 2406;
+
+/// Deterministic TPC-H generator at a given scale factor.
+#[derive(Debug, Clone)]
+pub struct TpchGen {
+    /// Scale factor (1.0 ≈ 1 GB of raw data; the paper uses 10).
+    pub scale: f64,
+    /// Base RNG seed; same seed + scale ⇒ identical files.
+    pub seed: u64,
+}
+
+impl Default for TpchGen {
+    fn default() -> Self {
+        TpchGen {
+            scale: 0.01,
+            seed: 0x7063_6874, // "tpch"
+        }
+    }
+}
+
+impl TpchGen {
+    /// New generator.
+    pub fn new(scale: f64, seed: u64) -> TpchGen {
+        TpchGen { scale, seed }
+    }
+
+    /// All table names, generation order (lineitem is produced together
+    /// with orders).
+    pub fn table_names() -> [&'static str; 8] {
+        [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
+            "lineitem",
+        ]
+    }
+
+    /// Schema of a TPC-H table.
+    pub fn schema(table: &str) -> Result<Schema> {
+        let desc = match table {
+            "lineitem" => {
+                "l_orderkey bigint, l_partkey int, l_suppkey int, l_linenumber int, \
+                 l_quantity double, l_extendedprice double, l_discount double, l_tax double, \
+                 l_returnflag text, l_linestatus text, l_shipdate date, l_commitdate date, \
+                 l_receiptdate date, l_shipinstruct text, l_shipmode text, l_comment text"
+            }
+            "orders" => {
+                "o_orderkey bigint, o_custkey int, o_orderstatus text, o_totalprice double, \
+                 o_orderdate date, o_orderpriority text, o_clerk text, o_shippriority int, \
+                 o_comment text"
+            }
+            "customer" => {
+                "c_custkey int, c_name text, c_address text, c_nationkey int, c_phone text, \
+                 c_acctbal double, c_mktsegment text, c_comment text"
+            }
+            "part" => {
+                "p_partkey int, p_name text, p_mfgr text, p_brand text, p_type text, \
+                 p_size int, p_container text, p_retailprice double, p_comment text"
+            }
+            "supplier" => {
+                "s_suppkey int, s_name text, s_address text, s_nationkey int, s_phone text, \
+                 s_acctbal double, s_comment text"
+            }
+            "partsupp" => {
+                "ps_partkey int, ps_suppkey int, ps_availqty int, ps_supplycost double, \
+                 ps_comment text"
+            }
+            "nation" => "n_nationkey int, n_name text, n_regionkey int, n_comment text",
+            "region" => "r_regionkey int, r_name text, r_comment text",
+            other => return Err(NoDbError::catalog(format!("unknown TPC-H table `{other}`"))),
+        };
+        Schema::parse(desc)
+    }
+
+    fn count(&self, base: u64) -> u64 {
+        ((base as f64 * self.scale).round() as u64).max(1)
+    }
+
+    /// Row counts at this scale (lineitem is approximate: 1–7 lines per
+    /// order).
+    pub fn row_counts(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("region", 5),
+            ("nation", 25),
+            ("supplier", self.count(10_000)),
+            ("customer", self.count(150_000)),
+            ("part", self.count(200_000)),
+            ("partsupp", self.count(200_000) * 4),
+            ("orders", self.count(1_500_000)),
+            ("lineitem", self.count(1_500_000) * 4),
+        ]
+    }
+
+    /// Generate every table into `dir` (as `{table}.tbl`, pipe-delimited),
+    /// returning `(table, path)` pairs.
+    pub fn generate_all(&self, dir: &Path) -> Result<Vec<(String, PathBuf)>> {
+        std::fs::create_dir_all(dir)?;
+        let mut out = Vec::new();
+        for t in Self::table_names() {
+            if t == "lineitem" {
+                continue; // written together with orders
+            }
+            let p = self.generate(t, dir)?;
+            out.push((t.to_string(), p));
+        }
+        out.push(("lineitem".to_string(), dir.join("lineitem.tbl")));
+        Ok(out)
+    }
+
+    /// Generate one table into `dir`. Generating `orders` also writes
+    /// `lineitem.tbl` (their dates are interdependent); generating
+    /// `lineitem` delegates to `orders`.
+    pub fn generate(&self, table: &str, dir: &Path) -> Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{table}.tbl"));
+        match table {
+            "region" => self.gen_region(&path)?,
+            "nation" => self.gen_nation(&path)?,
+            "supplier" => self.gen_supplier(&path)?,
+            "customer" => self.gen_customer(&path)?,
+            "part" => self.gen_part(&path)?,
+            "partsupp" => self.gen_partsupp(&path)?,
+            "orders" => self.gen_orders_and_lineitem(dir)?,
+            "lineitem" => {
+                self.gen_orders_and_lineitem(dir)?;
+                return Ok(dir.join("lineitem.tbl"));
+            }
+            other => {
+                return Err(NoDbError::catalog(format!("unknown TPC-H table `{other}`")))
+            }
+        }
+        Ok(path)
+    }
+
+    fn rng_for(&self, table: &str) -> StdRng {
+        let mut h = self.seed;
+        for b in table.bytes() {
+            h = h.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+        }
+        StdRng::seed_from_u64(h)
+    }
+
+    fn gen_region(&self, path: &Path) -> Result<()> {
+        let mut rng = self.rng_for("region");
+        let mut w = CsvWriter::create(path, CsvOptions::pipe())?;
+        for (i, name) in REGIONS.iter().enumerate() {
+            w.write_fields(&[
+                i.to_string(),
+                (*name).to_string(),
+                comment(&mut rng, 4, 8),
+            ])?;
+        }
+        w.finish()?;
+        Ok(())
+    }
+
+    fn gen_nation(&self, path: &Path) -> Result<()> {
+        let mut rng = self.rng_for("nation");
+        let mut w = CsvWriter::create(path, CsvOptions::pipe())?;
+        for (i, (name, region)) in NATIONS.iter().enumerate() {
+            w.write_fields(&[
+                i.to_string(),
+                (*name).to_string(),
+                region.to_string(),
+                comment(&mut rng, 4, 10),
+            ])?;
+        }
+        w.finish()?;
+        Ok(())
+    }
+
+    fn gen_supplier(&self, path: &Path) -> Result<()> {
+        let mut rng = self.rng_for("supplier");
+        let n = self.count(10_000);
+        let mut w = CsvWriter::create(path, CsvOptions::pipe())?;
+        for k in 1..=n {
+            let nation = rng.gen_range(0..25);
+            w.write_fields(&[
+                k.to_string(),
+                format!("Supplier#{k:09}"),
+                address(&mut rng),
+                nation.to_string(),
+                phone(&mut rng, nation),
+                money(rng.gen_range(-99_999i64..=999_999)),
+                comment(&mut rng, 5, 12),
+            ])?;
+        }
+        w.finish()?;
+        Ok(())
+    }
+
+    fn gen_customer(&self, path: &Path) -> Result<()> {
+        let mut rng = self.rng_for("customer");
+        let n = self.count(150_000);
+        let mut w = CsvWriter::create(path, CsvOptions::pipe())?;
+        for k in 1..=n {
+            let nation = rng.gen_range(0..25);
+            w.write_fields(&[
+                k.to_string(),
+                format!("Customer#{k:09}"),
+                address(&mut rng),
+                nation.to_string(),
+                phone(&mut rng, nation),
+                money(rng.gen_range(-99_999i64..=999_999)),
+                SEGMENTS[rng.gen_range(0..SEGMENTS.len())].to_string(),
+                comment(&mut rng, 6, 14),
+            ])?;
+        }
+        w.finish()?;
+        Ok(())
+    }
+
+    fn gen_part(&self, path: &Path) -> Result<()> {
+        let mut rng = self.rng_for("part");
+        let n = self.count(200_000);
+        let mut w = CsvWriter::create(path, CsvOptions::pipe())?;
+        for k in 1..=n {
+            let name = part_name(&mut rng);
+            let m = rng.gen_range(1..=5);
+            let brand = format!("Brand#{}{}", m, rng.gen_range(1..=5));
+            let ptype = format!(
+                "{} {} {}",
+                TYPE_S1[rng.gen_range(0..TYPE_S1.len())],
+                TYPE_S2[rng.gen_range(0..TYPE_S2.len())],
+                TYPE_S3[rng.gen_range(0..TYPE_S3.len())]
+            );
+            let container = format!(
+                "{} {}",
+                CONTAINER_S1[rng.gen_range(0..CONTAINER_S1.len())],
+                CONTAINER_S2[rng.gen_range(0..CONTAINER_S2.len())]
+            );
+            w.write_fields(&[
+                k.to_string(),
+                name,
+                format!("Manufacturer#{m}"),
+                brand,
+                ptype,
+                rng.gen_range(1..=50).to_string(),
+                container,
+                money(retail_price_cents(k) as i64),
+                comment(&mut rng, 3, 8),
+            ])?;
+        }
+        w.finish()?;
+        Ok(())
+    }
+
+    fn gen_partsupp(&self, path: &Path) -> Result<()> {
+        let mut rng = self.rng_for("partsupp");
+        let parts = self.count(200_000);
+        let suppliers = self.count(10_000);
+        let mut w = CsvWriter::create(path, CsvOptions::pipe())?;
+        for p in 1..=parts {
+            for i in 0..4u64 {
+                // Spec's supplier spreading formula.
+                let s = (p + i * ((suppliers / 4) + (p - 1) / suppliers)) % suppliers + 1;
+                w.write_fields(&[
+                    p.to_string(),
+                    s.to_string(),
+                    rng.gen_range(1..=9999).to_string(),
+                    money(rng.gen_range(100i64..=100_000)),
+                    comment(&mut rng, 8, 20),
+                ])?;
+            }
+        }
+        w.finish()?;
+        Ok(())
+    }
+
+    fn gen_orders_and_lineitem(&self, dir: &Path) -> Result<()> {
+        let mut rng = self.rng_for("orders");
+        let n_orders = self.count(1_500_000);
+        let n_cust = self.count(150_000);
+        let n_part = self.count(200_000);
+        let n_supp = self.count(10_000);
+        let start = Date::parse(STARTDATE).expect("valid const");
+        let current = Date::parse(CURRENTDATE).expect("valid const");
+
+        let mut ow = CsvWriter::create(&dir.join("orders.tbl"), CsvOptions::pipe())?;
+        let mut lw = CsvWriter::create(&dir.join("lineitem.tbl"), CsvOptions::pipe())?;
+        for ok in 1..=n_orders {
+            let custkey = rng.gen_range(1..=n_cust);
+            let orderdate = start.add_days(rng.gen_range(0..ORDERDATE_SPAN - 151));
+            let n_lines = rng.gen_range(1..=7u32);
+            let mut total_cents: i64 = 0;
+            let mut any_open = false;
+            let mut all_filled = true;
+            let mut lines: Vec<Vec<String>> = Vec::with_capacity(n_lines as usize);
+            for ln in 1..=n_lines {
+                let partkey = rng.gen_range(1..=n_part);
+                let suppkey = rng.gen_range(1..=n_supp);
+                let quantity = rng.gen_range(1..=50i64);
+                let price_cents = retail_price_cents(partkey) as i64 * quantity;
+                let discount = rng.gen_range(0..=10i64); // percent
+                let tax = rng.gen_range(0..=8i64); // percent
+                let shipdate = orderdate.add_days(rng.gen_range(1..=121));
+                let commitdate = orderdate.add_days(rng.gen_range(30..=90));
+                let receiptdate = shipdate.add_days(rng.gen_range(1..=30));
+                let returnflag = if receiptdate <= current {
+                    if rng.gen_bool(0.5) {
+                        "R"
+                    } else {
+                        "A"
+                    }
+                } else {
+                    "N"
+                };
+                let linestatus = if shipdate > current {
+                    any_open = true;
+                    all_filled = false;
+                    "O"
+                } else {
+                    "F"
+                };
+                total_cents += price_cents * (100 - discount) / 100 * (100 + tax) / 100;
+                lines.push(vec![
+                    ok.to_string(),
+                    partkey.to_string(),
+                    suppkey.to_string(),
+                    ln.to_string(),
+                    quantity.to_string(),
+                    money(price_cents),
+                    format!("0.{discount:02}"),
+                    format!("0.{tax:02}"),
+                    returnflag.to_string(),
+                    linestatus.to_string(),
+                    shipdate.to_string(),
+                    commitdate.to_string(),
+                    receiptdate.to_string(),
+                    INSTRUCTIONS[rng.gen_range(0..INSTRUCTIONS.len())].to_string(),
+                    MODES[rng.gen_range(0..MODES.len())].to_string(),
+                    comment(&mut rng, 2, 6),
+                ]);
+            }
+            let status = if all_filled {
+                "F"
+            } else if any_open && lines.len() > 1 {
+                "P"
+            } else {
+                "O"
+            };
+            ow.write_fields(&[
+                ok.to_string(),
+                custkey.to_string(),
+                status.to_string(),
+                money(total_cents),
+                orderdate.to_string(),
+                PRIORITIES[rng.gen_range(0..PRIORITIES.len())].to_string(),
+                format!("Clerk#{:09}", rng.gen_range(1..=1000u32)),
+                "0".to_string(),
+                comment(&mut rng, 4, 12),
+            ])?;
+            for l in &lines {
+                lw.write_fields(l)?;
+            }
+        }
+        ow.finish()?;
+        lw.finish()?;
+        Ok(())
+    }
+}
+
+/// Spec formula: `p_retailprice = (90000 + ((partkey/10) mod 20001)
+/// + 100·(partkey mod 1000)) / 100`, here in cents.
+fn retail_price_cents(partkey: u64) -> u64 {
+    90_000 + ((partkey / 10) % 20_001) + 100 * (partkey % 1_000)
+}
+
+fn money(cents: i64) -> String {
+    let sign = if cents < 0 { "-" } else { "" };
+    let c = cents.abs();
+    format!("{sign}{}.{:02}", c / 100, c % 100)
+}
+
+fn comment(rng: &mut StdRng, min_words: usize, max_words: usize) -> String {
+    let n = rng.gen_range(min_words..=max_words);
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(COMMENT_WORDS[rng.gen_range(0..COMMENT_WORDS.len())]);
+    }
+    s
+}
+
+fn part_name(rng: &mut StdRng) -> String {
+    let mut s = String::new();
+    for i in 0..5 {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(PART_WORDS[rng.gen_range(0..PART_WORDS.len())]);
+    }
+    s
+}
+
+fn address(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(10..=30);
+    let mut s = String::with_capacity(len);
+    for _ in 0..len {
+        let c = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJ0123456789 "[rng.gen_range(0..47)];
+        s.push(c as char);
+    }
+    s.trim().to_string()
+}
+
+fn phone(rng: &mut StdRng, nation: i32) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{}-{:03}-{:03}-{:04}",
+        10 + nation,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_common::TempDir;
+
+    #[test]
+    fn schemas_have_spec_column_counts() {
+        assert_eq!(TpchGen::schema("lineitem").unwrap().len(), 16);
+        assert_eq!(TpchGen::schema("orders").unwrap().len(), 9);
+        assert_eq!(TpchGen::schema("customer").unwrap().len(), 8);
+        assert_eq!(TpchGen::schema("part").unwrap().len(), 9);
+        assert_eq!(TpchGen::schema("supplier").unwrap().len(), 7);
+        assert_eq!(TpchGen::schema("partsupp").unwrap().len(), 5);
+        assert_eq!(TpchGen::schema("nation").unwrap().len(), 4);
+        assert_eq!(TpchGen::schema("region").unwrap().len(), 3);
+        assert!(TpchGen::schema("bogus").is_err());
+    }
+
+    #[test]
+    fn generates_expected_row_counts() {
+        let td = TempDir::new("tpch").unwrap();
+        let g = TpchGen::new(0.001, 42);
+        g.generate_all(td.path()).unwrap();
+        let count = |t: &str| {
+            std::fs::read_to_string(td.path().join(format!("{t}.tbl")))
+                .unwrap()
+                .lines()
+                .count()
+        };
+        assert_eq!(count("region"), 5);
+        assert_eq!(count("nation"), 25);
+        assert_eq!(count("supplier"), 10);
+        assert_eq!(count("customer"), 150);
+        assert_eq!(count("part"), 200);
+        assert_eq!(count("partsupp"), 800);
+        assert_eq!(count("orders"), 1500);
+        let li = count("lineitem");
+        assert!((1500..=10_500).contains(&li), "lineitem rows {li}");
+    }
+
+    #[test]
+    fn field_counts_match_schema() {
+        let td = TempDir::new("tpch").unwrap();
+        let g = TpchGen::new(0.001, 42);
+        g.generate_all(td.path()).unwrap();
+        for t in TpchGen::table_names() {
+            let schema = TpchGen::schema(t).unwrap();
+            let text = std::fs::read_to_string(td.path().join(format!("{t}.tbl"))).unwrap();
+            for line in text.lines().take(50) {
+                assert_eq!(
+                    line.split('|').count(),
+                    schema.len(),
+                    "table {t} line `{line}`"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let td = TempDir::new("tpch").unwrap();
+        let a = td.path().join("a");
+        let b = td.path().join("b");
+        TpchGen::new(0.001, 7).generate("part", &a).unwrap();
+        TpchGen::new(0.001, 7).generate("part", &b).unwrap();
+        assert_eq!(
+            std::fs::read(a.join("part.tbl")).unwrap(),
+            std::fs::read(b.join("part.tbl")).unwrap()
+        );
+        let c = td.path().join("c");
+        TpchGen::new(0.001, 8).generate("part", &c).unwrap();
+        assert_ne!(
+            std::fs::read(a.join("part.tbl")).unwrap(),
+            std::fs::read(c.join("part.tbl")).unwrap()
+        );
+    }
+
+    #[test]
+    fn domains_match_spec() {
+        let td = TempDir::new("tpch").unwrap();
+        let g = TpchGen::new(0.001, 42);
+        g.generate_all(td.path()).unwrap();
+        let part = std::fs::read_to_string(td.path().join("part.tbl")).unwrap();
+        let mut promo = 0;
+        for line in part.lines() {
+            let f: Vec<&str> = line.split('|').collect();
+            assert!(f[3].starts_with("Brand#"));
+            if f[4].starts_with("PROMO") {
+                promo += 1;
+            }
+            let size: i32 = f[5].parse().unwrap();
+            assert!((1..=50).contains(&size));
+        }
+        assert!(promo > 0, "PROMO parts must exist for Q14");
+        let li = std::fs::read_to_string(td.path().join("lineitem.tbl")).unwrap();
+        let mut r = 0;
+        let mut mail_ship = 0;
+        for line in li.lines() {
+            let f: Vec<&str> = line.split('|').collect();
+            assert!(matches!(f[8], "R" | "A" | "N"));
+            assert!(matches!(f[9], "O" | "F"));
+            if f[8] == "R" {
+                r += 1;
+            }
+            if matches!(f[14], "MAIL" | "SHIP") {
+                mail_ship += 1;
+            }
+            // shipdate within [1992, 1999)
+            assert!(f[10] >= "1992-01-01" && f[10] < "1999-01-01", "{}", f[10]);
+        }
+        assert!(r > 0, "R return flags must exist for Q10");
+        assert!(mail_ship > 0, "MAIL/SHIP modes must exist for Q12");
+    }
+
+    #[test]
+    fn retail_price_formula() {
+        assert_eq!(retail_price_cents(1), 90_000 + 100);
+        assert_eq!(money(90_100), "901.00");
+        assert_eq!(money(-150), "-1.50");
+    }
+}

@@ -1,0 +1,25 @@
+//! TPC-H workload substrate.
+//!
+//! The paper's §5.2 compares PostgresRaw with PostgreSQL on TPC-H
+//! (scale factor 10) using queries Q1, Q3, Q4, Q6, Q10, Q12, Q14 and Q19.
+//! This crate provides
+//!
+//! * [`TpchGen`] — a deterministic dbgen-style generator writing
+//!   pipe-delimited `.tbl` files for all eight tables at any scale
+//!   factor, following the spec's value domains (so the benchmark
+//!   queries select realistic fractions), and
+//! * [`queries`] — the SQL text of the eight evaluation queries with the
+//!   spec's validation parameters.
+//!
+//! Deviations from dbgen (documented, irrelevant to the reproduced
+//! behaviour): order keys are dense rather than sparse, and text columns
+//! draw from a compact word pool instead of the spec's full grammar.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod queries;
+pub mod text;
+
+pub use gen::TpchGen;

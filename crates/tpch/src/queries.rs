@@ -1,0 +1,163 @@
+//! The eight TPC-H queries of the paper's evaluation (Figure 10), with
+//! the spec's validation parameter values.
+
+/// Q1 — pricing summary report (the Figure 12 statistics query).
+pub const Q1: &str = "\
+select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, \
+       sum(l_extendedprice) as sum_base_price, \
+       sum(l_extendedprice * (1 - l_discount)) as sum_disc_price, \
+       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge, \
+       avg(l_quantity) as avg_qty, avg(l_extendedprice) as avg_price, \
+       avg(l_discount) as avg_disc, count(*) as count_order \
+from lineitem \
+where l_shipdate <= date '1998-12-01' - interval '90' day \
+group by l_returnflag, l_linestatus \
+order by l_returnflag, l_linestatus";
+
+/// Q3 — shipping priority.
+pub const Q3: &str = "\
+select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue, \
+       o_orderdate, o_shippriority \
+from customer, orders, lineitem \
+where c_mktsegment = 'BUILDING' and c_custkey = o_custkey and l_orderkey = o_orderkey \
+  and o_orderdate < date '1995-03-15' and l_shipdate > date '1995-03-15' \
+group by l_orderkey, o_orderdate, o_shippriority \
+order by revenue desc, o_orderdate \
+limit 10";
+
+/// Q4 — order priority checking (correlated EXISTS → semi-join).
+pub const Q4: &str = "\
+select o_orderpriority, count(*) as order_count \
+from orders \
+where o_orderdate >= date '1993-07-01' \
+  and o_orderdate < date '1993-07-01' + interval '3' month \
+  and exists (select * from lineitem \
+              where l_orderkey = o_orderkey and l_commitdate < l_receiptdate) \
+group by o_orderpriority \
+order by o_orderpriority";
+
+/// Q6 — revenue-change forecast.
+pub const Q6: &str = "\
+select sum(l_extendedprice * l_discount) as revenue \
+from lineitem \
+where l_shipdate >= date '1994-01-01' \
+  and l_shipdate < date '1994-01-01' + interval '1' year \
+  and l_discount between 0.05 and 0.07 and l_quantity < 24";
+
+/// Q10 — returned-item reporting (4-way join).
+pub const Q10: &str = "\
+select c_custkey, c_name, sum(l_extendedprice * (1 - l_discount)) as revenue, \
+       c_acctbal, n_name, c_address, c_phone, c_comment \
+from customer, orders, lineitem, nation \
+where c_custkey = o_custkey and l_orderkey = o_orderkey \
+  and o_orderdate >= date '1993-10-01' \
+  and o_orderdate < date '1993-10-01' + interval '3' month \
+  and l_returnflag = 'R' and c_nationkey = n_nationkey \
+group by c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment \
+order by revenue desc \
+limit 20";
+
+/// Q12 — shipping modes and order priority.
+pub const Q12: &str = "\
+select l_shipmode, \
+       sum(case when o_orderpriority = '1-URGENT' or o_orderpriority = '2-HIGH' \
+                then 1 else 0 end) as high_line_count, \
+       sum(case when o_orderpriority <> '1-URGENT' and o_orderpriority <> '2-HIGH' \
+                then 1 else 0 end) as low_line_count \
+from orders, lineitem \
+where o_orderkey = l_orderkey and l_shipmode in ('MAIL', 'SHIP') \
+  and l_commitdate < l_receiptdate and l_shipdate < l_commitdate \
+  and l_receiptdate >= date '1994-01-01' \
+  and l_receiptdate < date '1994-01-01' + interval '1' year \
+group by l_shipmode \
+order by l_shipmode";
+
+/// Q14 — promotion effect (aggregate arithmetic over a join).
+pub const Q14: &str = "\
+select 100.00 * sum(case when p_type like 'PROMO%' \
+                         then l_extendedprice * (1 - l_discount) else 0 end) \
+       / sum(l_extendedprice * (1 - l_discount)) as promo_revenue \
+from lineitem, part \
+where l_partkey = p_partkey and l_shipdate >= date '1995-09-01' \
+  and l_shipdate < date '1995-09-01' + interval '1' month";
+
+/// Q19 — discounted revenue (OR-of-conjunctions with a common join key;
+/// exercises the planner's OR factoring).
+pub const Q19: &str = "\
+select sum(l_extendedprice * (1 - l_discount)) as revenue \
+from lineitem, part \
+where (p_partkey = l_partkey and p_brand = 'Brand#12' \
+       and p_container in ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') \
+       and l_quantity >= 1 and l_quantity <= 11 \
+       and p_size between 1 and 5 \
+       and l_shipmode in ('AIR', 'AIR REG') \
+       and l_shipinstruct = 'DELIVER IN PERSON') \
+   or (p_partkey = l_partkey and p_brand = 'Brand#23' \
+       and p_container in ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') \
+       and l_quantity >= 10 and l_quantity <= 20 \
+       and p_size between 1 and 10 \
+       and l_shipmode in ('AIR', 'AIR REG') \
+       and l_shipinstruct = 'DELIVER IN PERSON') \
+   or (p_partkey = l_partkey and p_brand = 'Brand#34' \
+       and p_container in ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') \
+       and l_quantity >= 20 and l_quantity <= 30 \
+       and p_size between 1 and 15 \
+       and l_shipmode in ('AIR', 'AIR REG') \
+       and l_shipinstruct = 'DELIVER IN PERSON')";
+
+/// All evaluation queries with their ids, in the order of Figure 10.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("Q1", Q1),
+        ("Q3", Q3),
+        ("Q4", Q4),
+        ("Q6", Q6),
+        ("Q10", Q10),
+        ("Q12", Q12),
+        ("Q14", Q14),
+        ("Q19", Q19),
+    ]
+}
+
+/// Look up a query by id (`"Q1"`, `"q1"`, `"1"`, …).
+pub fn get(id: &str) -> Option<&'static str> {
+    let norm = id.trim().trim_start_matches(['q', 'Q']);
+    all()
+        .into_iter()
+        .find(|(name, _)| name.trim_start_matches('Q') == norm)
+        .map(|(_, sql)| sql)
+}
+
+/// Tables referenced by each query (for registering just what's needed).
+pub fn tables_for(id: &str) -> Vec<&'static str> {
+    match id.trim().trim_start_matches(['q', 'Q']) {
+        "1" | "6" => vec!["lineitem"],
+        "3" => vec!["customer", "orders", "lineitem"],
+        "4" => vec!["orders", "lineitem"],
+        "10" => vec!["customer", "orders", "lineitem", "nation"],
+        "12" => vec!["orders", "lineitem"],
+        "14" | "19" => vec!["lineitem", "part"],
+        _ => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(get("Q1"), Some(Q1));
+        assert_eq!(get("q14"), Some(Q14));
+        assert_eq!(get("19"), Some(Q19));
+        assert_eq!(get("Q2"), None);
+    }
+
+    #[test]
+    fn all_lists_eight_queries() {
+        assert_eq!(all().len(), 8);
+        for (id, _) in all() {
+            assert!(!tables_for(id).is_empty(), "{id} needs table list");
+        }
+    }
+}

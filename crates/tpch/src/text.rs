@@ -1,0 +1,100 @@
+//! Value domains from the TPC-H specification (§4.2.2-4.2.3).
+
+/// Part type, syllable 1.
+pub const TYPE_S1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+/// Part type, syllable 2.
+pub const TYPE_S2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+/// Part type, syllable 3.
+pub const TYPE_S3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// Container, syllable 1.
+pub const CONTAINER_S1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
+/// Container, syllable 2.
+pub const CONTAINER_S2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// Market segments.
+pub const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+
+/// Order priorities.
+pub const PRIORITIES: &[&str] = &[
+    "1-URGENT",
+    "2-HIGH",
+    "3-MEDIUM",
+    "4-NOT SPECIFIED",
+    "5-LOW",
+];
+
+/// Ship instructions.
+pub const INSTRUCTIONS: &[&str] = &[
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+
+/// Ship modes.
+pub const MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// Nation names with their region keys (spec Appendix A).
+pub const NATIONS: &[(&str, i32)] = &[
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// Region names.
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Part-name word pool (spec's P_NAME list, abridged but large enough for
+/// realistic distinct counts).
+pub const PART_WORDS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
+    "coral", "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger",
+    "drab", "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+    "green", "grey", "honeydew", "hot", "hotpink", "indian", "ivory", "khaki", "lace",
+    "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon", "medium",
+    "metallic", "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff", "purple",
+    "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky",
+    "slate", "smoke", "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise",
+    "violet", "wheat", "white", "yellow",
+];
+
+/// Generic comment word pool.
+pub const COMMENT_WORDS: &[&str] = &[
+    "carefully", "quickly", "furiously", "slyly", "blithely", "ironic", "final", "pending",
+    "regular", "express", "special", "bold", "even", "silent", "unusual", "packages",
+    "deposits", "requests", "accounts", "instructions", "theodolites", "platelets", "foxes",
+    "pinto", "beans", "asymptotes", "dependencies", "excuses", "ideas", "sauternes",
+    "sleep", "wake", "nag", "haggle", "cajole", "integrate", "boost", "detect", "among",
+    "about", "above", "across", "after", "against",
+];

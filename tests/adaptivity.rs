@@ -1,0 +1,152 @@
+//! Adaptivity guarantees: the behavioural claims behind Figures 5 and 6,
+//! asserted on work counters rather than wall-clock time (so they hold on
+//! any machine).
+
+use std::path::PathBuf;
+
+use nodb_common::{Schema, TempDir};
+use nodb_core::{AccessMode, NoDb, NoDbConfig};
+use nodb_csv::{CsvOptions, MicroGen};
+
+fn micro(rows: usize, cols: usize) -> (TempDir, PathBuf, Schema) {
+    let td = TempDir::new("nodb-adapt").unwrap();
+    let p = td.file("t.csv");
+    let spec = MicroGen::default().rows(rows).cols(cols).seed(5);
+    spec.write_to(&p).unwrap();
+    let schema = spec.schema();
+    (td, p, schema)
+}
+
+fn engine(cfg: NoDbConfig, p: &std::path::Path, s: &Schema) -> NoDb {
+    let mut db = NoDb::new(cfg).unwrap();
+    db.register_csv("t", p, s.clone(), CsvOptions::default(), AccessMode::InSitu)
+        .unwrap();
+    db
+}
+
+/// Figure 5's headline: with PM+C the second query is drastically cheaper.
+/// We assert the mechanism: zero tokenization, zero conversion.
+#[test]
+fn pm_c_second_query_costs_nothing_extra() {
+    let (_td, p, s) = micro(3000, 30);
+    let db = engine(NoDbConfig::postgres_raw(), &p, &s);
+    db.query("select c4, c11, c17, c22, c28 from t").unwrap();
+    let m1 = db.metrics("t").unwrap();
+    db.query("select c4, c11, c17, c22, c28 from t").unwrap();
+    let m2 = db.metrics("t").unwrap();
+    assert_eq!(m2.fields_tokenized, m1.fields_tokenized, "no re-tokenization");
+    assert_eq!(m2.fields_parsed, m1.fields_parsed, "no re-conversion");
+    assert_eq!(m2.bytes_tokenized, m1.bytes_tokenized, "no raw-file bytes");
+    assert!(m2.fields_from_cache >= 5 * 3000);
+}
+
+/// The PM variant re-parses values (no cache) but navigates by position.
+#[test]
+fn pm_variant_replaces_tokenization_with_map_jumps() {
+    let (_td, p, s) = micro(3000, 30);
+    let db = engine(NoDbConfig::pm_only(), &p, &s);
+    db.query("select c4, c11 from t").unwrap();
+    let m1 = db.metrics("t").unwrap();
+    db.query("select c4, c11 from t").unwrap();
+    let m2 = db.metrics("t").unwrap();
+    assert_eq!(
+        m2.fields_tokenized, m1.fields_tokenized,
+        "map jumps replace tokenization"
+    );
+    assert_eq!(m2.fields_via_map - m1.fields_via_map, 2 * 3000);
+    assert_eq!(
+        m2.fields_parsed - m1.fields_parsed,
+        2 * 3000,
+        "values re-converted each query without a cache"
+    );
+}
+
+/// The C variant is bimodal (Figure 5's fluctuation): cached attributes
+/// are free, uncached ones cost a full tokenization pass because only
+/// line starts are known.
+#[test]
+fn cache_only_variant_pays_full_tokenization_on_miss() {
+    let (_td, p, s) = micro(2000, 30);
+    let db = engine(NoDbConfig::cache_only(), &p, &s);
+    db.query("select c4 from t").unwrap();
+    let m1 = db.metrics("t").unwrap();
+    // Hit: same attribute.
+    db.query("select c4 from t").unwrap();
+    let m2 = db.metrics("t").unwrap();
+    assert_eq!(m2.fields_tokenized, m1.fields_tokenized);
+    // Miss: different attribute — must tokenize lines from the start.
+    db.query("select c27 from t").unwrap();
+    let m3 = db.metrics("t").unwrap();
+    assert!(
+        m3.fields_tokenized > m2.fields_tokenized + 2000 * 20,
+        "cache miss must re-tokenize deeply: {} -> {}",
+        m2.fields_tokenized,
+        m3.fields_tokenized
+    );
+}
+
+/// Figure 6's mechanism: under a cache budget, a shifting workload evicts
+/// old columns and adapts to the new region.
+#[test]
+fn workload_shift_adapts_cache_contents() {
+    let (_td, p, s) = micro(2000, 60);
+    let mut cfg = NoDbConfig::postgres_raw();
+    // Budget fits roughly 10 columns of this table.
+    cfg.cache_budget = Some(nodb_common::ByteSize::kb(100));
+    let db = engine(cfg, &p, &s);
+
+    // Epoch 1: columns 0-9.
+    for c in 0..10 {
+        db.query(&format!("select c{c} from t")).unwrap();
+    }
+    let util_epoch1 = db.aux_info("t").unwrap().cache_utilization;
+    assert!(util_epoch1 > 0.5, "cache fills during epoch 1: {util_epoch1}");
+    let m_before = db.metrics("t").unwrap();
+    // Re-query epoch-1 columns: mostly cache hits.
+    for c in 0..10 {
+        db.query(&format!("select c{c} from t")).unwrap();
+    }
+    let m_epoch1 = db.metrics("t").unwrap();
+    let epoch1_parse = m_epoch1.fields_parsed - m_before.fields_parsed;
+
+    // Epoch 2: columns 30-39 — all misses, must parse.
+    for c in 30..40 {
+        db.query(&format!("select c{c} from t")).unwrap();
+    }
+    let m_epoch2 = db.metrics("t").unwrap();
+    let epoch2_parse = m_epoch2.fields_parsed - m_epoch1.fields_parsed;
+    assert!(
+        epoch2_parse > epoch1_parse * 3,
+        "new region must cost real parsing: epoch1={epoch1_parse}, epoch2={epoch2_parse}"
+    );
+
+    // Epoch 2 again: now cached (old columns were evicted to make room).
+    let m_before3 = db.metrics("t").unwrap();
+    for c in 30..40 {
+        db.query(&format!("select c{c} from t")).unwrap();
+    }
+    let m_epoch3 = db.metrics("t").unwrap();
+    let epoch3_parse = m_epoch3.fields_parsed - m_before3.fields_parsed;
+    assert!(
+        epoch3_parse < epoch2_parse / 3,
+        "adapted region must be mostly cached: epoch2={epoch2_parse}, epoch3={epoch3_parse}"
+    );
+}
+
+/// Statistics are collected incrementally, only for touched attributes.
+#[test]
+fn statistics_grow_with_the_workload() {
+    let (_td, p, s) = micro(1500, 12);
+    let db = engine(NoDbConfig::postgres_raw(), &p, &s);
+    assert_eq!(db.aux_info("t").unwrap().stats_attrs, 0);
+    db.query("select c0 from t").unwrap();
+    let after_one = db.aux_info("t").unwrap().stats_attrs;
+    assert_eq!(after_one, 1);
+    db.query("select c1, c2 from t").unwrap();
+    assert_eq!(db.aux_info("t").unwrap().stats_attrs, 3);
+    // Filtered queries only gather stats for WHERE attributes (values of
+    // SELECT attributes are seen only for qualifying rows — a biased
+    // sample the engine refuses to use).
+    db.query("select c5 from t where c6 < 100000000").unwrap();
+    assert_eq!(db.aux_info("t").unwrap().stats_attrs, 4);
+}

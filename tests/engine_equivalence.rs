@@ -1,0 +1,177 @@
+//! Property-based cross-engine equivalence: for randomly generated
+//! select-project queries, every engine variant must return exactly what
+//! the straw-man external-files scan returns.
+//!
+//! This is the load-bearing invariant of the reproduction — the paper's
+//! performance claims are only meaningful because all systems compute the
+//! same answers.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use nodb_common::{Schema, TempDir, Value};
+use nodb_core::{AccessMode, NoDb, NoDbConfig};
+use nodb_csv::{CsvOptions, MicroGen};
+
+const COLS: usize = 20;
+const ROWS: usize = 700;
+
+/// One shared generated file for the whole property run (generation
+/// dominates runtime otherwise).
+fn shared_file() -> &'static (TempDir, PathBuf, Schema) {
+    static FILE: OnceLock<(TempDir, PathBuf, Schema)> = OnceLock::new();
+    FILE.get_or_init(|| {
+        let td = TempDir::new("nodb-prop").unwrap();
+        let p = td.file("t.csv");
+        let spec = MicroGen::default().rows(ROWS).cols(COLS).seed(99);
+        spec.write_to(&p).unwrap();
+        let schema = spec.schema();
+        (td, p, schema)
+    })
+}
+
+fn engine(config: NoDbConfig, mode: AccessMode) -> NoDb {
+    let (_td, p, schema) = shared_file();
+    let mut db = NoDb::new(config).unwrap();
+    db.register_csv("t", p, schema.clone(), CsvOptions::default(), mode)
+        .unwrap();
+    db
+}
+
+/// A random query description.
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    select_cols: Vec<usize>,
+    predicate: Option<(usize, &'static str, u32)>,
+    aggregate: bool,
+}
+
+fn query_strategy() -> impl Strategy<Value = QuerySpec> {
+    (
+        proptest::collection::vec(0..COLS, 1..5),
+        proptest::option::of((
+            0..COLS,
+            prop_oneof![
+                Just("<"),
+                Just("<="),
+                Just(">"),
+                Just(">="),
+                Just("="),
+                Just("<>")
+            ],
+            0u32..1_000_000_000,
+        )),
+        any::<bool>(),
+    )
+        .prop_map(|(mut select_cols, predicate, aggregate)| {
+            select_cols.sort_unstable();
+            select_cols.dedup();
+            QuerySpec {
+                select_cols,
+                predicate,
+                aggregate,
+            }
+        })
+}
+
+fn render(q: &QuerySpec) -> String {
+    let select = if q.aggregate {
+        q.select_cols
+            .iter()
+            .map(|c| format!("sum(c{c}), max(c{c})"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    } else {
+        q.select_cols
+            .iter()
+            .map(|c| format!("c{c}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut sql = format!("select {select} from t");
+    if let Some((col, op, lit)) = &q.predicate {
+        sql.push_str(&format!(" where c{col} {op} {lit}"));
+    }
+    sql
+}
+
+fn canon(rows: &[nodb_common::Row]) -> Vec<String> {
+    let mut v: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            r.values()
+                .iter()
+                .map(|v| match v {
+                    Value::Float64(f) => format!("{f:.4}"),
+                    other => other.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs several engines × 2 passes over the file
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn all_variants_compute_identical_answers(q in query_strategy()) {
+        let sql = render(&q);
+        let reference = engine(NoDbConfig::baseline(), AccessMode::ExternalFiles)
+            .query(&sql)
+            .unwrap();
+        let expect = canon(&reference.rows);
+        for (label, cfg) in [
+            ("pm+c", NoDbConfig::postgres_raw()),
+            ("pm", NoDbConfig::pm_only()),
+            ("c", NoDbConfig::cache_only()),
+        ] {
+            let db = engine(cfg, AccessMode::InSitu);
+            // Two passes: cold (builds structures) and warm (uses them).
+            let cold = canon(&db.query(&sql).unwrap().rows);
+            let warm = canon(&db.query(&sql).unwrap().rows);
+            prop_assert_eq!(&cold, &expect, "{} cold: {}", label, sql);
+            prop_assert_eq!(&warm, &expect, "{} warm: {}", label, sql);
+        }
+    }
+
+    #[test]
+    fn loaded_mode_matches_in_situ(q in query_strategy()) {
+        let sql = render(&q);
+        let insitu = engine(NoDbConfig::postgres_raw(), AccessMode::InSitu);
+        let mut loaded = engine(NoDbConfig::postgres_raw(), AccessMode::Loaded);
+        loaded.load_table("t").unwrap();
+        let a = canon(&insitu.query(&sql).unwrap().rows);
+        let b = canon(&loaded.query(&sql).unwrap().rows);
+        prop_assert_eq!(a, b, "{}", sql);
+    }
+}
+
+/// Interleaving different queries must not corrupt the structures a prior
+/// query built (regression guard for partial cache columns).
+#[test]
+fn interleaved_queries_stay_consistent() {
+    let db = engine(NoDbConfig::postgres_raw(), AccessMode::InSitu);
+    let reference = engine(NoDbConfig::baseline(), AccessMode::ExternalFiles);
+    let queries = [
+        "select c3 from t where c1 < 250000000",
+        "select c1, c5, c9 from t",
+        "select c3 from t where c1 >= 250000000",
+        "select sum(c3) from t",
+        "select c5 from t where c3 = 0",
+        "select c0, c19 from t where c9 between 100000000 and 500000000",
+        "select c3 from t where c1 < 250000000",
+    ];
+    for (i, sql) in queries.iter().enumerate() {
+        let got = canon(&db.query(sql).unwrap().rows);
+        let want = canon(&reference.query(sql).unwrap().rows);
+        assert_eq!(got, want, "query #{i}: {sql}");
+    }
+}
