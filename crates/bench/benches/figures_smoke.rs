@@ -15,8 +15,7 @@ use nodb_tpch::{queries, TpchGen};
 const SCALE: Scale = Scale::Small;
 
 fn micro_engine(cfg: NoDbConfig, mode: AccessMode) -> NoDb {
-    let (path, schema) =
-        micro_file(SCALE.micro_rows(), SCALE.micro_cols(), None).expect("data");
+    let (path, schema) = micro_file(SCALE.micro_rows(), SCALE.micro_cols(), None).expect("data");
     let mut db = NoDb::new(cfg).expect("engine");
     db.register_csv("t", &path, schema, CsvOptions::default(), mode)
         .expect("register");
@@ -159,15 +158,27 @@ fn fig_width(c: &mut Criterion) {
         let sql = "select max(c1), max(c2) from t";
         let mut loaded = NoDb::new(NoDbConfig::postgres_raw()).expect("engine");
         loaded
-            .register_csv("t", &path, schema.clone(), CsvOptions::default(), AccessMode::Loaded)
+            .register_csv(
+                "t",
+                &path,
+                schema.clone(),
+                CsvOptions::default(),
+                AccessMode::Loaded,
+            )
             .expect("register");
         loaded.load_table("t").expect("load");
         g.bench_function(BenchmarkId::new("postgresql", width), |b| {
             b.iter(|| loaded.query(sql).expect("q"));
         });
         let mut raw = NoDb::new(NoDbConfig::postgres_raw()).expect("engine");
-        raw.register_csv("t", &path, schema, CsvOptions::default(), AccessMode::InSitu)
-            .expect("register");
+        raw.register_csv(
+            "t",
+            &path,
+            schema,
+            CsvOptions::default(),
+            AccessMode::InSitu,
+        )
+        .expect("register");
         raw.query(sql).expect("warm");
         g.bench_function(BenchmarkId::new("postgresraw", width), |b| {
             b.iter(|| raw.query(sql).expect("q"));

@@ -223,10 +223,8 @@ fn bench_exec(c: &mut Criterion) {
 
 fn bench_storage(c: &mut Criterion) {
     use nodb_storage::tuple;
-    let schema = Schema::parse(
-        "a int, b bigint, c double, d date, e text, f text",
-    )
-    .expect("schema");
+    let schema =
+        Schema::parse("a int, b bigint, c double, d date, e text, f text").expect("schema");
     let row = Row(vec![
         Value::Int32(42),
         Value::Int64(1 << 40),

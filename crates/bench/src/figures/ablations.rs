@@ -128,17 +128,14 @@ pub fn abl_anchor_distance(scale: Scale, out: &Path) -> Result<()> {
         cfg.enable_stats = false;
         let db = micro_engine(cfg, &path, &schema, AccessMode::InSitu);
         // Index the prefix 0..=anchor.
-        db.query(&format!("select c{anchor} from t")).expect("prefix");
+        db.query(&format!("select c{anchor} from t"))
+            .expect("prefix");
         let (_, t) = time(|| {
             db.query(&format!("select c{} from t", anchor + d))
                 .expect("anchored");
         });
         let m = db.metrics("t").expect("m");
-        report.row(&[
-            d.to_string(),
-            secs(t),
-            m.fields_via_anchor.to_string(),
-        ]);
+        report.row(&[d.to_string(), secs(t), m.fields_via_anchor.to_string()]);
     }
     report.finish()?;
     Ok(())

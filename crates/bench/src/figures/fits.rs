@@ -41,7 +41,13 @@ pub fn fig11(scale: Scale, out: &Path) -> Result<()> {
     let mut report = Report::new(
         "fig11",
         "FITS query sequence: procedural (CFITSIO-style) vs PostgresRaw",
-        &["query", "cfitsio_s", "postgresraw_s", "cum_cfitsio_s", "cum_raw_s"],
+        &[
+            "query",
+            "cfitsio_s",
+            "postgresraw_s",
+            "cum_cfitsio_s",
+            "cum_raw_s",
+        ],
         out,
     );
 

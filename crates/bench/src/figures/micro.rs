@@ -73,12 +73,7 @@ pub fn fig4(scale: Scale, out: &Path) -> Result<()> {
     for factor in [1, 2, 3, 4] {
         let rows = base_rows * factor;
         let (path, schema) = micro_file(rows, base_cols, None)?;
-        let db = micro_engine(
-            NoDbConfig::pm_only(),
-            &path,
-            &schema,
-            AccessMode::InSitu,
-        );
+        let db = micro_engine(NoDbConfig::pm_only(), &path, &schema, AccessMode::InSitu);
         let queries = random_projections(base_cols, n_queries, 10, 11);
         let (_, total) = time(|| {
             for q in &queries {
@@ -99,12 +94,7 @@ pub fn fig4(scale: Scale, out: &Path) -> Result<()> {
     for factor in [1, 2, 3, 4] {
         let cols = base_cols * factor;
         let (path, schema) = micro_file(base_rows, cols, None)?;
-        let db = micro_engine(
-            NoDbConfig::pm_only(),
-            &path,
-            &schema,
-            AccessMode::InSitu,
-        );
+        let db = micro_engine(NoDbConfig::pm_only(), &path, &schema, AccessMode::InSitu);
         let queries = random_projections(cols, n_queries, 10 * factor, 13);
         let (_, total) = time(|| {
             for q in &queries {
@@ -132,7 +122,11 @@ pub fn fig5(scale: Scale, out: &Path) -> Result<()> {
     let (path, schema) = micro_file(scale.micro_rows(), scale.micro_cols(), None)?;
     let queries = random_projections(scale.micro_cols(), scale.sequence_len(), 5, 5);
     let variants: Vec<(&str, NoDbConfig, AccessMode)> = vec![
-        ("baseline", NoDbConfig::baseline(), AccessMode::ExternalFiles),
+        (
+            "baseline",
+            NoDbConfig::baseline(),
+            AccessMode::ExternalFiles,
+        ),
         ("c", NoDbConfig::cache_only(), AccessMode::InSitu),
         ("pm", NoDbConfig::pm_only(), AccessMode::InSitu),
         ("pm_c", NoDbConfig::postgres_raw(), AccessMode::InSitu),
@@ -176,9 +170,8 @@ pub fn fig6(scale: Scale, out: &Path) -> Result<()> {
     let per_epoch = scale.sequence_len();
     // Regions scaled from the paper's 150-column epochs.
     let f = cols as f64 / 150.0;
-    let region = |a: f64, b: f64| {
-        ((a * f) as usize).min(cols - 1)..(((b * f) as usize).max(1)).min(cols)
-    };
+    let region =
+        |a: f64, b: f64| ((a * f) as usize).min(cols - 1)..(((b * f) as usize).max(1)).min(cols);
     let epochs = [
         region(0.0, 50.0),
         region(50.0, 100.0),

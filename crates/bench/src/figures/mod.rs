@@ -6,7 +6,7 @@ pub mod micro;
 pub mod systems;
 pub mod tpch;
 
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 use nodb_common::{Result, Schema};
 use nodb_core::{AccessMode, NoDb, NoDbConfig};
@@ -27,13 +27,21 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
             "positional-map storage budget vs average query time",
             micro::fig3,
         ),
-        ("fig4", "positional-map scalability with file size", micro::fig4),
+        (
+            "fig4",
+            "positional-map scalability with file size",
+            micro::fig4,
+        ),
         (
             "fig5",
             "query sequence: Baseline / C / PM / PM+C variants",
             micro::fig5,
         ),
-        ("fig6", "adapting to workload shifts (5 epochs)", micro::fig6),
+        (
+            "fig6",
+            "adapting to workload shifts (5 epochs)",
+            micro::fig6,
+        ),
         (
             "fig7",
             "cumulative 9-query sequence vs other DBMS (incl. loading)",
@@ -43,7 +51,11 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
         ("fig8b", "per-query time vs projectivity", systems::fig8b),
         ("fig9", "TPC-H Q10/Q14 from cold, incl. loading", tpch::fig9),
         ("fig10", "TPC-H warm query times", tpch::fig10),
-        ("fig11", "FITS: procedural (CFITSIO-style) vs PostgresRaw", fits::fig11),
+        (
+            "fig11",
+            "FITS: procedural (CFITSIO-style) vs PostgresRaw",
+            fits::fig11,
+        ),
         (
             "fig12",
             "on-the-fly statistics: 4 instances of TPC-H Q1",
@@ -77,7 +89,7 @@ pub fn registry() -> Vec<(&'static str, &'static str, Runner)> {
 /// An engine with one in-situ micro table `t`.
 pub(crate) fn micro_engine(
     cfg: NoDbConfig,
-    path: &PathBuf,
+    path: &Path,
     schema: &Schema,
     mode: AccessMode,
 ) -> NoDb {
@@ -122,8 +134,7 @@ pub(crate) fn region_projections(
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
-            let mut picks: Vec<usize> =
-                (0..width).map(|_| rng.gen_range(region.clone())).collect();
+            let mut picks: Vec<usize> = (0..width).map(|_| rng.gen_range(region.clone())).collect();
             picks.sort_unstable();
             picks.dedup();
             let list = picks

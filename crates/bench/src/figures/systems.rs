@@ -26,12 +26,22 @@ fn nine_query_sequence(cols: usize) -> Vec<String> {
     v
 }
 
-fn loaded_engine(profile: EngineProfile, path: &std::path::Path, schema: &nodb_common::Schema) -> (NoDb, f64) {
+fn loaded_engine(
+    profile: EngineProfile,
+    path: &std::path::Path,
+    schema: &nodb_common::Schema,
+) -> (NoDb, f64) {
     let mut cfg = NoDbConfig::postgres_raw();
     cfg.loaded_profile = profile;
     let mut db = NoDb::new(cfg).expect("engine");
-    db.register_csv("t", path, schema.clone(), CsvOptions::default(), AccessMode::Loaded)
-        .expect("register");
+    db.register_csv(
+        "t",
+        path,
+        schema.clone(),
+        CsvOptions::default(),
+        AccessMode::Loaded,
+    )
+    .expect("register");
     let (_, load_s) = time(|| db.load_table("t").expect("load"));
     (db, load_s)
 }
@@ -48,18 +58,7 @@ pub fn fig7(scale: Scale, out: &Path) -> Result<()> {
         "fig7",
         "cumulative seconds after each query (load included where applicable)",
         &[
-            "system",
-            "load_s",
-            "q1",
-            "q2",
-            "q3",
-            "q4",
-            "q5",
-            "q6",
-            "q7",
-            "q8",
-            "q9",
-            "total_s",
+            "system", "load_s", "q1", "q2", "q3", "q4", "q5", "q6", "q7", "q8", "q9", "total_s",
         ],
         out,
     );
@@ -125,7 +124,14 @@ fn sweep(
     let mut report = Report::new(
         figure,
         title,
-        &["query", "label", "postgresraw_s", "postgresql_s", "dbmsx_s", "mysql_s"],
+        &[
+            "query",
+            "label",
+            "postgresraw_s",
+            "postgresql_s",
+            "dbmsx_s",
+            "mysql_s",
+        ],
         out,
     );
     // Loaded engines, loading cost excluded, cold buffer pools per query

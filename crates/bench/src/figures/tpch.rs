@@ -91,7 +91,12 @@ pub fn fig10(scale: Scale, out: &Path) -> Result<()> {
     let mut report = Report::new(
         "fig10",
         "warm TPC-H query times",
-        &["query", "postgresraw_pm_c_s", "postgresraw_pm_s", "postgresql_s"],
+        &[
+            "query",
+            "postgresraw_pm_c_s",
+            "postgresraw_pm_s",
+            "postgresql_s",
+        ],
         out,
     );
     let mut pg = tpch_engine(&dir, NoDbConfig::postgres_raw(), AccessMode::Loaded);
@@ -122,18 +127,20 @@ pub fn fig10(scale: Scale, out: &Path) -> Result<()> {
 pub fn fig12(scale: Scale, out: &Path) -> Result<()> {
     let dir = tpch_dir(scale.tpch_sf())?;
     // Q1 instances: DELTA ∈ {60, 90, 120} days, then 90 again.
-    let instance = |delta: u32| {
-        queries::Q1.replace(
-            "interval '90' day",
-            &format!("interval '{delta}' day"),
-        )
-    };
+    let instance =
+        |delta: u32| queries::Q1.replace("interval '90' day", &format!("interval '{delta}' day"));
     let instances = [instance(60), instance(90), instance(120), instance(90)];
 
     let mut report = Report::new(
         "fig12",
         "4 instances of TPC-H Q1: with vs without statistics",
-        &["instance", "with_stats_s", "plan_with", "without_stats_s", "plan_without"],
+        &[
+            "instance",
+            "with_stats_s",
+            "plan_with",
+            "without_stats_s",
+            "plan_without",
+        ],
         out,
     );
     let with = tpch_engine(&dir, NoDbConfig::postgres_raw(), AccessMode::InSitu);

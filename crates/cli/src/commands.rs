@@ -81,8 +81,7 @@ pub fn parse_line(input: &str) -> Result<Command, String> {
             Some("sep") => {
                 if toks.len() < 5 {
                     return Err(
-                        "usage: \\sep NAME PATH 'D' \"col type, ...\" (D = delimiter char)"
-                            .into(),
+                        "usage: \\sep NAME PATH 'D' \"col type, ...\" (D = delimiter char)".into(),
                     );
                 }
                 let d = toks[3].trim_matches('\'');

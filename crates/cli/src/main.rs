@@ -141,7 +141,11 @@ fn execute(db: &mut NoDb, cmd: Command) -> Result<(), Box<dyn std::error::Error>
             if r.rows.len() > 50 {
                 println!("... ({} rows total)", r.rows.len());
             }
-            println!("({} rows, {:.1} ms)", r.rows.len(), elapsed.as_secs_f64() * 1e3);
+            println!(
+                "({} rows, {:.1} ms)",
+                r.rows.len(),
+                elapsed.as_secs_f64() * 1e3
+            );
         }
         Command::Quit | Command::Help => {}
     }

@@ -134,10 +134,9 @@ impl Schema {
         let fields = indices
             .iter()
             .map(|&i| {
-                self.fields
-                    .get(i)
-                    .cloned()
-                    .ok_or_else(|| NoDbError::internal(format!("projection index {i} out of range")))
+                self.fields.get(i).cloned().ok_or_else(|| {
+                    NoDbError::internal(format!("projection index {i} out of range"))
+                })
             })
             .collect::<Result<Vec<_>>>()?;
         Schema::new(fields)

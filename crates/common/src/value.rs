@@ -150,14 +150,9 @@ impl Value {
                 .and_then(|s| s.trim().parse::<f64>().ok())
                 .map(Value::Float64)
                 .ok_or_else(|| {
-                    NoDbError::parse(format!(
-                        "bad float `{}`",
-                        String::from_utf8_lossy(bytes)
-                    ))
+                    NoDbError::parse(format!("bad float `{}`", String::from_utf8_lossy(bytes)))
                 }),
-            DataType::Text => Ok(Value::Text(
-                String::from_utf8_lossy(bytes).into_owned(),
-            )),
+            DataType::Text => Ok(Value::Text(String::from_utf8_lossy(bytes).into_owned())),
             DataType::Date => Date::parse_bytes(bytes).map(Value::Date),
             DataType::Bool => match bytes {
                 b"t" | b"true" | b"T" | b"1" => Ok(Value::Bool(true)),

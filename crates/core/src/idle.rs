@@ -47,7 +47,6 @@ pub(crate) fn run_idle(
     budget: Duration,
     focus: IdleFocus,
 ) -> nodb_common::Result<IdleReport> {
-
     let start = Instant::now();
     let before = db.aux_info(table)?;
     let entry = db.entry(table)?;
@@ -82,16 +81,11 @@ pub(crate) fn run_idle(
     // every pulled row costs one `Instant::now` per tuple, which is
     // dwarfed by parsing. Structures built for finished blocks persist
     // even when we stop mid-file.
-    loop {
-        match scan.next_row()? {
-            Some(_) => {
-                rows += 1;
-                if start.elapsed() >= budget {
-                    completed = false;
-                    break;
-                }
-            }
-            None => break,
+    while scan.next_row()?.is_some() {
+        rows += 1;
+        if start.elapsed() >= budget {
+            completed = false;
+            break;
         }
     }
     drop(scan);

@@ -65,7 +65,11 @@ pub struct QueryResult {
 impl QueryResult {
     /// Column names.
     pub fn columns(&self) -> Vec<&str> {
-        self.schema.fields().iter().map(|f| f.name.as_str()).collect()
+        self.schema
+            .fields()
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect()
     }
 }
 
@@ -480,12 +484,7 @@ impl TableProvider for ExternalProvider {
 
 /// Post-load statistics pass (ANALYZE): parse every `stride`-th row and
 /// build per-column statistics.
-fn analyze_csv(
-    path: &Path,
-    schema: &Schema,
-    opts: CsvOptions,
-    stride: u64,
-) -> Result<TableStats> {
+fn analyze_csv(path: &Path, schema: &Schema, opts: CsvOptions, stride: u64) -> Result<TableStats> {
     let stride = stride.max(1);
     let mut reader = LineReader::open(path)?;
     let mut line = Vec::new();
@@ -502,7 +501,7 @@ fn analyze_csv(
             skipped_header = true;
             continue;
         }
-        if row_id % stride == 0 {
+        if row_id.is_multiple_of(stride) {
             starts.clear();
             tokenize::tokenize_all(&line, opts.delimiter, &mut starts);
             for (i, f) in schema.fields().iter().enumerate() {

@@ -239,7 +239,14 @@ impl InSituScanOp {
             for li in 0..self.ctx.where_locals.len() {
                 let local = self.ctx.where_locals[li];
                 let start = starts[self.ctx.projection[local]];
-                let v = parse_value(&self.ctx, &line, start, local, self.next_row, &mut rt.metrics)?;
+                let v = parse_value(
+                    &self.ctx,
+                    &line,
+                    start,
+                    local,
+                    self.next_row,
+                    &mut rt.metrics,
+                )?;
                 if self.flags.cache {
                     staged[local].push((local_row as u32, v.clone()));
                 }
@@ -256,7 +263,14 @@ impl InSituScanOp {
                 for li in 0..self.ctx.select_locals.len() {
                     let local = self.ctx.select_locals[li];
                     let start = starts[self.ctx.projection[local]];
-                    let v = parse_value(&self.ctx, &line, start, local, self.next_row, &mut rt.metrics)?;
+                    let v = parse_value(
+                        &self.ctx,
+                        &line,
+                        start,
+                        local,
+                        self.next_row,
+                        &mut rt.metrics,
+                    )?;
                     if self.flags.cache {
                         staged[local].push((local_row as u32, v.clone()));
                     }
@@ -332,10 +346,7 @@ impl InSituScanOp {
             (vec![AttrPositions::None; needed.len()], false)
         };
         let cached: Vec<Option<StdArc<CachedColumn>>> = if self.flags.cache {
-            needed
-                .iter()
-                .map(|&a| rt.cache.get(block, a))
-                .collect()
+            needed.iter().map(|&a| rt.cache.get(block, a)).collect()
         } else {
             vec![None; needed.len()]
         };
@@ -518,9 +529,7 @@ impl InSituScanOp {
         while self.out.is_empty() && !self.done {
             let runtime = Arc::clone(&self.runtime);
             let mut rt = runtime.lock();
-            if rt.posmap.eol().is_complete()
-                && Some(self.next_row) == rt.posmap.eol().row_count()
-            {
+            if rt.posmap.eol().is_complete() && Some(self.next_row) == rt.posmap.eol().row_count() {
                 self.done = true;
                 break;
             }
@@ -581,7 +590,7 @@ fn offer_stat(
     row_id: u64,
     v: &Value,
 ) {
-    if builders.is_empty() || row_id % ctx.sample_stride != 0 {
+    if builders.is_empty() || !row_id.is_multiple_of(ctx.sample_stride) {
         return;
     }
     for (l, b) in builders.iter_mut() {

@@ -17,7 +17,12 @@ fn micro_file(rows: usize, cols: usize) -> (TempDir, PathBuf, Schema) {
     (td, p, schema)
 }
 
-fn engine_with(config: NoDbConfig, path: &std::path::Path, schema: &Schema, mode: AccessMode) -> NoDb {
+fn engine_with(
+    config: NoDbConfig,
+    path: &std::path::Path,
+    schema: &Schema,
+    mode: AccessMode,
+) -> NoDb {
     let mut db = NoDb::new(config).unwrap();
     db.register_csv("t", path, schema.clone(), CsvOptions::default(), mode)
         .unwrap();
@@ -28,7 +33,9 @@ fn engine_with(config: NoDbConfig, path: &std::path::Path, schema: &Schema, mode
 fn first_query_without_loading() {
     let (_td, p, schema) = micro_file(300, 10);
     let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
-    let r = db.query("select c0, c5 from t where c2 < 500000000").unwrap();
+    let r = db
+        .query("select c0, c5 from t where c2 < 500000000")
+        .unwrap();
     assert!(!r.rows.is_empty());
     assert_eq!(r.schema.len(), 2);
     for row in &r.rows {
@@ -81,7 +88,9 @@ fn loaded_mode_agrees_and_requires_load() {
     assert!(err.contains("load_table"), "{err}");
     let report = db.load_table("t").unwrap();
     assert_eq!(report.rows, 400);
-    let loaded = db.query("select c0, c3 from t where c1 < 400000000").unwrap();
+    let loaded = db
+        .query("select c0, c3 from t where c1 < 400000000")
+        .unwrap();
 
     let insitu = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
     let expect = insitu
@@ -194,7 +203,9 @@ fn stats_influence_plans_but_not_results() {
         .explain();
     assert!(plan_with.contains("HashAggregate"), "{plan_with}");
     assert!(plan_without.contains("SortAggregate"), "{plan_without}");
-    let a = with.query("select c1, count(*) from t group by c1 order by c1").unwrap();
+    let a = with
+        .query("select c1, count(*) from t group by c1 order by c1")
+        .unwrap();
     let b = without
         .query("select c1, count(*) from t group by c1 order by c1")
         .unwrap();
@@ -235,7 +246,11 @@ fn in_place_edit_invalidates_aux() {
     // Rewrite the file in place with different (shorter) content.
     std::fs::write(&p, "1,11\n2,22\n").unwrap();
     let r = db.query("select b from t where a = 2").unwrap();
-    assert_eq!(r.rows[0].get(0), &Value::Int32(22), "stale aux must be dropped");
+    assert_eq!(
+        r.rows[0].get(0),
+        &Value::Int32(22),
+        "stale aux must be dropped"
+    );
 }
 
 #[test]
@@ -321,11 +336,23 @@ fn selective_parsing_skips_nonqualifying_select_attrs() {
 fn register_errors() {
     let (_td, p, schema) = micro_file(10, 3);
     let mut db = NoDb::new(NoDbConfig::postgres_raw()).unwrap();
-    db.register_csv("t", &p, schema.clone(), CsvOptions::default(), AccessMode::InSitu)
-        .unwrap();
+    db.register_csv(
+        "t",
+        &p,
+        schema.clone(),
+        CsvOptions::default(),
+        AccessMode::InSitu,
+    )
+    .unwrap();
     // Duplicate name.
     assert!(db
-        .register_csv("T", &p, schema.clone(), CsvOptions::default(), AccessMode::InSitu)
+        .register_csv(
+            "T",
+            &p,
+            schema.clone(),
+            CsvOptions::default(),
+            AccessMode::InSitu
+        )
         .is_err());
     // Header not supported in situ.
     let opts = CsvOptions {
@@ -422,7 +449,9 @@ fn distinct_and_having_work_end_to_end() {
         .unwrap();
 
     // DISTINCT over whole rows.
-    let r = db.query("select distinct k, v from t order by k, v").unwrap();
+    let r = db
+        .query("select distinct k, v from t order by k, v")
+        .unwrap();
     assert_eq!(r.rows.len(), 6, "duplicate (a,1) collapsed");
     // DISTINCT over a single column.
     let r = db.query("select distinct k from t order by k").unwrap();
@@ -439,6 +468,7 @@ fn distinct_and_having_work_end_to_end() {
         .query("select k, count(*) n from t group by k having count(*) >= 2 order by k")
         .unwrap();
     assert_eq!(r.rows.len(), 2); // a (3), b (3)
+
     // HAVING on an aggregate that is NOT in the select list.
     let r = db
         .query("select k from t group by k having sum(v) > 5 order by k")

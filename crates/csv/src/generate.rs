@@ -168,14 +168,26 @@ mod tests {
         let td = TempDir::new("nodb-gen").unwrap();
         let a = td.file("a.csv");
         let b = td.file("b.csv");
-        MicroGen::default().rows(10).cols(3).seed(42).write_to(&a).unwrap();
-        MicroGen::default().rows(10).cols(3).seed(42).write_to(&b).unwrap();
-        assert_eq!(
-            std::fs::read(&a).unwrap(),
-            std::fs::read(&b).unwrap()
-        );
+        MicroGen::default()
+            .rows(10)
+            .cols(3)
+            .seed(42)
+            .write_to(&a)
+            .unwrap();
+        MicroGen::default()
+            .rows(10)
+            .cols(3)
+            .seed(42)
+            .write_to(&b)
+            .unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
         let c = td.file("c.csv");
-        MicroGen::default().rows(10).cols(3).seed(43).write_to(&c).unwrap();
+        MicroGen::default()
+            .rows(10)
+            .cols(3)
+            .seed(43)
+            .write_to(&c)
+            .unwrap();
         assert_ne!(std::fs::read(&a).unwrap(), std::fs::read(&c).unwrap());
     }
 
@@ -192,10 +204,7 @@ mod tests {
             }
         }
         assert_eq!(spec.schema().field(0).dtype, DataType::Text);
-        assert_eq!(
-            MicroGen::default().schema().field(0).dtype,
-            DataType::Int32
-        );
+        assert_eq!(MicroGen::default().schema().field(0).dtype, DataType::Int32);
     }
 
     #[test]

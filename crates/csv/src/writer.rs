@@ -88,8 +88,12 @@ mod tests {
         let p = td.file("w.csv");
         let mut w = CsvWriter::create(&p, CsvOptions::default()).unwrap();
         w.write_fields(&["1", "a", ""]).unwrap();
-        w.write_row(&Row(vec![Value::Int32(2), Value::Text("b".into()), Value::Null]))
-            .unwrap();
+        w.write_row(&Row(vec![
+            Value::Int32(2),
+            Value::Text("b".into()),
+            Value::Null,
+        ]))
+        .unwrap();
         assert_eq!(w.finish().unwrap(), 2);
         assert_eq!(std::fs::read_to_string(&p).unwrap(), "1,a,\n2,b,\n");
     }

@@ -5,8 +5,8 @@ use nodb_common::{NoDbError, Result};
 use nodb_sql::{AggStrategy, BoundExpr, LogicalPlan};
 
 use crate::ops::{
-    BoxOp, DistinctOp, FilterOp, HashAggOp, HashJoinOp, LimitOp, PlainAggOp, ProjectOp,
-    SortAggOp, SortOp,
+    BoxOp, DistinctOp, FilterOp, HashAggOp, HashJoinOp, LimitOp, PlainAggOp, ProjectOp, SortAggOp,
+    SortOp,
 };
 
 /// Supplies leaf scans. Implemented by the in-situ engine (PostgresRaw
@@ -66,18 +66,12 @@ pub fn build_plan(plan: &LogicalPlan, catalog: &dyn ExecCatalog) -> Result<BoxOp
             Ok(match strategy {
                 AggStrategy::Plain => {
                     if !group.is_empty() {
-                        return Err(NoDbError::internal(
-                            "plain aggregation with group keys",
-                        ));
+                        return Err(NoDbError::internal("plain aggregation with group keys"));
                     }
                     Box::new(PlainAggOp::new(child, aggs.clone()))
                 }
-                AggStrategy::Hash => {
-                    Box::new(HashAggOp::new(child, group.clone(), aggs.clone()))
-                }
-                AggStrategy::Sort => {
-                    Box::new(SortAggOp::new(child, group.clone(), aggs.clone()))
-                }
+                AggStrategy::Hash => Box::new(HashAggOp::new(child, group.clone(), aggs.clone())),
+                AggStrategy::Sort => Box::new(SortAggOp::new(child, group.clone(), aggs.clone())),
             })
         }
         LogicalPlan::Project { input, exprs, .. } => Ok(Box::new(ProjectOp::new(
@@ -102,10 +96,10 @@ mod tests {
     use super::*;
     use crate::ops::RowsOp;
     use crate::run_to_vec;
+    use nodb_common::Schema;
     use nodb_common::{Row, Value};
     use nodb_sql::binder::{CatalogView, PlannerOptions};
     use nodb_sql::plan_query;
-    use nodb_common::Schema;
 
     /// A provider serving a fixed in-memory table, applying projection
     /// and filters like a real scan would.
@@ -161,9 +155,21 @@ mod tests {
         let orders = MemTable {
             schema: Schema::parse("o_id int, o_cust int, o_total double").unwrap(),
             rows: vec![
-                Row(vec![Value::Int32(1), Value::Int32(10), Value::Float64(100.0)]),
-                Row(vec![Value::Int32(2), Value::Int32(20), Value::Float64(200.0)]),
-                Row(vec![Value::Int32(3), Value::Int32(10), Value::Float64(50.0)]),
+                Row(vec![
+                    Value::Int32(1),
+                    Value::Int32(10),
+                    Value::Float64(100.0),
+                ]),
+                Row(vec![
+                    Value::Int32(2),
+                    Value::Int32(20),
+                    Value::Float64(200.0),
+                ]),
+                Row(vec![
+                    Value::Int32(3),
+                    Value::Int32(10),
+                    Value::Float64(50.0),
+                ]),
             ],
         };
         let cust = MemTable {
@@ -195,10 +201,8 @@ mod tests {
 
     #[test]
     fn end_to_end_join_group() {
-        let rows = run(
-            "select c_name, sum(o_total) total from orders, customer \
-             where o_cust = c_id group by c_name order by total desc",
-        );
+        let rows = run("select c_name, sum(o_total) total from orders, customer \
+             where o_cust = c_id group by c_name order by total desc");
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get(0), &Value::Text("bob".into()));
         assert_eq!(rows[0].get(1), &Value::Float64(200.0));
@@ -207,11 +211,9 @@ mod tests {
 
     #[test]
     fn end_to_end_exists() {
-        let rows = run(
-            "select c_name from customer where exists \
+        let rows = run("select c_name from customer where exists \
              (select * from orders where o_cust = c_id and o_total < 60) \
-             order by c_name",
-        );
+             order by c_name");
         assert_eq!(rows, vec![Row(vec![Value::Text("alice".into())])]);
     }
 

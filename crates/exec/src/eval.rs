@@ -183,9 +183,8 @@ fn arith(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
             }
         }
     }
-    let use_float = matches!(l, Value::Float64(_))
-        || matches!(r, Value::Float64(_))
-        || op == BinOp::Div;
+    let use_float =
+        matches!(l, Value::Float64(_)) || matches!(r, Value::Float64(_)) || op == BinOp::Div;
     if use_float {
         let (a, b) = (
             l.as_f64()

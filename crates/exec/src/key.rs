@@ -83,12 +83,8 @@ mod tests {
     #[test]
     fn composite_keys_work_in_hashmaps() {
         let mut m: HashMap<GroupKey, usize> = HashMap::new();
-        let k1 = GroupKey::from_values(
-            [Value::Text("A".into()), Value::Int32(1)].iter(),
-        );
-        let k2 = GroupKey::from_values(
-            [Value::Text("A".into()), Value::Int64(1)].iter(),
-        );
+        let k1 = GroupKey::from_values([Value::Text("A".into()), Value::Int32(1)].iter());
+        let k2 = GroupKey::from_values([Value::Text("A".into()), Value::Int64(1)].iter());
         m.insert(k1, 10);
         assert_eq!(m.get(&k2), Some(&10));
     }

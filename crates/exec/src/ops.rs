@@ -209,14 +209,10 @@ impl HashJoinOp {
     fn build(&mut self) -> Result<()> {
         let mut table: HashMap<GroupKey, Vec<Row>> = HashMap::new();
         let (mut src, key_side): (BoxOp, Side) = match self.kind {
-            JoinKind::Inner => (
-                self.left.take().expect("build once"),
-                Side::Left,
-            ),
-            JoinKind::Semi | JoinKind::Anti => (
-                self.right.take().expect("build once"),
-                Side::Right,
-            ),
+            JoinKind::Inner => (self.left.take().expect("build once"), Side::Left),
+            JoinKind::Semi | JoinKind::Anti => {
+                (self.right.take().expect("build once"), Side::Right)
+            }
         };
         while let Some(r) = src.next_row()? {
             let key = self.key_of(&r, key_side);
@@ -252,37 +248,35 @@ impl Operator for HashJoinOp {
             self.build()?;
         }
         match self.kind {
-            JoinKind::Inner => {
-                loop {
-                    if let Some(r) = self.pending.pop() {
-                        return Ok(Some(r));
-                    }
-                    let probe = self
-                        .right
-                        .as_mut()
-                        .expect("probe side present for inner join")
-                        .next_row()?;
-                    let Some(probe) = probe else {
-                        return Ok(None);
-                    };
-                    let key = self.key_of(&probe, Side::Right);
-                    if key.has_null() {
-                        continue;
-                    }
-                    if let Some(matches) = self.table.as_ref().expect("built").get(&key) {
-                        for b in matches {
-                            let out = b.clone().concat(&probe);
-                            let ok = match &self.residual {
-                                Some(p) => eval_predicate(p, &out)?,
-                                None => true,
-                            };
-                            if ok {
-                                self.pending.push(out);
-                            }
+            JoinKind::Inner => loop {
+                if let Some(r) = self.pending.pop() {
+                    return Ok(Some(r));
+                }
+                let probe = self
+                    .right
+                    .as_mut()
+                    .expect("probe side present for inner join")
+                    .next_row()?;
+                let Some(probe) = probe else {
+                    return Ok(None);
+                };
+                let key = self.key_of(&probe, Side::Right);
+                if key.has_null() {
+                    continue;
+                }
+                if let Some(matches) = self.table.as_ref().expect("built").get(&key) {
+                    for b in matches {
+                        let out = b.clone().concat(&probe);
+                        let ok = match &self.residual {
+                            Some(p) => eval_predicate(p, &out)?,
+                            None => true,
+                        };
+                        if ok {
+                            self.pending.push(out);
                         }
                     }
                 }
-            }
+            },
             JoinKind::Semi | JoinKind::Anti => {
                 let anti = self.kind == JoinKind::Anti;
                 loop {
@@ -449,7 +443,7 @@ impl Acc {
                     if !v.is_null()
                         && cur
                             .as_ref()
-                            .map_or(true, |c| v.sql_cmp(c) == Some(std::cmp::Ordering::Less))
+                            .is_none_or(|c| v.sql_cmp(c) == Some(std::cmp::Ordering::Less))
                     {
                         *cur = Some(v.clone());
                     }
@@ -459,9 +453,9 @@ impl Acc {
             Acc::Max(cur) => {
                 if let Some(v) = arg {
                     if !v.is_null()
-                        && cur.as_ref().map_or(true, |c| {
-                            v.sql_cmp(c) == Some(std::cmp::Ordering::Greater)
-                        })
+                        && cur
+                            .as_ref()
+                            .is_none_or(|c| v.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
                     {
                         *cur = Some(v.clone());
                     }
@@ -548,8 +542,7 @@ impl Operator for HashAggOp {
                     None => {
                         let key_vals: Vec<Value> =
                             self.group.iter().map(|&i| r.get(i).clone()).collect();
-                        let accs: Vec<Acc> =
-                            self.aggs.iter().map(|a| Acc::new(a.func)).collect();
+                        let accs: Vec<Acc> = self.aggs.iter().map(|a| Acc::new(a.func)).collect();
                         groups.push((key_vals, accs));
                         index.insert(key, groups.len() - 1);
                         groups.len() - 1
@@ -723,7 +716,13 @@ mod tests {
             Row(vec![Value::Null]),
             Row(vec![Value::Int64(1)]),
         ]));
-        let rows = drain(SortOp::new(input, vec![SortKey { col: 0, desc: false }]));
+        let rows = drain(SortOp::new(
+            input,
+            vec![SortKey {
+                col: 0,
+                desc: false,
+            }],
+        ));
         assert_eq!(rows[0], Row(vec![Value::Null]));
         assert_eq!(rows[2], Row(vec![Value::Int64(2)]));
         let input = Box::new(RowsOp::new(vec![

@@ -4,9 +4,7 @@ use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
-use nodb_common::{
-    Field, NoDbError, Result, Row, Schema, Value,
-};
+use nodb_common::{Field, NoDbError, Result, Row, Schema, Value};
 
 use crate::types::FitsType;
 use crate::{BLOCK, CARD};
@@ -164,7 +162,9 @@ impl FitsTable {
             return Ok(Vec::new());
         }
         let mut f = File::open(&self.path)?;
-        f.seek(SeekFrom::Start(self.data_start + from * self.row_bytes as u64))?;
+        f.seek(SeekFrom::Start(
+            self.data_start + from * self.row_bytes as u64,
+        ))?;
         let n = (to - from) as usize;
         let mut buf = vec![0u8; n * self.row_bytes];
         f.read_exact(&mut buf)?;

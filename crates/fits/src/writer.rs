@@ -81,11 +81,7 @@ impl FitsTableWriter {
         ];
         let naxis2_index = 4;
         for (i, (name, t)) in cols.iter().enumerate() {
-            cards.push(card(
-                &format!("TTYPE{}", i + 1),
-                &format!("'{name}'"),
-                "",
-            ));
+            cards.push(card(&format!("TTYPE{}", i + 1), &format!("'{name}'"), ""));
             cards.push(card(
                 &format!("TFORM{}", i + 1),
                 &format!("'{}'", t.tform()),
@@ -126,9 +122,12 @@ impl FitsTableWriter {
         for (v, (name, t)) in row.values().iter().zip(&self.cols) {
             match (t, v) {
                 (FitsType::J, _) => {
-                    let x = v.as_i64().and_then(|x| i32::try_from(x).ok()).ok_or_else(
-                        || NoDbError::execution(format!("column `{name}`: need i32, got {v}")),
-                    )?;
+                    let x = v
+                        .as_i64()
+                        .and_then(|x| i32::try_from(x).ok())
+                        .ok_or_else(|| {
+                            NoDbError::execution(format!("column `{name}`: need i32, got {v}"))
+                        })?;
                     self.out.write_all(&x.to_be_bytes())?;
                 }
                 (FitsType::K, _) => {
@@ -172,9 +171,10 @@ impl FitsTableWriter {
         let data_bytes = self.rows as usize * self.row_bytes;
         pad_to_block(&mut self.out, data_bytes, 0)?;
         self.out.flush()?;
-        let mut f = self.out.into_inner().map_err(|e| {
-            NoDbError::Io(std::io::Error::other(format!("flush failed: {e}")))
-        })?;
+        let mut f = self
+            .out
+            .into_inner()
+            .map_err(|e| NoDbError::Io(std::io::Error::other(format!("flush failed: {e}"))))?;
         f.seek(SeekFrom::Start(self.naxis2_card_at))?;
         f.write_all(&card("NAXIS2", &self.rows.to_string(), "rows"))?;
         f.flush()?;
@@ -231,11 +231,8 @@ mod tests {
     fn rejects_wrong_arity_and_types() {
         let td = TempDir::new("fits").unwrap();
         let p = td.file("t.fits");
-        let mut w =
-            FitsTableWriter::create(&p, vec![("id".into(), FitsType::J)]).unwrap();
+        let mut w = FitsTableWriter::create(&p, vec![("id".into(), FitsType::J)]).unwrap();
         assert!(w.write_row(&Row(vec![])).is_err());
-        assert!(w
-            .write_row(&Row(vec![Value::Text("no".into())]))
-            .is_err());
+        assert!(w.write_row(&Row(vec![Value::Text("no".into())])).is_err());
     }
 }

@@ -152,11 +152,7 @@ impl Chunk {
                 }
                 OffsetStore::U32(v)
             }
-            w => {
-                return Err(NoDbError::internal(format!(
-                    "bad spilled chunk width {w}"
-                )))
-            }
+            w => return Err(NoDbError::internal(format!("bad spilled chunk width {w}"))),
         };
         Ok(Chunk {
             block,

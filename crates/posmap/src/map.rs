@@ -219,10 +219,7 @@ impl PositionalMap {
         let mut entries = Vec::with_capacity(attrs.len());
         let mut rows = 0u32;
         for &attr in attrs {
-            let hit = self
-                .dir
-                .get(&block)
-                .and_then(|bd| bd.get(&attr).copied());
+            let hit = self.dir.get(&block).and_then(|bd| bd.get(&attr).copied());
             let entry = match hit {
                 Some(slot) => match self.column_of(slot, attr, clock) {
                     Some(col) => {
@@ -327,10 +324,9 @@ impl PositionalMap {
     fn column_of(&mut self, slot_id: usize, attr: u32, clock: u64) -> Option<Vec<u32>> {
         // Reload first if spilled.
         let need_reload = matches!(self.slots[slot_id].state, SlotState::Spilled { .. });
-        if need_reload
-            && self.reload(slot_id).is_err() {
-                return None;
-            }
+        if need_reload && self.reload(slot_id).is_err() {
+            return None;
+        }
         let slot = &mut self.slots[slot_id];
         slot.last_touch = clock;
         match &slot.state {
@@ -466,10 +462,7 @@ mod tests {
         let mut m = PositionalMap::new(PosMapConfig::default());
         m.insert(chunk(0, &[4, 7], 3, 100));
         let v = m.fetch_block(0, &[7]);
-        assert_eq!(
-            v.entries[0],
-            AttrPositions::Exact(vec![170, 171, 172])
-        );
+        assert_eq!(v.entries[0], AttrPositions::Exact(vec![170, 171, 172]));
         assert_eq!(v.rows, 3);
     }
 

@@ -222,9 +222,7 @@ impl AstExpr {
             AstExpr::Column { .. } | AstExpr::Literal(_) | AstExpr::Interval { .. } => false,
             AstExpr::Binary { left, right, .. } => left.contains_agg() || right.contains_agg(),
             AstExpr::Not(e) | AstExpr::Neg(e) => e.contains_agg(),
-            AstExpr::Like { expr, pattern, .. } => {
-                expr.contains_agg() || pattern.contains_agg()
-            }
+            AstExpr::Like { expr, pattern, .. } => expr.contains_agg() || pattern.contains_agg(),
             AstExpr::Between {
                 expr, low, high, ..
             } => expr.contains_agg() || low.contains_agg() || high.contains_agg(),

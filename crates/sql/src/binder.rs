@@ -14,8 +14,8 @@ use nodb_stats::TableStats;
 use crate::ast::*;
 use crate::expr::{AggExpr, AggFunc, BinOp, BoundExpr, UnOp};
 use crate::optimizer::{
-    conjunct_selectivity, factor_or, join_cardinality, split_conjuncts, NoStats,
-    ScanStatsLookup, DEFAULT_NDV, DEFAULT_TABLE_ROWS, HASH_AGG_GROUP_LIMIT,
+    conjunct_selectivity, factor_or, join_cardinality, split_conjuncts, NoStats, ScanStatsLookup,
+    DEFAULT_NDV, DEFAULT_TABLE_ROWS, HASH_AGG_GROUP_LIMIT,
 };
 use crate::plan::{AggStrategy, JoinKind, LogicalPlan, SortKey};
 
@@ -62,6 +62,9 @@ struct BoundTable {
     stats: Option<TableStats>,
     name: String,
 }
+
+/// One equi-join conjunct, as `((table, column), (table, column))`.
+type EquiEdge = ((usize, usize), (usize, usize));
 
 struct Rel {
     plan: LogicalPlan,
@@ -129,9 +132,7 @@ impl Binder<'_> {
                         }
                     }
                 }
-                SelectItem::Expr { expr, alias } => {
-                    projections.push((expr.clone(), alias.clone()))
-                }
+                SelectItem::Expr { expr, alias } => projections.push((expr.clone(), alias.clone())),
             }
         }
         if projections.is_empty() {
@@ -198,9 +199,7 @@ impl Binder<'_> {
         let mut residuals: Vec<AstExpr> = Vec::new();
         for c in plain_conjuncts {
             if c.contains_agg() {
-                return Err(NoDbError::plan(
-                    "aggregates are not allowed in WHERE",
-                ));
+                return Err(NoDbError::plan("aggregates are not allowed in WHERE"));
             }
             let mut tset = BTreeSet::new();
             self.tables_of(&c, &mut tset)?;
@@ -310,14 +309,13 @@ impl Binder<'_> {
             let input_types = tree.plan.schema().types();
             let names = self.output_names(&projections);
             let schema = named_schema(&names, &exprs, &input_types)?;
-            let proj_asts: Vec<AstExpr> =
-                projections.iter().map(|(e, _)| e.clone()).collect();
+            let proj_asts: Vec<AstExpr> = projections.iter().map(|(e, _)| e.clone()).collect();
             (
                 LogicalPlan::Project {
                     input: Box::new(tree.plan),
                     exprs,
                     schema,
-                    },
+                },
                 names,
                 proj_asts,
             )
@@ -369,9 +367,7 @@ impl Binder<'_> {
                 for (t, bt) in self.tables.iter().enumerate() {
                     if let Some(c) = bt.schema.index_of(name) {
                         if found.is_some() {
-                            return Err(NoDbError::plan(format!(
-                                "ambiguous column `{name}`"
-                            )));
+                            return Err(NoDbError::plan(format!("ambiguous column `{name}`")));
                         }
                         found = Some((t, c));
                     }
@@ -399,9 +395,7 @@ impl Binder<'_> {
             layout
                 .iter()
                 .position(|&(lt, lc)| lt == t && lc == c)
-                .ok_or_else(|| {
-                    NoDbError::internal(format!("column `{name}` missing from layout"))
-                })
+                .ok_or_else(|| NoDbError::internal(format!("column `{name}` missing from layout")))
         }
     }
 
@@ -473,10 +467,7 @@ impl Binder<'_> {
     }
 
     /// Is this conjunct `colA = colB` across two different tables?
-    fn as_equi_edge(
-        &self,
-        e: &AstExpr,
-    ) -> Result<Option<((usize, usize), (usize, usize))>> {
+    fn as_equi_edge(&self, e: &AstExpr) -> Result<Option<EquiEdge>> {
         if let AstExpr::Binary {
             op: AstBinOp::Eq,
             left,
@@ -509,7 +500,7 @@ impl Binder<'_> {
     fn build_join_tree(
         &self,
         mut rels: Vec<Rel>,
-        edges: &[((usize, usize), (usize, usize))],
+        edges: &[EquiEdge],
         residuals: &mut Vec<AstExpr>,
     ) -> Result<Rel> {
         if rels.len() == 1 {
@@ -575,7 +566,7 @@ impl Binder<'_> {
             .unwrap_or(DEFAULT_NDV)
     }
 
-    fn join_est(&self, a: &Rel, b: &Rel, edges: &[((usize, usize), (usize, usize))]) -> f64 {
+    fn join_est(&self, a: &Rel, b: &Rel, edges: &[EquiEdge]) -> f64 {
         let mut ndvs = Vec::new();
         for (x, y) in edges {
             if a.tables.contains(&x.0) && b.tables.contains(&y.0) {
@@ -587,12 +578,7 @@ impl Binder<'_> {
         join_cardinality(a.est, b.est, &ndvs)
     }
 
-    fn join_pair(
-        &self,
-        a: Rel,
-        b: Rel,
-        edges: &[((usize, usize), (usize, usize))],
-    ) -> Result<Rel> {
+    fn join_pair(&self, a: Rel, b: Rel, edges: &[EquiEdge]) -> Result<Rel> {
         // Hash joins build on the left input: put the smaller side left
         // when statistics are available; otherwise keep the accumulated
         // tree on the left (the uninformed default the paper penalizes).
@@ -680,10 +666,7 @@ impl Binder<'_> {
             .iter()
             .map(|&(t, c)| {
                 let f = self.tables[t].schema.field(c);
-                Field::new(
-                    format!("{}.{}", self.tables[t].alias, f.name),
-                    f.dtype,
-                )
+                Field::new(format!("{}.{}", self.tables[t].alias, f.name), f.dtype)
             })
             .collect();
         Schema::new(fields)
@@ -1086,15 +1069,22 @@ impl Binder<'_> {
             }
             AstExpr::Column { table, name } => Err(NoDbError::plan(format!(
                 "column `{}{name}` must appear in GROUP BY or inside an aggregate",
-                table.as_deref().map(|t| format!("{t}.")).unwrap_or_default()
+                table
+                    .as_deref()
+                    .map(|t| format!("{t}."))
+                    .unwrap_or_default()
             ))),
             AstExpr::Literal(v) => Ok(BoundExpr::Lit(v.clone())),
-            AstExpr::Interval { .. } => {
-                Err(NoDbError::plan("INTERVAL outside date arithmetic"))
-            }
+            AstExpr::Interval { .. } => Err(NoDbError::plan("INTERVAL outside date arithmetic")),
             AstExpr::Binary { op, left, right } => {
-                let l =
-                    self.rewrite_agg_expr(left, group_asts, n_group, agg_asts, aggs, input_resolver)?;
+                let l = self.rewrite_agg_expr(
+                    left,
+                    group_asts,
+                    n_group,
+                    agg_asts,
+                    aggs,
+                    input_resolver,
+                )?;
                 let r = self.rewrite_agg_expr(
                     right,
                     group_asts,
@@ -1138,8 +1128,22 @@ impl Binder<'_> {
                 let mut bs = Vec::with_capacity(branches.len());
                 for (c, r) in branches {
                     bs.push((
-                        self.rewrite_agg_expr(c, group_asts, n_group, agg_asts, aggs, input_resolver)?,
-                        self.rewrite_agg_expr(r, group_asts, n_group, agg_asts, aggs, input_resolver)?,
+                        self.rewrite_agg_expr(
+                            c,
+                            group_asts,
+                            n_group,
+                            agg_asts,
+                            aggs,
+                            input_resolver,
+                        )?,
+                        self.rewrite_agg_expr(
+                            r,
+                            group_asts,
+                            n_group,
+                            agg_asts,
+                            aggs,
+                            input_resolver,
+                        )?,
                     ));
                 }
                 let else_expr = match else_expr {
@@ -1172,9 +1176,7 @@ impl Binder<'_> {
         resolve: &dyn Fn(Option<&str>, &str) -> Result<usize>,
     ) -> Result<BoundExpr> {
         match e {
-            AstExpr::Column { table, name } => {
-                Ok(BoundExpr::Col(resolve(table.as_deref(), name)?))
-            }
+            AstExpr::Column { table, name } => Ok(BoundExpr::Col(resolve(table.as_deref(), name)?)),
             AstExpr::Literal(v) => Ok(BoundExpr::Lit(v.clone())),
             AstExpr::Interval { .. } => Err(NoDbError::plan(
                 "INTERVAL is only supported in date ± interval arithmetic with literal dates",
@@ -1187,11 +1189,7 @@ impl Binder<'_> {
                         let n = match op {
                             AstBinOp::Add => *n,
                             AstBinOp::Sub => -*n,
-                            _ => {
-                                return Err(NoDbError::plan(
-                                    "INTERVAL only supports + and -",
-                                ))
-                            }
+                            _ => return Err(NoDbError::plan("INTERVAL only supports + and -")),
                         };
                         let folded = match unit {
                             IntervalUnit::Day => d.add_days(n as i32),
@@ -1329,10 +1327,7 @@ impl Binder<'_> {
     ) -> Result<usize> {
         // 1. Alias / output-name match.
         if let AstExpr::Column { table: None, name } = e {
-            if let Some(i) = out_names
-                .iter()
-                .position(|n| n.eq_ignore_ascii_case(name))
-            {
+            if let Some(i) = out_names.iter().position(|n| n.eq_ignore_ascii_case(name)) {
                 return Ok(i);
             }
         }
@@ -1494,10 +1489,7 @@ mod tests {
         st2.set_row_count(100);
         st2.set_column(0, col_stats(100, 100)); // x: key-like
         MockCatalog {
-            tables: vec![
-                ("t1".into(), t1, Some(st1)),
-                ("t2".into(), t2, Some(st2)),
-            ],
+            tables: vec![("t1".into(), t1, Some(st1)), ("t2".into(), t2, Some(st2))],
         }
     }
 
@@ -1574,8 +1566,12 @@ mod tests {
                 LogicalPlan::Join {
                     left, right, on, ..
                 } => {
-                    assert!(matches!(left.as_ref(), LogicalPlan::Scan { table, .. } if table == "t2"));
-                    assert!(matches!(right.as_ref(), LogicalPlan::Scan { table, .. } if table == "t1"));
+                    assert!(
+                        matches!(left.as_ref(), LogicalPlan::Scan { table, .. } if table == "t2")
+                    );
+                    assert!(
+                        matches!(right.as_ref(), LogicalPlan::Scan { table, .. } if table == "t1")
+                    );
                     assert_eq!(on.len(), 1);
                 }
                 other => panic!("expected join, got:\n{other}"),
@@ -1587,7 +1583,9 @@ mod tests {
         match &p {
             LogicalPlan::Project { input, .. } => match input.as_ref() {
                 LogicalPlan::Join { left, .. } => {
-                    assert!(matches!(left.as_ref(), LogicalPlan::Scan { table, .. } if table == "t1"));
+                    assert!(
+                        matches!(left.as_ref(), LogicalPlan::Scan { table, .. } if table == "t1")
+                    );
                 }
                 other => panic!("{other}"),
             },
@@ -1619,9 +1617,7 @@ mod tests {
 
     #[test]
     fn not_exists_becomes_anti_join() {
-        let p = plan(
-            "select count(*) from t1 where not exists (select * from t2 where x = a)",
-        );
+        let p = plan("select count(*) from t1 where not exists (select * from t2 where x = a)");
         assert!(p.explain().contains("AntiJoin"), "{}", p.explain());
     }
 

@@ -272,9 +272,7 @@ impl BoundExpr {
                     let rt = right.infer_type(input);
                     match (op, lt, rt) {
                         (BinOp::Div, _, _) => DataType::Float64,
-                        (_, DataType::Float64, _) | (_, _, DataType::Float64) => {
-                            DataType::Float64
-                        }
+                        (_, DataType::Float64, _) | (_, _, DataType::Float64) => DataType::Float64,
                         (_, DataType::Date, _) => DataType::Date,
                         (_, _, DataType::Date) => DataType::Date,
                         (_, DataType::Int64, _) | (_, _, DataType::Int64) => DataType::Int64,

@@ -204,9 +204,9 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                     match text.parse::<i64>() {
                         Ok(v) => out.push(Token::Int(v)),
                         Err(_) => {
-                            let v: f64 = text.parse().map_err(|_| {
-                                NoDbError::sql(format!("bad number `{text}`"))
-                            })?;
+                            let v: f64 = text
+                                .parse()
+                                .map_err(|_| NoDbError::sql(format!("bad number `{text}`")))?;
                             out.push(Token::Float(v));
                         }
                     }

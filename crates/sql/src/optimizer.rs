@@ -309,11 +309,7 @@ pub fn conjunct_selectivity(filters: &[BoundExpr], lookup: &dyn ColumnStatsLooku
 
 /// Estimated rows out of an equi-join: `|L|·|R| / max(ndv_l, ndv_r)` per
 /// key pair (keys assumed independent).
-pub fn join_cardinality(
-    left_rows: f64,
-    right_rows: f64,
-    key_ndvs: &[(f64, f64)],
-) -> f64 {
+pub fn join_cardinality(left_rows: f64, right_rows: f64, key_ndvs: &[(f64, f64)]) -> f64 {
     let mut card = left_rows * right_rows;
     for &(nl, nr) in key_ndvs {
         card /= nl.max(nr).max(1.0);
@@ -488,9 +484,15 @@ mod stats_tests {
             },
             &lookup,
         );
-        assert!((0.6..=1.0).contains(&sel_text_eq), "skewed eq {sel_text_eq}");
+        assert!(
+            (0.6..=1.0).contains(&sel_text_eq),
+            "skewed eq {sel_text_eq}"
+        );
         let sel_int_half = selectivity(&col_lt(1, 50), &lookup);
-        assert!((0.35..=0.65).contains(&sel_int_half), "range {sel_int_half}");
+        assert!(
+            (0.35..=0.65).contains(&sel_int_half),
+            "range {sel_int_half}"
+        );
     }
 
     #[test]

@@ -304,9 +304,10 @@ impl Parser {
         }
         // [NOT] BETWEEN / IN / LIKE, IS [NOT] NULL.
         let negated = if self.peek().is_some_and(|t| t.is_kw("not"))
-            && self.peek2().is_some_and(|t| {
-                t.is_kw("between") || t.is_kw("in") || t.is_kw("like")
-            }) {
+            && self
+                .peek2()
+                .is_some_and(|t| t.is_kw("between") || t.is_kw("in") || t.is_kw("like"))
+        {
             self.pos += 1;
             true
         } else {
@@ -404,9 +405,7 @@ impl Parser {
             // Fold negative literals immediately.
             return match self.unary()? {
                 AstExpr::Literal(Value::Int64(v)) => Ok(AstExpr::Literal(Value::Int64(-v))),
-                AstExpr::Literal(Value::Float64(v)) => {
-                    Ok(AstExpr::Literal(Value::Float64(-v)))
-                }
+                AstExpr::Literal(Value::Float64(v)) => Ok(AstExpr::Literal(Value::Float64(-v))),
                 e => Ok(AstExpr::Neg(Box::new(e))),
             };
         }
@@ -518,9 +517,7 @@ impl Parser {
                     negated: false,
                 })
             }
-            "count" | "sum" | "avg" | "min" | "max"
-                if self.peek2() == Some(&Token::LParen) =>
-            {
+            "count" | "sum" | "avg" | "min" | "max" if self.peek2() == Some(&Token::LParen) => {
                 self.pos += 2; // func + LParen
                 let func = match id.as_str() {
                     "count" => AggFuncAst::Count,
@@ -597,10 +594,7 @@ mod tests {
 
     #[test]
     fn parses_date_and_interval_arithmetic() {
-        let s = parse(
-            "select 1 from t where d <= date '1998-12-01' - interval '90' day",
-        )
-        .unwrap();
+        let s = parse("select 1 from t where d <= date '1998-12-01' - interval '90' day").unwrap();
         let w = s.where_clause.unwrap();
         match w {
             AstExpr::Binary {
@@ -666,10 +660,7 @@ mod tests {
 
     #[test]
     fn parses_group_order_desc() {
-        let s = parse(
-            "select a, sum(b) rev from t group by a order by rev desc, a asc",
-        )
-        .unwrap();
+        let s = parse("select a, sum(b) rev from t group by a order by rev desc, a asc").unwrap();
         assert_eq!(s.group_by.len(), 1);
         assert!(s.order_by[0].desc);
         assert!(!s.order_by[1].desc);

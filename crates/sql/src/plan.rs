@@ -266,8 +266,7 @@ mod tests {
                 left: Box::new(BoundExpr::Col(0)),
                 right: Box::new(BoundExpr::Lit(Value::Int64(5))),
             }],
-            schema: Schema::from_pairs(&[("a", DataType::Int32), ("c", DataType::Int32)])
-                .unwrap(),
+            schema: Schema::from_pairs(&[("a", DataType::Int32), ("c", DataType::Int32)]).unwrap(),
             estimated_rows: 42.0,
         };
         let plan = LogicalPlan::Limit {

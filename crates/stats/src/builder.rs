@@ -76,8 +76,8 @@ impl StatsBuilder {
         if self.reservoir.len() < RESERVOIR_CAP {
             self.reservoir.push(v.clone());
         } else {
-            let j = (mix64(self.offered.wrapping_mul(0x2545_f491_4f6c_dd1d))
-                % self.offered) as usize;
+            let j =
+                (mix64(self.offered.wrapping_mul(0x2545_f491_4f6c_dd1d)) % self.offered) as usize;
             if j < RESERVOIR_CAP {
                 self.reservoir[j] = v.clone();
             }
@@ -104,8 +104,7 @@ impl StatsBuilder {
 
         // MCVs: top values by reservoir count, only if they repeat.
         let res_len = self.reservoir.len().max(1) as f64;
-        let mut by_count: Vec<(&Value, u64)> =
-            counts.values().map(|(v, c)| (v, *c)).collect();
+        let mut by_count: Vec<(&Value, u64)> = counts.values().map(|(v, c)| (v, *c)).collect();
         by_count.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(b.0)));
         let mcv: Vec<(Value, f64)> = by_count
             .iter()
@@ -115,11 +114,7 @@ impl StatsBuilder {
             .collect();
 
         // Histogram over the numeric projection of the reservoir.
-        let nums: Vec<f64> = self
-            .reservoir
-            .iter()
-            .filter_map(numeric_proj)
-            .collect();
+        let nums: Vec<f64> = self.reservoir.iter().filter_map(numeric_proj).collect();
         let histogram = Histogram::build(&nums, HIST_BUCKETS);
 
         ColumnStats {

@@ -49,10 +49,9 @@ impl KmvSketch {
         if self.mins.len() < self.k {
             self.mins.insert(h);
         } else if let Some(&max) = self.mins.iter().next_back() {
-            if h < max
-                && self.mins.insert(h) {
-                    self.mins.remove(&max);
-                }
+            if h < max && self.mins.insert(h) {
+                self.mins.remove(&max);
+            }
         }
     }
 

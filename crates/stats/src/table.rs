@@ -64,10 +64,7 @@ impl TableStats {
         let rows = self.row_count.map_or(1e6, |r| r as f64).max(1.0);
         let mut groups = 1.0f64;
         for &a in attrs {
-            let ndv = self
-                .columns
-                .get(&a)
-                .map_or(DEFAULT_NDV, |c| c.distinct());
+            let ndv = self.columns.get(&a).map_or(DEFAULT_NDV, |c| c.distinct());
             groups *= ndv.max(1.0);
             if groups > rows {
                 return rows;

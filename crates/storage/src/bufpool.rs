@@ -16,6 +16,11 @@ pub struct PoolStats {
     pub evictions: u64,
 }
 
+/// `(table id, page number)`.
+type FrameKey = (u32, u32);
+/// A cached page plus the touch-clock tick of its last access.
+type Frame = (Arc<Vec<u8>>, u64);
+
 /// An LRU page cache shared by all loaded tables of an engine.
 ///
 /// Keys are `(table id, page number)`. Capacity is in pages; the paper's
@@ -28,9 +33,9 @@ pub struct PoolStats {
 #[derive(Debug)]
 pub struct BufferPool {
     capacity: usize,
-    frames: HashMap<(u32, u32), (Arc<Vec<u8>>, u64)>,
+    frames: HashMap<FrameKey, Frame>,
     /// touch-clock → key, ordered; the first entry is the LRU victim.
-    by_touch: std::collections::BTreeMap<u64, (u32, u32)>,
+    by_touch: std::collections::BTreeMap<u64, FrameKey>,
     clock: u64,
     stats: PoolStats,
 }

@@ -468,12 +468,8 @@ mod tests {
         let spec = MicroGen::default().rows(20).cols(150).pad_width(64).seed(3);
         spec.write_to(&csv).unwrap();
         let schema = spec.schema();
-        let mut eng = StorageEngine::new(
-            &td.path().join("db"),
-            EngineProfile::PostgresLike,
-            64,
-        )
-        .unwrap();
+        let mut eng =
+            StorageEngine::new(&td.path().join("db"), EngineProfile::PostgresLike, 64).unwrap();
         let report = eng
             .load_csv("wide", &csv, &schema, CsvOptions::default())
             .unwrap();

@@ -60,8 +60,7 @@ impl HeapFile {
 
     /// Total bytes on disk (heap + overflow).
     pub fn bytes_on_disk(&self) -> Result<u64> {
-        Ok(std::fs::metadata(&self.path)?.len()
-            + std::fs::metadata(&self.overflow_path)?.len())
+        Ok(std::fs::metadata(&self.path)?.len() + std::fs::metadata(&self.overflow_path)?.len())
     }
 
     /// The heap file path.

@@ -80,8 +80,7 @@ impl Page {
         self.data[start..end].copy_from_slice(tuple);
         let slot_off = HDR + n * SLOT;
         self.data[slot_off..slot_off + 2].copy_from_slice(&(start as u16).to_le_bytes());
-        self.data[slot_off + 2..slot_off + 4]
-            .copy_from_slice(&(tuple.len() as u16).to_le_bytes());
+        self.data[slot_off + 2..slot_off + 4].copy_from_slice(&(tuple.len() as u16).to_le_bytes());
         self.data[0..2].copy_from_slice(&((n + 1) as u16).to_le_bytes());
         self.data[2..4].copy_from_slice(&(start as u16).to_le_bytes());
         Some(n)

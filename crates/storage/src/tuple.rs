@@ -22,9 +22,7 @@ pub fn encode(row: &Row, schema: &Schema, header_bytes: usize, out: &mut Vec<u8>
         match (f.dtype, v) {
             (DataType::Int32, Value::Int32(x)) => out.extend_from_slice(&x.to_le_bytes()),
             (DataType::Int64, Value::Int64(x)) => out.extend_from_slice(&x.to_le_bytes()),
-            (DataType::Float64, Value::Float64(x)) => {
-                out.extend_from_slice(&x.to_le_bytes())
-            }
+            (DataType::Float64, Value::Float64(x)) => out.extend_from_slice(&x.to_le_bytes()),
             (DataType::Date, Value::Date(d)) => out.extend_from_slice(&d.0.to_le_bytes()),
             (DataType::Bool, Value::Bool(b)) => out.push(*b as u8),
             (DataType::Text, Value::Text(s)) => {
@@ -93,9 +91,7 @@ pub fn decode_projected(
                     v.try_into().map_err(|_| NoDbError::internal("bad f64"))?,
                 )),
                 DataType::Bool => Value::Bool(v[0] != 0),
-                DataType::Text => Value::Text(
-                    String::from_utf8_lossy(&v[4..]).into_owned(),
-                ),
+                DataType::Text => Value::Text(String::from_utf8_lossy(&v[4..]).into_owned()),
             };
             out.push(value);
             want.next();
@@ -165,7 +161,10 @@ mod tests {
         let mut buf = Vec::new();
         encode(&r, &s, 24, &mut buf).unwrap();
         let row = decode_projected(&buf, &s, 24, &[0, 2, 5]).unwrap();
-        assert_eq!(row, Row(vec![Value::Null, Value::Float64(1.0), Value::Null]));
+        assert_eq!(
+            row,
+            Row(vec![Value::Null, Value::Float64(1.0), Value::Null])
+        );
     }
 
     #[test]

@@ -46,8 +46,7 @@ impl TpchGen {
     /// with orders).
     pub fn table_names() -> [&'static str; 8] {
         [
-            "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
-            "lineitem",
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
         ]
     }
 
@@ -141,9 +140,7 @@ impl TpchGen {
                 self.gen_orders_and_lineitem(dir)?;
                 return Ok(dir.join("lineitem.tbl"));
             }
-            other => {
-                return Err(NoDbError::catalog(format!("unknown TPC-H table `{other}`")))
-            }
+            other => return Err(NoDbError::catalog(format!("unknown TPC-H table `{other}`"))),
         }
         Ok(path)
     }
@@ -160,11 +157,7 @@ impl TpchGen {
         let mut rng = self.rng_for("region");
         let mut w = CsvWriter::create(path, CsvOptions::pipe())?;
         for (i, name) in REGIONS.iter().enumerate() {
-            w.write_fields(&[
-                i.to_string(),
-                (*name).to_string(),
-                comment(&mut rng, 4, 8),
-            ])?;
+            w.write_fields(&[i.to_string(), (*name).to_string(), comment(&mut rng, 4, 8)])?;
         }
         w.finish()?;
         Ok(())

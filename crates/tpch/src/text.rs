@@ -22,13 +22,7 @@ pub const SEGMENTS: &[&str] = &[
 ];
 
 /// Order priorities.
-pub const PRIORITIES: &[&str] = &[
-    "1-URGENT",
-    "2-HIGH",
-    "3-MEDIUM",
-    "4-NOT SPECIFIED",
-    "5-LOW",
-];
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 /// Ship instructions.
 pub const INSTRUCTIONS: &[&str] = &[
@@ -76,25 +70,145 @@ pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EA
 /// Part-name word pool (spec's P_NAME list, abridged but large enough for
 /// realistic distinct counts).
 pub const PART_WORDS: &[&str] = &[
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
-    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
-    "coral", "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger",
-    "drab", "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
-    "green", "grey", "honeydew", "hot", "hotpink", "indian", "ivory", "khaki", "lace",
-    "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon", "medium",
-    "metallic", "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
-    "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff", "purple",
-    "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky",
-    "slate", "smoke", "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise",
-    "violet", "wheat", "white", "yellow",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "hotpink",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
+    "yellow",
 ];
 
 /// Generic comment word pool.
 pub const COMMENT_WORDS: &[&str] = &[
-    "carefully", "quickly", "furiously", "slyly", "blithely", "ironic", "final", "pending",
-    "regular", "express", "special", "bold", "even", "silent", "unusual", "packages",
-    "deposits", "requests", "accounts", "instructions", "theodolites", "platelets", "foxes",
-    "pinto", "beans", "asymptotes", "dependencies", "excuses", "ideas", "sauternes",
-    "sleep", "wake", "nag", "haggle", "cajole", "integrate", "boost", "detect", "among",
-    "about", "above", "across", "after", "against",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "ironic",
+    "final",
+    "pending",
+    "regular",
+    "express",
+    "special",
+    "bold",
+    "even",
+    "silent",
+    "unusual",
+    "packages",
+    "deposits",
+    "requests",
+    "accounts",
+    "instructions",
+    "theodolites",
+    "platelets",
+    "foxes",
+    "pinto",
+    "beans",
+    "asymptotes",
+    "dependencies",
+    "excuses",
+    "ideas",
+    "sauternes",
+    "sleep",
+    "wake",
+    "nag",
+    "haggle",
+    "cajole",
+    "integrate",
+    "boost",
+    "detect",
+    "among",
+    "about",
+    "above",
+    "across",
+    "after",
+    "against",
 ];

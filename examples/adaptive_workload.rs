@@ -21,8 +21,14 @@ const QUERIES: usize = 12;
 
 fn run_variant(label: &str, cfg: NoDbConfig, path: &std::path::Path, schema: &nodb_common::Schema) {
     let mut db = NoDb::new(cfg).unwrap();
-    db.register_csv("t", path, schema.clone(), CsvOptions::default(), AccessMode::InSitu)
-        .unwrap();
+    db.register_csv(
+        "t",
+        path,
+        schema.clone(),
+        CsvOptions::default(),
+        AccessMode::InSitu,
+    )
+    .unwrap();
     let mut rng = StdRng::seed_from_u64(99);
     print!("{label:>10} |");
     for _ in 0..QUERIES {
@@ -63,12 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nper-query time (ms) for {QUERIES} random 5-column projections \
          (same query sequence for every variant):\n"
     );
-    run_variant(
-        "baseline",
-        NoDbConfig::baseline(),
-        &path,
-        &schema,
-    );
+    run_variant("baseline", NoDbConfig::baseline(), &path, &schema);
     run_variant("pm", NoDbConfig::pm_only(), &path, &schema);
     run_variant("cache", NoDbConfig::cache_only(), &path, &schema);
     run_variant("pm+cache", NoDbConfig::postgres_raw(), &path, &schema);
@@ -78,15 +79,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = NoDbConfig::postgres_raw();
     cfg.cache_budget = Some(ByteSize::mb(4));
     let mut db = NoDb::new(cfg)?;
-    db.register_csv("t", &path, schema, CsvOptions::default(), AccessMode::InSitu)?;
+    db.register_csv(
+        "t",
+        &path,
+        schema,
+        CsvOptions::default(),
+        AccessMode::InSitu,
+    )?;
     let mut rng = StdRng::seed_from_u64(3);
     for (epoch, range) in [(1, 0..10), (2, 25..35), (3, 25..35)] {
         let t = Instant::now();
         // Ten 5-column projections confined to the epoch's region, as in
         // the paper's epochs.
         for _ in 0..10 {
-            let mut cols: Vec<usize> =
-                (0..5).map(|_| rng.gen_range(range.clone())).collect();
+            let mut cols: Vec<usize> = (0..5).map(|_| rng.gen_range(range.clone())).collect();
             cols.sort_unstable();
             cols.dedup();
             let select = cols

@@ -62,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          latency double",
     )?;
     let mut db = NoDb::new(NoDbConfig::postgres_raw())?;
-    db.register_csv("log", &path, schema, CsvOptions::default(), AccessMode::InSitu)?;
+    db.register_csv(
+        "log",
+        &path,
+        schema,
+        CsvOptions::default(),
+        AccessMode::InSitu,
+    )?;
 
     // Exploration session: each query narrows in on a problem.
     let session = [
@@ -74,7 +80,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, sql) in session {
         let t = Instant::now();
         let r = db.query(sql)?;
-        println!("\n== {label} ({:.0} ms, {} rows)", t.elapsed().as_secs_f64() * 1e3, r.rows.len());
+        println!(
+            "\n== {label} ({:.0} ms, {} rows)",
+            t.elapsed().as_secs_f64() * 1e3,
+            r.rows.len()
+        );
         for row in r.rows.iter().take(5) {
             println!("   {row}");
         }

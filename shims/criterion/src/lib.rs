@@ -1,0 +1,332 @@
+//! Minimal `criterion` API shim.
+//!
+//! Runs each registered benchmark and reports mean wall-clock time per
+//! iteration. Two modes, matching how cargo drives real criterion:
+//!
+//! - **bench mode** (`cargo bench` passes `--bench`): a short warm-up,
+//!   then `sample_size` timed samples; mean/min are printed.
+//! - **test mode** (`cargo bench -- --test`, or `cargo test --benches`
+//!   which runs the harness with no `--bench` flag): every benchmark
+//!   body executes exactly once so CI catches rot cheaply.
+//!
+//! No statistics, plots, or baselines — this shim exists so the bench
+//! harness compiles and smoke-runs without crates.io access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How a batched benchmark's setup output is sized. Accepted and
+/// ignored: the shim always materializes one batch per iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group. Recorded for display.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Passed to benchmark closures; drives the iteration loop.
+pub struct Bencher<'a> {
+    mode: Mode,
+    sample_size: usize,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Bench,
+    Test,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    mean: Duration,
+    min: Duration,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it repeatedly in bench mode and exactly
+    /// once in test mode.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Test => {
+                let start = Instant::now();
+                std::hint::black_box(routine());
+                *self.result = Some(Sample {
+                    mean: start.elapsed(),
+                    min: start.elapsed(),
+                    iters: 1,
+                });
+            }
+            Mode::Bench => {
+                // Warm-up: run until ~10ms spent or 3 iterations.
+                let warm = Instant::now();
+                let mut warm_iters = 0u64;
+                while warm_iters < 3 || warm.elapsed() < Duration::from_millis(10) {
+                    std::hint::black_box(routine());
+                    warm_iters += 1;
+                    if warm_iters >= 1000 {
+                        break;
+                    }
+                }
+                let mut total = Duration::ZERO;
+                let mut min = Duration::MAX;
+                let samples = self.sample_size.max(1) as u64;
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    std::hint::black_box(routine());
+                    let dt = start.elapsed();
+                    total += dt;
+                    min = min.min(dt);
+                }
+                *self.result = Some(Sample {
+                    mean: total / samples as u32,
+                    min,
+                    iters: samples,
+                });
+            }
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let samples = match self.mode {
+            Mode::Test => 1,
+            Mode::Bench => self.sample_size.max(1),
+        };
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        *self.result = Some(Sample {
+            mean: total / samples as u32,
+            min,
+            iters: samples as u64,
+        });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (bench mode).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Records the per-iteration throughput for display.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            mode: self.criterion.mode,
+            sample_size: self.sample_size,
+            result: &mut result,
+        };
+        f(&mut b);
+        self.criterion.report(&full, self.throughput, result);
+        self
+    }
+
+    /// Finishes the group. (No cross-benchmark analysis in the shim.)
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo passes `--bench` when invoked as `cargo bench`; under
+        // `cargo test --benches` the flag is absent, and criterion's
+        // convention is `--test` forces test mode even under bench.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let is_test = args.iter().any(|a| a == "--test");
+        let is_bench = args.iter().any(|a| a == "--bench");
+        let filter = args.iter().rfind(|a| !a.starts_with("--")).cloned();
+        Criterion {
+            mode: if is_bench && !is_test {
+                Mode::Bench
+            } else {
+                Mode::Test
+            },
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Begins a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let full = id.to_string();
+        if !self.matches(&full) {
+            return self;
+        }
+        let mut result = None;
+        let mut b = Bencher {
+            mode: self.mode,
+            sample_size: 10,
+            result: &mut result,
+        };
+        f(&mut b);
+        self.report(&full, None, result);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>, sample: Option<Sample>) {
+        let Some(s) = sample else {
+            println!("{name:<60} (no measurement)");
+            return;
+        };
+        match self.mode {
+            Mode::Test => println!("{name:<60} ok ({:?})", s.mean),
+            Mode::Bench => {
+                let thr = match throughput {
+                    Some(Throughput::Bytes(b)) if s.min > Duration::ZERO => {
+                        let gbps = b as f64 / s.min.as_secs_f64() / 1e9;
+                        format!("  {gbps:7.3} GB/s")
+                    }
+                    Some(Throughput::Elements(e)) if s.min > Duration::ZERO => {
+                        let meps = e as f64 / s.min.as_secs_f64() / 1e6;
+                        format!("  {meps:7.3} Melem/s")
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "{name:<60} mean {:>12?}  min {:>12?}  ({} samples){thr}",
+                    s.mean, s.min, s.iters
+                );
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the harness `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,240 @@
+//! Minimal `proptest` API shim: random generation without shrinking.
+//!
+//! Implements exactly the surface this workspace's property tests use:
+//! the [`proptest!`] macro, `prop_assert*`/`prop_assume!`/`prop_oneof!`,
+//! [`Strategy`] with `prop_map`/`prop_filter`/`prop_flat_map`/`boxed`,
+//! `any::<T>()`, range/tuple/`Vec` strategies, `collection::vec`,
+//! `option::of`, [`Just`], and string strategies from a small regex
+//! subset (sequences of `[class]{n,m}` atoms).
+//!
+//! Differences from real proptest, deliberate for an offline shim:
+//!
+//! - **No shrinking.** A failing case prints its inputs and the seed
+//!   context; runs are deterministic per test (seed derived from
+//!   file/line, overridable via `PROPTEST_SEED`), so failures reproduce
+//!   exactly.
+//! - Default `cases` is 64 (not 256) to keep CI fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+pub mod arbitrary;
+pub use arbitrary::{any, Arbitrary};
+
+pub mod collection;
+pub mod option;
+pub mod string;
+
+/// Everything a property test module needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// Per-test configuration. Only `cases` is consulted; the other field
+/// exists so `..ProptestConfig::default()` struct updates compile.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Cap on `prop_assume!`/`prop_filter` rejections across the run.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single generated case did not complete.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is skipped, not failed.
+    Reject,
+}
+
+/// Drives the case loop for one property test. Called by [`proptest!`];
+/// not intended for direct use.
+pub fn run_cases<F>(config: &ProptestConfig, file: &str, line: u32, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| {
+            // FNV-1a over file:line — deterministic, distinct per test.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in file.bytes().chain(line.to_le_bytes()) {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest shim: too many prop_assume!/filter rejections \
+                     ({rejected}) at {file}:{line} (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// Runs one generated case body, printing the inputs and seed context if
+/// it panics. Called by [`proptest!`]; not intended for direct use.
+pub fn run_one<B>(inputs: &str, file: &str, line: u32, body: B) -> Result<(), TestCaseError>
+where
+    B: FnOnce() -> Result<(), TestCaseError>,
+{
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(outcome) => outcome,
+        Err(panic) => {
+            eprintln!(
+                "proptest shim: case failed at {file}:{line} with inputs:\n  {inputs}\n\
+                 (runs are deterministic; set PROPTEST_SEED to vary them)"
+            );
+            resume_unwind(panic)
+        }
+    }
+}
+
+/// The macro proptest is named for: declares property tests whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($pat:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __strategies = ($(($strat),)*);
+                $crate::run_cases(&($config), file!(), line!(), |__rng| {
+                    let ($($pat,)*) = $crate::Strategy::generate(&__strategies, __rng);
+                    let __inputs = format!(
+                        concat!($(stringify!($pat), " = {:?}; "),*),
+                        $(&$pat),*
+                    );
+                    $crate::run_one(&__inputs, file!(), line!(), move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })
+                });
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts within a property test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality within a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality within a property test body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when `cond` is false (counts as a rejection,
+/// not a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Picks among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {{
+        let __arms: ::std::vec::Vec<(u32, $crate::BoxedStrategy<_>)> =
+            ::std::vec![$((($weight) as u32, $crate::Strategy::boxed($strat))),+];
+        $crate::Union::new(__arms)
+    }};
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof!($(1 => $strat),+)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let s = (0usize..10, -5i32..=5, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _c) = s.generate(&mut rng);
+            assert!(a < 10);
+            assert!((-5..=5).contains(&b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_roundtrip(v in 0u32..100, s in "[a-z]{1,4}") {
+            prop_assert!(v < 100);
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn assume_skips(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+        #[test]
+        fn weighted_oneof(v in prop_oneof![1 => Just(0u8), 5 => 1u8..10]) {
+            prop_assert!(v < 10);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Option strategies (`proptest::option::of`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Strategy for `Option<T>`: `None` a quarter of the time, matching
+/// real proptest's default weighting toward `Some`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+        if rng.gen_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! String generation from a small regex subset.
+//!
+//! Supported patterns are sequences of atoms, where an atom is either a
+//! character class `[...]` (literal characters and `a-z` style ranges)
+//! or a literal character, optionally followed by a repetition count
+//! `{n}` or `{n,m}`. This covers every pattern the workspace's tests
+//! use (e.g. `"[a-z]{0,6}"`, `"[ -~]{0,120}"`, `"[a-z_][a-z0-9_]{0,8}"`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug)]
+struct Atom {
+    // Candidate characters, expanded from the class.
+    chars: Vec<char>,
+    min: usize,
+    max: usize, // inclusive
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("proptest shim: unterminated class in {pattern:?}"));
+        if c == ']' {
+            break;
+        }
+        if chars.peek() == Some(&'-') {
+            // Lookahead: `x-y` is a range unless `-` is last before `]`.
+            let mut probe = chars.clone();
+            probe.next(); // the '-'
+            match probe.peek() {
+                Some(&hi) if hi != ']' => {
+                    chars.next();
+                    chars.next();
+                    assert!(
+                        c <= hi,
+                        "proptest shim: inverted range {c}-{hi} in {pattern:?}"
+                    );
+                    out.extend((c as u32..=hi as u32).filter_map(char::from_u32));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.push(c);
+    }
+    assert!(
+        !out.is_empty(),
+        "proptest shim: empty character class in {pattern:?}"
+    );
+    out
+}
+
+fn parse_repeat(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (min, max) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            };
+            assert!(
+                min <= max,
+                "proptest shim: inverted repetition in {pattern:?}"
+            );
+            return (min, max);
+        }
+        spec.push(c);
+    }
+    panic!("proptest shim: unterminated repetition in {pattern:?}");
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let candidates = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => vec![chars
+                .next()
+                .unwrap_or_else(|| panic!("proptest shim: trailing escape in {pattern:?}"))],
+            other => vec![other],
+        };
+        let (min, max) = parse_repeat(&mut chars, pattern);
+        atoms.push(Atom {
+            chars: candidates,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let n = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..n {
+            out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classes_ranges_and_repeats() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let s = generate_from_pattern("[a-z_][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first == '_' || first.is_ascii_lowercase());
+            let p = generate_from_pattern("[ -~]{0,20}", &mut rng);
+            assert!(p.len() <= 20);
+            assert!(p.bytes().all(|b| (0x20..=0x7e).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn fixed_counts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(generate_from_pattern("[a]{3}", &mut rng), "aaa");
+        assert_eq!(generate_from_pattern("ab", &mut rng), "ab");
+    }
+}

@@ -1,0 +1,214 @@
+//! Minimal `rand` 0.8 API shim.
+//!
+//! Implements a deterministic xoshiro256** generator behind the
+//! `StdRng` / `SeedableRng` / `Rng` names the workspace's data
+//! generators use. Statistical quality is more than adequate for data
+//! generation and property tests; this is not a cryptographic RNG.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators (the subset: seeding from a `u64`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanding it with
+    /// SplitMix64 as the reference xoshiro implementation recommends.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The standard generator: xoshiro256**.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types with a uniform sampler over a bounded interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws a uniform sample from `[lo, hi)`, or `[lo, hi]` when
+    /// `inclusive`. Panics if the interval is empty.
+    fn sample_uniform(rng: &mut dyn RngCore, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+// A 64-bit modulo's bias is < 2^-32 for every span the workspace uses;
+// Lemire rejection would be over-engineering here.
+fn sample_span(rng: &mut dyn RngCore, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    rng.next_u64() % span
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(rng: &mut dyn RngCore, lo: $t, hi: $t, inclusive: bool) -> $t {
+                let (lo_w, hi_w) = (lo as i128, hi as i128);
+                let span = hi_w - lo_w + if inclusive { 1 } else { 0 };
+                assert!(span > 0, "cannot sample empty range");
+                if span > u64::MAX as i128 {
+                    // Full-width inclusive range of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                (lo_w + sample_span(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(rng: &mut dyn RngCore, lo: $t, hi: $t, _inclusive: bool) -> $t {
+                assert!(lo < hi, "cannot sample empty range");
+                // 53 random mantissa bits -> uniform in [0, 1).
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample. Panics if the range is empty.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// generator.
+pub trait Rng: RngCore {
+    /// Samples a uniform value from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let u = r.gen_range(3u32..=9);
+            assert!((3..=9).contains(&u));
+            let f = r.gen_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn literal_inference_matches_real_rand() {
+        let mut r = StdRng::seed_from_u64(42);
+        // T inferred from use site, as rand 0.8 allows.
+        let len: usize = r.gen_range(10..=30);
+        assert!((10..=30).contains(&len));
+        // T defaulted to i32 when unconstrained.
+        let s = r.gen_range(0..25).to_string();
+        assert!(s.parse::<i32>().is_ok());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+}

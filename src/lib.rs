@@ -1,0 +1,23 @@
+//! Facade crate for the NoDB (PostgresRaw) reproduction.
+//!
+//! This crate re-exports the public surface of the engine crates so the
+//! repository-level integration tests (`tests/`) and examples
+//! (`examples/`) have a single package to hang off. Library users can
+//! depend on the individual `nodb-*` crates directly, or on this facade:
+//!
+//! ```
+//! use nodb::core::{AccessMode, NoDb, NoDbConfig};
+//! use nodb::common::Schema;
+//!
+//! let db = NoDb::new(NoDbConfig::postgres_raw()).unwrap();
+//! let _ = (db, AccessMode::InSitu, Schema::parse("id int").unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use nodb_common as common;
+pub use nodb_core as core;
+pub use nodb_csv as csv;
+pub use nodb_fits as fits;
+pub use nodb_tpch as tpch;

@@ -34,7 +34,10 @@ fn pm_c_second_query_costs_nothing_extra() {
     let m1 = db.metrics("t").unwrap();
     db.query("select c4, c11, c17, c22, c28 from t").unwrap();
     let m2 = db.metrics("t").unwrap();
-    assert_eq!(m2.fields_tokenized, m1.fields_tokenized, "no re-tokenization");
+    assert_eq!(
+        m2.fields_tokenized, m1.fields_tokenized,
+        "no re-tokenization"
+    );
     assert_eq!(m2.fields_parsed, m1.fields_parsed, "no re-conversion");
     assert_eq!(m2.bytes_tokenized, m1.bytes_tokenized, "no raw-file bytes");
     assert!(m2.fields_from_cache >= 5 * 3000);
@@ -100,7 +103,10 @@ fn workload_shift_adapts_cache_contents() {
         db.query(&format!("select c{c} from t")).unwrap();
     }
     let util_epoch1 = db.aux_info("t").unwrap().cache_utilization;
-    assert!(util_epoch1 > 0.5, "cache fills during epoch 1: {util_epoch1}");
+    assert!(
+        util_epoch1 > 0.5,
+        "cache fills during epoch 1: {util_epoch1}"
+    );
     let m_before = db.metrics("t").unwrap();
     // Re-query epoch-1 columns: mostly cache hits.
     for c in 0..10 {

@@ -40,7 +40,9 @@ fn posmap_budget_holds_under_shifting_workload() {
         );
     }
     // Queries remain correct under eviction pressure.
-    let r = db.query("select count(*) from t where c0 < 500000000").unwrap();
+    let r = db
+        .query("select count(*) from t where c0 < 500000000")
+        .unwrap();
     let n = r.rows[0].get(0).as_i64().unwrap();
     assert!((1000..3000).contains(&n), "plausible selectivity: {n}");
 }
@@ -74,8 +76,14 @@ fn cache_budget_evicts_but_never_corrupts() {
     let db = engine(cfg.clone(), &p, &s);
     let reference = {
         let mut db2 = NoDb::new(NoDbConfig::baseline()).unwrap();
-        db2.register_csv("t", &p, s.clone(), CsvOptions::default(), AccessMode::ExternalFiles)
-            .unwrap();
+        db2.register_csv(
+            "t",
+            &p,
+            s.clone(),
+            CsvOptions::default(),
+            AccessMode::ExternalFiles,
+        )
+        .unwrap();
         db2
     };
     for round in 0..3 {
@@ -170,7 +178,8 @@ fn fits_provider_plugs_into_the_engine() {
     let provider = FitsProvider::open(&path, None, true).unwrap();
     let schema = provider.table().schema().unwrap();
     let mut db = NoDb::new(NoDbConfig::postgres_raw()).unwrap();
-    db.register_provider("sky", schema, Box::new(provider)).unwrap();
+    db.register_provider("sky", schema, Box::new(provider))
+        .unwrap();
 
     let r = db
         .query("select min(mag), max(mag), avg(mag) from sky where dec > 0")

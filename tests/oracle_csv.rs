@@ -72,12 +72,7 @@ fn cell_strategy(col: usize) -> impl Strategy<Value = Cell> {
 
 fn table_strategy() -> impl Strategy<Value = Vec<Vec<Cell>>> {
     (2usize..6).prop_flat_map(|cols| {
-        proptest::collection::vec(
-            (0..cols)
-                .map(cell_strategy)
-                .collect::<Vec<_>>(),
-            1..60,
-        )
+        proptest::collection::vec((0..cols).map(cell_strategy).collect::<Vec<_>>(), 1..60)
     })
 }
 

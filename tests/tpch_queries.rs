@@ -63,22 +63,27 @@ fn all_eight_queries_run_in_situ() {
     generate(td.path());
     let db = engine(td.path(), NoDbConfig::postgres_raw(), AccessMode::InSitu);
     for (id, sql) in queries::all() {
-        let r = db
-            .query(sql)
-            .unwrap_or_else(|e| panic!("{id} failed: {e}"));
+        let r = db.query(sql).unwrap_or_else(|e| panic!("{id} failed: {e}"));
         match id {
             // Q1 groups by (returnflag, linestatus): at most 2×3 combos
             // exist in the data (R/A/N × O/F).
             "Q1" => {
-                assert!((1..=6).contains(&r.rows.len()), "{id}: {} rows", r.rows.len());
+                assert!(
+                    (1..=6).contains(&r.rows.len()),
+                    "{id}: {} rows",
+                    r.rows.len()
+                );
                 assert_eq!(r.schema.len(), 10);
             }
             "Q3" => assert!(r.rows.len() <= 10, "{id} respects LIMIT"),
             "Q4" => {
-                assert!((1..=5).contains(&r.rows.len()), "{id}: {} rows", r.rows.len());
+                assert!(
+                    (1..=5).contains(&r.rows.len()),
+                    "{id}: {} rows",
+                    r.rows.len()
+                );
                 // Priorities come back sorted.
-                let names: Vec<&str> =
-                    r.rows.iter().map(|x| x.get(0).as_str().unwrap()).collect();
+                let names: Vec<&str> = r.rows.iter().map(|x| x.get(0).as_str().unwrap()).collect();
                 let mut sorted = names.clone();
                 sorted.sort();
                 assert_eq!(names, sorted, "{id} ordering");
@@ -98,11 +103,16 @@ fn q1_aggregates_are_consistent() {
     let db = engine(td.path(), NoDbConfig::postgres_raw(), AccessMode::InSitu);
     let r = db.query(queries::Q1).unwrap();
     for row in &r.rows {
-        let sum_qty = row.get(2).as_i64().or(row.get(2).as_f64().map(|f| f as i64));
+        let sum_qty = row
+            .get(2)
+            .as_i64()
+            .or(row.get(2).as_f64().map(|f| f as i64));
         let count = row.get(9).as_i64().unwrap();
         let avg_qty = row.get(6).as_f64().unwrap();
         // sum/count == avg within float noise.
-        let sum_qty = sum_qty.map(|s| s as f64).unwrap_or_else(|| row.get(2).as_f64().unwrap());
+        let sum_qty = sum_qty
+            .map(|s| s as f64)
+            .unwrap_or_else(|| row.get(2).as_f64().unwrap());
         assert!(
             (sum_qty / count as f64 - avg_qty).abs() < 1e-6,
             "avg consistency: {row}"
@@ -122,13 +132,21 @@ fn in_situ_external_and_loaded_agree_on_every_query() {
     let external = engine(td.path(), NoDbConfig::baseline(), AccessMode::ExternalFiles);
     let loaded = engine(td.path(), NoDbConfig::postgres_raw(), AccessMode::Loaded);
     for (id, sql) in queries::all() {
-        let a = canon(&insitu.query(sql).unwrap_or_else(|e| panic!("{id} insitu: {e}")));
+        let a = canon(
+            &insitu
+                .query(sql)
+                .unwrap_or_else(|e| panic!("{id} insitu: {e}")),
+        );
         let b = canon(
             &external
                 .query(sql)
                 .unwrap_or_else(|e| panic!("{id} external: {e}")),
         );
-        let c = canon(&loaded.query(sql).unwrap_or_else(|e| panic!("{id} loaded: {e}")));
+        let c = canon(
+            &loaded
+                .query(sql)
+                .unwrap_or_else(|e| panic!("{id} loaded: {e}")),
+        );
         assert_eq!(a, b, "{id}: in-situ vs external");
         assert_eq!(a, c, "{id}: in-situ vs loaded");
     }
@@ -152,7 +170,11 @@ fn pm_only_variant_matches_pm_c() {
     generate(td.path());
     let pm = engine(td.path(), NoDbConfig::pm_only(), AccessMode::InSitu);
     let pmc = engine(td.path(), NoDbConfig::postgres_raw(), AccessMode::InSitu);
-    for (id, sql) in [("Q1", queries::Q1), ("Q6", queries::Q6), ("Q14", queries::Q14)] {
+    for (id, sql) in [
+        ("Q1", queries::Q1),
+        ("Q6", queries::Q6),
+        ("Q14", queries::Q14),
+    ] {
         let a = canon(&pm.query(sql).unwrap());
         let b = canon(&pmc.query(sql).unwrap());
         assert_eq!(a, b, "{id}");
