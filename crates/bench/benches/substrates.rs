@@ -6,8 +6,10 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use nodb_cache::{CacheConfig, ColumnBuilder, RawCache};
-use nodb_common::{DataType, Row, Schema, Value};
+use nodb_common::{DataType, Row, Schema, TempDir, Value};
+use nodb_core::{AccessMode, NoDb, NoDbConfig};
 use nodb_csv::tokenize;
+use nodb_csv::{CsvOptions, MicroGen};
 use nodb_exec::ops::{HashAggOp, HashJoinOp, Operator, RowsOp, SortAggOp};
 use nodb_exec::{eval, eval_predicate};
 use nodb_posmap::{BlockCollector, PosMapConfig, PositionalMap};
@@ -249,6 +251,55 @@ fn bench_storage(c: &mut Criterion) {
     g.finish();
 }
 
+/// Thread scaling of the in-situ scan (ISSUE 2 acceptance): cold scans
+/// with 1/2/4/8 chunk workers, and warm (map/cache-resident) reads for
+/// reference. Cold wall time should drop as `scan_threads` grows while
+/// results stay byte-identical (asserted by the test suite; here we
+/// sanity-check the row count so a broken merge cannot silently "win").
+fn bench_scan_threads(c: &mut Criterion) {
+    const ROWS: usize = 20_000;
+    let td = TempDir::new("nodb-bench-scan").expect("tempdir");
+    let path = td.file("scale.csv");
+    let spec = MicroGen::default().rows(ROWS).cols(20).seed(42);
+    spec.write_to(&path).expect("write");
+    let schema = spec.schema();
+    let query = "select c0, c9 from t where c4 < 500000000";
+
+    let mut g = c.benchmark_group("substrate_scan_threads");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let mut cfg = NoDbConfig::postgres_raw();
+        cfg.scan_threads = threads;
+        let mut db = NoDb::new(cfg).expect("engine");
+        db.register_csv(
+            "t",
+            &path,
+            schema.clone(),
+            CsvOptions::default(),
+            AccessMode::InSitu,
+        )
+        .expect("register");
+
+        // Sanity outside the timed body: a broken merge must not "win".
+        let r = db.query(query).expect("query");
+        assert!(!r.rows.is_empty() && r.rows.len() < ROWS);
+        g.bench_function(format!("cold_scan/{threads}threads"), |b| {
+            b.iter_batched(
+                || db.drop_aux("t").expect("drop aux"),
+                |()| db.query(query).expect("query").rows.len(),
+                BatchSize::SmallInput,
+            );
+        });
+        // Warm once so the warm benchmark reads a built map + cache.
+        db.drop_aux("t").expect("drop aux");
+        db.query(query).expect("warm-up");
+        g.bench_function(format!("warm_scan/{threads}threads"), |b| {
+            b.iter(|| db.query(query).expect("query").rows.len());
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     substrates,
     bench_tokenizer,
@@ -257,6 +308,7 @@ criterion_group!(
     bench_cache,
     bench_stats,
     bench_exec,
-    bench_storage
+    bench_storage,
+    bench_scan_threads
 );
 criterion_main!(substrates);

@@ -24,7 +24,9 @@
 #![warn(missing_docs)]
 
 pub mod column;
+pub mod staging;
 pub mod store;
 
 pub use column::{CachedColumn, ColumnBuilder, ColumnData};
+pub use staging::ChunkStage;
 pub use store::{CacheConfig, CacheStats, RawCache};

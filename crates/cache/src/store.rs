@@ -1,6 +1,7 @@
 //! Cache directory, budget, and cost-aware LRU eviction.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use nodb_common::ByteSize;
@@ -45,7 +46,32 @@ pub struct CacheStats {
 #[derive(Debug)]
 struct Entry {
     col: Arc<CachedColumn>,
-    last_touch: u64,
+    /// LRU recency stamp. Atomic so read-locked (`&self`) lookups from
+    /// concurrent warm scans still update recency.
+    last_touch: AtomicU64,
+}
+
+/// Internal atomic counters behind [`CacheStats`], so that shared-lock
+/// lookups can count hits/misses.
+#[derive(Debug, Default)]
+struct AtomicCacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    merges: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            merges: self.merges.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// The adaptive cache for one raw file: `(block, attr) → CachedColumn`.
@@ -53,9 +79,9 @@ struct Entry {
 pub struct RawCache {
     cfg: CacheConfig,
     entries: HashMap<(u64, u32), Entry>,
-    clock: u64,
+    clock: AtomicU64,
     bytes: usize,
-    stats: CacheStats,
+    stats: AtomicCacheStats,
 }
 
 impl RawCache {
@@ -64,10 +90,14 @@ impl RawCache {
         RawCache {
             cfg,
             entries: HashMap::new(),
-            clock: 0,
+            clock: AtomicU64::new(0),
             bytes: 0,
-            stats: CacheStats::default(),
+            stats: AtomicCacheStats::default(),
         }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Bytes currently held.
@@ -87,7 +117,7 @@ impl RawCache {
 
     /// Counters.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
     }
 
     /// Number of cached columns.
@@ -102,20 +132,27 @@ impl RawCache {
 
     /// Look up the cached column for `(block, attr)`, updating recency.
     /// Returns a cheap shared handle (scans hold it without copying the
-    /// column data).
-    pub fn get(&mut self, block: u64, attr: u32) -> Option<Arc<CachedColumn>> {
-        self.clock += 1;
-        match self.entries.get_mut(&(block, attr)) {
+    /// column data). Works through `&self` so concurrent warm scans can
+    /// read the cache under a shared lock; recency stamps and counters
+    /// are atomic.
+    pub fn get_shared(&self, block: u64, attr: u32) -> Option<Arc<CachedColumn>> {
+        let now = self.tick();
+        match self.entries.get(&(block, attr)) {
             Some(e) => {
-                e.last_touch = self.clock;
-                self.stats.hits += 1;
+                e.last_touch.store(now, Ordering::Relaxed);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 Some(Arc::clone(&e.col))
             }
             None => {
-                self.stats.misses += 1;
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
+    }
+
+    /// Exclusive-access alias of [`RawCache::get_shared`].
+    pub fn get(&mut self, block: u64, attr: u32) -> Option<Arc<CachedColumn>> {
+        self.get_shared(block, attr)
     }
 
     /// Peek without touching recency or counters (for reporting).
@@ -126,16 +163,16 @@ impl RawCache {
     /// Insert (or merge) a column produced by a scan, then enforce the
     /// budget.
     pub fn insert(&mut self, col: CachedColumn) {
-        self.clock += 1;
+        let now = self.tick();
         let key = (col.block, col.attr);
         match self.entries.get_mut(&key) {
             Some(existing) => {
                 let before = existing.col.bytes();
                 // Clone-on-write: cheap when no scan holds the column.
                 Arc::make_mut(&mut existing.col).absorb(&col);
-                existing.last_touch = self.clock;
+                existing.last_touch.store(now, Ordering::Relaxed);
                 self.bytes = self.bytes - before + existing.col.bytes();
-                self.stats.merges += 1;
+                self.stats.merges.fetch_add(1, Ordering::Relaxed);
             }
             None => {
                 self.bytes += col.bytes();
@@ -143,10 +180,10 @@ impl RawCache {
                     key,
                     Entry {
                         col: Arc::new(col),
-                        last_touch: self.clock,
+                        last_touch: AtomicU64::new(now),
                     },
                 );
-                self.stats.inserts += 1;
+                self.stats.inserts.fetch_add(1, Ordering::Relaxed);
             }
         }
         self.enforce_budget(key);
@@ -173,14 +210,15 @@ impl RawCache {
                 .iter()
                 .filter(|(k, _)| **k != protect)
                 .min_by_key(|(_, e)| {
-                    e.last_touch + e.col.dtype.conversion_cost() as u64 * self.cfg.cost_weight
+                    e.last_touch.load(Ordering::Relaxed)
+                        + e.col.dtype.conversion_cost() as u64 * self.cfg.cost_weight
                 })
                 .map(|(k, _)| *k);
             match victim {
                 Some(k) => {
                     if let Some(e) = self.entries.remove(&k) {
                         self.bytes -= e.col.bytes();
-                        self.stats.evictions += 1;
+                        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 None => break,
@@ -190,7 +228,7 @@ impl RawCache {
             // A single oversized entry: honour the budget strictly.
             if let Some(e) = self.entries.remove(&protect) {
                 self.bytes -= e.col.bytes();
-                self.stats.evictions += 1;
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
     }

@@ -65,7 +65,7 @@ pub(crate) fn run_idle(
             let analyzed = entry
                 .runtime
                 .as_ref()
-                .map(|rt| rt.lock().stats.analyzed_attrs())
+                .map(|rt| rt.stats.lock().analyzed_attrs())
                 .unwrap_or_default();
             if analyzed.is_empty() {
                 (0..entry.schema.len()).collect()

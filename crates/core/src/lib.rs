@@ -35,14 +35,12 @@ pub mod scan;
 
 pub use config::{AccessMode, NoDbConfig};
 pub use idle::{IdleFocus, IdleReport};
-pub use runtime::{RawTableRuntime, ScanMetrics};
+pub use runtime::{RawTableRuntime, ScanMetrics, ScanMetricsAtomic};
 pub use scan::{AuxFlags, InSituScanOp};
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 use nodb_common::{NoDbError, Result, Row, Schema, TempDir, Value};
 use nodb_csv::lines::LineReader;
@@ -98,7 +96,7 @@ pub(crate) enum Provider {
 pub(crate) struct TableEntry {
     pub(crate) schema: Schema,
     pub(crate) provider: Option<Provider>,
-    pub(crate) runtime: Option<Arc<Mutex<RawTableRuntime>>>,
+    pub(crate) runtime: Option<Arc<RawTableRuntime>>,
     path: Option<PathBuf>,
     opts: CsvOptions,
     mode: AccessMode,
@@ -157,15 +155,9 @@ impl NoDb {
         if self.tables.contains_key(&name) {
             return Err(NoDbError::catalog(format!("table `{name}` already exists")));
         }
-        if opts.has_header && mode != AccessMode::Loaded {
-            return Err(NoDbError::catalog(
-                "header rows are only supported for Loaded tables; strip the header or \
-                 register as Loaded",
-            ));
-        }
         let entry = match mode {
             AccessMode::InSitu => {
-                let runtime = Arc::new(Mutex::new(RawTableRuntime::new(&self.config)));
+                let runtime = Arc::new(RawTableRuntime::new(&self.config));
                 let provider = InSituProvider {
                     runtime: Arc::clone(&runtime),
                     path: path.to_path_buf(),
@@ -178,6 +170,7 @@ impl NoDb {
                         stats: self.config.enable_stats,
                     },
                     stride: self.config.stats_sample_stride,
+                    threads: self.config.effective_scan_threads(),
                 };
                 TableEntry {
                     schema,
@@ -312,7 +305,7 @@ impl NoDb {
     pub fn metrics(&self, table: &str) -> Result<ScanMetrics> {
         let entry = self.entry(table)?;
         match &entry.runtime {
-            Some(rt) => Ok(rt.lock().metrics),
+            Some(rt) => Ok(rt.metrics.snapshot()),
             None => Err(NoDbError::catalog(format!(
                 "table `{table}` has no in-situ runtime"
             ))),
@@ -324,13 +317,20 @@ impl NoDb {
         let entry = self.entry(table)?;
         match &entry.runtime {
             Some(rt) => {
-                let rt = rt.lock();
+                let (posmap_bytes, posmap_pointers) = {
+                    let pm = rt.posmap.read();
+                    (pm.bytes_in_memory(), pm.pointer_count())
+                };
+                let (cache_bytes, cache_utilization) = {
+                    let c = rt.cache.read();
+                    (c.bytes(), c.utilization())
+                };
                 Ok(AuxInfo {
-                    posmap_bytes: rt.posmap.bytes_in_memory(),
-                    posmap_pointers: rt.posmap.pointer_count(),
-                    cache_bytes: rt.cache.bytes(),
-                    cache_utilization: rt.cache.utilization(),
-                    stats_attrs: rt.stats.analyzed_attrs().len(),
+                    posmap_bytes,
+                    posmap_pointers,
+                    cache_bytes,
+                    cache_utilization,
+                    stats_attrs: rt.stats.lock().analyzed_attrs().len(),
                 })
             }
             None => Err(NoDbError::catalog(format!(
@@ -344,11 +344,7 @@ impl NoDb {
     pub fn drop_aux(&self, table: &str) -> Result<()> {
         let entry = self.entry(table)?;
         if let Some(rt) = &entry.runtime {
-            let mut rt = rt.lock();
-            rt.posmap.clear();
-            rt.cache.clear();
-            rt.stats.clear();
-            rt.file_len_seen = 0;
+            rt.clear_aux();
         }
         Ok(())
     }
@@ -392,11 +388,11 @@ impl CatalogView for NoDb {
             return Some(stats.clone());
         }
         let rt = entry.runtime.as_ref()?;
-        let rt = rt.lock();
-        if rt.stats.row_count().is_none() && rt.stats.analyzed_attrs().is_empty() {
+        let stats = rt.stats.lock();
+        if stats.row_count().is_none() && stats.analyzed_attrs().is_empty() {
             None
         } else {
-            Some(rt.stats.clone())
+            Some(stats.clone())
         }
     }
 }
@@ -418,37 +414,48 @@ impl ExecCatalog for NoDb {
 }
 
 pub(crate) struct InSituProvider {
-    runtime: Arc<Mutex<RawTableRuntime>>,
+    runtime: Arc<RawTableRuntime>,
     path: PathBuf,
     schema: Schema,
     opts: CsvOptions,
     flags: AuxFlags,
     stride: u64,
+    /// Cold-scan worker threads, already resolved from the config
+    /// (`0`-means-auto handled by `NoDbConfig::effective_scan_threads`).
+    threads: usize,
 }
 
 impl InSituProvider {
+    fn make_scan(&self, projection: Vec<usize>, filters: Vec<BoundExpr>, threads: usize) -> BoxOp {
+        Box::new(InSituScanOp::new(
+            Arc::clone(&self.runtime),
+            self.path.clone(),
+            self.schema.clone(),
+            self.opts,
+            projection,
+            filters,
+            self.flags,
+            self.stride,
+            threads,
+        ))
+    }
+
     /// A projection-only scan used by idle-time exploitation: same flags
     /// as query scans (so it builds the same structures), no filters.
+    /// Always single-threaded so idle budgets keep their block-at-a-time
+    /// granularity (a parallel pass would overshoot the budget by a whole
+    /// file).
     pub(crate) fn scan_for_idle(&self, attrs: &[usize]) -> Result<BoxOp> {
         let mut attrs = attrs.to_vec();
         attrs.sort_unstable();
         attrs.dedup();
-        self.scan(&attrs, &[])
+        Ok(self.make_scan(attrs, Vec::new(), 1))
     }
 }
 
 impl TableProvider for InSituProvider {
     fn scan(&self, projection: &[usize], filters: &[BoundExpr]) -> Result<BoxOp> {
-        Ok(Box::new(InSituScanOp::new(
-            Arc::clone(&self.runtime),
-            self.path.clone(),
-            self.schema.clone(),
-            self.opts,
-            projection.to_vec(),
-            filters.to_vec(),
-            self.flags,
-            self.stride,
-        )))
+        Ok(self.make_scan(projection.to_vec(), filters.to_vec(), self.threads))
     }
 }
 
@@ -463,7 +470,7 @@ struct ExternalProvider {
 
 impl TableProvider for ExternalProvider {
     fn scan(&self, projection: &[usize], filters: &[BoundExpr]) -> Result<BoxOp> {
-        let throwaway = Arc::new(Mutex::new(RawTableRuntime::new(&NoDbConfig::baseline())));
+        let throwaway = Arc::new(RawTableRuntime::new(&NoDbConfig::baseline()));
         Ok(Box::new(InSituScanOp::new(
             throwaway,
             self.path.clone(),
@@ -478,6 +485,7 @@ impl TableProvider for ExternalProvider {
                 stats: false,
             },
             u64::MAX,
+            1,
         )))
     }
 }

@@ -20,22 +20,41 @@
 //! Internally the scan works block-at-a-time (one positional-map block,
 //! default 4096 tuples) for locality, but exposes the Volcano
 //! one-tuple-per-call interface the host executor expects.
+//!
+//! # Concurrency
+//!
+//! The table runtime is lock-split ([`RawTableRuntime`]); any number of
+//! scans may run against one table at once:
+//!
+//! * **Warm (map-covered) regions** are read under *shared* locks: the
+//!   per-block temporary map and the cache columns are snapshotted, the
+//!   locks released, and rows produced without holding anything. Freshly
+//!   collected chunks/columns are merged back in short write sections.
+//! * **Cold regions** run either the classic block-at-a-time sequential
+//!   pass, or — with `scan_threads > 1` — a *chunked parallel* pass: the
+//!   un-indexed byte range is split into line-aligned chunks
+//!   ([`nodb_csv::split_line_aligned`]), a scoped worker tokenizes and
+//!   parses each chunk into private staging (EOL segment, positional-map
+//!   segment, cache stage, sampled statistics, qualifying rows), and the
+//!   merge walks the chunks in file order so rows are emitted exactly as
+//!   a single-threaded scan would emit them.
+//! * Concurrent cold scans of the same region are safe: the EOL index
+//!   ignores re-recorded rows, newer map chunks shadow identical older
+//!   ones, and cache merges fill holes with equal values.
 
 use std::collections::VecDeque;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 use std::sync::Arc as StdArc;
 
-use nodb_cache::{CachedColumn, ColumnBuilder};
-use nodb_common::{NoDbError, Result, Row, Schema, Value};
-use nodb_csv::lines::{LineReader, SlidingWindow};
+use nodb_cache::{CachedColumn, ChunkStage, ColumnBuilder};
+use nodb_common::{DataType, NoDbError, Result, Row, Schema, Value};
+use nodb_csv::lines::{split_line_aligned, ByteRange, LineReader, SlidingWindow};
 use nodb_csv::tokenize;
 use nodb_csv::CsvOptions;
 use nodb_exec::{eval_predicate, Operator};
-use nodb_posmap::{AttrPositions, BlockCollector};
+use nodb_posmap::{AttrPositions, BlockCollector, SegmentCollector};
 use nodb_sql::BoundExpr;
 use nodb_stats::StatsBuilder;
 
@@ -56,7 +75,7 @@ pub struct AuxFlags {
 }
 
 /// Immutable per-scan context (kept apart from the mutable scan state so
-/// helpers can borrow them disjointly).
+/// helpers and chunk workers can borrow it freely).
 struct Ctx {
     schema: Schema,
     /// Projected table attributes, ascending.
@@ -64,22 +83,26 @@ struct Ctx {
     /// Conjuncts bound to projection-space ordinals.
     filters: Vec<BoundExpr>,
     delim: u8,
+    /// Whether the file's first line is a header to skip.
+    has_header: bool,
     where_locals: Vec<usize>,
     select_locals: Vec<usize>,
     sample_stride: u64,
 }
 
 impl Ctx {
-    fn dtype(&self, local: usize) -> nodb_common::DataType {
+    fn dtype(&self, local: usize) -> DataType {
         self.schema.field(self.projection[local]).dtype
     }
 }
 
 /// The in-situ scan operator.
 pub struct InSituScanOp {
-    runtime: Arc<Mutex<RawTableRuntime>>,
+    runtime: Arc<RawTableRuntime>,
     path: PathBuf,
     flags: AuxFlags,
+    /// Cold-scan worker threads (resolved; ≥ 1).
+    threads: usize,
     ctx: Ctx,
 
     prepared: bool,
@@ -88,15 +111,21 @@ pub struct InSituScanOp {
     window: Option<SlidingWindow>,
     reader: Option<LineReader>,
     next_row: u64,
+    /// Byte offset of row `next_row` whenever `reader` is `None` — lets
+    /// the scan continue privately if the shared EOL index is dropped or
+    /// rebuilt underneath it (re-records are ignored as out-of-order).
+    resume_byte: u64,
     stat_builders: Vec<(usize, StatsBuilder)>,
 }
 
 impl InSituScanOp {
     /// Create a scan. `projection` must be ascending table ordinals;
-    /// `filters` are bound against the projection layout.
+    /// `filters` are bound against the projection layout. `threads` is
+    /// the cold-scan fan-out, clamped to ≥ 1 — resolve a 0-means-auto
+    /// config with [`crate::NoDbConfig::effective_scan_threads`] first.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        runtime: Arc<Mutex<RawTableRuntime>>,
+        runtime: Arc<RawTableRuntime>,
         path: PathBuf,
         schema: Schema,
         opts: CsvOptions,
@@ -104,16 +133,20 @@ impl InSituScanOp {
         filters: Vec<BoundExpr>,
         flags: AuxFlags,
         sample_stride: u64,
+        threads: usize,
     ) -> InSituScanOp {
+        let threads = threads.max(1);
         InSituScanOp {
             runtime,
             path,
             flags,
+            threads,
             ctx: Ctx {
                 schema,
                 projection,
                 filters,
                 delim: opts.delimiter,
+                has_header: opts.has_header,
                 where_locals: Vec::new(),
                 select_locals: Vec::new(),
                 sample_stride: sample_stride.max(1),
@@ -124,15 +157,18 @@ impl InSituScanOp {
             window: None,
             reader: None,
             next_row: 0,
+            resume_byte: 0,
             stat_builders: Vec::new(),
         }
     }
 
     fn prepare(&mut self) -> Result<()> {
         let file_len = std::fs::metadata(&self.path)?.len();
-        let mut rt = self.runtime.lock();
-        rt.observe_file_len(file_len)?;
-        rt.metrics.scans += 1;
+        self.runtime.observe_file_len(file_len)?;
+        self.runtime.metrics.add(&ScanMetrics {
+            scans: 1,
+            ..ScanMetrics::default()
+        });
 
         let mut where_set = std::collections::BTreeSet::new();
         for f in &self.ctx.filters {
@@ -152,9 +188,10 @@ impl InSituScanOp {
             } else {
                 self.ctx.where_locals.clone()
             };
+            let stats = self.runtime.stats.lock();
             for local in candidates {
                 let attr = self.ctx.projection[local] as u32;
-                if !rt.stats.has_column(attr) {
+                if !stats.has_column(attr) {
                     self.stat_builders
                         .push((local, StatsBuilder::new(self.ctx.dtype(local))));
                 }
@@ -165,22 +202,74 @@ impl InSituScanOp {
     }
 
     /// Sequential-tokenization region: rows past the end-of-line
-    /// frontier. Populates the EOL index and (optionally) map, cache and
-    /// statistics while emitting qualifying tuples.
-    fn process_sequential_block(&mut self, rt: &mut RawTableRuntime) -> Result<()> {
-        let block_rows = rt.posmap.block_rows() as u64;
+    /// frontier, processed one positional-map block at a time under the
+    /// map's write lock. Populates the EOL index and (optionally) map,
+    /// cache and statistics while emitting qualifying tuples.
+    fn process_sequential_block(&mut self) -> Result<()> {
+        let runtime = Arc::clone(&self.runtime);
+        // Scans that maintain no positional state (the external-files /
+        // baseline profile) have nothing to write into the map: skip the
+        // write lock so concurrent baseline queries never serialize on
+        // state they do not touch.
+        let mut pm = if self.flags.eol || self.flags.posmap {
+            Some(runtime.posmap.write())
+        } else {
+            None
+        };
+        if self.reader.is_none() && self.flags.eol {
+            // Re-check under the write lock: a concurrent scan may have
+            // indexed past us while we waited, in which case the mapped
+            // path (or the done check) takes over on the next pump turn.
+            if pm.as_ref().expect("eol implies lock").eol().indexed_rows() > self.next_row {
+                return Ok(());
+            }
+        }
+        let block_rows = match pm.as_ref() {
+            Some(pm) => pm.block_rows(),
+            None => runtime.posmap.read().block_rows(),
+        } as u64;
         let max_attr = self.ctx.projection.last().copied().unwrap_or(0);
-        let block = rt.posmap.block_of(self.next_row);
+        let block = self.next_row / block_rows;
         let block_end = (block + 1) * block_rows;
 
         if self.reader.is_none() {
-            self.reader = Some(LineReader::open_at(&self.path, rt.posmap.eol().frontier())?);
+            let start = match pm.as_ref() {
+                // The shared EOL index was dropped/rebuilt underneath us
+                // (e.g. `drop_aux` mid-query): continue privately from
+                // our own offset; records from here are out-of-order for
+                // the fresh index and ignored.
+                Some(pm) if self.flags.eol && pm.eol().indexed_rows() < self.next_row => {
+                    self.resume_byte
+                }
+                Some(pm) => pm.eol().frontier(),
+                None => 0,
+            };
+            let mut reader = LineReader::open_at(&self.path, start)?;
+            if self.ctx.has_header && start == 0 {
+                // Skip the header line; anchor the EOL base past it so
+                // that data row 0 starts after the header.
+                let mut hdr = Vec::new();
+                if reader.next_line(&mut hdr)?.is_some() && self.flags.eol {
+                    pm.as_mut()
+                        .expect("eol implies lock")
+                        .eol_mut()
+                        .set_base(reader.offset());
+                }
+            }
+            self.reader = Some(reader);
         }
+        let mut metrics = ScanMetrics::default();
         let mut line = Vec::new();
         let mut starts: Vec<u32> = Vec::with_capacity(max_attr + 1);
         // Keep every position tokenized along the way (§4.2, "all
-        // positions from 1 to 15 may be kept").
-        let mut collector = if self.flags.posmap && !self.ctx.projection.is_empty() {
+        // positions from 1 to 15 may be kept"). Chunk storage is
+        // anchored at block starts, so a pass resuming mid-block (the
+        // tail of an appended file) must not collect — the mapped path
+        // re-collects the grown block from its start later.
+        let mut collector = if self.flags.posmap
+            && !self.ctx.projection.is_empty()
+            && self.next_row.is_multiple_of(block_rows)
+        {
             Some(BlockCollector::new(block, (0..=max_attr as u32).collect()))
         } else {
             None
@@ -194,25 +283,32 @@ impl InSituScanOp {
 
         while self.next_row < block_end {
             let reader = self.reader.as_mut().expect("created above");
-            let Some(_line_start) = reader.next_line(&mut line)? else {
+            let Some(line_start) = reader.next_line(&mut line)? else {
+                // Completing fixes the row count, so only do it when our
+                // records actually reached the index (not when we were
+                // continuing privately past a dropped index).
                 if self.flags.eol {
-                    rt.posmap.eol_mut().set_complete();
+                    let pm = pm.as_mut().expect("eol implies lock");
+                    if pm.eol().indexed_rows() == self.next_row {
+                        pm.eol_mut().set_complete();
+                    }
                 }
                 self.done = true;
                 break;
             };
-            let line_start = _line_start;
             let next_start = reader.offset();
             if self.flags.eol {
-                rt.posmap
-                    .eol_mut()
-                    .record(self.next_row, line_start, next_start);
+                pm.as_mut().expect("eol implies lock").eol_mut().record(
+                    self.next_row,
+                    line_start,
+                    next_start,
+                );
             }
-            rt.metrics.bytes_tokenized += line.len() as u64 + 1;
+            metrics.bytes_tokenized += line.len() as u64 + 1;
             if self.ctx.projection.is_empty() {
                 // Pure row counting (e.g. COUNT(*)): nothing to tokenize.
                 self.out.push_back(Row::new());
-                rt.metrics.rows_emitted += 1;
+                metrics.rows_emitted += 1;
                 self.next_row += 1;
                 continue;
             }
@@ -225,7 +321,7 @@ impl InSituScanOp {
                     max_attr + 1
                 )));
             }
-            rt.metrics.fields_tokenized += found as u64;
+            metrics.fields_tokenized += found as u64;
             if let Some(c) = collector.as_mut() {
                 c.push_row(&starts);
             }
@@ -239,14 +335,7 @@ impl InSituScanOp {
             for li in 0..self.ctx.where_locals.len() {
                 let local = self.ctx.where_locals[li];
                 let start = starts[self.ctx.projection[local]];
-                let v = parse_value(
-                    &self.ctx,
-                    &line,
-                    start,
-                    local,
-                    self.next_row,
-                    &mut rt.metrics,
-                )?;
+                let v = parse_value(&self.ctx, &line, start, local, self.next_row, &mut metrics)?;
                 if self.flags.cache {
                     staged[local].push((local_row as u32, v.clone()));
                 }
@@ -263,14 +352,8 @@ impl InSituScanOp {
                 for li in 0..self.ctx.select_locals.len() {
                     let local = self.ctx.select_locals[li];
                     let start = starts[self.ctx.projection[local]];
-                    let v = parse_value(
-                        &self.ctx,
-                        &line,
-                        start,
-                        local,
-                        self.next_row,
-                        &mut rt.metrics,
-                    )?;
+                    let v =
+                        parse_value(&self.ctx, &line, start, local, self.next_row, &mut metrics)?;
                     if self.flags.cache {
                         staged[local].push((local_row as u32, v.clone()));
                     }
@@ -278,7 +361,7 @@ impl InSituScanOp {
                     row_buf[local] = v;
                 }
                 self.out.push_back(Row(row_buf.clone()));
-                rt.metrics.rows_emitted += 1;
+                metrics.rows_emitted += 1;
             }
             self.next_row += 1;
         }
@@ -286,10 +369,12 @@ impl InSituScanOp {
         let rows_seen = (self.next_row - block * block_rows) as usize;
         if let Some(c) = collector {
             if c.rows() > 0 {
-                rt.posmap.insert(c.build());
+                pm.as_mut().expect("posmap implies lock").insert(c.build());
             }
         }
+        drop(pm);
         if self.flags.cache && rows_seen > 0 {
+            let mut cache = runtime.cache.write();
             for (local, vals) in staged.into_iter().enumerate() {
                 if vals.is_empty() {
                     continue;
@@ -304,49 +389,239 @@ impl InSituScanOp {
                 for (r, v) in vals {
                     b.set(r as usize, &v);
                 }
-                rt.cache.insert(b.build());
+                cache.insert(b.build());
             }
         }
+        runtime.metrics.add(&metrics);
         Ok(())
     }
 
-    /// Map-assisted region: the EOL index covers these rows.
-    fn process_mapped_block(&mut self, rt: &mut RawTableRuntime) -> Result<()> {
-        let block_rows = rt.posmap.block_rows() as u64;
-        let block = rt.posmap.block_of(self.next_row);
-        let block_start = block * block_rows;
-        let covered = rt.posmap.eol().indexed_rows();
-        let cov_end = covered.min(block_start + block_rows);
-        let rows = (cov_end - block_start) as usize;
-        debug_assert!(rows > 0, "mapped block must cover at least one row");
+    /// Chunked parallel pass over the whole un-indexed tail of the file:
+    /// split into line-aligned byte ranges, scan each on a scoped worker
+    /// thread into private staging, then merge in file order.
+    fn process_parallel_tail(&mut self) -> Result<()> {
+        let runtime = Arc::clone(&self.runtime);
+        let file_len = std::fs::metadata(&self.path)?.len();
+        let (mut start_byte, first_row, block_rows) = {
+            let pm = runtime.posmap.read();
+            (
+                pm.eol().frontier(),
+                pm.eol().indexed_rows(),
+                pm.block_rows(),
+            )
+        };
+        if self.flags.eol && first_row != self.next_row {
+            // Raced with a concurrent scan (index grew past us → mapped
+            // path) or an invalidation (index shrank → private sequential
+            // resume); pump re-dispatches either way.
+            return Ok(());
+        }
+        if self.ctx.has_header && start_byte == 0 && first_row == 0 {
+            // Locate the end of the header line before chunking.
+            let mut r = LineReader::open(&self.path)?;
+            let mut hdr = Vec::new();
+            if r.next_line(&mut hdr)?.is_some() {
+                start_byte = r.offset();
+                if self.flags.eol {
+                    runtime.posmap.write().eol_mut().set_base(start_byte);
+                }
+            }
+        }
+        let ranges = split_line_aligned(&self.path, start_byte, file_len, self.threads)?;
+        if ranges.is_empty() {
+            if self.flags.eol {
+                let mut pm = runtime.posmap.write();
+                // Completing fixes the row count, so only do it when the
+                // index still holds exactly the rows we observed (a
+                // concurrent drop_aux may have cleared it since).
+                if pm.eol().indexed_rows() == first_row {
+                    pm.eol_mut().set_complete();
+                }
+            }
+            self.done = true;
+            return Ok(());
+        }
 
-        let line_starts: Vec<u64> = rt
-            .posmap
-            .eol()
-            .starts(block_start, cov_end)
-            .ok_or_else(|| NoDbError::internal("EOL coverage changed mid-scan"))?
-            .to_vec();
-        let end_bound = rt
-            .posmap
-            .eol()
-            .start_of(cov_end)
-            .unwrap_or_else(|| rt.posmap.eol().frontier());
+        // Fan out: one scoped worker per chunk, each with private staging.
+        let stat_locals: Vec<usize> = self.stat_builders.iter().map(|(l, _)| *l).collect();
+        let ctx = &self.ctx;
+        let flags = self.flags;
+        let path = self.path.as_path();
+        let results: Vec<Result<ChunkScan>> = std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&range| {
+                    let stat_locals = &stat_locals;
+                    s.spawn(move || scan_chunk(ctx, path, range, flags, stat_locals))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(NoDbError::internal("scan worker panicked")))
+                })
+                .collect()
+        });
+        let mut outputs = Vec::with_capacity(results.len());
+        for r in results {
+            outputs.push(r?);
+        }
 
+        // Merge in file order: EOL segments and emitted rows first (one
+        // write section), then block-aligned map chunks and cache
+        // columns.
+        let mut metrics = ScanMetrics::default();
+        let mut seg_acc: Option<SegmentCollector> = None;
+        let mut stage_acc: Option<ChunkStage> = None;
+        let mut rows_so_far: u64 = 0;
+        {
+            let mut pm = (self.flags.eol || self.flags.posmap).then(|| runtime.posmap.write());
+            for o in outputs {
+                let base_row = first_row + rows_so_far;
+                let n_rows = o.line_starts.len() as u64;
+                if self.flags.eol {
+                    if let Some(pm) = pm.as_mut() {
+                        pm.eol_mut().absorb_segment(base_row, &o.line_starts, o.end);
+                    }
+                }
+                if let Some(seg) = o.posmap {
+                    match seg_acc.as_mut() {
+                        Some(acc) => acc.append(seg),
+                        None => seg_acc = Some(seg),
+                    }
+                }
+                if let Some(stage) = o.cache {
+                    match stage_acc.as_mut() {
+                        Some(acc) => acc.append(stage, rows_so_far as u32),
+                        None => stage_acc = Some(stage),
+                    }
+                }
+                for (i, samples) in o.stat_samples.into_iter().enumerate() {
+                    for v in samples {
+                        self.stat_builders[i].1.offer(&v);
+                    }
+                }
+                self.out.extend(o.emitted);
+                metrics.merge(&o.metrics);
+                rows_so_far += n_rows;
+            }
+            if let Some(pm) = pm.as_mut() {
+                // Same guard as the sequential EOF path: only fix the row
+                // count when our segments actually reached the index — a
+                // drop_aux between fan-out and merge gap-ignores them,
+                // and completing an emptied index would freeze row_count
+                // at 0 for every other query.
+                if self.flags.eol && pm.eol().indexed_rows() == first_row + rows_so_far {
+                    pm.eol_mut().set_complete();
+                }
+                if let Some(seg) = seg_acc.take() {
+                    for chunk in seg.into_chunks(first_row, block_rows) {
+                        pm.insert(chunk);
+                    }
+                }
+            }
+        }
+        if let Some(stage) = stage_acc.take() {
+            if !stage.is_empty() {
+                let cols = stage.into_columns(first_row, rows_so_far, block_rows);
+                let mut cache = runtime.cache.write();
+                for c in cols {
+                    cache.insert(c);
+                }
+            }
+        }
+        runtime.metrics.add(&metrics);
+        self.next_row = first_row + rows_so_far;
+        self.done = true;
+        Ok(())
+    }
+
+    /// Map-assisted region: the EOL index covers these rows. Everything
+    /// the block needs is snapshotted under shared locks; rows are then
+    /// produced without holding any lock.
+    fn process_mapped_block(&mut self) -> Result<()> {
+        let runtime = Arc::clone(&self.runtime);
+        let mut metrics = ScanMetrics::default();
         let needed: Vec<u32> = self.ctx.projection.iter().map(|&a| a as u32).collect();
-        let (entries, collect) = if self.flags.posmap && !needed.is_empty() {
-            // Re-collect when the combination rule fires *or* the block
-            // grew past existing chunks (append, §4.5).
-            let collect = rt.posmap.should_collect(block, &needed)
-                || needed
-                    .iter()
-                    .any(|&a| (rt.posmap.covered_rows(block, a) as u64) < (cov_end - block_start));
-            let view = rt.posmap.fetch_block(block, &needed);
-            (view.entries, collect)
-        } else {
-            (vec![AttrPositions::None; needed.len()], false)
+
+        struct Snapshot {
+            block: u64,
+            block_start: u64,
+            cov_end: u64,
+            rows: usize,
+            line_starts: Vec<u64>,
+            end_bound: u64,
+            /// `None` when a needed chunk is spilled (write-lock reload
+            /// required).
+            entries: Option<Vec<AttrPositions>>,
+            collect: bool,
+        }
+        let snap = {
+            let pm = runtime.posmap.read();
+            let block_rows = pm.block_rows() as u64;
+            let block = pm.block_of(self.next_row);
+            let block_start = block * block_rows;
+            let covered = pm.eol().indexed_rows();
+            if self.next_row >= covered {
+                // Raced with an invalidation; pump re-dispatches.
+                return Ok(());
+            }
+            let cov_end = covered.min(block_start + block_rows);
+            let rows = (cov_end - block_start) as usize;
+            let line_starts: Vec<u64> = pm
+                .eol()
+                .starts(block_start, cov_end)
+                .ok_or_else(|| NoDbError::internal("EOL coverage changed mid-scan"))?
+                .to_vec();
+            let end_bound = pm
+                .eol()
+                .start_of(cov_end)
+                .unwrap_or_else(|| pm.eol().frontier());
+            let (entries, collect) = if self.flags.posmap && !needed.is_empty() {
+                // Re-collect when the combination rule fires *or* the
+                // block grew past existing chunks (append, §4.5).
+                let collect = pm.should_collect(block, &needed)
+                    || needed
+                        .iter()
+                        .any(|&a| (pm.covered_rows(block, a) as u64) < (cov_end - block_start));
+                (
+                    pm.fetch_block_shared(block, &needed).map(|v| v.entries),
+                    collect,
+                )
+            } else {
+                (Some(vec![AttrPositions::None; needed.len()]), false)
+            };
+            Snapshot {
+                block,
+                block_start,
+                cov_end,
+                rows,
+                line_starts,
+                end_bound,
+                entries,
+                collect,
+            }
+        };
+        let Snapshot {
+            block,
+            block_start,
+            cov_end,
+            rows,
+            line_starts,
+            end_bound,
+            entries,
+            collect,
+        } = snap;
+        debug_assert!(rows > 0, "mapped block must cover at least one row");
+        // Spilled chunks are reloaded under the write lock.
+        let entries = match entries {
+            Some(e) => e,
+            None => runtime.posmap.write().fetch_block(block, &needed).entries,
         };
         let cached: Vec<Option<StdArc<CachedColumn>>> = if self.flags.cache {
-            needed.iter().map(|&a| rt.cache.get(block, a)).collect()
+            let cache = runtime.cache.read();
+            needed.iter().map(|&a| cache.get_shared(block, a)).collect()
         } else {
             vec![None; needed.len()]
         };
@@ -421,7 +696,7 @@ impl InSituScanOp {
                         i,
                         &entries[i],
                         r,
-                        &mut rt.metrics,
+                        &mut metrics,
                     )?;
                 }
                 if let Some(c) = collector.as_mut() {
@@ -446,7 +721,7 @@ impl InSituScanOp {
                     r,
                     collect.then_some(&positions),
                     row_id,
-                    &mut rt.metrics,
+                    &mut metrics,
                 )?;
                 if !from_cache {
                     if let Some(b) = cache_builders[local].as_mut() {
@@ -477,7 +752,7 @@ impl InSituScanOp {
                     r,
                     collect.then_some(&positions),
                     row_id,
-                    &mut rt.metrics,
+                    &mut metrics,
                 )?;
                 if !from_cache {
                     if let Some(b) = cache_builders[local].as_mut() {
@@ -488,19 +763,30 @@ impl InSituScanOp {
                 row_buf[local] = v;
             }
             self.out.push_back(Row(row_buf.clone()));
-            rt.metrics.rows_emitted += 1;
+            metrics.rows_emitted += 1;
         }
 
         if let Some(c) = collector {
             if c.rows() > 0 {
-                rt.posmap.insert(c.build());
+                runtime.posmap.write().insert(c.build());
             }
         }
-        insert_cache(self.flags, rt, cache_builders);
-        self.next_row = cov_end;
-        if rt.posmap.eol().is_complete() && Some(self.next_row) == rt.posmap.eol().row_count() {
-            self.done = true;
+        if self.flags.cache {
+            let builders: Vec<ColumnBuilder> = cache_builders
+                .into_iter()
+                .flatten()
+                .filter(|b| b.filled() > 0)
+                .collect();
+            if !builders.is_empty() {
+                let mut cache = runtime.cache.write();
+                for b in builders {
+                    cache.insert(b.build());
+                }
+            }
         }
+        runtime.metrics.add(&metrics);
+        self.next_row = cov_end;
+        self.resume_byte = end_bound;
         Ok(())
     }
 
@@ -508,16 +794,16 @@ impl InSituScanOp {
         if !self.flags.stats || self.stat_builders.is_empty() {
             return;
         }
-        let mut rt = self.runtime.lock();
-        let row_count = rt.posmap.eol().row_count();
+        let row_count = self.runtime.posmap.read().eol().row_count();
+        let mut stats = self.runtime.stats.lock();
         if let Some(n) = row_count {
-            rt.stats.set_row_count(n);
+            stats.set_row_count(n);
         }
         let hint = row_count.map(|n| n as f64);
         for (local, b) in self.stat_builders.drain(..) {
             let attr = self.ctx.projection[local] as u32;
-            if !rt.stats.has_column(attr) && b.offered() > 0 {
-                rt.stats.set_column(attr, b.finalize(hint));
+            if !stats.has_column(attr) && b.offered() > 0 {
+                stats.set_column(attr, b.finalize(hint));
             }
         }
     }
@@ -527,16 +813,34 @@ impl InSituScanOp {
             self.prepare()?;
         }
         while self.out.is_empty() && !self.done {
-            let runtime = Arc::clone(&self.runtime);
-            let mut rt = runtime.lock();
-            if rt.posmap.eol().is_complete() && Some(self.next_row) == rt.posmap.eol().row_count() {
+            let (complete, row_count, indexed) = {
+                let pm = self.runtime.posmap.read();
+                (
+                    pm.eol().is_complete(),
+                    pm.eol().row_count(),
+                    pm.eol().indexed_rows(),
+                )
+            };
+            if complete && Some(self.next_row) == row_count {
                 self.done = true;
                 break;
             }
-            if self.flags.eol && self.next_row < rt.posmap.eol().indexed_rows() {
-                self.process_mapped_block(&mut rt)?;
+            if self.flags.eol && self.next_row < indexed {
+                // A sequential reader opened earlier is stale once the
+                // map covers our position; remember where it stood so a
+                // later private resume starts at the right byte (the
+                // mapped path keeps `resume_byte` current from there).
+                if let Some(r) = self.reader.take() {
+                    self.resume_byte = r.offset();
+                }
+                self.process_mapped_block()?;
+            } else if self.threads > 1
+                && self.reader.is_none()
+                && (!self.flags.eol || indexed == self.next_row)
+            {
+                self.process_parallel_tail()?;
             } else {
-                self.process_sequential_block(&mut rt)?;
+                self.process_sequential_block()?;
             }
         }
         if self.done {
@@ -558,6 +862,169 @@ impl Operator for InSituScanOp {
             self.pump()?;
             if self.out.is_empty() && self.done {
                 return Ok(None);
+            }
+        }
+    }
+}
+
+// ----- chunk workers (parallel cold path) --------------------------------
+
+/// Everything one worker produced from its byte chunk. Global row ids are
+/// unknown while workers run; the merge supplies them chunk by chunk.
+struct ChunkScan {
+    /// Absolute line-start offsets, in order.
+    line_starts: Vec<u64>,
+    /// Chunk end byte (frontier contribution).
+    end: u64,
+    /// Qualifying rows, in order.
+    emitted: Vec<Row>,
+    /// Staged positional-map rows (attrs `0..=max_attr`).
+    posmap: Option<SegmentCollector>,
+    /// Staged cache values (one column per projected attribute).
+    cache: Option<ChunkStage>,
+    /// Sampled values per stat builder (parallel to the op's
+    /// `stat_builders`).
+    stat_samples: Vec<Vec<Value>>,
+    /// Work done by this worker.
+    metrics: ScanMetrics,
+}
+
+/// Tokenize/parse one line-aligned chunk into private staging. Runs on a
+/// worker thread; touches no shared state.
+fn scan_chunk(
+    ctx: &Ctx,
+    path: &Path,
+    range: ByteRange,
+    flags: AuxFlags,
+    stat_locals: &[usize],
+) -> Result<ChunkScan> {
+    let max_attr = ctx.projection.last().copied().unwrap_or(0);
+    let mut reader = LineReader::open_range(path, range)?;
+    let mut out = ChunkScan {
+        line_starts: Vec::new(),
+        end: range.end,
+        emitted: Vec::new(),
+        posmap: (flags.posmap && !ctx.projection.is_empty())
+            .then(|| SegmentCollector::new((0..=max_attr as u32).collect())),
+        cache: flags.cache.then(|| {
+            ChunkStage::new(
+                ctx.projection
+                    .iter()
+                    .map(|&a| (a as u32, ctx.schema.field(a).dtype))
+                    .collect(),
+            )
+        }),
+        stat_samples: vec![Vec::new(); stat_locals.len()],
+        metrics: ScanMetrics::default(),
+    };
+    let mut line = Vec::new();
+    let mut starts: Vec<u32> = Vec::with_capacity(max_attr + 1);
+    let mut row_buf: Vec<Value> = vec![Value::Null; ctx.projection.len()];
+    let mut local_row: u32 = 0;
+    while let Some(line_start) = reader.next_line(&mut line)? {
+        out.line_starts.push(line_start);
+        out.metrics.bytes_tokenized += line.len() as u64 + 1;
+        if ctx.projection.is_empty() {
+            out.emitted.push(Row::new());
+            out.metrics.rows_emitted += 1;
+            local_row += 1;
+            continue;
+        }
+        starts.clear();
+        let found = tokenize::tokenize_upto(&line, ctx.delim, max_attr, &mut starts);
+        if found < max_attr + 1 {
+            return Err(NoDbError::parse(format!(
+                "row at byte {line_start} has {found} fields, need at least {}",
+                max_attr + 1
+            )));
+        }
+        out.metrics.fields_tokenized += found as u64;
+        if let Some(c) = out.posmap.as_mut() {
+            c.push_row(&starts);
+        }
+
+        for v in row_buf.iter_mut() {
+            *v = Value::Null;
+        }
+        let mut ok = true;
+        for li in 0..ctx.where_locals.len() {
+            let local = ctx.where_locals[li];
+            let v = parse_chunk_value(
+                ctx,
+                &line,
+                starts[ctx.projection[local]],
+                local,
+                line_start,
+                &mut out,
+            )?;
+            stage_chunk_value(ctx, stat_locals, &mut out, local, local_row, &v);
+            row_buf[local] = v;
+        }
+        for f in &ctx.filters {
+            if !eval_predicate(f, &Row(row_buf.clone()))? {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            for li in 0..ctx.select_locals.len() {
+                let local = ctx.select_locals[li];
+                let v = parse_chunk_value(
+                    ctx,
+                    &line,
+                    starts[ctx.projection[local]],
+                    local,
+                    line_start,
+                    &mut out,
+                )?;
+                stage_chunk_value(ctx, stat_locals, &mut out, local, local_row, &v);
+                row_buf[local] = v;
+            }
+            out.emitted.push(Row(row_buf.clone()));
+            out.metrics.rows_emitted += 1;
+        }
+        local_row += 1;
+    }
+    Ok(out)
+}
+
+/// Convert one field inside a chunk worker (global row ids are unknown,
+/// so errors name the byte offset instead).
+fn parse_chunk_value(
+    ctx: &Ctx,
+    line: &[u8],
+    start: u32,
+    local: usize,
+    line_start: u64,
+    out: &mut ChunkScan,
+) -> Result<Value> {
+    let bytes = tokenize::field_at(line, ctx.delim, start);
+    out.metrics.fields_parsed += 1;
+    Value::parse_field(bytes, ctx.dtype(local)).map_err(|e| {
+        NoDbError::parse(format!(
+            "row at byte {line_start}, column `{}`: {e}",
+            ctx.schema.field(ctx.projection[local]).name
+        ))
+    })
+}
+
+/// Stage a converted value into the worker's cache stage and statistics
+/// samples.
+fn stage_chunk_value(
+    ctx: &Ctx,
+    stat_locals: &[usize],
+    out: &mut ChunkScan,
+    local: usize,
+    local_row: u32,
+    v: &Value,
+) {
+    if let Some(stage) = out.cache.as_mut() {
+        stage.push(local, local_row, v.clone());
+    }
+    if (local_row as u64).is_multiple_of(ctx.sample_stride) {
+        for (i, l) in stat_locals.iter().enumerate() {
+            if *l == local {
+                out.stat_samples[i].push(v.clone());
             }
         }
     }
@@ -596,17 +1063,6 @@ fn offer_stat(
     for (l, b) in builders.iter_mut() {
         if *l == local {
             b.offer(v);
-        }
-    }
-}
-
-fn insert_cache(flags: AuxFlags, rt: &mut RawTableRuntime, builders: Vec<Option<ColumnBuilder>>) {
-    if !flags.cache {
-        return;
-    }
-    for b in builders.into_iter().flatten() {
-        if b.filled() > 0 {
-            rt.cache.insert(b.build());
         }
     }
 }

@@ -30,7 +30,7 @@ pub mod tokenize;
 pub mod writer;
 
 pub use generate::MicroGen;
-pub use lines::{LineReader, SlidingWindow};
+pub use lines::{split_line_aligned, ByteRange, LineReader, SlidingWindow};
 pub use writer::CsvWriter;
 
 /// Options describing the physical layout of a character-delimited file.

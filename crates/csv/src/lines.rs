@@ -1,11 +1,16 @@
 //! File access paths for the in-situ scan.
 //!
-//! Two access patterns exist in PostgresRaw:
+//! Three access patterns exist in this PostgresRaw reproduction:
 //!
 //! * **Sequential tokenization** of every line — the first query on a file,
 //!   or any region the positional map does not cover. [`LineReader`] serves
 //!   this with a reused line buffer (one allocation amortized over the
 //!   whole file).
+//! * **Chunked parallel tokenization** — a cold scan splits the file into
+//!   line-aligned byte ranges ([`split_line_aligned`]) and hands each to a
+//!   worker thread, which reads it with a bounded [`LineReader`]
+//!   ([`LineReader::open_range`]). Every byte of the region belongs to
+//!   exactly one chunk, and no line straddles a chunk boundary.
 //! * **Position-driven access** — the map knows where tuples/attributes
 //!   live, and the scan touches only those byte ranges, in increasing file
 //!   order. [`SlidingWindow`] serves monotonically-ordered range reads from
@@ -21,11 +26,98 @@ use nodb_common::Result;
 /// small enough to stay cache-friendly.
 pub const DEFAULT_BUF: usize = 1 << 20;
 
+/// A half-open byte range `[start, end)` of a file, aligned so that
+/// `start` is a line start and `end` is one past a line end (or the file
+/// end). Produced by [`split_line_aligned`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteRange {
+    /// First byte of the range (a line start).
+    pub start: u64,
+    /// One past the last byte (one past a `\n`, or the file length).
+    pub end: u64,
+}
+
+impl ByteRange {
+    /// Number of bytes covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// True when the range covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// Split the file region `[start, end)` into at most `chunks` line-aligned
+/// byte ranges of roughly equal size.
+///
+/// `start` must itself be a line start. Internal boundaries are moved
+/// forward to the byte just past the next `\n`, so every line falls into
+/// exactly one chunk and the chunks cover every byte of the region exactly
+/// once (a trailing line without a final newline goes to the last chunk).
+/// Fewer than `chunks` ranges are returned when lines are too long or the
+/// region is too small to split further; an empty region yields no ranges.
+pub fn split_line_aligned(
+    path: &Path,
+    start: u64,
+    end: u64,
+    chunks: usize,
+) -> Result<Vec<ByteRange>> {
+    if end <= start {
+        return Ok(Vec::new());
+    }
+    let chunks = chunks.max(1) as u64;
+    let len = end - start;
+    let target = len.div_ceil(chunks).max(1);
+    let mut file = File::open(path)?;
+    let mut ranges = Vec::with_capacity(chunks as usize);
+    let mut cur = start;
+    while cur < end {
+        let goal = (cur + target).min(end);
+        let boundary = if goal >= end {
+            end
+        } else {
+            next_line_start(&mut file, goal, end)?
+        };
+        ranges.push(ByteRange {
+            start: cur,
+            end: boundary,
+        });
+        cur = boundary;
+    }
+    Ok(ranges)
+}
+
+/// Find the start of the first line at or after `from`: the byte just past
+/// the next `\n` at or after `from - 1`... precisely, scanning from `from`
+/// for a `\n` and returning the position after it (clamped to `end`).
+fn next_line_start(file: &mut File, from: u64, end: u64) -> std::io::Result<u64> {
+    file.seek(SeekFrom::Start(from))?;
+    let mut buf = [0u8; 8192];
+    let mut pos = from;
+    while pos < end {
+        let want = buf.len().min((end - pos) as usize);
+        let n = file.read(&mut buf[..want])?;
+        if n == 0 {
+            return Ok(end);
+        }
+        if let Some(i) = buf[..n].iter().position(|&b| b == b'\n') {
+            return Ok((pos + i as u64 + 1).min(end));
+        }
+        pos += n as u64;
+    }
+    Ok(end)
+}
+
 /// Sequential line reader with explicit byte offsets.
 pub struct LineReader {
     inner: BufReader<File>,
     /// Byte offset of the *next* line to be returned.
     offset: u64,
+    /// Reading stops once `offset` reaches this bound (`u64::MAX` for
+    /// whole-file readers).
+    end: u64,
 }
 
 impl LineReader {
@@ -34,6 +126,7 @@ impl LineReader {
         Ok(LineReader {
             inner: BufReader::with_capacity(DEFAULT_BUF, File::open(path)?),
             offset: 0,
+            end: u64::MAX,
         })
     }
 
@@ -45,7 +138,16 @@ impl LineReader {
         Ok(LineReader {
             inner: BufReader::with_capacity(DEFAULT_BUF, f),
             offset,
+            end: u64::MAX,
         })
+    }
+
+    /// Open a reader bounded to the line-aligned `range` (one chunk of a
+    /// parallel scan): lines are returned until `range.end` is reached.
+    pub fn open_range(path: &Path, range: ByteRange) -> Result<LineReader> {
+        let mut r = Self::open_at(path, range.start)?;
+        r.end = range.end;
+        Ok(r)
     }
 
     /// Byte offset where the *next* line starts (equivalently: one past
@@ -61,6 +163,9 @@ impl LineReader {
     pub fn next_line(&mut self, buf: &mut Vec<u8>) -> Result<Option<u64>> {
         buf.clear();
         let start = self.offset;
+        if start >= self.end {
+            return Ok(None);
+        }
         let n = read_until(&mut self.inner, b'\n', buf)?;
         if n == 0 {
             return Ok(None);
@@ -282,6 +387,142 @@ mod tests {
         let mut w = SlidingWindow::open(&p).unwrap();
         assert_eq!(w.line_at(0).unwrap(), b"first,line");
         assert_eq!(w.line_at(11).unwrap(), b"second");
+    }
+
+    /// Read all lines of `range` through a bounded reader.
+    fn range_lines(p: &std::path::Path, range: ByteRange) -> Vec<Vec<u8>> {
+        let mut r = LineReader::open_range(p, range).unwrap();
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        while r.next_line(&mut buf).unwrap().is_some() {
+            out.push(buf.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn split_covers_region_exactly_once() {
+        let (_td, p) = write_file(&["aaaa", "bb", "cccccc", "d", "ee", "ffff"]);
+        let len = std::fs::metadata(&p).unwrap().len();
+        for chunks in 1..=8 {
+            let ranges = split_line_aligned(&p, 0, len, chunks).unwrap();
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= chunks.max(1));
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous, non-overlapping");
+                assert!(!w[0].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn split_boundaries_are_line_aligned() {
+        let (_td, p) = write_file(&["aaaa", "bb", "cccccc", "d", "ee", "ffff"]);
+        let data = std::fs::read(&p).unwrap();
+        let ranges = split_line_aligned(&p, 0, data.len() as u64, 3).unwrap();
+        for r in &ranges[1..] {
+            assert_eq!(
+                data[r.start as usize - 1],
+                b'\n',
+                "chunk start {} must follow a newline",
+                r.start
+            );
+        }
+    }
+
+    #[test]
+    fn split_of_empty_region_is_empty() {
+        let (_td, p) = write_file(&["abc"]);
+        assert!(split_line_aligned(&p, 3, 3, 4).unwrap().is_empty());
+        assert!(split_line_aligned(&p, 5, 3, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn split_single_long_line_yields_one_chunk() {
+        let td = TempDir::new("nodb-csv").unwrap();
+        let p = td.file("d.csv");
+        std::fs::write(&p, "x".repeat(10_000)).unwrap();
+        let ranges = split_line_aligned(&p, 0, 10_000, 8).unwrap();
+        assert_eq!(
+            ranges,
+            vec![ByteRange {
+                start: 0,
+                end: 10_000
+            }]
+        );
+    }
+
+    #[test]
+    fn open_range_stops_at_chunk_end() {
+        let (_td, p) = write_file(&["abc", "de", "fgh"]);
+        // "abc\nde\nfgh" — chunk covering only the first two lines.
+        let lines = range_lines(&p, ByteRange { start: 0, end: 7 });
+        assert_eq!(lines, vec![b"abc".to_vec(), b"de".to_vec()]);
+        let rest = range_lines(&p, ByteRange { start: 7, end: 10 });
+        assert_eq!(rest, vec![b"fgh".to_vec()]);
+    }
+
+    mod chunking_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Line-aligned chunking over arbitrary CSV-ish bodies covers
+            /// every byte exactly once and never splits a line: reading
+            /// the chunks in order yields exactly the lines of the whole
+            /// file, including trailing-newline / no-trailing-newline,
+            /// empty-line and CRLF edge cases.
+            #[test]
+            fn chunking_partitions_lines_exactly(
+                lines in proptest::collection::vec("[a-z,]{0,12}", 0..40),
+                trailing_newline in any::<bool>(),
+                crlf in any::<bool>(),
+                chunks in 1usize..9,
+            ) {
+                let sep = if crlf { "\r\n" } else { "\n" };
+                let mut body = lines.join(sep);
+                if trailing_newline && !body.is_empty() {
+                    body.push_str(sep);
+                }
+                let td = TempDir::new("nodb-csv-prop").unwrap();
+                let p = td.file("d.csv");
+                std::fs::write(&p, &body).unwrap();
+                let len = body.len() as u64;
+
+                let ranges = split_line_aligned(&p, 0, len, chunks).unwrap();
+
+                // Exact coverage: contiguous, non-empty, spanning [0, len).
+                let mut covered = 0u64;
+                for r in &ranges {
+                    prop_assert_eq!(r.start, covered);
+                    prop_assert!(r.end > r.start);
+                    covered = r.end;
+                }
+                prop_assert_eq!(covered, len);
+                // Boundaries are line-aligned.
+                let bytes = body.as_bytes();
+                for r in ranges.iter().skip(1) {
+                    prop_assert_eq!(bytes[r.start as usize - 1], b'\n');
+                }
+                // Reading the chunks in order reproduces the file's lines.
+                let whole = {
+                    let mut r = LineReader::open(&p).unwrap();
+                    let mut buf = Vec::new();
+                    let mut out = Vec::new();
+                    while r.next_line(&mut buf).unwrap().is_some() {
+                        out.push(buf.clone());
+                    }
+                    out
+                };
+                let mut chunked = Vec::new();
+                for r in &ranges {
+                    chunked.extend(range_lines(&p, *r));
+                }
+                prop_assert_eq!(chunked, whole);
+            }
+        }
     }
 
     #[test]

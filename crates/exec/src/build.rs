@@ -12,7 +12,11 @@ use crate::ops::{
 /// Supplies leaf scans. Implemented by the in-situ engine (PostgresRaw
 /// scan), the external-files straw-man and the conventional heap-file
 /// engine — the rest of the operator tree is identical across all three.
-pub trait TableProvider {
+///
+/// Providers must be `Send + Sync`: the engine serves concurrent queries
+/// from multiple threads against one catalog, so `scan` is called with a
+/// shared reference from any thread.
+pub trait TableProvider: Send + Sync {
     /// Open a scan producing the `projection` columns (table ordinals, in
     /// the given order) with `filters` (bound against the projection
     /// layout) applied.

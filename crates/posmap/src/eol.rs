@@ -54,6 +54,34 @@ impl EolIndex {
         }
     }
 
+    /// Record a contiguous segment of line starts built by a chunk
+    /// worker: rows `[base_row, base_row + line_starts.len())`, with the
+    /// segment's last line ending at byte `end` (the next line start /
+    /// chunk end). Rows already recorded are skipped and a gap (a
+    /// `base_row` beyond the indexed extent) is ignored, matching
+    /// [`EolIndex::record`]'s in-order, exactly-once contract.
+    pub fn absorb_segment(&mut self, base_row: u64, line_starts: &[u64], end: u64) {
+        let have = self.starts.len() as u64;
+        if base_row > have {
+            return;
+        }
+        let skip = (have - base_row) as usize;
+        if skip >= line_starts.len() {
+            return;
+        }
+        self.starts.extend_from_slice(&line_starts[skip..]);
+        self.frontier = end;
+    }
+
+    /// Set the resume offset of an *empty* index, so indexing starts past
+    /// a prefix that holds no data rows (a header line). No-op once any
+    /// row is recorded.
+    pub fn set_base(&mut self, offset: u64) {
+        if self.starts.is_empty() && !self.complete {
+            self.frontier = offset;
+        }
+    }
+
     /// Mark the file as fully indexed.
     pub fn set_complete(&mut self) {
         self.complete = true;
@@ -142,6 +170,36 @@ mod tests {
         }
         assert_eq!(e.starts(1, 3), Some(&[10u64, 20][..]));
         assert_eq!(e.starts(4, 6), None);
+    }
+
+    #[test]
+    fn absorb_segment_appends_and_skips_known_rows() {
+        let mut e = EolIndex::new();
+        e.record(0, 0, 10);
+        e.record(1, 10, 25);
+        // Overlapping segment: rows 0..4, only 2..4 are new.
+        e.absorb_segment(0, &[0, 10, 25, 40], 55);
+        assert_eq!(e.indexed_rows(), 4);
+        assert_eq!(e.start_of(2), Some(25));
+        assert_eq!(e.start_of(3), Some(40));
+        assert_eq!(e.frontier(), 55);
+        // Fully-known segment: no change.
+        e.absorb_segment(0, &[0, 10], 25);
+        assert_eq!(e.indexed_rows(), 4);
+        assert_eq!(e.frontier(), 55);
+        // Gapped segment: ignored.
+        e.absorb_segment(9, &[99], 120);
+        assert_eq!(e.indexed_rows(), 4);
+    }
+
+    #[test]
+    fn set_base_only_moves_an_empty_index() {
+        let mut e = EolIndex::new();
+        e.set_base(12);
+        assert_eq!(e.frontier(), 12);
+        e.record(0, 12, 30);
+        e.set_base(0);
+        assert_eq!(e.frontier(), 30, "base is fixed once rows exist");
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod chunk;
 pub mod eol;
 pub mod map;
 
-pub use chunk::{BlockCollector, Chunk, OffsetStore};
+pub use chunk::{BlockCollector, Chunk, OffsetStore, SegmentCollector};
 pub use eol::EolIndex;
 pub use map::{AttrPositions, BlockView, MapStats, PosMapConfig, PositionalMap};

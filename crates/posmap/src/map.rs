@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use nodb_common::{ByteSize, Result};
 
@@ -106,7 +107,9 @@ enum SlotState {
 #[derive(Debug)]
 struct Slot {
     state: SlotState,
-    last_touch: u64,
+    /// LRU recency stamp. Atomic so that read-locked (`&self`) block
+    /// fetches from concurrent warm scans still update recency.
+    last_touch: AtomicU64,
 }
 
 /// The adaptive positional map for a single raw file.
@@ -121,7 +124,8 @@ pub struct PositionalMap {
     free: Vec<usize>,
     /// block → (attr → slot).
     dir: HashMap<u64, BTreeMap<u32, usize>>,
-    clock: u64,
+    /// LRU clock; atomic so shared-lock readers can tick it.
+    clock: AtomicU64,
     bytes_in_mem: usize,
     spill_seq: u64,
     stats: MapStats,
@@ -136,7 +140,7 @@ impl PositionalMap {
             slots: Vec::new(),
             free: Vec::new(),
             dir: HashMap::new(),
-            clock: 0,
+            clock: AtomicU64::new(0),
             bytes_in_mem: 0,
             spill_seq: 0,
             stats: MapStats::default(),
@@ -193,13 +197,13 @@ impl PositionalMap {
         if chunk.rows == 0 || chunk.attrs.is_empty() {
             return;
         }
-        self.clock += 1;
+        let now = self.tick();
         let bytes = chunk.bytes();
         let block = chunk.block;
         let attrs = chunk.attrs.clone();
         let slot_id = self.alloc_slot(Slot {
             state: SlotState::InMem(chunk),
-            last_touch: self.clock,
+            last_touch: AtomicU64::new(now),
         });
         let block_dir = self.dir.entry(block).or_default();
         for a in attrs {
@@ -210,12 +214,17 @@ impl PositionalMap {
         self.enforce_budget(slot_id);
     }
 
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Pre-fetch positional information for `attrs` over `block` — builds
     /// the temporary map for one batch. Access order inside the scan is
-    /// up to the caller (WHERE attributes first; see nodb-core).
+    /// up to the caller (WHERE attributes first; see nodb-core). Spilled
+    /// chunks are reloaded from disk, which is why this needs `&mut`; the
+    /// common warm-path alternative is [`PositionalMap::fetch_block_shared`].
     pub fn fetch_block(&mut self, block: u64, attrs: &[u32]) -> BlockView {
-        self.clock += 1;
-        let clock = self.clock;
+        let clock = self.tick();
         let mut entries = Vec::with_capacity(attrs.len());
         let mut rows = 0u32;
         for &attr in attrs {
@@ -253,6 +262,71 @@ impl PositionalMap {
             block,
             entries,
             rows,
+        }
+    }
+
+    /// Shared-lock variant of [`PositionalMap::fetch_block`]: concurrent
+    /// warm scans call this under a read lock. Recency still advances
+    /// (the LRU stamps are atomic). Returns `None` when any needed chunk
+    /// is spilled to disk — reloading mutates the map, so the caller must
+    /// retry with a write lock and `fetch_block`.
+    pub fn fetch_block_shared(&self, block: u64, attrs: &[u32]) -> Option<BlockView> {
+        let clock = self.tick();
+        let mut entries = Vec::with_capacity(attrs.len());
+        let mut rows = 0u32;
+        for &attr in attrs {
+            let hit = self.dir.get(&block).and_then(|bd| bd.get(&attr).copied());
+            let entry = match hit {
+                Some(slot) => match self.column_of_shared(slot, attr, clock)? {
+                    Some(col) => {
+                        rows = rows.max(col.len() as u32);
+                        AttrPositions::Exact(col)
+                    }
+                    None => AttrPositions::None,
+                },
+                None => match self.nearest_attr(block, attr) {
+                    Some((anchor_attr, slot)) => {
+                        match self.column_of_shared(slot, anchor_attr, clock)? {
+                            Some(col) => {
+                                rows = rows.max(col.len() as u32);
+                                AttrPositions::Anchor {
+                                    anchor_attr,
+                                    positions: col,
+                                }
+                            }
+                            None => AttrPositions::None,
+                        }
+                    }
+                    None => AttrPositions::None,
+                },
+            };
+            entries.push(entry);
+        }
+        Some(BlockView {
+            block,
+            entries,
+            rows,
+        })
+    }
+
+    /// `column_of` without the reload path: outer `None` means "spilled,
+    /// needs a write lock"; inner `None` means the slot does not cover
+    /// the attribute.
+    #[allow(clippy::option_option)]
+    fn column_of_shared(&self, slot_id: usize, attr: u32, clock: u64) -> Option<Option<Vec<u32>>> {
+        let slot = &self.slots[slot_id];
+        match &slot.state {
+            SlotState::Spilled { .. } => None,
+            SlotState::InMem(c) => {
+                slot.last_touch.store(clock, Ordering::Relaxed);
+                Some(
+                    c.attrs
+                        .iter()
+                        .position(|&a| a == attr)
+                        .map(|pos| c.attr_column(pos)),
+                )
+            }
+            SlotState::Free => Some(None),
         }
     }
 
@@ -328,7 +402,7 @@ impl PositionalMap {
             return None;
         }
         let slot = &mut self.slots[slot_id];
-        slot.last_touch = clock;
+        slot.last_touch.store(clock, Ordering::Relaxed);
         match &slot.state {
             SlotState::InMem(c) => {
                 let pos = c.attrs.iter().position(|&a| a == attr)?;
@@ -389,9 +463,10 @@ impl PositionalMap {
                 if matches!(s.state, SlotState::InMem(_)) {
                     in_mem += 1;
                     if id != protect {
+                        let touch = s.last_touch.load(Ordering::Relaxed);
                         match victim {
-                            Some((_, t)) if t <= s.last_touch => {}
-                            _ => victim = Some((id, s.last_touch)),
+                            Some((_, t)) if t <= touch => {}
+                            _ => victim = Some((id, touch)),
                         }
                     }
                 }

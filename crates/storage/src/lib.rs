@@ -8,7 +8,7 @@
 //! scratch:
 //!
 //! * [`page`] — 8 KiB slotted pages.
-//! * [`tuple`](crate::tuple) — binary row codec with configurable tuple-header
+//! * [`mod@tuple`] — binary row codec with configurable tuple-header
 //!   overhead, plus an overflow path for rows larger than a page (the
 //!   mechanism behind Figure 13's wide-attribute degradation).
 //! * [`bufpool`] — an LRU buffer pool.
