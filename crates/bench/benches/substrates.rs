@@ -6,12 +6,13 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use nodb_cache::{CacheConfig, ColumnBuilder, RawCache};
-use nodb_common::{DataType, Row, Schema, TempDir, Value};
+use nodb_common::{DataType, LineFormat, Row, Schema, TempDir, Value};
 use nodb_core::{AccessMode, NoDb, NoDbConfig};
 use nodb_csv::tokenize;
 use nodb_csv::{CsvOptions, MicroGen};
 use nodb_exec::ops::{HashAggOp, HashJoinOp, Operator, RowsOp, SortAggOp};
 use nodb_exec::{eval, eval_predicate};
+use nodb_json::{JsonFormat, JsonlGen};
 use nodb_posmap::{BlockCollector, PosMapConfig, PositionalMap};
 use nodb_sql::expr::AggExpr;
 use nodb_sql::{AggFunc, BinOp, BoundExpr, JoinKind};
@@ -300,6 +301,80 @@ fn bench_scan_threads(c: &mut Criterion) {
     g.finish();
 }
 
+/// The JSONL substrate (ISSUE 3): keyed-record tokenization cost against
+/// the CSV tokenizer's, plus cold (1 and 4 workers) and warm in-situ
+/// scans over a JSONL table holding the same logical rows as the CSV
+/// micro table. Warm reads go through the positional map and cache, so
+/// they should converge with CSV's warm numbers — that gap is the whole
+/// point of the adaptive structures being format-independent.
+fn bench_jsonl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_jsonl");
+
+    // Tokenizer: a 150-key object line, full and selective walks.
+    let keys: Vec<String> = (0..150).map(|i| format!("c{i}")).collect();
+    let format = JsonFormat::new(keys.clone());
+    let line: Vec<u8> = {
+        let fields: Vec<String> = (0..150)
+            .map(|i| format!("\"c{i}\":{}", (i * 7919 + 13) % 1_000_000_000))
+            .collect();
+        format!("{{{}}}", fields.join(",")).into_bytes()
+    };
+    g.throughput(Throughput::Bytes(line.len() as u64));
+    g.bench_function("tokenize_all_150_keys", |b| {
+        let mut out = Vec::with_capacity(160);
+        b.iter(|| {
+            out.clear();
+            format
+                .positions_upto(&line, 149, &mut out)
+                .expect("tokenize")
+        });
+    });
+    g.bench_function("selective_tokenize_upto_10", |b| {
+        let mut out = Vec::with_capacity(16);
+        b.iter(|| {
+            out.clear();
+            format
+                .positions_upto(&line, 10, &mut out)
+                .expect("tokenize")
+        });
+    });
+
+    // Engine-level: cold and warm scans, single- and multi-worker.
+    const ROWS: usize = 20_000;
+    let td = TempDir::new("nodb-bench-jsonl").expect("tempdir");
+    let path = td.file("scale.jsonl");
+    let spec = JsonlGen::default().rows(ROWS).cols(20).seed(42);
+    let file_bytes = spec.write_to(&path).expect("write");
+    // Re-anchor the group throughput: the per-line annotation above must
+    // not leak onto whole-file scan numbers.
+    g.throughput(Throughput::Bytes(file_bytes));
+    let schema = spec.schema();
+    let query = "select c0, c9 from t where c4 < 500000000";
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let mut cfg = NoDbConfig::postgres_raw();
+        cfg.scan_threads = threads;
+        let mut db = NoDb::new(cfg).expect("engine");
+        db.register_jsonl("t", &path, schema.clone(), AccessMode::InSitu)
+            .expect("register");
+        let r = db.query(query).expect("query");
+        assert!(!r.rows.is_empty() && r.rows.len() < ROWS);
+        g.bench_function(format!("cold_scan/{threads}threads"), |b| {
+            b.iter_batched(
+                || db.drop_aux("t").expect("drop aux"),
+                |()| db.query(query).expect("query").rows.len(),
+                BatchSize::SmallInput,
+            );
+        });
+        db.drop_aux("t").expect("drop aux");
+        db.query(query).expect("warm-up");
+        g.bench_function(format!("warm_scan/{threads}threads"), |b| {
+            b.iter(|| db.query(query).expect("query").rows.len());
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     substrates,
     bench_tokenizer,
@@ -309,6 +384,7 @@ criterion_group!(
     bench_stats,
     bench_exec,
     bench_storage,
-    bench_scan_threads
+    bench_scan_threads,
+    bench_jsonl
 );
 criterion_main!(substrates);

@@ -146,6 +146,20 @@ mod tests {
     }
 
     #[test]
+    fn parses_jsonl_register_with_schema() {
+        let c = parse_line("\\register ev events.jsonl \"id int, msg text\"").unwrap();
+        assert!(matches!(
+            c,
+            Command::Register {
+                schema: Some(_),
+                ..
+            }
+        ));
+        // JSONL is schema-declared too: no schema, no registration.
+        assert!(parse_line("\\register ev events.jsonl").is_err());
+    }
+
+    #[test]
     fn parses_sep_with_pipe() {
         let c = parse_line("\\sep li lineitem.tbl '|' \"a int, b text\"").unwrap();
         match c {

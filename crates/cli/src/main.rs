@@ -98,6 +98,9 @@ fn execute(db: &mut NoDb, cmd: Command) -> Result<(), Box<dyn std::error::Error>
                 let provider = FitsProvider::open(p, None, true)?;
                 let schema = provider.table().schema()?;
                 db.register_provider(&name, schema, Box::new(provider))?;
+            } else if path.ends_with(".jsonl") || path.ends_with(".ndjson") {
+                let schema = Schema::parse(&schema.ok_or("JSONL files need a schema string")?)?;
+                db.register_jsonl(&name, p, schema, AccessMode::InSitu)?;
             } else {
                 let schema = Schema::parse(&schema.ok_or("CSV files need a schema string")?)?;
                 let opts = CsvOptions {
@@ -155,6 +158,7 @@ fn execute(db: &mut NoDb, cmd: Command) -> Result<(), Box<dyn std::error::Error>
 fn print_help() {
     println!(
         "\\register NAME PATH \"col type, ...\"   register a CSV file (in situ)\n\
+         \\register NAME PATH.jsonl \"col type, ...\"  register a JSON Lines file (keys = column names)\n\
          \\register NAME PATH.fits              register a FITS binary table\n\
          \\sep NAME PATH '|' \"col type, ...\"    register with a delimiter\n\
          \\explain SELECT ...                   show the query plan\n\

@@ -16,6 +16,7 @@
 pub mod bytesize;
 pub mod date;
 pub mod error;
+pub mod format;
 pub mod like;
 pub mod row;
 pub mod schema;
@@ -26,6 +27,7 @@ pub mod value;
 pub use bytesize::ByteSize;
 pub use date::Date;
 pub use error::{NoDbError, Result};
+pub use format::{LineFormat, NO_POSITION};
 pub use row::Row;
 pub use schema::{Field, Schema};
 pub use tempdir::TempDir;

@@ -54,7 +54,7 @@ pub(crate) fn run_idle(
         Some(crate::Provider::InSitu(p)) => p,
         _ => {
             return Err(nodb_common::NoDbError::catalog(format!(
-                "idle-time exploitation needs an in-situ CSV table, `{table}` is not one"
+                "idle-time exploitation needs an in-situ raw table, `{table}` is not one"
             )))
         }
     };

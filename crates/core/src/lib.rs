@@ -42,10 +42,11 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use nodb_common::{NoDbError, Result, Row, Schema, TempDir, Value};
+use nodb_common::{LineFormat, NoDbError, Result, Row, Schema, TempDir, Value};
 use nodb_csv::lines::LineReader;
-use nodb_csv::{tokenize, CsvOptions};
+use nodb_csv::{tokenize, CsvFormat, CsvOptions};
 use nodb_exec::{build_plan, run_to_vec, BoxOp, ExecCatalog, TableProvider};
+use nodb_json::JsonFormat;
 use nodb_sql::binder::{CatalogView, PlannerOptions};
 use nodb_sql::{plan_query, BoundExpr, LogicalPlan};
 use nodb_stats::{StatsBuilder, TableStats};
@@ -93,12 +94,21 @@ pub(crate) enum Provider {
     Custom(Box<dyn TableProvider>),
 }
 
+/// Which raw-file format a registered table uses (drives the Loaded-mode
+/// bulk path, which is still CSV-specific).
+pub(crate) enum RawFormat {
+    Csv(CsvOptions),
+    Jsonl,
+    /// Externally implemented provider; no raw format of ours.
+    Custom,
+}
+
 pub(crate) struct TableEntry {
     pub(crate) schema: Schema,
     pub(crate) provider: Option<Provider>,
     pub(crate) runtime: Option<Arc<RawTableRuntime>>,
     path: Option<PathBuf>,
-    opts: CsvOptions,
+    raw: RawFormat,
     mode: AccessMode,
     loaded_stats: Option<TableStats>,
 }
@@ -151,6 +161,56 @@ impl NoDb {
         opts: CsvOptions,
         mode: AccessMode,
     ) -> Result<()> {
+        self.register_raw(
+            name,
+            path,
+            schema,
+            Arc::new(CsvFormat::new(opts)),
+            opts.has_header,
+            RawFormat::Csv(opts),
+            mode,
+        )
+    }
+
+    /// Register a raw JSON Lines file (one JSON object per line) as a
+    /// table. The schema's field names are the top-level keys pulled from
+    /// each object; missing keys and JSON `null`s read as SQL NULL, and
+    /// values coerce to the declared types exactly like CSV fields (see
+    /// [`nodb_common::format`]). The same adaptive machinery CSV tables
+    /// get — end-of-line index, positional map, cache, statistics,
+    /// parallel chunked cold scans — applies unchanged.
+    ///
+    /// [`AccessMode::Loaded`] is not supported for JSONL (the bulk loader
+    /// is CSV-specific); use `InSitu` — skipping the load is the point.
+    pub fn register_jsonl(
+        &mut self,
+        name: &str,
+        path: &Path,
+        schema: Schema,
+        mode: AccessMode,
+    ) -> Result<()> {
+        if mode == AccessMode::Loaded {
+            return Err(NoDbError::catalog(
+                "JSONL tables cannot be registered as Loaded; use InSitu (no loading step) \
+                 or ExternalFiles",
+            ));
+        }
+        let format = Arc::new(JsonFormat::from_schema(&schema));
+        self.register_raw(name, path, schema, format, false, RawFormat::Jsonl, mode)
+    }
+
+    /// Shared registration path for line-oriented raw formats.
+    #[allow(clippy::too_many_arguments)]
+    fn register_raw(
+        &mut self,
+        name: &str,
+        path: &Path,
+        schema: Schema,
+        format: Arc<dyn LineFormat>,
+        has_header: bool,
+        raw: RawFormat,
+        mode: AccessMode,
+    ) -> Result<()> {
         let name = name.to_ascii_lowercase();
         if self.tables.contains_key(&name) {
             return Err(NoDbError::catalog(format!("table `{name}` already exists")));
@@ -162,7 +222,8 @@ impl NoDb {
                     runtime: Arc::clone(&runtime),
                     path: path.to_path_buf(),
                     schema: schema.clone(),
-                    opts,
+                    format,
+                    has_header,
                     flags: AuxFlags {
                         posmap: self.config.enable_posmap,
                         cache: self.config.enable_cache,
@@ -177,7 +238,7 @@ impl NoDb {
                     provider: Some(Provider::InSitu(provider)),
                     runtime: Some(runtime),
                     path: Some(path.to_path_buf()),
-                    opts,
+                    raw,
                     mode,
                     loaded_stats: None,
                 }
@@ -187,11 +248,12 @@ impl NoDb {
                 provider: Some(Provider::External(ExternalProvider {
                     path: path.to_path_buf(),
                     schema,
-                    opts,
+                    format,
+                    has_header,
                 })),
                 runtime: None,
                 path: Some(path.to_path_buf()),
-                opts,
+                raw,
                 mode,
                 loaded_stats: None,
             },
@@ -200,7 +262,7 @@ impl NoDb {
                 provider: None,
                 runtime: None,
                 path: Some(path.to_path_buf()),
-                opts,
+                raw,
                 mode,
                 loaded_stats: None,
             },
@@ -228,7 +290,7 @@ impl NoDb {
                 provider: Some(Provider::Custom(provider)),
                 runtime: None,
                 path: None,
-                opts: CsvOptions::default(),
+                raw: RawFormat::Custom,
                 mode: AccessMode::InSitu,
                 loaded_stats: None,
             },
@@ -255,7 +317,11 @@ impl NoDb {
             .clone()
             .ok_or_else(|| NoDbError::internal("loaded table without a path"))?;
         let schema = entry.schema.clone();
-        let opts = entry.opts;
+        let RawFormat::Csv(opts) = entry.raw else {
+            return Err(NoDbError::catalog(format!(
+                "table `{name}` is not a CSV table; only CSV supports bulk loading"
+            )));
+        };
         if self.storage.is_none() {
             self.storage = Some(StorageEngine::new(
                 &self.data_dir.join("heap"),
@@ -417,7 +483,8 @@ pub(crate) struct InSituProvider {
     runtime: Arc<RawTableRuntime>,
     path: PathBuf,
     schema: Schema,
-    opts: CsvOptions,
+    format: Arc<dyn LineFormat>,
+    has_header: bool,
     flags: AuxFlags,
     stride: u64,
     /// Cold-scan worker threads, already resolved from the config
@@ -431,7 +498,8 @@ impl InSituProvider {
             Arc::clone(&self.runtime),
             self.path.clone(),
             self.schema.clone(),
-            self.opts,
+            Arc::clone(&self.format),
+            self.has_header,
             projection,
             filters,
             self.flags,
@@ -465,7 +533,8 @@ impl TableProvider for InSituProvider {
 struct ExternalProvider {
     path: PathBuf,
     schema: Schema,
-    opts: CsvOptions,
+    format: Arc<dyn LineFormat>,
+    has_header: bool,
 }
 
 impl TableProvider for ExternalProvider {
@@ -475,7 +544,8 @@ impl TableProvider for ExternalProvider {
             throwaway,
             self.path.clone(),
             self.schema.clone(),
-            self.opts,
+            Arc::clone(&self.format),
+            self.has_header,
             projection.to_vec(),
             filters.to_vec(),
             AuxFlags {

@@ -43,16 +43,14 @@
 //!   ones, and cache merges fill holes with equal values.
 
 use std::collections::VecDeque;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use std::sync::Arc as StdArc;
 
 use nodb_cache::{CachedColumn, ChunkStage, ColumnBuilder};
-use nodb_common::{DataType, NoDbError, Result, Row, Schema, Value};
+use nodb_common::{DataType, LineFormat, NoDbError, Result, Row, Schema, Value};
 use nodb_csv::lines::{split_line_aligned, ByteRange, LineReader, SlidingWindow};
-use nodb_csv::tokenize;
-use nodb_csv::CsvOptions;
 use nodb_exec::{eval_predicate, Operator};
 use nodb_posmap::{AttrPositions, BlockCollector, SegmentCollector};
 use nodb_sql::BoundExpr;
@@ -78,11 +76,15 @@ pub struct AuxFlags {
 /// helpers and chunk workers can borrow it freely).
 struct Ctx {
     schema: Schema,
+    /// The raw file being scanned (also names error locations).
+    path: PathBuf,
+    /// The record tokenizer: how attribute values are located and
+    /// converted on one line (CSV, JSON Lines, ...).
+    format: Arc<dyn LineFormat>,
     /// Projected table attributes, ascending.
     projection: Vec<usize>,
     /// Conjuncts bound to projection-space ordinals.
     filters: Vec<BoundExpr>,
-    delim: u8,
     /// Whether the file's first line is a header to skip.
     has_header: bool,
     where_locals: Vec<usize>,
@@ -99,7 +101,6 @@ impl Ctx {
 /// The in-situ scan operator.
 pub struct InSituScanOp {
     runtime: Arc<RawTableRuntime>,
-    path: PathBuf,
     flags: AuxFlags,
     /// Cold-scan worker threads (resolved; ≥ 1).
     threads: usize,
@@ -119,16 +120,19 @@ pub struct InSituScanOp {
 }
 
 impl InSituScanOp {
-    /// Create a scan. `projection` must be ascending table ordinals;
-    /// `filters` are bound against the projection layout. `threads` is
-    /// the cold-scan fan-out, clamped to ≥ 1 — resolve a 0-means-auto
-    /// config with [`crate::NoDbConfig::effective_scan_threads`] first.
+    /// Create a scan. `format` is the record tokenizer for the file's
+    /// physical layout; `has_header` skips the file's first line.
+    /// `projection` must be ascending table ordinals; `filters` are bound
+    /// against the projection layout. `threads` is the cold-scan fan-out,
+    /// clamped to ≥ 1 — resolve a 0-means-auto config with
+    /// [`crate::NoDbConfig::effective_scan_threads`] first.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         runtime: Arc<RawTableRuntime>,
         path: PathBuf,
         schema: Schema,
-        opts: CsvOptions,
+        format: Arc<dyn LineFormat>,
+        has_header: bool,
         projection: Vec<usize>,
         filters: Vec<BoundExpr>,
         flags: AuxFlags,
@@ -138,15 +142,15 @@ impl InSituScanOp {
         let threads = threads.max(1);
         InSituScanOp {
             runtime,
-            path,
             flags,
             threads,
             ctx: Ctx {
                 schema,
+                path,
+                format,
                 projection,
                 filters,
-                delim: opts.delimiter,
-                has_header: opts.has_header,
+                has_header,
                 where_locals: Vec::new(),
                 select_locals: Vec::new(),
                 sample_stride: sample_stride.max(1),
@@ -163,7 +167,7 @@ impl InSituScanOp {
     }
 
     fn prepare(&mut self) -> Result<()> {
-        let file_len = std::fs::metadata(&self.path)?.len();
+        let file_len = std::fs::metadata(&self.ctx.path)?.len();
         self.runtime.observe_file_len(file_len)?;
         self.runtime.metrics.add(&ScanMetrics {
             scans: 1,
@@ -244,7 +248,7 @@ impl InSituScanOp {
                 Some(pm) => pm.eol().frontier(),
                 None => 0,
             };
-            let mut reader = LineReader::open_at(&self.path, start)?;
+            let mut reader = LineReader::open_at(&self.ctx.path, start)?;
             if self.ctx.has_header && start == 0 {
                 // Skip the header line; anchor the EOL base past it so
                 // that data row 0 starts after the header.
@@ -313,13 +317,23 @@ impl InSituScanOp {
                 continue;
             }
             starts.clear();
-            let found = tokenize::tokenize_upto(&line, self.ctx.delim, max_attr, &mut starts);
+            let found = self
+                .ctx
+                .format
+                .positions_upto(&line, max_attr, &mut starts)
+                .map_err(|e| {
+                    e.at_raw_location(&self.ctx.path, Some(self.next_row), Some(line_start))
+                })?;
             if found < max_attr + 1 {
                 return Err(NoDbError::parse(format!(
-                    "row {} has {found} fields, need at least {}",
-                    self.next_row,
+                    "record has {found} fields, need at least {}",
                     max_attr + 1
-                )));
+                ))
+                .at_raw_location(
+                    &self.ctx.path,
+                    Some(self.next_row),
+                    Some(line_start),
+                ));
             }
             metrics.fields_tokenized += found as u64;
             if let Some(c) = collector.as_mut() {
@@ -335,7 +349,15 @@ impl InSituScanOp {
             for li in 0..self.ctx.where_locals.len() {
                 let local = self.ctx.where_locals[li];
                 let start = starts[self.ctx.projection[local]];
-                let v = parse_value(&self.ctx, &line, start, local, self.next_row, &mut metrics)?;
+                let v = parse_value(
+                    &self.ctx,
+                    &line,
+                    start,
+                    local,
+                    Some(self.next_row),
+                    line_start,
+                    &mut metrics,
+                )?;
                 if self.flags.cache {
                     staged[local].push((local_row as u32, v.clone()));
                 }
@@ -352,8 +374,15 @@ impl InSituScanOp {
                 for li in 0..self.ctx.select_locals.len() {
                     let local = self.ctx.select_locals[li];
                     let start = starts[self.ctx.projection[local]];
-                    let v =
-                        parse_value(&self.ctx, &line, start, local, self.next_row, &mut metrics)?;
+                    let v = parse_value(
+                        &self.ctx,
+                        &line,
+                        start,
+                        local,
+                        Some(self.next_row),
+                        line_start,
+                        &mut metrics,
+                    )?;
                     if self.flags.cache {
                         staged[local].push((local_row as u32, v.clone()));
                     }
@@ -401,7 +430,7 @@ impl InSituScanOp {
     /// thread into private staging, then merge in file order.
     fn process_parallel_tail(&mut self) -> Result<()> {
         let runtime = Arc::clone(&self.runtime);
-        let file_len = std::fs::metadata(&self.path)?.len();
+        let file_len = std::fs::metadata(&self.ctx.path)?.len();
         let (mut start_byte, first_row, block_rows) = {
             let pm = runtime.posmap.read();
             (
@@ -418,7 +447,7 @@ impl InSituScanOp {
         }
         if self.ctx.has_header && start_byte == 0 && first_row == 0 {
             // Locate the end of the header line before chunking.
-            let mut r = LineReader::open(&self.path)?;
+            let mut r = LineReader::open(&self.ctx.path)?;
             let mut hdr = Vec::new();
             if r.next_line(&mut hdr)?.is_some() {
                 start_byte = r.offset();
@@ -427,7 +456,7 @@ impl InSituScanOp {
                 }
             }
         }
-        let ranges = split_line_aligned(&self.path, start_byte, file_len, self.threads)?;
+        let ranges = split_line_aligned(&self.ctx.path, start_byte, file_len, self.threads)?;
         if ranges.is_empty() {
             if self.flags.eol {
                 let mut pm = runtime.posmap.write();
@@ -446,13 +475,12 @@ impl InSituScanOp {
         let stat_locals: Vec<usize> = self.stat_builders.iter().map(|(l, _)| *l).collect();
         let ctx = &self.ctx;
         let flags = self.flags;
-        let path = self.path.as_path();
         let results: Vec<Result<ChunkScan>> = std::thread::scope(|s| {
             let handles: Vec<_> = ranges
                 .iter()
                 .map(|&range| {
                     let stat_locals = &stat_locals;
-                    s.spawn(move || scan_chunk(ctx, path, range, flags, stat_locals))
+                    s.spawn(move || scan_chunk(ctx, range, flags, stat_locals))
                 })
                 .collect();
             handles
@@ -663,12 +691,12 @@ impl InSituScanOp {
         let mut line_buf: Vec<u8> = Vec::new();
 
         if self.window.is_none() && !all_cached {
-            self.window = Some(SlidingWindow::open(&self.path)?);
+            self.window = Some(SlidingWindow::open(&self.ctx.path)?);
         }
 
         for r in 0..rows {
+            let line_start = line_starts[r];
             if !all_cached {
-                let line_start = line_starts[r];
                 let line_end = if r + 1 < rows {
                     line_starts[r + 1]
                 } else {
@@ -689,15 +717,15 @@ impl InSituScanOp {
             // pre-computed temporary map); otherwise lazily.
             if collector.is_some() {
                 for i in 0..needed.len() {
-                    positions[i] = resolve_position(
-                        line,
-                        self.ctx.delim,
-                        &needed,
-                        i,
-                        &entries[i],
-                        r,
-                        &mut metrics,
-                    )?;
+                    positions[i] =
+                        resolve_position(&self.ctx, line, &needed, i, &entries[i], r, &mut metrics)
+                            .map_err(|e| {
+                                e.at_raw_location(
+                                    &self.ctx.path,
+                                    Some(block_start + r as u64),
+                                    Some(line_start),
+                                )
+                            })?;
                 }
                 if let Some(c) = collector.as_mut() {
                     c.push_row(&positions);
@@ -721,6 +749,7 @@ impl InSituScanOp {
                     r,
                     collect.then_some(&positions),
                     row_id,
+                    line_start,
                     &mut metrics,
                 )?;
                 if !from_cache {
@@ -752,6 +781,7 @@ impl InSituScanOp {
                     r,
                     collect.then_some(&positions),
                     row_id,
+                    line_start,
                     &mut metrics,
                 )?;
                 if !from_cache {
@@ -893,13 +923,12 @@ struct ChunkScan {
 /// worker thread; touches no shared state.
 fn scan_chunk(
     ctx: &Ctx,
-    path: &Path,
     range: ByteRange,
     flags: AuxFlags,
     stat_locals: &[usize],
 ) -> Result<ChunkScan> {
     let max_attr = ctx.projection.last().copied().unwrap_or(0);
-    let mut reader = LineReader::open_range(path, range)?;
+    let mut reader = LineReader::open_range(&ctx.path, range)?;
     let mut out = ChunkScan {
         line_starts: Vec::new(),
         end: range.end,
@@ -931,12 +960,16 @@ fn scan_chunk(
             continue;
         }
         starts.clear();
-        let found = tokenize::tokenize_upto(&line, ctx.delim, max_attr, &mut starts);
+        let found = ctx
+            .format
+            .positions_upto(&line, max_attr, &mut starts)
+            .map_err(|e| e.at_raw_location(&ctx.path, None, Some(line_start)))?;
         if found < max_attr + 1 {
             return Err(NoDbError::parse(format!(
-                "row at byte {line_start} has {found} fields, need at least {}",
+                "record has {found} fields, need at least {}",
                 max_attr + 1
-            )));
+            ))
+            .at_raw_location(&ctx.path, None, Some(line_start)));
         }
         out.metrics.fields_tokenized += found as u64;
         if let Some(c) = out.posmap.as_mut() {
@@ -949,13 +982,14 @@ fn scan_chunk(
         let mut ok = true;
         for li in 0..ctx.where_locals.len() {
             let local = ctx.where_locals[li];
-            let v = parse_chunk_value(
+            let v = parse_value(
                 ctx,
                 &line,
                 starts[ctx.projection[local]],
                 local,
+                None,
                 line_start,
-                &mut out,
+                &mut out.metrics,
             )?;
             stage_chunk_value(ctx, stat_locals, &mut out, local, local_row, &v);
             row_buf[local] = v;
@@ -969,13 +1003,14 @@ fn scan_chunk(
         if ok {
             for li in 0..ctx.select_locals.len() {
                 let local = ctx.select_locals[li];
-                let v = parse_chunk_value(
+                let v = parse_value(
                     ctx,
                     &line,
                     starts[ctx.projection[local]],
                     local,
+                    None,
                     line_start,
-                    &mut out,
+                    &mut out.metrics,
                 )?;
                 stage_chunk_value(ctx, stat_locals, &mut out, local, local_row, &v);
                 row_buf[local] = v;
@@ -986,26 +1021,6 @@ fn scan_chunk(
         local_row += 1;
     }
     Ok(out)
-}
-
-/// Convert one field inside a chunk worker (global row ids are unknown,
-/// so errors name the byte offset instead).
-fn parse_chunk_value(
-    ctx: &Ctx,
-    line: &[u8],
-    start: u32,
-    local: usize,
-    line_start: u64,
-    out: &mut ChunkScan,
-) -> Result<Value> {
-    let bytes = tokenize::field_at(line, ctx.delim, start);
-    out.metrics.fields_parsed += 1;
-    Value::parse_field(bytes, ctx.dtype(local)).map_err(|e| {
-        NoDbError::parse(format!(
-            "row at byte {line_start}, column `{}`: {e}",
-            ctx.schema.field(ctx.projection[local]).name
-        ))
-    })
 }
 
 /// Stage a converted value into the worker's cache stage and statistics
@@ -1032,22 +1047,31 @@ fn stage_chunk_value(
 
 // ----- free helpers (disjoint borrows of scan state) ---------------------
 
+/// Convert one attribute value via the record format, decorating parse
+/// failures with the column name and the raw-file location (`row_id` is
+/// `None` inside chunk workers, which do not know global row ids).
 fn parse_value(
     ctx: &Ctx,
     line: &[u8],
     start: u32,
     local: usize,
-    row_id: u64,
+    row_id: Option<u64>,
+    line_start: u64,
     metrics: &mut ScanMetrics,
 ) -> Result<Value> {
-    let bytes = tokenize::field_at(line, ctx.delim, start);
     metrics.fields_parsed += 1;
-    Value::parse_field(bytes, ctx.dtype(local)).map_err(|e| {
-        NoDbError::parse(format!(
-            "row {row_id}, column `{}`: {e}",
-            ctx.schema.field(ctx.projection[local]).name
-        ))
-    })
+    ctx.format
+        .parse_at(line, start, ctx.dtype(local))
+        .map_err(|e| {
+            let e = match e {
+                NoDbError::Parse(m) => NoDbError::parse(format!(
+                    "column `{}`: {m}",
+                    ctx.schema.field(ctx.projection[local]).name
+                )),
+                other => other,
+            };
+            e.at_raw_location(&ctx.path, row_id, Some(line_start))
+        })
 }
 
 fn offer_stat(
@@ -1082,6 +1106,7 @@ fn value_for(
     r: usize,
     precomputed: Option<&Vec<u32>>,
     row_id: u64,
+    line_start: u64,
     metrics: &mut ScanMetrics,
 ) -> Result<(Value, bool)> {
     if let Some(col) = &cached[local] {
@@ -1092,16 +1117,18 @@ fn value_for(
     }
     let start = match precomputed {
         Some(p) => p[local],
-        None => resolve_position(line, ctx.delim, needed, local, &entries[local], r, metrics)?,
+        None => resolve_position(ctx, line, needed, local, &entries[local], r, metrics)
+            .map_err(|e| e.at_raw_location(&ctx.path, Some(row_id), Some(line_start)))?,
     };
-    parse_value(ctx, line, start, local, row_id, metrics).map(|v| (v, false))
+    parse_value(ctx, line, start, local, Some(row_id), line_start, metrics).map(|v| (v, false))
 }
 
 /// Locate the start of attribute `needed[i]` on a line using the best
-/// positional information, counting the work class in `metrics`.
+/// positional information, counting the work class in `metrics`. Errors
+/// carry no location; callers decorate with file/row/byte context.
 fn resolve_position(
+    ctx: &Ctx,
     line: &[u8],
-    delim: u8,
     needed: &[u32],
     i: usize,
     entry: &AttrPositions,
@@ -1118,39 +1145,32 @@ fn resolve_position(
                 metrics.fields_via_map += 1;
                 Ok(p)
             }
-            None => tokenize_to(line, delim, attr, metrics),
+            None => tokenize_to(ctx, line, attr, metrics),
         },
         AttrPositions::Anchor {
             anchor_attr,
             positions,
         } => {
             let Some(&anchor) = positions.get(r) else {
-                return tokenize_to(line, delim, attr, metrics);
+                return tokenize_to(ctx, line, attr, metrics);
             };
             metrics.fields_via_anchor += 1;
-            let a = *anchor_attr as usize;
-            let res = if a <= attr {
-                tokenize::advance_forward(line, delim, anchor, a, attr)
-            } else {
-                tokenize::advance_backward(line, delim, anchor, a, attr)
-            };
-            res.ok_or_else(|| {
-                NoDbError::parse(format!("row has too few fields for attribute {attr}"))
-            })
+            ctx.format
+                .advance(line, anchor, *anchor_attr as usize, attr)
         }
-        AttrPositions::None => tokenize_to(line, delim, attr, metrics),
+        AttrPositions::None => tokenize_to(ctx, line, attr, metrics),
     }
 }
 
 /// Tokenize from the line start up to `attr` (the no-positional-help
 /// path).
-fn tokenize_to(line: &[u8], delim: u8, attr: usize, metrics: &mut ScanMetrics) -> Result<u32> {
+fn tokenize_to(ctx: &Ctx, line: &[u8], attr: usize, metrics: &mut ScanMetrics) -> Result<u32> {
     let mut starts = Vec::with_capacity(attr + 1);
-    let found = tokenize::tokenize_upto(line, delim, attr, &mut starts);
+    let found = ctx.format.positions_upto(line, attr, &mut starts)?;
     metrics.fields_tokenized += found as u64;
     if found < attr + 1 {
         return Err(NoDbError::parse(format!(
-            "row has {found} fields, need at least {}",
+            "record has {found} fields, need at least {}",
             attr + 1
         )));
     }

@@ -24,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod format;
 pub mod generate;
 pub mod lines;
 pub mod tokenize;
 pub mod writer;
 
+pub use format::CsvFormat;
 pub use generate::MicroGen;
 pub use lines::{split_line_aligned, ByteRange, LineReader, SlidingWindow};
 pub use writer::CsvWriter;

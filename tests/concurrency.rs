@@ -12,6 +12,7 @@ use std::sync::Arc;
 use nodb_common::{Row, Schema, TempDir};
 use nodb_core::{AccessMode, NoDb, NoDbConfig};
 use nodb_csv::{CsvOptions, MicroGen};
+use nodb_json::JsonlGen;
 
 fn micro(rows: usize, cols: usize) -> (TempDir, PathBuf, Schema) {
     let td = TempDir::new("nodb-conc").unwrap();
@@ -22,9 +23,26 @@ fn micro(rows: usize, cols: usize) -> (TempDir, PathBuf, Schema) {
     (td, p, schema)
 }
 
+/// The JSONL twin of [`micro`]: same seed ⇒ same logical table.
+fn micro_jsonl(rows: usize, cols: usize) -> (TempDir, PathBuf, Schema) {
+    let td = TempDir::new("nodb-conc").unwrap();
+    let p = td.file("t.jsonl");
+    let spec = JsonlGen::default().rows(rows).cols(cols).seed(11);
+    spec.write_to(&p).unwrap();
+    let schema = spec.schema();
+    (td, p, schema)
+}
+
 fn engine(cfg: NoDbConfig, p: &std::path::Path, s: &Schema) -> NoDb {
     let mut db = NoDb::new(cfg).unwrap();
     db.register_csv("t", p, s.clone(), CsvOptions::default(), AccessMode::InSitu)
+        .unwrap();
+    db
+}
+
+fn engine_jsonl(cfg: NoDbConfig, p: &std::path::Path, s: &Schema) -> NoDb {
+    let mut db = NoDb::new(cfg).unwrap();
+    db.register_jsonl("t", p, s.clone(), AccessMode::InSitu)
         .unwrap();
     db
 }
@@ -180,6 +198,82 @@ fn concurrent_queries_with_parallel_scans() {
         "warm pass re-parses nothing"
     );
     assert_eq!(m2.bytes_tokenized, m1.bytes_tokenized);
+}
+
+/// The format-generic scan keeps PR 2's parallel-scan guarantees for
+/// JSONL. Two engines over the same JSONL file — `scan_threads` 1 and 4
+/// — run the whole workload from cold; rows must equal the CSV twin's
+/// reference and the cumulative work counters of the two JSONL engines
+/// must match bit-for-bit (chunked cold scans do exactly the
+/// single-threaded work, merged in file order).
+#[test]
+fn jsonl_parallel_scan_parity_with_single_threaded() {
+    let (_tdc, pc, schema_csv) = micro(3000, 10);
+    let (_tdj, pj, schema) = micro_jsonl(3000, 10);
+    let reference = engine(NoDbConfig::postgres_raw(), &pc, &schema_csv);
+
+    let mut engines = Vec::new();
+    for scan_threads in [1usize, 4] {
+        let mut cfg = NoDbConfig::postgres_raw();
+        cfg.scan_threads = scan_threads;
+        engines.push(engine_jsonl(cfg, &pj, &schema));
+    }
+    // Cold + warm pass on each engine, checked against the CSV reference.
+    for round in 0..2 {
+        for (qi, q) in WORKLOAD.iter().enumerate() {
+            let want = reference.query(q).unwrap().rows;
+            for (ei, db) in engines.iter().enumerate() {
+                let got = db.query(q).unwrap();
+                assert_eq!(got.rows, want, "round {round}, engine {ei}, query {qi}");
+            }
+        }
+    }
+    let m1 = engines[0].metrics("t").unwrap();
+    let m4 = engines[1].metrics("t").unwrap();
+    assert_eq!(
+        m1, m4,
+        "1-thread and 4-thread JSONL scans must do identical work"
+    );
+}
+
+/// Cold race on a JSONL table: 8 threads hammer one shared engine with
+/// chunk-parallel scans racing to build the EOL index, positional map
+/// and cache; every result must equal the single-threaded reference.
+#[test]
+fn jsonl_concurrent_cold_queries_match_reference() {
+    let (_td, p, schema) = micro_jsonl(3000, 10);
+    let reference = engine_jsonl(NoDbConfig::postgres_raw(), &p, &schema);
+    let expected: Vec<Vec<Row>> = WORKLOAD
+        .iter()
+        .map(|q| reference.query(q).unwrap().rows)
+        .collect();
+
+    let mut cfg = NoDbConfig::postgres_raw();
+    cfg.scan_threads = 4;
+    let shared = Arc::new(engine_jsonl(cfg, &p, &schema));
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let shared = Arc::clone(&shared);
+            let expected = &expected;
+            s.spawn(move || {
+                for i in 0..WORKLOAD.len() {
+                    let qi = (t + i) % WORKLOAD.len();
+                    let got = shared.query(WORKLOAD[qi]).unwrap();
+                    assert_eq!(got.rows, expected[qi], "thread {t}, `{}`", WORKLOAD[qi]);
+                }
+            });
+        }
+    });
+    // Once warm, another pass is pure map/cache reads: no re-parsing.
+    let m1 = shared.metrics("t").unwrap();
+    for q in WORKLOAD {
+        shared.query(q).unwrap();
+    }
+    let m2 = shared.metrics("t").unwrap();
+    assert_eq!(
+        m2.fields_parsed, m1.fields_parsed,
+        "warm pass re-parses nothing"
+    );
 }
 
 /// Dropping auxiliary structures while other threads query must never
