@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use nodb_cache::{CacheConfig, ColumnBuilder, RawCache};
-use nodb_common::{DataType, LineFormat, Row, Schema, TempDir, Value};
+use nodb_common::{DataType, IoBackend, LineFormat, Row, Schema, TempDir, Value};
 use nodb_core::{AccessMode, NoDb, NoDbConfig};
 use nodb_csv::tokenize;
 use nodb_csv::{CsvOptions, MicroGen};
@@ -375,6 +375,80 @@ fn bench_jsonl(c: &mut Criterion) {
     g.finish();
 }
 
+/// The I/O-substrate group (ISSUE 4): buffered-`read` vs `mmap` under
+/// the same scans. Cold scans measure the raw tokenization path (where
+/// the zero-copy mapping should win — fewer syscalls, no double
+/// buffering); warm scans measure map/cache-resident reads (where the
+/// backends should converge, since the raw file is barely touched).
+/// CSV and JSONL hold the same logical rows; 1 vs 4 scan threads shows
+/// the mapping being shared across chunk workers instead of each worker
+/// re-reading through its own buffer. Row counts are asserted equal
+/// across every combination outside the timed bodies, so a diverging
+/// backend cannot silently "win".
+fn bench_io_backend(c: &mut Criterion) {
+    const ROWS: usize = 12_000;
+    let td = TempDir::new("nodb-bench-io").expect("tempdir");
+    let csv_path = td.file("io.csv");
+    let csv_spec = MicroGen::default().rows(ROWS).cols(20).seed(7);
+    csv_spec.write_to(&csv_path).expect("write csv");
+    let csv_schema = csv_spec.schema();
+    let jsonl_path = td.file("io.jsonl");
+    let jsonl_spec = JsonlGen::default().rows(ROWS).cols(20).seed(7);
+    jsonl_spec.write_to(&jsonl_path).expect("write jsonl");
+    let jsonl_schema = jsonl_spec.schema();
+    let query = "select c0, c9 from t where c4 < 500000000";
+
+    let mut g = c.benchmark_group("substrate_io_backend");
+    g.sample_size(10);
+    let mut expected_rows: Option<usize> = None;
+    for (fmt, path, schema) in [
+        ("csv", &csv_path, &csv_schema),
+        ("jsonl", &jsonl_path, &jsonl_schema),
+    ] {
+        for backend in [IoBackend::Read, IoBackend::Mmap] {
+            for threads in [1usize, 4] {
+                let mut cfg = NoDbConfig::postgres_raw();
+                cfg.scan_threads = threads;
+                cfg.io_backend = backend;
+                let mut db = NoDb::new(cfg).expect("engine");
+                if fmt == "csv" {
+                    db.register_csv(
+                        "t",
+                        path,
+                        schema.clone(),
+                        CsvOptions::default(),
+                        AccessMode::InSitu,
+                    )
+                    .expect("register");
+                } else {
+                    db.register_jsonl("t", path, schema.clone(), AccessMode::InSitu)
+                        .expect("register");
+                }
+                let n = db.query(query).expect("query").rows.len();
+                assert!(n > 0 && n < ROWS);
+                match expected_rows {
+                    None => expected_rows = Some(n),
+                    Some(e) => assert_eq!(n, e, "{fmt}/{backend}/{threads}: rows diverged"),
+                }
+                g.bench_function(format!("cold_scan/{fmt}/{backend}/{threads}threads"), |b| {
+                    b.iter_batched(
+                        || db.drop_aux("t").expect("drop aux"),
+                        |()| db.query(query).expect("query").rows.len(),
+                        BatchSize::SmallInput,
+                    );
+                });
+                // Warm once so the warm benchmark reads a built map + cache.
+                db.drop_aux("t").expect("drop aux");
+                db.query(query).expect("warm-up");
+                g.bench_function(format!("warm_scan/{fmt}/{backend}/{threads}threads"), |b| {
+                    b.iter(|| db.query(query).expect("query").rows.len());
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     substrates,
     bench_tokenizer,
@@ -385,6 +459,7 @@ criterion_group!(
     bench_exec,
     bench_storage,
     bench_scan_threads,
-    bench_jsonl
+    bench_jsonl,
+    bench_io_backend
 );
 criterion_main!(substrates);

@@ -14,7 +14,7 @@
 use std::io::{BufRead, Write};
 use std::path::Path;
 
-use nodb_common::Schema;
+use nodb_common::{IoBackend, Schema};
 use nodb_core::{AccessMode, NoDb, NoDbConfig};
 use nodb_csv::CsvOptions;
 use nodb_fits::FitsProvider;
@@ -24,22 +24,54 @@ mod commands;
 use commands::{parse_line, Command};
 
 fn main() {
-    let mut db = match NoDb::new(NoDbConfig::postgres_raw()) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Engine knobs from flags (the NODB_IO_BACKEND environment variable
+    // seeds the default; --io-backend wins).
+    let mut config = NoDbConfig::postgres_raw();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                print_help();
+                return;
+            }
+            "--io-backend" => {
+                i += 1;
+                match args.get(i).map(|s| IoBackend::parse(s)) {
+                    Some(Ok(b)) => config.io_backend = b,
+                    _ => {
+                        eprintln!("--io-backend needs one of: auto, read, mmap");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--scan-threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => config.scan_threads = n,
+                    None => {
+                        eprintln!("--scan-threads needs a count (0 = one per core)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see --help)");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let io = config.effective_io_backend();
+    let mut db = match NoDb::new(config) {
         Ok(db) => db,
         Err(e) => {
             eprintln!("failed to start engine: {e}");
             std::process::exit(1);
         }
     };
-    // Register files passed on the command line as TABLE=PATH pairs with
-    // inferred-from-extension handling (schema must follow for CSV).
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().is_some_and(|a| a == "--help" || a == "-h") {
-        print_help();
-        return;
-    }
 
-    println!("nodb — in-situ SQL over raw files (\\help for commands)");
+    println!("nodb — in-situ SQL over raw files (\\help for commands; io backend: {io})");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
@@ -157,7 +189,13 @@ fn execute(db: &mut NoDb, cmd: Command) -> Result<(), Box<dyn std::error::Error>
 
 fn print_help() {
     println!(
-        "\\register NAME PATH \"col type, ...\"   register a CSV file (in situ)\n\
+        "usage: nodb [--io-backend auto|read|mmap] [--scan-threads N]\n\
+         \n\
+         --io-backend B                        raw-file I/O substrate (default: auto — mmap\n\
+         \x20                                     where supported; NODB_IO_BACKEND overrides)\n\
+         --scan-threads N                      cold-scan worker threads (0 = one per core)\n\
+         \n\
+         \\register NAME PATH \"col type, ...\"   register a CSV file (in situ)\n\
          \\register NAME PATH.jsonl \"col type, ...\"  register a JSON Lines file (keys = column names)\n\
          \\register NAME PATH.fits              register a FITS binary table\n\
          \\sep NAME PATH '|' \"col type, ...\"    register with a delimiter\n\

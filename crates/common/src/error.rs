@@ -26,6 +26,9 @@ pub enum NoDbError {
     Execution(String),
     /// Schema registration or catalog misuse.
     Catalog(String),
+    /// Invalid engine configuration (bad knob value, unusable backend
+    /// selection, malformed `NODB_*` environment override).
+    Config(String),
     /// An internal invariant was violated; indicates a bug in this library.
     Internal(String),
 }
@@ -54,6 +57,11 @@ impl NoDbError {
     /// Shorthand constructor for [`NoDbError::Catalog`].
     pub fn catalog(msg: impl Into<String>) -> Self {
         NoDbError::Catalog(msg.into())
+    }
+
+    /// Shorthand constructor for [`NoDbError::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        NoDbError::Config(msg.into())
     }
 
     /// Shorthand constructor for [`NoDbError::Internal`].
@@ -95,6 +103,7 @@ impl fmt::Display for NoDbError {
             NoDbError::Plan(m) => write!(f, "plan error: {m}"),
             NoDbError::Execution(m) => write!(f, "execution error: {m}"),
             NoDbError::Catalog(m) => write!(f, "catalog error: {m}"),
+            NoDbError::Config(m) => write!(f, "config error: {m}"),
             NoDbError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -156,6 +165,7 @@ mod tests {
         assert!(matches!(NoDbError::plan("x"), NoDbError::Plan(_)));
         assert!(matches!(NoDbError::execution("x"), NoDbError::Execution(_)));
         assert!(matches!(NoDbError::catalog("x"), NoDbError::Catalog(_)));
+        assert!(matches!(NoDbError::config("x"), NoDbError::Config(_)));
         assert!(matches!(NoDbError::internal("x"), NoDbError::Internal(_)));
     }
 }

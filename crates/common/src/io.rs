@@ -1,0 +1,469 @@
+//! The pluggable I/O substrate under the in-situ scan.
+//!
+//! NoDB's results assume the raw file is read at near-hardware speed; how
+//! those bytes reach the tokenizer is a substrate decision, not a scan
+//! decision. [`ByteSource`] abstracts it: one handle to an immutable raw
+//! file that serves positioned reads ([`ByteSource::read_at`]) and — when
+//! the platform allows — a zero-copy whole-file view
+//! ([`ByteSource::mapped`]).
+//!
+//! Two backends exist, selected by [`IoBackend`]:
+//!
+//! * **`Read`** — positioned reads on a plain file descriptor (`pread` on
+//!   unix). The portable baseline; callers layer their own buffering.
+//! * **`Mmap`** — the whole file mapped read-only via direct `mmap` /
+//!   `munmap` / `madvise` syscalls (unix only; bound here with
+//!   `extern "C"` because the build environment has no crates.io access).
+//!   Tokenizers slice the mapping directly: no read syscalls, no buffer
+//!   copies, and the page cache is shared across every concurrent scan of
+//!   the table.
+//!
+//! `Mmap` degrades to `Read` — never errors — when the platform is not
+//! unix, the file is empty (zero-length mappings are invalid), or the
+//! `mmap` call itself fails; [`ByteSource::backend`] reports what actually
+//! happened. Scan results and metrics are bit-identical across backends:
+//! the backends change *how* bytes arrive, never *which* bytes.
+//!
+//! The raw file is assumed immutable while mapped (append-only growth is
+//! fine: the mapping covers the length observed at open time, exactly like
+//! a `read` snapshot of the same instant).
+
+use std::fs::File;
+use std::path::Path;
+
+use crate::error::{NoDbError, Result};
+
+/// How raw-file bytes reach the tokenizer. The knob carried by engine
+/// configuration (`NoDbConfig::io_backend` in `nodb-core`) and the
+/// `NODB_IO_BACKEND` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoBackend {
+    /// Pick the fastest backend the platform supports: `Mmap` on unix,
+    /// `Read` elsewhere.
+    #[default]
+    Auto,
+    /// Buffered positioned reads on a file descriptor.
+    Read,
+    /// Zero-copy memory mapping (unix; falls back to `Read` elsewhere or
+    /// when mapping is impossible).
+    Mmap,
+}
+
+impl IoBackend {
+    /// Parse a backend name (`auto` / `read` / `mmap`, case-insensitive).
+    pub fn parse(s: &str) -> Result<IoBackend> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(IoBackend::Auto),
+            "read" => Ok(IoBackend::Read),
+            "mmap" => Ok(IoBackend::Mmap),
+            other => Err(NoDbError::config(format!(
+                "unknown I/O backend `{other}` (expected auto, read or mmap)"
+            ))),
+        }
+    }
+
+    /// The backend requested by the `NODB_IO_BACKEND` environment
+    /// variable, or `None` when unset/empty. An unparsable or non-UTF-8
+    /// value is an error so a typo in a CI matrix cannot silently
+    /// un-gate a backend — engine construction (`NoDb::new`) surfaces it
+    /// through the normal error path.
+    pub fn from_env() -> Result<Option<IoBackend>> {
+        match std::env::var("NODB_IO_BACKEND") {
+            Ok(s) if s.trim().is_empty() => Ok(None),
+            Ok(s) => Self::parse(s.trim()).map(Some),
+            Err(std::env::VarError::NotPresent) => Ok(None),
+            Err(std::env::VarError::NotUnicode(_)) => Err(NoDbError::config(
+                "NODB_IO_BACKEND is set but not valid UTF-8",
+            )),
+        }
+    }
+
+    /// `NODB_IO_BACKEND` if set and valid, else `Auto`. Infallible (used
+    /// by configuration defaults): a malformed value falls back to
+    /// `Auto` *here*, and is rejected with [`crate::NoDbError::Config`]
+    /// when an engine is actually constructed, so the typo still fails
+    /// loudly on the error path instead of panicking inside a `Default`.
+    pub fn from_env_or_auto() -> IoBackend {
+        Self::from_env().ok().flatten().unwrap_or(IoBackend::Auto)
+    }
+
+    /// Resolve to the concrete backend this platform will actually use:
+    /// `Auto` becomes the platform preference, and an explicit `Mmap`
+    /// request resolves to `Read` where no mapping backend exists
+    /// (non-unix), so reported backends always match served reads.
+    /// Never returns `Auto`.
+    pub fn resolve(self) -> IoBackend {
+        if cfg!(unix) {
+            match self {
+                IoBackend::Auto => IoBackend::Mmap,
+                other => other,
+            }
+        } else {
+            IoBackend::Read
+        }
+    }
+}
+
+impl std::fmt::Display for IoBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            IoBackend::Auto => "auto",
+            IoBackend::Read => "read",
+            IoBackend::Mmap => "mmap",
+        })
+    }
+}
+
+impl std::str::FromStr for IoBackend {
+    type Err = NoDbError;
+
+    fn from_str(s: &str) -> Result<IoBackend> {
+        Self::parse(s)
+    }
+}
+
+/// One open raw file, served by the configured [`IoBackend`].
+///
+/// Cheap to share across scan workers (`Send + Sync`; positioned reads
+/// take `&self`): a chunk-parallel scan opens the file **once** and every
+/// worker slices its own byte range out of the same handle. The length is
+/// snapshotted at open time; bytes appended later
+/// are invisible to this source (exactly the semantics the end-of-line
+/// frontier relies on).
+#[derive(Debug)]
+pub struct ByteSource {
+    repr: Repr,
+    len: u64,
+}
+
+#[derive(Debug)]
+enum Repr {
+    Read(ReadHandle),
+    #[cfg(unix)]
+    Mmap(sys::MmapRegion),
+}
+
+/// Positioned-read handle for the `Read` backend. Unix has `pread`
+/// (`FileExt::read_at`): no cursor mutation, so a bare `File` is safe to
+/// share across threads. Other platforms fall back to seek-then-read,
+/// which *does* move the shared cursor — those serialize behind a mutex
+/// so concurrent `read_at` calls on one shared source cannot read each
+/// other's bytes.
+#[cfg(unix)]
+type ReadHandle = File;
+#[cfg(not(unix))]
+type ReadHandle = std::sync::Mutex<File>;
+
+#[cfg(unix)]
+fn read_handle(file: File) -> ReadHandle {
+    file
+}
+
+#[cfg(not(unix))]
+fn read_handle(file: File) -> ReadHandle {
+    std::sync::Mutex::new(file)
+}
+
+impl ByteSource {
+    /// Open `path` with the requested backend (`Auto` resolves per
+    /// platform). `Mmap` falls back to `Read` for empty files and on any
+    /// mapping failure; it never errors for reasons `Read` would not.
+    pub fn open(path: &Path, backend: IoBackend) -> Result<ByteSource> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        #[cfg(unix)]
+        if backend.resolve() == IoBackend::Mmap && len > 0 {
+            if let Ok(region) = sys::MmapRegion::map(&file, len as usize) {
+                region.advise_willneed();
+                return Ok(ByteSource {
+                    repr: Repr::Mmap(region),
+                    len,
+                });
+            }
+        }
+        let _ = backend; // non-unix: every backend resolves to Read
+        Ok(ByteSource {
+            repr: Repr::Read(read_handle(file)),
+            len,
+        })
+    }
+
+    /// Total file length in bytes (snapshotted at open).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the file had no bytes at open time.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The backend actually serving reads: `Read` or `Mmap`, never
+    /// `Auto`. May differ from the requested backend (platform fallback,
+    /// zero-length file, mapping failure).
+    pub fn backend(&self) -> IoBackend {
+        match &self.repr {
+            Repr::Read(_) => IoBackend::Read,
+            #[cfg(unix)]
+            Repr::Mmap(_) => IoBackend::Mmap,
+        }
+    }
+
+    /// The whole file as one zero-copy slice (`Mmap` backend only).
+    pub fn mapped(&self) -> Option<&[u8]> {
+        match &self.repr {
+            Repr::Read(_) => None,
+            #[cfg(unix)]
+            Repr::Mmap(m) => Some(m.as_slice()),
+        }
+    }
+
+    /// Read bytes at `offset` into `buf`, returning how many were read
+    /// (`0` at or past EOF; possibly short near EOF, never short
+    /// otherwise). Takes `&self`: safe to call from many threads at once.
+    pub fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        if offset >= self.len || buf.is_empty() {
+            return Ok(0);
+        }
+        let want = buf.len().min((self.len - offset) as usize);
+        match &self.repr {
+            Repr::Read(file) => {
+                let mut done = 0;
+                while done < want {
+                    let n = read_at_fd(file, offset + done as u64, &mut buf[done..want])?;
+                    if n == 0 {
+                        break; // file shrank underneath us; serve what exists
+                    }
+                    done += n;
+                }
+                Ok(done)
+            }
+            #[cfg(unix)]
+            Repr::Mmap(m) => {
+                let s = &m.as_slice()[offset as usize..offset as usize + want];
+                buf[..want].copy_from_slice(s);
+                Ok(want)
+            }
+        }
+    }
+
+    /// Hint that the file will be read front-to-back (`madvise` on the
+    /// mmap backend; a no-op on `Read`, where the OS read-ahead already
+    /// sees the sequential pattern).
+    pub fn advise_sequential(&self) {
+        #[cfg(unix)]
+        if let Repr::Mmap(m) = &self.repr {
+            m.advise_sequential();
+        }
+    }
+}
+
+/// Positioned read on a shared file handle (`pread`: thread-safe, no
+/// cursor).
+#[cfg(unix)]
+fn read_at_fd(file: &ReadHandle, offset: u64, buf: &mut [u8]) -> std::io::Result<usize> {
+    use std::os::unix::fs::FileExt;
+    file.read_at(buf, offset)
+}
+
+/// Non-unix fallback: seek-then-read moves the handle's shared cursor,
+/// so the mutex (see [`ReadHandle`]) makes the pair atomic.
+#[cfg(not(unix))]
+fn read_at_fd(file: &ReadHandle, offset: u64, buf: &mut [u8]) -> std::io::Result<usize> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = file.lock().unwrap_or_else(|e| e.into_inner());
+    f.seek(SeekFrom::Start(offset))?;
+    f.read(buf)
+}
+
+/// Direct bindings to the three syscalls the mmap backend needs. Raw
+/// `extern "C"` because the build environment cannot reach crates.io for
+/// `libc`/`memmap2`; the constants are the POSIX values shared by Linux
+/// and macOS for this call pattern.
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod sys {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 0x1;
+    const MAP_SHARED: i32 = 0x1;
+    const MADV_SEQUENTIAL: i32 = 2;
+    const MADV_WILLNEED: i32 = 3;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+        fn madvise(addr: *mut c_void, len: usize, advice: i32) -> i32;
+    }
+
+    /// A read-only, whole-file, shared mapping. Unmapped on drop.
+    #[derive(Debug)]
+    pub(super) struct MmapRegion {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the region is read-only memory owned by this value for its
+    // whole lifetime; concurrent `&self` reads from any thread are plain
+    // loads from immutable pages.
+    unsafe impl Send for MmapRegion {}
+    unsafe impl Sync for MmapRegion {}
+
+    impl MmapRegion {
+        /// Map `len` bytes of `file` read-only. `len` must be non-zero
+        /// (zero-length mappings are EINVAL by spec).
+        pub(super) fn map(file: &File, len: usize) -> std::io::Result<MmapRegion> {
+            debug_assert!(len > 0, "zero-length mappings are invalid");
+            // SAFETY: requests a fresh read-only mapping of a descriptor
+            // we own; the kernel picks the address. Failure is reported
+            // as MAP_FAILED (-1), checked below.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr == usize::MAX as *mut c_void || ptr.is_null() {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(MmapRegion { ptr, len })
+        }
+
+        pub(super) fn as_slice(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until `drop` unmaps it; the file is treated as
+            // immutable for the mapping's lifetime.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+
+        pub(super) fn advise_sequential(&self) {
+            // SAFETY: advice on a live mapping; errors are advisory.
+            unsafe {
+                madvise(self.ptr, self.len, MADV_SEQUENTIAL);
+            }
+        }
+
+        pub(super) fn advise_willneed(&self) {
+            // SAFETY: advice on a live mapping; errors are advisory.
+            unsafe {
+                madvise(self.ptr, self.len, MADV_WILLNEED);
+            }
+        }
+    }
+
+    impl Drop for MmapRegion {
+        fn drop(&mut self) {
+            // SAFETY: unmaps the exact region returned by `mmap`; the
+            // value owns it and no slice can outlive `self`.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tempdir::TempDir;
+
+    fn file_with(bytes: &[u8]) -> (TempDir, std::path::PathBuf) {
+        let td = TempDir::new("nodb-io").unwrap();
+        let p = td.file("data.bin");
+        std::fs::write(&p, bytes).unwrap();
+        (td, p)
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for b in [IoBackend::Auto, IoBackend::Read, IoBackend::Mmap] {
+            assert_eq!(IoBackend::parse(&b.to_string()).unwrap(), b);
+        }
+        assert_eq!(IoBackend::parse("MMAP").unwrap(), IoBackend::Mmap);
+        assert!(IoBackend::parse("io_uring").is_err());
+    }
+
+    #[test]
+    fn resolve_never_returns_auto() {
+        assert_ne!(IoBackend::Auto.resolve(), IoBackend::Auto);
+        assert_eq!(IoBackend::Read.resolve(), IoBackend::Read);
+        #[cfg(unix)]
+        {
+            assert_eq!(IoBackend::Auto.resolve(), IoBackend::Mmap);
+            assert_eq!(IoBackend::Mmap.resolve(), IoBackend::Mmap);
+        }
+    }
+
+    #[test]
+    fn read_backend_serves_positioned_reads() {
+        let (_td, p) = file_with(b"0123456789");
+        let src = ByteSource::open(&p, IoBackend::Read).unwrap();
+        assert_eq!(src.backend(), IoBackend::Read);
+        assert_eq!(src.len(), 10);
+        assert!(src.mapped().is_none());
+        let mut buf = [0u8; 4];
+        assert_eq!(src.read_at(2, &mut buf).unwrap(), 4);
+        assert_eq!(&buf, b"2345");
+        // Short read at EOF, zero past it.
+        assert_eq!(src.read_at(8, &mut buf).unwrap(), 2);
+        assert_eq!(&buf[..2], b"89");
+        assert_eq!(src.read_at(10, &mut buf).unwrap(), 0);
+        assert_eq!(src.read_at(99, &mut buf).unwrap(), 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn mmap_backend_maps_and_reads_identically() {
+        let (_td, p) = file_with(b"hello,raw,world\nsecond line\n");
+        let read = ByteSource::open(&p, IoBackend::Read).unwrap();
+        let mmap = ByteSource::open(&p, IoBackend::Mmap).unwrap();
+        assert_eq!(mmap.backend(), IoBackend::Mmap);
+        assert_eq!(mmap.mapped().unwrap(), std::fs::read(&p).unwrap());
+        mmap.advise_sequential();
+        for off in [0u64, 5, 15, 27, 28] {
+            let mut a = [0u8; 7];
+            let mut b = [0u8; 7];
+            let na = read.read_at(off, &mut a).unwrap();
+            let nb = mmap.read_at(off, &mut b).unwrap();
+            assert_eq!(na, nb, "length at offset {off}");
+            assert_eq!(a[..na], b[..nb], "bytes at offset {off}");
+        }
+    }
+
+    /// The acceptance-criteria unit test: mapping a zero-length file is
+    /// invalid (EINVAL), so `Mmap` must degrade gracefully to `Read`
+    /// instead of erroring.
+    #[test]
+    fn mmap_on_empty_file_degrades_to_read() {
+        let (_td, p) = file_with(b"");
+        let src = ByteSource::open(&p, IoBackend::Mmap).unwrap();
+        assert_eq!(src.backend(), IoBackend::Read);
+        assert!(src.is_empty());
+        assert!(src.mapped().is_none());
+        let mut buf = [0u8; 8];
+        assert_eq!(src.read_at(0, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn auto_backend_opens_on_every_platform() {
+        let (_td, p) = file_with(b"abc");
+        let src = ByteSource::open(&p, IoBackend::Auto).unwrap();
+        assert_ne!(src.backend(), IoBackend::Auto);
+        let mut buf = [0u8; 3];
+        assert_eq!(src.read_at(0, &mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"abc");
+    }
+}

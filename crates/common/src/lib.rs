@@ -9,14 +9,20 @@
 //! Nothing here is specific to in-situ processing; it is the substrate the
 //! paper assumes from its host DBMS (PostgreSQL's type system and tuple
 //! vocabulary).
+//!
+//! `unsafe` is denied crate-wide with one audited exception: the raw
+//! `mmap`/`munmap`/`madvise` bindings inside [`io`] (the build
+//! environment has no crates.io access, so `libc`/`memmap2` cannot be
+//! used).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bytesize;
 pub mod date;
 pub mod error;
 pub mod format;
+pub mod io;
 pub mod like;
 pub mod row;
 pub mod schema;
@@ -28,6 +34,7 @@ pub use bytesize::ByteSize;
 pub use date::Date;
 pub use error::{NoDbError, Result};
 pub use format::{LineFormat, NO_POSITION};
+pub use io::{ByteSource, IoBackend};
 pub use row::Row;
 pub use schema::{Field, Schema};
 pub use tempdir::TempDir;

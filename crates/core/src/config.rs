@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use nodb_common::ByteSize;
+use nodb_common::{ByteSize, IoBackend};
 use nodb_storage::EngineProfile;
 
 /// Which auxiliary structures an in-situ table maintains. The paper's
@@ -55,6 +55,24 @@ pub struct NoDbConfig {
     /// estimates (never results) can differ slightly from a
     /// single-threaded run.
     pub scan_threads: usize,
+    /// I/O substrate for raw-file scans ([`IoBackend`]): `Auto` (the
+    /// default) picks `Mmap` where the platform supports it and `Read`
+    /// elsewhere; `Read` forces buffered positioned reads; `Mmap` maps
+    /// the file read-only and tokenizes straight out of the mapping
+    /// (zero copies, page cache shared across concurrent scans).
+    /// `Mmap` silently degrades to `Read` for empty files or when
+    /// mapping fails — results and scan metrics are bit-identical across
+    /// backends either way. The `NODB_IO_BACKEND` environment variable
+    /// (`auto` / `read` / `mmap`) overrides the constructor default,
+    /// which is how CI runs the whole suite under each backend.
+    ///
+    /// Caveat: `Mmap` assumes registered files are not truncated in
+    /// place while a query runs (appends are fine — a scan sees the
+    /// length snapshot from open time). Reading a mapped page past a
+    /// concurrent truncation is a hard fault (SIGBUS) rather than the
+    /// short read the `Read` backend degrades to; pick `Read` for files
+    /// that may be rewritten under the engine.
+    pub io_backend: IoBackend,
     /// Profile for tables registered in [`AccessMode::Loaded`].
     pub loaded_profile: EngineProfile,
     /// Buffer-pool capacity (pages) for loaded tables.
@@ -84,6 +102,7 @@ impl NoDbConfig {
             posmap_spill_dir: None,
             stats_sample_stride: 16,
             scan_threads: 1,
+            io_backend: IoBackend::from_env_or_auto(),
             loaded_profile: EngineProfile::PostgresLike,
             pool_pages: 4096,
             data_dir: None,
@@ -105,6 +124,12 @@ impl NoDbConfig {
             enable_posmap: false,
             ..Self::postgres_raw()
         }
+    }
+
+    /// Resolve [`NoDbConfig::io_backend`]: `Auto` becomes the concrete
+    /// backend the platform prefers (`Mmap` on unix, `Read` elsewhere).
+    pub fn effective_io_backend(&self) -> IoBackend {
+        self.io_backend.resolve()
     }
 
     /// Resolve [`NoDbConfig::scan_threads`]: `0` means one worker per

@@ -35,6 +35,7 @@ pub mod scan;
 
 pub use config::{AccessMode, NoDbConfig};
 pub use idle::{IdleFocus, IdleReport};
+pub use nodb_common::IoBackend;
 pub use runtime::{RawTableRuntime, ScanMetrics, ScanMetricsAtomic};
 pub use scan::{AuxFlags, InSituScanOp};
 
@@ -124,7 +125,14 @@ pub struct NoDb {
 
 impl NoDb {
     /// Create an engine.
+    ///
+    /// Rejects a malformed `NODB_IO_BACKEND` environment value with
+    /// [`NoDbError::Config`]: config construction silently falls back to
+    /// `Auto` (it must stay infallible), so the typo is surfaced here,
+    /// on the normal error path, before any query can run under the
+    /// wrong substrate.
     pub fn new(config: NoDbConfig) -> Result<NoDb> {
+        IoBackend::from_env()?;
         let (tmp, data_dir) = match &config.data_dir {
             Some(d) => {
                 std::fs::create_dir_all(d)?;
@@ -232,6 +240,7 @@ impl NoDb {
                     },
                     stride: self.config.stats_sample_stride,
                     threads: self.config.effective_scan_threads(),
+                    io: self.config.effective_io_backend(),
                 };
                 TableEntry {
                     schema,
@@ -250,6 +259,7 @@ impl NoDb {
                     schema,
                     format,
                     has_header,
+                    io: self.config.effective_io_backend(),
                 })),
                 runtime: None,
                 path: Some(path.to_path_buf()),
@@ -490,6 +500,9 @@ pub(crate) struct InSituProvider {
     /// Cold-scan worker threads, already resolved from the config
     /// (`0`-means-auto handled by `NoDbConfig::effective_scan_threads`).
     threads: usize,
+    /// Resolved I/O substrate for every scan of this table
+    /// (`NoDbConfig::effective_io_backend`).
+    io: nodb_common::IoBackend,
 }
 
 impl InSituProvider {
@@ -505,6 +518,7 @@ impl InSituProvider {
             self.flags,
             self.stride,
             threads,
+            self.io,
         ))
     }
 
@@ -535,6 +549,7 @@ struct ExternalProvider {
     schema: Schema,
     format: Arc<dyn LineFormat>,
     has_header: bool,
+    io: nodb_common::IoBackend,
 }
 
 impl TableProvider for ExternalProvider {
@@ -556,6 +571,7 @@ impl TableProvider for ExternalProvider {
             },
             u64::MAX,
             1,
+            self.io,
         )))
     }
 }

@@ -49,8 +49,10 @@ use std::sync::Arc;
 use std::sync::Arc as StdArc;
 
 use nodb_cache::{CachedColumn, ChunkStage, ColumnBuilder};
-use nodb_common::{DataType, LineFormat, NoDbError, Result, Row, Schema, Value};
-use nodb_csv::lines::{split_line_aligned, ByteRange, LineReader, SlidingWindow};
+use nodb_common::{
+    ByteSource, DataType, IoBackend, LineFormat, NoDbError, Result, Row, Schema, Value,
+};
+use nodb_csv::lines::{split_line_aligned_src, ByteRange, LineReader, SlidingWindow};
 use nodb_exec::{eval_predicate, Operator};
 use nodb_posmap::{AttrPositions, BlockCollector, SegmentCollector};
 use nodb_sql::BoundExpr;
@@ -87,6 +89,11 @@ struct Ctx {
     filters: Vec<BoundExpr>,
     /// Whether the file's first line is a header to skip.
     has_header: bool,
+    /// Resolved I/O substrate (`Read` or `Mmap`, never `Auto`): how every
+    /// reader/window this scan opens reaches the raw bytes. Purely a
+    /// transport choice — results and metrics are identical across
+    /// backends.
+    io: IoBackend,
     where_locals: Vec<usize>,
     select_locals: Vec<usize>,
     sample_stride: u64,
@@ -125,7 +132,9 @@ impl InSituScanOp {
     /// `projection` must be ascending table ordinals; `filters` are bound
     /// against the projection layout. `threads` is the cold-scan fan-out,
     /// clamped to ≥ 1 — resolve a 0-means-auto config with
-    /// [`crate::NoDbConfig::effective_scan_threads`] first.
+    /// [`crate::NoDbConfig::effective_scan_threads`] first. `io` is the
+    /// I/O substrate; `Auto` is resolved here
+    /// ([`IoBackend::resolve`]).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         runtime: Arc<RawTableRuntime>,
@@ -138,6 +147,7 @@ impl InSituScanOp {
         flags: AuxFlags,
         sample_stride: u64,
         threads: usize,
+        io: IoBackend,
     ) -> InSituScanOp {
         let threads = threads.max(1);
         InSituScanOp {
@@ -151,6 +161,7 @@ impl InSituScanOp {
                 projection,
                 filters,
                 has_header,
+                io: io.resolve(),
                 where_locals: Vec::new(),
                 select_locals: Vec::new(),
                 sample_stride: sample_stride.max(1),
@@ -248,7 +259,7 @@ impl InSituScanOp {
                 Some(pm) => pm.eol().frontier(),
                 None => 0,
             };
-            let mut reader = LineReader::open_at(&self.ctx.path, start)?;
+            let mut reader = LineReader::open_at_with(&self.ctx.path, start, self.ctx.io)?;
             if self.ctx.has_header && start == 0 {
                 // Skip the header line; anchor the EOL base past it so
                 // that data row 0 starts after the header.
@@ -430,7 +441,12 @@ impl InSituScanOp {
     /// thread into private staging, then merge in file order.
     fn process_parallel_tail(&mut self) -> Result<()> {
         let runtime = Arc::clone(&self.runtime);
-        let file_len = std::fs::metadata(&self.ctx.path)?.len();
+        // One source for the whole pass: opened (and, on the mmap
+        // backend, mapped) once; the boundary probe and every chunk
+        // worker slice the same handle, and the length snapshot keeps
+        // split and workers consistent under concurrent appends.
+        let src = Arc::new(ByteSource::open(&self.ctx.path, self.ctx.io)?);
+        let file_len = src.len();
         let (mut start_byte, first_row, block_rows) = {
             let pm = runtime.posmap.read();
             (
@@ -447,7 +463,13 @@ impl InSituScanOp {
         }
         if self.ctx.has_header && start_byte == 0 && first_row == 0 {
             // Locate the end of the header line before chunking.
-            let mut r = LineReader::open(&self.ctx.path)?;
+            let mut r = LineReader::from_source(
+                Arc::clone(&src),
+                ByteRange {
+                    start: 0,
+                    end: u64::MAX,
+                },
+            );
             let mut hdr = Vec::new();
             if r.next_line(&mut hdr)?.is_some() {
                 start_byte = r.offset();
@@ -456,7 +478,7 @@ impl InSituScanOp {
                 }
             }
         }
-        let ranges = split_line_aligned(&self.ctx.path, start_byte, file_len, self.threads)?;
+        let ranges = split_line_aligned_src(&src, start_byte, file_len, self.threads)?;
         if ranges.is_empty() {
             if self.flags.eol {
                 let mut pm = runtime.posmap.write();
@@ -480,7 +502,8 @@ impl InSituScanOp {
                 .iter()
                 .map(|&range| {
                     let stat_locals = &stat_locals;
-                    s.spawn(move || scan_chunk(ctx, range, flags, stat_locals))
+                    let src = Arc::clone(&src);
+                    s.spawn(move || scan_chunk(ctx, src, range, flags, stat_locals))
                 })
                 .collect();
             handles
@@ -691,7 +714,7 @@ impl InSituScanOp {
         let mut line_buf: Vec<u8> = Vec::new();
 
         if self.window.is_none() && !all_cached {
-            self.window = Some(SlidingWindow::open(&self.ctx.path)?);
+            self.window = Some(SlidingWindow::open_with(&self.ctx.path, self.ctx.io)?);
         }
 
         for r in 0..rows {
@@ -920,15 +943,18 @@ struct ChunkScan {
 }
 
 /// Tokenize/parse one line-aligned chunk into private staging. Runs on a
-/// worker thread; touches no shared state.
+/// worker thread; touches no shared state. `src` is the pass-wide shared
+/// source — the file was opened (and possibly mapped) once by the
+/// dispatcher, and each worker slices its own `range` out of it.
 fn scan_chunk(
     ctx: &Ctx,
+    src: Arc<ByteSource>,
     range: ByteRange,
     flags: AuxFlags,
     stat_locals: &[usize],
 ) -> Result<ChunkScan> {
     let max_attr = ctx.projection.last().copied().unwrap_or(0);
-    let mut reader = LineReader::open_range(&ctx.path, range)?;
+    let mut reader = LineReader::from_source(src, range);
     let mut out = ChunkScan {
         line_starts: Vec::new(),
         end: range.end,

@@ -482,6 +482,72 @@ fn parallel_scan_matches_single_threaded() {
 }
 
 #[test]
+fn io_backends_are_bit_identical() {
+    use nodb_common::IoBackend;
+
+    let (_td, p, schema) = micro_file(2500, 12);
+    let queries = [
+        "select c0 from t",
+        "select c1, c7 from t where c3 < 300000000",
+        "select sum(c2), count(*), min(c4), max(c4) from t",
+        "select count(*) from t",
+    ];
+    for threads in [1usize, 4] {
+        let mut rcfg = NoDbConfig::postgres_raw();
+        rcfg.scan_threads = threads;
+        rcfg.io_backend = IoBackend::Read;
+        let read = engine_with(rcfg, &p, &schema, AccessMode::InSitu);
+        let mut mcfg = NoDbConfig::postgres_raw();
+        mcfg.scan_threads = threads;
+        mcfg.io_backend = IoBackend::Mmap;
+        let mmap = engine_with(mcfg, &p, &schema, AccessMode::InSitu);
+        for q in queries {
+            // Cold and warm runs both agree.
+            let a1 = read.query(q).unwrap();
+            let b1 = mmap.query(q).unwrap();
+            assert_eq!(a1.rows, b1.rows, "{threads} threads, cold `{q}`");
+            let a2 = read.query(q).unwrap();
+            let b2 = mmap.query(q).unwrap();
+            assert_eq!(a2.rows, b2.rows, "{threads} threads, warm `{q}`");
+        }
+        // Identical tokenization/parsing/map work and aux footprint: the
+        // backend changes how bytes arrive, never what the scan does.
+        let mr = read.metrics("t").unwrap();
+        let mm = mmap.metrics("t").unwrap();
+        assert_eq!(mr, mm, "{threads} threads: metrics diverged");
+        let ar = read.aux_info("t").unwrap();
+        let am = mmap.aux_info("t").unwrap();
+        assert_eq!(ar.posmap_pointers, am.posmap_pointers);
+        assert_eq!(ar.cache_bytes, am.cache_bytes);
+    }
+}
+
+#[test]
+fn mmap_backend_handles_empty_and_growing_files() {
+    use nodb_common::IoBackend;
+
+    let td = TempDir::new("nodb-core-test").unwrap();
+    let p = td.file("grow.csv");
+    std::fs::write(&p, "").unwrap();
+    let schema = Schema::parse("a int, b int").unwrap();
+    let mut cfg = NoDbConfig::postgres_raw();
+    cfg.io_backend = IoBackend::Mmap;
+    cfg.scan_threads = 4;
+    let mut db = NoDb::new(cfg).unwrap();
+    db.register_csv("t", &p, schema, CsvOptions::default(), AccessMode::InSitu)
+        .unwrap();
+    // Zero-length file: mmap degrades to read, the scan sees no rows.
+    let r = db.query("select count(*) from t").unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int64(0));
+    // Appended rows are picked up by a fresh mapping of the longer file.
+    let mut f = std::fs::OpenOptions::new().append(true).open(&p).unwrap();
+    std::io::Write::write_all(&mut f, b"1,10\n2,20\n").unwrap();
+    drop(f);
+    let r = db.query("select sum(b) from t").unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int64(30));
+}
+
+#[test]
 fn idle_time_prebuilds_structures() {
     use crate::IdleFocus;
     use std::time::Duration;

@@ -32,7 +32,7 @@ pub mod writer;
 
 pub use format::CsvFormat;
 pub use generate::MicroGen;
-pub use lines::{split_line_aligned, ByteRange, LineReader, SlidingWindow};
+pub use lines::{split_line_aligned, split_line_aligned_src, ByteRange, LineReader, SlidingWindow};
 pub use writer::CsvWriter;
 
 /// Options describing the physical layout of a character-delimited file.

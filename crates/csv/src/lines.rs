@@ -9,18 +9,27 @@
 //! * **Chunked parallel tokenization** — a cold scan splits the file into
 //!   line-aligned byte ranges ([`split_line_aligned`]) and hands each to a
 //!   worker thread, which reads it with a bounded [`LineReader`]
-//!   ([`LineReader::open_range`]). Every byte of the region belongs to
+//!   ([`LineReader::open_range`] or, when sharing one open file,
+//!   [`LineReader::from_source`]). Every byte of the region belongs to
 //!   exactly one chunk, and no line straddles a chunk boundary.
 //! * **Position-driven access** — the map knows where tuples/attributes
 //!   live, and the scan touches only those byte ranges, in increasing file
 //!   order. [`SlidingWindow`] serves monotonically-ordered range reads from
 //!   a single buffered window so that the underlying I/O stays sequential.
+//!
+//! All three are built on the pluggable I/O substrate
+//! ([`nodb_common::ByteSource`]): with the `Read` backend they buffer
+//! positioned reads exactly as before; with the `Mmap` backend line
+//! scanning and window slicing operate directly on the mapping — no read
+//! syscalls, no intermediate copies. Offsets, line contents and chunk
+//! boundaries are bit-identical across backends; the plain-`Path`
+//! constructors keep the buffered-`read` behaviour, and `*_with` variants
+//! accept an [`IoBackend`].
 
-use std::fs::File;
-use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
+use std::sync::Arc;
 
-use nodb_common::Result;
+use nodb_common::{ByteSource, IoBackend, Result};
 
 /// Default I/O buffer: large enough to make syscall overhead irrelevant,
 /// small enough to stay cache-friendly.
@@ -50,7 +59,24 @@ impl ByteRange {
 }
 
 /// Split the file region `[start, end)` into at most `chunks` line-aligned
-/// byte ranges of roughly equal size.
+/// byte ranges of roughly equal size, reading boundaries through the
+/// buffered-`read` backend. See [`split_line_aligned_src`].
+pub fn split_line_aligned(
+    path: &Path,
+    start: u64,
+    end: u64,
+    chunks: usize,
+) -> Result<Vec<ByteRange>> {
+    split_line_aligned_src(
+        &ByteSource::open(path, IoBackend::Read)?,
+        start,
+        end,
+        chunks,
+    )
+}
+
+/// Split the file region `[start, end)` of an already-open [`ByteSource`]
+/// into at most `chunks` line-aligned byte ranges of roughly equal size.
 ///
 /// `start` must itself be a line start. Internal boundaries are moved
 /// forward to the byte just past the next `\n`, so every line falls into
@@ -58,8 +84,11 @@ impl ByteRange {
 /// once (a trailing line without a final newline goes to the last chunk).
 /// Fewer than `chunks` ranges are returned when lines are too long or the
 /// region is too small to split further; an empty region yields no ranges.
-pub fn split_line_aligned(
-    path: &Path,
+///
+/// The boundaries depend only on the bytes, so they are identical for
+/// every backend of `src`.
+pub fn split_line_aligned_src(
+    src: &ByteSource,
     start: u64,
     end: u64,
     chunks: usize,
@@ -70,7 +99,6 @@ pub fn split_line_aligned(
     let chunks = chunks.max(1) as u64;
     let len = end - start;
     let target = len.div_ceil(chunks).max(1);
-    let mut file = File::open(path)?;
     let mut ranges = Vec::with_capacity(chunks as usize);
     let mut cur = start;
     while cur < end {
@@ -78,7 +106,7 @@ pub fn split_line_aligned(
         let boundary = if goal >= end {
             end
         } else {
-            next_line_start(&mut file, goal, end)?
+            next_line_start(src, goal, end)?
         };
         ranges.push(ByteRange {
             start: cur,
@@ -89,16 +117,23 @@ pub fn split_line_aligned(
     Ok(ranges)
 }
 
-/// Find the start of the first line at or after `from`: the byte just past
-/// the next `\n` at or after `from - 1`... precisely, scanning from `from`
-/// for a `\n` and returning the position after it (clamped to `end`).
-fn next_line_start(file: &mut File, from: u64, end: u64) -> std::io::Result<u64> {
-    file.seek(SeekFrom::Start(from))?;
+/// Find the start of the first line at or after `from`: scanning from
+/// `from` for a `\n` and returning the position after it (clamped to
+/// `end`).
+fn next_line_start(src: &ByteSource, from: u64, end: u64) -> Result<u64> {
+    if let Some(m) = src.mapped() {
+        let lo = (from as usize).min(m.len());
+        let hi = (end as usize).min(m.len());
+        return Ok(match m[lo..hi].iter().position(|&b| b == b'\n') {
+            Some(i) => (from + i as u64 + 1).min(end),
+            None => end,
+        });
+    }
     let mut buf = [0u8; 8192];
     let mut pos = from;
     while pos < end {
         let want = buf.len().min((end - pos) as usize);
-        let n = file.read(&mut buf[..want])?;
+        let n = src.read_at(pos, &mut buf[..want])?;
         if n == 0 {
             return Ok(end);
         }
@@ -110,50 +145,97 @@ fn next_line_start(file: &mut File, from: u64, end: u64) -> std::io::Result<u64>
     Ok(end)
 }
 
-/// Sequential line reader with explicit byte offsets.
+/// Sequential line reader with explicit byte offsets, over either I/O
+/// backend: the `Read` backend refills a private 1 MiB buffer with
+/// positioned reads; the `Mmap` backend scans the mapping in place and
+/// only copies the one line being returned.
 pub struct LineReader {
-    inner: BufReader<File>,
+    src: Arc<ByteSource>,
     /// Byte offset of the *next* line to be returned.
     offset: u64,
     /// Reading stops once `offset` reaches this bound (`u64::MAX` for
     /// whole-file readers).
     end: u64,
+    /// Buffered window (`Read` backend only; unused when mapped).
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`.
+    buf_pos: usize,
+    /// File offset the next refill reads from.
+    next_fill: u64,
 }
 
 impl LineReader {
-    /// Open a file for sequential line reading.
+    /// Open a file for sequential line reading (buffered `read` backend).
     pub fn open(path: &Path) -> Result<LineReader> {
-        Ok(LineReader {
-            inner: BufReader::with_capacity(DEFAULT_BUF, File::open(path)?),
-            offset: 0,
-            end: u64::MAX,
-        })
+        Self::open_with(path, IoBackend::Read)
+    }
+
+    /// Open a file for sequential line reading with an explicit backend.
+    pub fn open_with(path: &Path, backend: IoBackend) -> Result<LineReader> {
+        Self::open_at_with(path, 0, backend)
     }
 
     /// Open and skip to `offset` (e.g. resume after a header or an append
     /// high-water mark). `offset` must be a line start.
     pub fn open_at(path: &Path, offset: u64) -> Result<LineReader> {
-        let mut f = File::open(path)?;
-        f.seek(SeekFrom::Start(offset))?;
-        Ok(LineReader {
-            inner: BufReader::with_capacity(DEFAULT_BUF, f),
-            offset,
-            end: u64::MAX,
-        })
+        Self::open_at_with(path, offset, IoBackend::Read)
+    }
+
+    /// [`LineReader::open_at`] with an explicit backend.
+    pub fn open_at_with(path: &Path, offset: u64, backend: IoBackend) -> Result<LineReader> {
+        let src = Arc::new(ByteSource::open(path, backend)?);
+        src.advise_sequential();
+        Ok(Self::from_source(
+            src,
+            ByteRange {
+                start: offset,
+                end: u64::MAX,
+            },
+        ))
     }
 
     /// Open a reader bounded to the line-aligned `range` (one chunk of a
     /// parallel scan): lines are returned until `range.end` is reached.
     pub fn open_range(path: &Path, range: ByteRange) -> Result<LineReader> {
-        let mut r = Self::open_at(path, range.start)?;
-        r.end = range.end;
-        Ok(r)
+        Self::open_range_with(path, range, IoBackend::Read)
+    }
+
+    /// [`LineReader::open_range`] with an explicit backend.
+    pub fn open_range_with(
+        path: &Path,
+        range: ByteRange,
+        backend: IoBackend,
+    ) -> Result<LineReader> {
+        Ok(Self::from_source(
+            Arc::new(ByteSource::open(path, backend)?),
+            range,
+        ))
+    }
+
+    /// Read lines of `range` from an already-open shared source. This is
+    /// the chunk-parallel fast path: the file is opened (and, on the mmap
+    /// backend, mapped) **once**, and every worker slices its own range
+    /// out of the same [`ByteSource`].
+    pub fn from_source(src: Arc<ByteSource>, range: ByteRange) -> LineReader {
+        LineReader {
+            src,
+            offset: range.start,
+            end: range.end,
+            buf: Vec::new(),
+            buf_pos: 0,
+            next_fill: range.start,
+        }
     }
 
     /// Byte offset where the *next* line starts (equivalently: one past
     /// the end of the last line returned, including its newline bytes).
     pub fn offset(&self) -> u64 {
         self.offset
+    }
+
+    /// The I/O source serving this reader.
+    pub fn source(&self) -> &Arc<ByteSource> {
+        &self.src
     }
 
     /// Read the next line into `buf` (cleared first; newline stripped).
@@ -166,11 +248,53 @@ impl LineReader {
         if start >= self.end {
             return Ok(None);
         }
-        let n = read_until(&mut self.inner, b'\n', buf)?;
-        if n == 0 {
+        if let Some(m) = self.src.mapped() {
+            // Zero-copy scan of the mapping; only the returned line is
+            // copied out (callers reuse `buf` across the whole file).
+            if start >= m.len() as u64 {
+                return Ok(None);
+            }
+            let rest = &m[start as usize..];
+            let consumed = match rest.iter().position(|&b| b == b'\n') {
+                Some(i) => i + 1,
+                None => rest.len(),
+            };
+            self.offset += consumed as u64;
+            let mut line = &rest[..consumed];
+            if line.last() == Some(&b'\n') {
+                line = &line[..line.len() - 1];
+                if line.last() == Some(&b'\r') {
+                    line = &line[..line.len() - 1];
+                }
+            }
+            buf.extend_from_slice(line);
+            return Ok(Some(start));
+        }
+        // Buffered `read` backend: accumulate until a newline or EOF.
+        let mut consumed = 0u64;
+        loop {
+            if self.buf_pos >= self.buf.len() && !self.refill()? {
+                break; // EOF
+            }
+            let chunk = &self.buf[self.buf_pos..];
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&chunk[..=i]);
+                    self.buf_pos += i + 1;
+                    consumed += i as u64 + 1;
+                    break;
+                }
+                None => {
+                    buf.extend_from_slice(chunk);
+                    consumed += chunk.len() as u64;
+                    self.buf_pos = self.buf.len();
+                }
+            }
+        }
+        if consumed == 0 {
             return Ok(None);
         }
-        self.offset += n as u64;
+        self.offset += consumed;
         if buf.last() == Some(&b'\n') {
             buf.pop();
             if buf.last() == Some(&b'\r') {
@@ -179,11 +303,16 @@ impl LineReader {
         }
         Ok(Some(start))
     }
-}
 
-fn read_until(r: &mut BufReader<File>, byte: u8, buf: &mut Vec<u8>) -> std::io::Result<usize> {
-    use std::io::BufRead;
-    r.read_until(byte, buf)
+    /// Refill the buffered window from the source; false at EOF.
+    fn refill(&mut self) -> Result<bool> {
+        self.buf.resize(DEFAULT_BUF, 0);
+        let n = self.src.read_at(self.next_fill, &mut self.buf)?;
+        self.buf.truncate(n);
+        self.buf_pos = 0;
+        self.next_fill += n as u64;
+        Ok(n > 0)
+    }
 }
 
 /// Buffered random access for byte ranges requested in non-decreasing
@@ -192,8 +321,10 @@ fn read_until(r: &mut BufReader<File>, byte: u8, buf: &mut Vec<u8>) -> std::io::
 /// The positional map turns a scan into "jump to these positions"; ranges
 /// arrive sorted because tuples are processed in file order, so a single
 /// forward-moving window suffices and the disk never seeks backwards.
+/// With the `Mmap` backend slices come straight from the mapping — no
+/// window, no refills, no copies.
 pub struct SlidingWindow {
-    file: File,
+    src: ByteSource,
     file_len: u64,
     buf: Vec<u8>,
     /// File offset of `buf[0]`.
@@ -204,23 +335,34 @@ pub struct SlidingWindow {
 }
 
 impl SlidingWindow {
-    /// Open a file for windowed access.
+    /// Open a file for windowed access (buffered `read` backend).
     pub fn open(path: &Path) -> Result<SlidingWindow> {
         Self::with_capacity(path, DEFAULT_BUF)
     }
 
+    /// Open a file for windowed access with an explicit backend.
+    pub fn open_with(path: &Path, backend: IoBackend) -> Result<SlidingWindow> {
+        Ok(Self::from_source(ByteSource::open(path, backend)?))
+    }
+
     /// Open with a specific minimum read size.
     pub fn with_capacity(path: &Path, min_read: usize) -> Result<SlidingWindow> {
-        let file = File::open(path)?;
-        let file_len = file.metadata()?.len();
-        Ok(SlidingWindow {
-            file,
+        let mut w = Self::from_source(ByteSource::open(path, IoBackend::Read)?);
+        w.min_read = min_read.max(4096);
+        Ok(w)
+    }
+
+    /// Windowed access over an already-open source.
+    pub fn from_source(src: ByteSource) -> SlidingWindow {
+        let file_len = src.len();
+        SlidingWindow {
+            src,
             file_len,
             buf: Vec::new(),
             buf_start: 0,
             buf_len: 0,
-            min_read: min_read.max(4096),
-        })
+            min_read: DEFAULT_BUF,
+        }
     }
 
     /// Total file length in bytes.
@@ -236,22 +378,29 @@ impl SlidingWindow {
     /// Bytes `[start, start + len)`, clamped to the file end.
     ///
     /// `start` must be ≥ the `start` of the previous call (monotonic
-    /// access); violating this is a logic error that returns an internal
-    /// error rather than corrupting the window.
+    /// access); on the `Read` backend violating this is a logic error
+    /// that returns an internal error rather than corrupting the window
+    /// (the mapping-backed window has no such hazard and simply serves
+    /// the slice).
     pub fn slice(&mut self, start: u64, len: usize) -> Result<&[u8]> {
-        if start < self.buf_start {
-            return Err(nodb_common::NoDbError::internal(format!(
-                "SlidingWindow accessed backwards: {start} < {}",
-                self.buf_start
-            )));
-        }
         let len = len.min((self.file_len.saturating_sub(start)) as usize);
-        let end = start + len as u64;
-        if end > self.buf_start + self.buf_len as u64 {
-            self.refill(start, len)?;
+        if self.src.mapped().is_none() {
+            if start < self.buf_start {
+                return Err(nodb_common::NoDbError::internal(format!(
+                    "SlidingWindow accessed backwards: {start} < {}",
+                    self.buf_start
+                )));
+            }
+            let end = start + len as u64;
+            if end > self.buf_start + self.buf_len as u64 {
+                self.refill(start, len)?;
+            }
+            let rel = (start - self.buf_start) as usize;
+            return Ok(&self.buf[rel..rel + len]);
         }
-        let rel = (start - self.buf_start) as usize;
-        Ok(&self.buf[rel..rel + len])
+        let m = self.src.mapped().expect("checked above");
+        let s = (start as usize).min(m.len());
+        Ok(&m[s..s + len])
     }
 
     /// The rest of the line starting at `start`: bytes up to (not
@@ -288,15 +437,7 @@ impl SlidingWindow {
         let read_len = read_len.min((self.file_len - start) as usize);
         // Keep any overlapping tail? Simpler: re-read from `start`.
         self.buf.resize(read_len, 0);
-        self.file.seek(SeekFrom::Start(start))?;
-        let mut done = 0;
-        while done < read_len {
-            let n = self.file.read(&mut self.buf[done..])?;
-            if n == 0 {
-                break;
-            }
-            done += n;
-        }
+        let done = self.src.read_at(start, &mut self.buf)?;
         self.buf.truncate(done);
         self.buf_start = start;
         self.buf_len = done;
@@ -316,24 +457,36 @@ mod tests {
         (td, p)
     }
 
+    /// Every backend worth testing on this platform.
+    fn backends() -> Vec<IoBackend> {
+        if cfg!(unix) {
+            vec![IoBackend::Read, IoBackend::Mmap]
+        } else {
+            vec![IoBackend::Read]
+        }
+    }
+
     #[test]
     fn line_reader_tracks_offsets() {
         let (_td, p) = write_file(&["abc", "de", "", "fgh"]);
-        let mut r = LineReader::open(&p).unwrap();
-        let mut buf = Vec::new();
-        let mut got = Vec::new();
-        while let Some(off) = r.next_line(&mut buf).unwrap() {
-            got.push((off, String::from_utf8(buf.clone()).unwrap()));
+        for backend in backends() {
+            let mut r = LineReader::open_with(&p, backend).unwrap();
+            let mut buf = Vec::new();
+            let mut got = Vec::new();
+            while let Some(off) = r.next_line(&mut buf).unwrap() {
+                got.push((off, String::from_utf8(buf.clone()).unwrap()));
+            }
+            assert_eq!(
+                got,
+                vec![
+                    (0, "abc".to_string()),
+                    (4, "de".to_string()),
+                    (7, "".to_string()),
+                    (8, "fgh".to_string()),
+                ],
+                "{backend}"
+            );
         }
-        assert_eq!(
-            got,
-            vec![
-                (0, "abc".to_string()),
-                (4, "de".to_string()),
-                (7, "".to_string()),
-                (8, "fgh".to_string()),
-            ]
-        );
     }
 
     #[test]
@@ -341,22 +494,38 @@ mod tests {
         let td = TempDir::new("nodb-csv").unwrap();
         let p = td.file("d.csv");
         std::fs::write(&p, "a\r\nb\n").unwrap();
-        let mut r = LineReader::open(&p).unwrap();
-        let mut buf = Vec::new();
-        assert_eq!(r.next_line(&mut buf).unwrap(), Some(0));
-        assert_eq!(buf, b"a");
-        assert_eq!(r.next_line(&mut buf).unwrap(), Some(3));
-        assert_eq!(buf, b"b");
-        assert_eq!(r.next_line(&mut buf).unwrap(), None);
+        for backend in backends() {
+            let mut r = LineReader::open_with(&p, backend).unwrap();
+            let mut buf = Vec::new();
+            assert_eq!(r.next_line(&mut buf).unwrap(), Some(0));
+            assert_eq!(buf, b"a");
+            assert_eq!(r.next_line(&mut buf).unwrap(), Some(3));
+            assert_eq!(buf, b"b");
+            assert_eq!(r.next_line(&mut buf).unwrap(), None);
+        }
     }
 
     #[test]
     fn open_at_resumes_mid_file() {
         let (_td, p) = write_file(&["abc", "de"]);
-        let mut r = LineReader::open_at(&p, 4).unwrap();
-        let mut buf = Vec::new();
-        assert_eq!(r.next_line(&mut buf).unwrap(), Some(4));
-        assert_eq!(buf, b"de");
+        for backend in backends() {
+            let mut r = LineReader::open_at_with(&p, 4, backend).unwrap();
+            let mut buf = Vec::new();
+            assert_eq!(r.next_line(&mut buf).unwrap(), Some(4));
+            assert_eq!(buf, b"de");
+        }
+    }
+
+    #[test]
+    fn line_reader_over_empty_file_is_done_immediately() {
+        let td = TempDir::new("nodb-csv").unwrap();
+        let p = td.file("empty.csv");
+        std::fs::write(&p, "").unwrap();
+        for backend in backends() {
+            let mut r = LineReader::open_with(&p, backend).unwrap();
+            let mut buf = Vec::new();
+            assert_eq!(r.next_line(&mut buf).unwrap(), None, "{backend}");
+        }
     }
 
     #[test]
@@ -370,6 +539,20 @@ mod tests {
         assert_eq!(w.slice(18, 10).unwrap(), b"ij");
         // Backwards access is rejected.
         assert!(w.slice(0, 1).is_err() || w.buf_start == 0);
+    }
+
+    #[test]
+    fn sliding_window_backends_serve_identical_slices() {
+        let (_td, p) = write_file(&["first,line", "second", "third"]);
+        for backend in backends() {
+            let mut w = SlidingWindow::open_with(&p, backend).unwrap();
+            assert_eq!(w.slice(0, 5).unwrap(), b"first");
+            assert_eq!(w.slice(11, 6).unwrap(), b"second");
+            assert_eq!(w.line_at(0).unwrap(), b"first,line");
+            assert_eq!(w.line_at(18).unwrap(), b"third");
+            // Clamped at EOF.
+            assert_eq!(w.slice(20, 100).unwrap(), b"ird");
+        }
     }
 
     #[test]
@@ -391,7 +574,11 @@ mod tests {
 
     /// Read all lines of `range` through a bounded reader.
     fn range_lines(p: &std::path::Path, range: ByteRange) -> Vec<Vec<u8>> {
-        let mut r = LineReader::open_range(p, range).unwrap();
+        range_lines_with(p, range, IoBackend::Read)
+    }
+
+    fn range_lines_with(p: &std::path::Path, range: ByteRange, backend: IoBackend) -> Vec<Vec<u8>> {
+        let mut r = LineReader::open_range_with(p, range, backend).unwrap();
         let mut buf = Vec::new();
         let mut out = Vec::new();
         while r.next_line(&mut buf).unwrap().is_some() {
@@ -433,6 +620,20 @@ mod tests {
     }
 
     #[test]
+    fn split_is_identical_across_backends() {
+        let (_td, p) = write_file(&["aaaa", "bb", "cccccc", "d", "ee", "ffff"]);
+        let len = std::fs::metadata(&p).unwrap().len();
+        for chunks in 1..=8 {
+            let base = split_line_aligned(&p, 0, len, chunks).unwrap();
+            for backend in backends() {
+                let src = ByteSource::open(&p, backend).unwrap();
+                let got = split_line_aligned_src(&src, 0, len, chunks).unwrap();
+                assert_eq!(got, base, "chunks={chunks} backend={backend}");
+            }
+        }
+    }
+
+    #[test]
     fn split_of_empty_region_is_empty() {
         let (_td, p) = write_file(&["abc"]);
         assert!(split_line_aligned(&p, 3, 3, 4).unwrap().is_empty());
@@ -457,11 +658,38 @@ mod tests {
     #[test]
     fn open_range_stops_at_chunk_end() {
         let (_td, p) = write_file(&["abc", "de", "fgh"]);
-        // "abc\nde\nfgh" — chunk covering only the first two lines.
-        let lines = range_lines(&p, ByteRange { start: 0, end: 7 });
-        assert_eq!(lines, vec![b"abc".to_vec(), b"de".to_vec()]);
-        let rest = range_lines(&p, ByteRange { start: 7, end: 10 });
-        assert_eq!(rest, vec![b"fgh".to_vec()]);
+        for backend in backends() {
+            // "abc\nde\nfgh" — chunk covering only the first two lines.
+            let lines = range_lines_with(&p, ByteRange { start: 0, end: 7 }, backend);
+            assert_eq!(lines, vec![b"abc".to_vec(), b"de".to_vec()]);
+            let rest = range_lines_with(&p, ByteRange { start: 7, end: 10 }, backend);
+            assert_eq!(rest, vec![b"fgh".to_vec()]);
+        }
+    }
+
+    #[test]
+    fn shared_source_slices_ranges_like_private_readers() {
+        let (_td, p) = write_file(&["abc", "de", "fgh", "ij"]);
+        let len = std::fs::metadata(&p).unwrap().len();
+        for backend in backends() {
+            let src = Arc::new(ByteSource::open(&p, backend).unwrap());
+            let ranges = split_line_aligned_src(&src, 0, len, 3).unwrap();
+            let mut all = Vec::new();
+            for r in &ranges {
+                let mut reader = LineReader::from_source(Arc::clone(&src), *r);
+                let mut buf = Vec::new();
+                while let Some(off) = reader.next_line(&mut buf).unwrap() {
+                    all.push((off, buf.clone()));
+                }
+            }
+            let mut whole = Vec::new();
+            let mut r = LineReader::open(&p).unwrap();
+            let mut buf = Vec::new();
+            while let Some(off) = r.next_line(&mut buf).unwrap() {
+                whole.push((off, buf.clone()));
+            }
+            assert_eq!(all, whole, "{backend}");
+        }
     }
 
     mod chunking_props {
@@ -522,6 +750,65 @@ mod tests {
                 }
                 prop_assert_eq!(chunked, whole);
             }
+
+            /// The mmap and buffered-read backends are interchangeable:
+            /// over arbitrary bodies (CRLF, trailing newline, empty
+            /// files, regions split into more chunks than lines) both
+            /// backends produce identical line offsets, line bytes,
+            /// chunk boundaries and per-chunk line sets — whether each
+            /// chunk re-opens the file or slices one shared source.
+            #[test]
+            fn backends_are_bit_identical(
+                lines in proptest::collection::vec("[a-z,]{0,12}", 0..40),
+                trailing_newline in any::<bool>(),
+                crlf in any::<bool>(),
+                chunks in 1usize..9,
+            ) {
+                let sep = if crlf { "\r\n" } else { "\n" };
+                let mut body = lines.join(sep);
+                if trailing_newline && !body.is_empty() {
+                    body.push_str(sep);
+                }
+                let td = TempDir::new("nodb-csv-prop").unwrap();
+                let p = td.file("d.csv");
+                std::fs::write(&p, &body).unwrap();
+                let len = body.len() as u64;
+
+                // Whole-file sequences: (offset, line) pairs per backend.
+                let mut per_backend = Vec::new();
+                for backend in backends() {
+                    let mut r = LineReader::open_with(&p, backend).unwrap();
+                    let mut buf = Vec::new();
+                    let mut out = Vec::new();
+                    while let Some(off) = r.next_line(&mut buf).unwrap() {
+                        out.push((off, buf.clone()));
+                    }
+                    per_backend.push(out);
+                }
+                for w in per_backend.windows(2) {
+                    prop_assert_eq!(&w[0], &w[1]);
+                }
+
+                // Chunk boundaries and per-chunk contents.
+                let base_ranges = split_line_aligned(&p, 0, len, chunks).unwrap();
+                for backend in backends() {
+                    let src = Arc::new(ByteSource::open(&p, backend).unwrap());
+                    let ranges = split_line_aligned_src(&src, 0, len, chunks).unwrap();
+                    prop_assert_eq!(&ranges, &base_ranges);
+                    for range in &ranges {
+                        let private = range_lines_with(&p, *range, backend);
+                        let mut shared = Vec::new();
+                        let mut r = LineReader::from_source(Arc::clone(&src), *range);
+                        let mut buf = Vec::new();
+                        while r.next_line(&mut buf).unwrap().is_some() {
+                            shared.push(buf.clone());
+                        }
+                        let reference = range_lines(&p, *range);
+                        prop_assert_eq!(&private, &reference);
+                        prop_assert_eq!(&shared, &reference);
+                    }
+                }
+            }
         }
     }
 
@@ -531,7 +818,9 @@ mod tests {
         let p = td.file("d.csv");
         let long = "x".repeat(5000);
         std::fs::write(&p, format!("{long}\r\ntail")).unwrap();
-        let mut w = SlidingWindow::open(&p).unwrap();
-        assert_eq!(w.line_at(0).unwrap().len(), 5000);
+        for backend in backends() {
+            let mut w = SlidingWindow::open_with(&p, backend).unwrap();
+            assert_eq!(w.line_at(0).unwrap().len(), 5000, "{backend}");
+        }
     }
 }
