@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 
 use nodb_cache::{CacheConfig, ColumnBuilder, RawCache};
 use nodb_common::{DataType, IoBackend, LineFormat, Row, Schema, TempDir, Value};
-use nodb_core::{AccessMode, NoDb, NoDbConfig};
+use nodb_core::{AccessMode, NoDb, NoDbConfig, Params};
 use nodb_csv::tokenize;
 use nodb_csv::{CsvOptions, MicroGen};
 use nodb_exec::ops::{HashAggOp, HashJoinOp, Operator, RowsOp, SortAggOp};
@@ -449,6 +449,101 @@ fn bench_io_backend(c: &mut Criterion) {
     g.finish();
 }
 
+/// Prepared-statement amortization (ISSUE 5): one-shot `NoDb::query`
+/// — which lexes, parses, binds and optimizes every call — against
+/// `Statement::execute` on a statement prepared once, which only
+/// substitutes parameters, refreshes stats-driven choices and rebuilds
+/// the operator tree. Cold scans are dominated by raw-file work (the
+/// two should converge); warm scans are where the per-call preparation
+/// tax shows, so `warm_prepared` should sit measurably under
+/// `warm_one_shot`. `prepare_only` prices the amortized work itself.
+/// Row counts are asserted identical outside the timed bodies.
+fn bench_prepared(c: &mut Criterion) {
+    const ROWS: usize = 6_000;
+    let td = TempDir::new("nodb-bench-prepared").expect("tempdir");
+    let csv_path = td.file("p.csv");
+    let csv_spec = MicroGen::default().rows(ROWS).cols(20).seed(11);
+    csv_spec.write_to(&csv_path).expect("write csv");
+    let csv_schema = csv_spec.schema();
+    let jsonl_path = td.file("p.jsonl");
+    let jsonl_spec = JsonlGen::default().rows(ROWS).cols(20).seed(11);
+    jsonl_spec.write_to(&jsonl_path).expect("write jsonl");
+    let jsonl_schema = jsonl_spec.schema();
+    let literal = "select c0, c9 from t where c4 < 500000000";
+    let parameterized = "select c0, c9 from t where c4 < ?";
+
+    let mut g = c.benchmark_group("substrate_prepared");
+    g.sample_size(10);
+    for (fmt, path, schema) in [
+        ("csv", &csv_path, &csv_schema),
+        ("jsonl", &jsonl_path, &jsonl_schema),
+    ] {
+        let mut db = NoDb::new(NoDbConfig::postgres_raw()).expect("engine");
+        if fmt == "csv" {
+            db.register_csv(
+                "t",
+                path,
+                schema.clone(),
+                CsvOptions::default(),
+                AccessMode::InSitu,
+            )
+            .expect("register");
+        } else {
+            db.register_jsonl("t", path, schema.clone(), AccessMode::InSitu)
+                .expect("register");
+        }
+        let db = db; // freeze the catalog; statements borrow it
+        let stmt = db.prepare(parameterized).expect("prepare");
+        let params = Params::new().bind(500_000_000i64);
+
+        // Differential sanity outside the timed bodies: the prepared
+        // path must not "win" by returning different rows.
+        let a = stmt.query(&params).expect("prepared").rows;
+        let b = db.query(literal).expect("literal").rows;
+        assert!(!a.is_empty() && a == b, "{fmt}: prepared != literal");
+
+        g.bench_function(format!("prepare_only/{fmt}"), |b| {
+            b.iter(|| db.prepare(parameterized).expect("prepare"));
+        });
+        g.bench_function(format!("cold_scan_one_shot/{fmt}"), |b| {
+            b.iter_batched(
+                || db.drop_aux("t").expect("drop aux"),
+                |()| db.query(literal).expect("query").rows.len(),
+                BatchSize::SmallInput,
+            );
+        });
+        g.bench_function(format!("cold_scan_prepared/{fmt}"), |b| {
+            b.iter_batched(
+                || db.drop_aux("t").expect("drop aux"),
+                |()| stmt.query(&params).expect("query").rows.len(),
+                BatchSize::SmallInput,
+            );
+        });
+        // Warm once so both warm benchmarks read built structures.
+        db.drop_aux("t").expect("drop aux");
+        db.query(literal).expect("warm-up");
+        g.bench_function(format!("warm_one_shot/{fmt}"), |b| {
+            b.iter(|| db.query(literal).expect("query").rows.len());
+        });
+        g.bench_function(format!("warm_prepared/{fmt}"), |b| {
+            b.iter(|| stmt.query(&params).expect("query").rows.len());
+        });
+        // Streaming execute without materialization: the cursor is
+        // drained by count, never collected into a Vec.
+        g.bench_function(format!("warm_prepared_stream/{fmt}"), |b| {
+            b.iter(|| {
+                stmt.execute(&params)
+                    .expect("execute")
+                    .fold(0usize, |n, r| {
+                        r.expect("row");
+                        n + 1
+                    })
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     substrates,
     bench_tokenizer,
@@ -460,6 +555,7 @@ criterion_group!(
     bench_storage,
     bench_scan_threads,
     bench_jsonl,
-    bench_io_backend
+    bench_io_backend,
+    bench_prepared
 );
 criterion_main!(substrates);

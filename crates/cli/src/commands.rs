@@ -29,6 +29,11 @@ pub enum Command {
         /// Query text.
         sql: String,
     },
+    /// Toggle (or set) per-statement wall-clock reporting.
+    Timing {
+        /// `Some(on)` for `\timing on|off`, `None` for a bare toggle.
+        setting: Option<bool>,
+    },
     /// Print help.
     Help,
     /// Exit.
@@ -108,6 +113,16 @@ pub fn parse_line(input: &str) -> Result<Command, String> {
                     sql: sql.trim_end_matches(';').to_string(),
                 })
             }
+            Some("timing") => match toks.get(1).map(|s| s.as_str()) {
+                None => Ok(Command::Timing { setting: None }),
+                Some("on") => Ok(Command::Timing {
+                    setting: Some(true),
+                }),
+                Some("off") => Ok(Command::Timing {
+                    setting: Some(false),
+                }),
+                Some(other) => Err(format!("usage: \\timing [on|off] (got `{other}`)")),
+            },
             Some("help") => Ok(Command::Help),
             Some("quit") | Some("q") | Some("exit") => Ok(Command::Quit),
             other => Err(format!("unknown command {other:?} (\\help lists commands)")),
@@ -178,6 +193,27 @@ mod tests {
                 sql: "select 1 from t".into()
             }
         );
+    }
+
+    #[test]
+    fn parses_timing_toggle() {
+        assert_eq!(
+            parse_line("\\timing").unwrap(),
+            Command::Timing { setting: None }
+        );
+        assert_eq!(
+            parse_line("\\timing on").unwrap(),
+            Command::Timing {
+                setting: Some(true)
+            }
+        );
+        assert_eq!(
+            parse_line("\\timing off").unwrap(),
+            Command::Timing {
+                setting: Some(false)
+            }
+        );
+        assert!(parse_line("\\timing maybe").is_err());
     }
 
     #[test]

@@ -74,6 +74,7 @@ fn main() {
     println!("nodb — in-situ SQL over raw files (\\help for commands; io backend: {io})");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
+    let mut timing = false;
     loop {
         print!("nodb> ");
         let _ = std::io::stdout().flush();
@@ -108,7 +109,7 @@ fn main() {
             Ok(Command::Quit) => break,
             Ok(Command::Help) => print_help(),
             Ok(cmd) => {
-                if let Err(e) = execute(&mut db, cmd) {
+                if let Err(e) = execute(&mut db, cmd, &mut timing) {
                     eprintln!("error: {e}");
                 }
             }
@@ -117,7 +118,11 @@ fn main() {
     }
 }
 
-fn execute(db: &mut NoDb, cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+fn execute(
+    db: &mut NoDb,
+    cmd: Command,
+    timing: &mut bool,
+) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
         Command::Register {
             name,
@@ -166,21 +171,25 @@ fn execute(db: &mut NoDb, cmd: Command) -> Result<(), Box<dyn std::error::Error>
             print!("{}", db.explain(&sql)?);
         }
         Command::Sql { sql } => {
+            // Stream from the cursor: rows print as the scan produces
+            // them, and nothing holds the full result set in memory —
+            // a LIMIT (or a closed pipe) stops the raw-file scan early.
             let t = std::time::Instant::now();
-            let r = db.query(&sql)?;
-            let elapsed = t.elapsed();
-            println!("{}", r.columns().join(" | "));
-            for row in r.rows.iter().take(50) {
-                println!("{row}");
+            let mut cursor = db.query_stream(&sql)?;
+            println!("{}", cursor.columns().join(" | "));
+            let mut n = 0usize;
+            for row in cursor.by_ref() {
+                println!("{}", row?);
+                n += 1;
             }
-            if r.rows.len() > 50 {
-                println!("... ({} rows total)", r.rows.len());
+            println!("({n} rows)");
+            if *timing {
+                println!("Time: {:.3} ms", t.elapsed().as_secs_f64() * 1e3);
             }
-            println!(
-                "({} rows, {:.1} ms)",
-                r.rows.len(),
-                elapsed.as_secs_f64() * 1e3
-            );
+        }
+        Command::Timing { setting } => {
+            *timing = setting.unwrap_or(!*timing);
+            println!("Timing is {}.", if *timing { "on" } else { "off" });
         }
         Command::Quit | Command::Help => {}
     }
@@ -201,6 +210,7 @@ fn print_help() {
          \\sep NAME PATH '|' \"col type, ...\"    register with a delimiter\n\
          \\explain SELECT ...                   show the query plan\n\
          \\metrics NAME                         show scan work counters\n\
+         \\timing [on|off]                      toggle per-statement wall-clock reporting\n\
          \\help                                 this text\n\
          \\quit                                 exit\n\
          SELECT ... ;                          run SQL (terminate with ;)"

@@ -4,7 +4,7 @@
 //! conventional loading) for comparison.
 //!
 //! ```no_run
-//! use nodb_core::{AccessMode, NoDb, NoDbConfig};
+//! use nodb_core::{AccessMode, NoDb, NoDbConfig, Params};
 //! use nodb_common::Schema;
 //! use nodb_csv::CsvOptions;
 //!
@@ -23,6 +23,16 @@
 //! for row in &result.rows {
 //!     println!("{row}");
 //! }
+//! // Repeated queries amortize preparation through the session API
+//! // ([`NoDb::prepare`] / [`Statement`]) and can stream rows lazily
+//! // ([`NoDb::query_stream`] / [`QueryCursor`]) instead of
+//! // materializing whole result sets — see [`session`].
+//! let stmt = db.prepare("select name from people where score > ?").unwrap();
+//! for threshold in [0.5, 0.9] {
+//!     for row in stmt.execute(&Params::new().bind(threshold)).unwrap() {
+//!         println!("{}", row.unwrap());
+//!     }
+//! }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -32,12 +42,14 @@ pub mod config;
 pub mod idle;
 pub mod runtime;
 pub mod scan;
+pub mod session;
 
 pub use config::{AccessMode, NoDbConfig};
 pub use idle::{IdleFocus, IdleReport};
 pub use nodb_common::IoBackend;
 pub use runtime::{RawTableRuntime, ScanMetrics, ScanMetricsAtomic};
 pub use scan::{AuxFlags, InSituScanOp};
+pub use session::{Params, QueryCursor, Statement};
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -46,7 +58,7 @@ use std::sync::Arc;
 use nodb_common::{LineFormat, NoDbError, Result, Row, Schema, TempDir, Value};
 use nodb_csv::lines::LineReader;
 use nodb_csv::{tokenize, CsvFormat, CsvOptions};
-use nodb_exec::{build_plan, run_to_vec, BoxOp, ExecCatalog, TableProvider};
+use nodb_exec::{BoxOp, ExecCatalog, TableProvider};
 use nodb_json::JsonFormat;
 use nodb_sql::binder::{CatalogView, PlannerOptions};
 use nodb_sql::{plan_query, BoundExpr, LogicalPlan};
@@ -220,9 +232,7 @@ impl NoDb {
         mode: AccessMode,
     ) -> Result<()> {
         let name = name.to_ascii_lowercase();
-        if self.tables.contains_key(&name) {
-            return Err(NoDbError::catalog(format!("table `{name}` already exists")));
-        }
+        self.ensure_table_absent(&name)?;
         let entry = match mode {
             AccessMode::InSitu => {
                 let runtime = Arc::new(RawTableRuntime::new(&self.config));
@@ -281,6 +291,44 @@ impl NoDb {
         Ok(())
     }
 
+    /// Shared duplicate-name check for every registration path (`name`
+    /// must already be lowercased).
+    fn ensure_table_absent(&self, name: &str) -> Result<()> {
+        if self.tables.contains_key(name) {
+            return Err(NoDbError::catalog(format!("table `{name}` already exists")));
+        }
+        Ok(())
+    }
+
+    /// Drop a registered table: the inverse of registration.
+    ///
+    /// The catalog entry is removed and the table's runtime state is
+    /// released — auxiliary structures (end-of-line index, positional
+    /// map, cache, statistics) are cleared immediately, and loaded-mode
+    /// heap storage is deleted. Queries already streaming from the
+    /// table ([`NoDb::query_stream`]) keep their own shared handles and
+    /// finish normally; the name becomes free for re-registration right
+    /// away.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        let name = name.to_ascii_lowercase();
+        let entry = self
+            .tables
+            .remove(&name)
+            .ok_or_else(|| NoDbError::catalog(format!("unknown table `{name}`")))?;
+        // Free the aux memory now rather than when the last in-flight
+        // scan drops its Arc (drop_aux mid-scan is already supported;
+        // the scan continues privately from its own offset).
+        if let Some(rt) = &entry.runtime {
+            rt.clear_aux();
+        }
+        if matches!(entry.provider, Some(Provider::Loaded(_))) {
+            if let Some(storage) = &mut self.storage {
+                storage.drop_table(&name)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Register an externally implemented table provider (format
     /// plugins — e.g. the FITS provider from `nodb-fits`).
     pub fn register_provider(
@@ -290,9 +338,7 @@ impl NoDb {
         provider: Box<dyn TableProvider>,
     ) -> Result<()> {
         let name = name.to_ascii_lowercase();
-        if self.tables.contains_key(&name) {
-            return Err(NoDbError::catalog(format!("table `{name}` already exists")));
-        }
+        self.ensure_table_absent(&name)?;
         self.tables.insert(
             name,
             TableEntry {
@@ -352,16 +398,15 @@ impl NoDb {
         Ok(report)
     }
 
-    /// Run a SQL query.
+    /// Run a SQL query and materialize the full result.
+    ///
+    /// This is the one-shot convenience over the session API:
+    /// `prepare(sql)` + `execute` + `collect`. Use [`NoDb::prepare`] to
+    /// amortize preparation across repeated executions (with `?`/`$N`
+    /// parameters), or [`NoDb::query_stream`] to consume rows lazily
+    /// without materializing the result set.
     pub fn query(&self, sql: &str) -> Result<QueryResult> {
-        let options = PlannerOptions {
-            use_stats: self.config.enable_stats,
-        };
-        let plan = plan_query(sql, self, &options)?;
-        let schema = plan.schema().clone();
-        let op: BoxOp = build_plan(&plan, self)?;
-        let rows = run_to_vec(op)?;
-        Ok(QueryResult { schema, rows })
+        self.prepare(sql)?.execute(&Params::new())?.collect()
     }
 
     /// Plan a query without executing it.

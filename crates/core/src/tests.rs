@@ -665,3 +665,164 @@ fn distinct_and_having_work_end_to_end() {
     assert_eq!(r.rows.len(), 2);
     assert_eq!(r.rows[0].get(0).as_str().unwrap(), "b");
 }
+
+// ----- session API: prepared statements, cursors, drop_table ------------
+
+#[test]
+fn prepared_statement_matches_literal_sql() {
+    let (_td, p, schema) = micro_file(600, 8);
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    let stmt = db
+        .prepare("select c0, c5 from t where c2 < ? order by c0")
+        .unwrap();
+    assert_eq!(stmt.param_count(), 1);
+    assert_eq!(stmt.schema().len(), 2);
+    for bound in [100_000_000i64, 500_000_000, 900_000_000] {
+        let prepared = stmt.query(&crate::Params::new().bind(bound)).unwrap();
+        let literal = db
+            .query(&format!(
+                "select c0, c5 from t where c2 < {bound} order by c0"
+            ))
+            .unwrap();
+        assert_eq!(prepared.rows, literal.rows, "bound = {bound}");
+        assert_eq!(prepared.schema.types(), literal.schema.types());
+    }
+}
+
+#[test]
+fn prepared_statement_validates_parameters() {
+    let (_td, p, schema) = micro_file(50, 4);
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    let stmt = db.prepare("select c0 from t where c1 < ?").unwrap();
+    // Wrong arity, both directions.
+    assert!(stmt.execute(&crate::Params::new()).is_err());
+    assert!(stmt
+        .execute(&crate::Params::new().bind(1i64).bind(2i64))
+        .is_err());
+    // Type mismatch against the inferred (int) type.
+    let err = stmt
+        .execute(&crate::Params::new().bind("not a number"))
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("parameter $1"), "{err}");
+    // A statement with placeholders cannot run through plain query().
+    assert!(db.query("select c0 from t where c1 < ?").is_err());
+    // Gapped $N numbering is rejected at prepare time.
+    assert!(db.prepare("select c0 from t where c1 < $2").is_err());
+}
+
+#[test]
+fn prepared_date_parameters_accept_text() {
+    let td = TempDir::new("nodb-core-test").unwrap();
+    let p = td.file("dates.csv");
+    std::fs::write(&p, "2026-01-01,5\n2026-02-01,7\n2026-03-01,9\n").unwrap();
+    let schema = Schema::parse("day date, v int").unwrap();
+    let mut db = NoDb::new(NoDbConfig::postgres_raw()).unwrap();
+    db.register_csv("t", &p, schema, CsvOptions::default(), AccessMode::InSitu)
+        .unwrap();
+    let stmt = db.prepare("select v from t where day >= ?").unwrap();
+    // Text coerces to a date (exactly what `date '…'` would inline)...
+    let r = stmt
+        .query(&crate::Params::new().bind("2026-02-01"))
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    // ...and malformed text fails loudly at execute time.
+    assert!(stmt
+        .query(&crate::Params::new().bind("02/01/2026"))
+        .is_err());
+}
+
+#[test]
+fn query_stream_is_lazy_and_keeps_partial_aux() {
+    let (_td, p, schema) = micro_file(20_000, 6);
+    let file_len = std::fs::metadata(&p).unwrap().len();
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+
+    // Pull three rows, then drop the cursor mid-scan.
+    let mut cursor = db.query_stream("select c0, c1 from t").unwrap();
+    assert_eq!(cursor.columns(), vec!["c0", "c1"]);
+    for _ in 0..3 {
+        cursor.next().unwrap().unwrap();
+    }
+    drop(cursor);
+
+    // The scan stopped after its first block(s): a small fraction of
+    // the file was tokenized, and the aux structures cover exactly the
+    // consumed prefix — which still serves the next query.
+    let m = db.metrics("t").unwrap();
+    assert!(
+        m.bytes_tokenized < file_len / 2,
+        "tokenized {} of {file_len} bytes",
+        m.bytes_tokenized
+    );
+    let aux = db.aux_info("t").unwrap();
+    assert!(aux.posmap_pointers > 0, "partial scan built no positions");
+    let full = db.query("select count(*) from t").unwrap();
+    assert_eq!(full.rows[0].get(0), &Value::Int64(20_000));
+}
+
+#[test]
+fn statement_explain_reflects_current_stats() {
+    let (_td, p, schema) = micro_file(2_000, 4);
+    let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
+    let stmt = db.prepare("select c0 from t where c1 < ?").unwrap();
+    let params = crate::Params::new().bind(500_000_000i64);
+    let cold = stmt.explain(&params).unwrap();
+    // No statistics yet: the default 1000-row table guess times the
+    // default inequality selectivity.
+    assert!(cold.contains("~333 rows"), "default estimate: {cold}");
+    // Execute once: the scan collects statistics on the fly.
+    stmt.query(&params).unwrap();
+    let warm = stmt.explain(&params).unwrap();
+    assert!(
+        !warm.contains("~333 rows") && warm.contains("Scan t"),
+        "estimates must pick up adaptive stats: {warm}"
+    );
+}
+
+#[test]
+fn drop_table_releases_and_frees_the_name() {
+    let (_td, p, schema) = micro_file(500, 6);
+    let mut db = NoDb::new(NoDbConfig::postgres_raw()).unwrap();
+    db.register_csv(
+        "t",
+        &p,
+        schema.clone(),
+        CsvOptions::default(),
+        AccessMode::InSitu,
+    )
+    .unwrap();
+    db.query("select c0 from t").unwrap();
+    assert!(db.aux_info("t").unwrap().posmap_pointers > 0);
+
+    db.drop_table("T").unwrap(); // names are case-insensitive
+    assert!(db.query("select c0 from t").is_err());
+    assert!(db.metrics("t").is_err());
+    assert!(db.drop_table("t").is_err(), "double drop is an error");
+
+    // The name is free again, and the new table starts cold.
+    db.register_csv("t", &p, schema, CsvOptions::default(), AccessMode::InSitu)
+        .unwrap();
+    assert_eq!(db.aux_info("t").unwrap().posmap_pointers, 0);
+    assert_eq!(db.query("select count(*) from t").unwrap().rows.len(), 1);
+}
+
+#[test]
+fn drop_table_removes_loaded_heap_storage() {
+    let (_td, p, schema) = micro_file(200, 4);
+    let data_td = TempDir::new("nodb-core-heap").unwrap();
+    let mut cfg = NoDbConfig::postgres_raw();
+    cfg.data_dir = Some(data_td.path().to_path_buf());
+    let mut db = NoDb::new(cfg).unwrap();
+    db.register_csv("t", &p, schema, CsvOptions::default(), AccessMode::Loaded)
+        .unwrap();
+    db.load_table("t").unwrap();
+    let heap = data_td.path().join("heap").join("t.heap");
+    let overflow = data_td.path().join("heap").join("t.ovf");
+    assert!(heap.exists());
+    assert!(overflow.exists(), "loader always creates the overflow file");
+    db.drop_table("t").unwrap();
+    assert!(!heap.exists(), "heap file must be deleted on drop");
+    assert!(!overflow.exists(), "overflow file must be deleted on drop");
+    assert!(db.query("select c0 from t").is_err());
+}

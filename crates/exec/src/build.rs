@@ -1,7 +1,8 @@
 //! Physical planning: lower a [`LogicalPlan`] onto leaf scans supplied by
 //! a [`TableProvider`].
 
-use nodb_common::{NoDbError, Result};
+use nodb_common::{NoDbError, Result, Value};
+use nodb_sql::expr::AggExpr;
 use nodb_sql::{AggStrategy, BoundExpr, LogicalPlan};
 
 use crate::ops::{
@@ -34,16 +35,43 @@ pub trait ExecCatalog {
 
 /// Build an executable operator tree.
 pub fn build_plan(plan: &LogicalPlan, catalog: &dyn ExecCatalog) -> Result<BoxOp> {
+    build_plan_with_params(plan, catalog, &[])
+}
+
+/// Build an executable operator tree, substituting parameter
+/// placeholders with `params` while lowering — the zero-copy execute
+/// path of a prepared statement (no intermediate plan clone). With an
+/// empty `params` slice expressions are cloned verbatim, which is plain
+/// [`build_plan`].
+pub fn build_plan_with_params(
+    plan: &LogicalPlan,
+    catalog: &dyn ExecCatalog,
+    params: &[Value],
+) -> Result<BoxOp> {
+    let sub = |e: &BoundExpr| -> BoundExpr {
+        if params.is_empty() {
+            e.clone()
+        } else {
+            e.substitute_params(params)
+        }
+    };
     match plan {
         LogicalPlan::Scan {
             table,
             projection,
             filters,
             ..
-        } => catalog.provider(table)?.scan(projection, filters),
+        } => {
+            if params.is_empty() {
+                catalog.provider(table)?.scan(projection, filters)
+            } else {
+                let filters: Vec<BoundExpr> = filters.iter().map(sub).collect();
+                catalog.provider(table)?.scan(projection, &filters)
+            }
+        }
         LogicalPlan::Filter { input, predicate } => Ok(Box::new(FilterOp::new(
-            build_plan(input, catalog)?,
-            predicate.clone(),
+            build_plan_with_params(input, catalog, params)?,
+            sub(predicate),
         ))),
         LogicalPlan::Join {
             left,
@@ -53,10 +81,10 @@ pub fn build_plan(plan: &LogicalPlan, catalog: &dyn ExecCatalog) -> Result<BoxOp
             kind,
             ..
         } => Ok(Box::new(HashJoinOp::new(
-            build_plan(left, catalog)?,
-            build_plan(right, catalog)?,
+            build_plan_with_params(left, catalog, params)?,
+            build_plan_with_params(right, catalog, params)?,
             on.clone(),
-            residual.clone(),
+            residual.as_ref().map(sub),
             *kind,
         ))),
         LogicalPlan::Aggregate {
@@ -66,32 +94,40 @@ pub fn build_plan(plan: &LogicalPlan, catalog: &dyn ExecCatalog) -> Result<BoxOp
             strategy,
             ..
         } => {
-            let child = build_plan(input, catalog)?;
+            let child = build_plan_with_params(input, catalog, params)?;
+            let aggs: Vec<AggExpr> = aggs
+                .iter()
+                .map(|a| AggExpr {
+                    func: a.func,
+                    arg: a.arg.as_ref().map(sub),
+                })
+                .collect();
             Ok(match strategy {
                 AggStrategy::Plain => {
                     if !group.is_empty() {
                         return Err(NoDbError::internal("plain aggregation with group keys"));
                     }
-                    Box::new(PlainAggOp::new(child, aggs.clone()))
+                    Box::new(PlainAggOp::new(child, aggs))
                 }
-                AggStrategy::Hash => Box::new(HashAggOp::new(child, group.clone(), aggs.clone())),
-                AggStrategy::Sort => Box::new(SortAggOp::new(child, group.clone(), aggs.clone())),
+                AggStrategy::Hash => Box::new(HashAggOp::new(child, group.clone(), aggs)),
+                AggStrategy::Sort => Box::new(SortAggOp::new(child, group.clone(), aggs)),
             })
         }
         LogicalPlan::Project { input, exprs, .. } => Ok(Box::new(ProjectOp::new(
-            build_plan(input, catalog)?,
-            exprs.clone(),
+            build_plan_with_params(input, catalog, params)?,
+            exprs.iter().map(sub).collect(),
         ))),
         LogicalPlan::Sort { input, keys } => Ok(Box::new(SortOp::new(
-            build_plan(input, catalog)?,
+            build_plan_with_params(input, catalog, params)?,
             keys.clone(),
         ))),
-        LogicalPlan::Limit { input, n } => {
-            Ok(Box::new(LimitOp::new(build_plan(input, catalog)?, *n)))
-        }
-        LogicalPlan::Distinct { input } => {
-            Ok(Box::new(DistinctOp::new(build_plan(input, catalog)?)))
-        }
+        LogicalPlan::Limit { input, n } => Ok(Box::new(LimitOp::new(
+            build_plan_with_params(input, catalog, params)?,
+            *n,
+        ))),
+        LogicalPlan::Distinct { input } => Ok(Box::new(DistinctOp::new(build_plan_with_params(
+            input, catalog, params,
+        )?))),
     }
 }
 

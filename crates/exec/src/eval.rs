@@ -14,6 +14,11 @@ pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
             .cloned()
             .ok_or_else(|| NoDbError::internal(format!("column #{i} out of range"))),
         BoundExpr::Lit(v) => Ok(v.clone()),
+        BoundExpr::Param { idx, .. } => Err(NoDbError::internal(format!(
+            "unsubstituted parameter ${} reached the executor (prepared statements must \
+             substitute parameters before building the operator tree)",
+            idx + 1
+        ))),
         BoundExpr::Binary { op, left, right } => match op {
             BinOp::And => {
                 let l = eval(left, row)?;

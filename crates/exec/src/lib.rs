@@ -22,7 +22,7 @@ pub mod eval;
 pub mod key;
 pub mod ops;
 
-pub use build::{build_plan, ExecCatalog, TableProvider};
+pub use build::{build_plan, build_plan_with_params, ExecCatalog, TableProvider};
 pub use eval::{eval, eval_predicate};
 pub use key::GroupKey;
 pub use ops::{BoxOp, DistinctOp, Operator, RowsOp};
@@ -36,4 +36,47 @@ pub fn run_to_vec(mut op: BoxOp) -> Result<Vec<Row>> {
         out.push(r);
     }
     Ok(out)
+}
+
+/// A lazy [`Iterator`] view over an operator tree: each `next` pulls
+/// exactly one row through the Volcano pipeline, so consumers that stop
+/// early (a `LIMIT`, a UI page, an abandoned cursor) never pay for rows
+/// they do not read.
+///
+/// The cursor is *fused*: after the operator reports exhaustion or an
+/// error, the tree is dropped eagerly (releasing scan readers, mappings
+/// and staged state) and every later `next` returns `None`.
+pub struct RowCursor {
+    op: Option<BoxOp>,
+}
+
+impl RowCursor {
+    /// Wrap an operator tree.
+    pub fn new(op: BoxOp) -> RowCursor {
+        RowCursor { op: Some(op) }
+    }
+
+    /// Has the underlying operator tree finished (or failed)?
+    pub fn is_done(&self) -> bool {
+        self.op.is_none()
+    }
+}
+
+impl Iterator for RowCursor {
+    type Item = Result<Row>;
+
+    fn next(&mut self) -> Option<Result<Row>> {
+        let op = self.op.as_mut()?;
+        match op.next_row() {
+            Ok(Some(r)) => Some(Ok(r)),
+            Ok(None) => {
+                self.op = None;
+                None
+            }
+            Err(e) => {
+                self.op = None;
+                Some(Err(e))
+            }
+        }
+    }
 }

@@ -69,6 +69,10 @@ pub enum AstExpr {
     },
     /// Literal value (`1`, `2.5`, `'text'`, `date '1994-01-01'`).
     Literal(Value),
+    /// Parameter placeholder (`?` or `$N`), by 0-based index. The value
+    /// is supplied at execute time; the binder assigns the type from
+    /// surrounding context.
+    Param(usize),
     /// `INTERVAL 'n' unit`.
     Interval {
         /// Count.
@@ -202,6 +206,52 @@ pub struct SelectStmt {
     pub limit: Option<u64>,
 }
 
+impl SelectStmt {
+    /// Collect the 0-based parameter indices used anywhere in this
+    /// statement (projections, WHERE, GROUP BY, HAVING, ORDER BY and
+    /// EXISTS subqueries).
+    pub fn collect_params(&self, out: &mut std::collections::BTreeSet<usize>) {
+        for item in &self.projections {
+            if let SelectItem::Expr { expr, .. } = item {
+                expr.collect_params(out);
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            w.collect_params(out);
+        }
+        for g in &self.group_by {
+            g.collect_params(out);
+        }
+        if let Some(h) = &self.having {
+            h.collect_params(out);
+        }
+        for ob in &self.order_by {
+            ob.expr.collect_params(out);
+        }
+    }
+
+    /// Number of parameter slots this statement requires (`max index +
+    /// 1`), with an error when explicit `$N` numbering leaves gaps —
+    /// every slot in `1..=N` must be referenced so positional values
+    /// line up.
+    pub fn param_count(&self) -> nodb_common::Result<usize> {
+        let mut used = std::collections::BTreeSet::new();
+        self.collect_params(&mut used);
+        let count = used.iter().next_back().map_or(0, |&m| m + 1);
+        // Gap detection must stay O(|used|): `$4000000000` in one short
+        // statement makes `count` huge, and scanning (or allocating)
+        // `0..count` anywhere before this check would be a DoS vector.
+        if used.len() != count {
+            let first_gap = (0..).find(|i| !used.contains(i)).expect("gap exists");
+            return Err(nodb_common::NoDbError::sql(format!(
+                "parameter ${} is never referenced (numbering must be contiguous from $1)",
+                first_gap + 1
+            )));
+        }
+        Ok(count)
+    }
+}
+
 impl AstExpr {
     /// Build `left AND right`, treating `None` as TRUE.
     pub fn and_opt(left: Option<AstExpr>, right: AstExpr) -> AstExpr {
@@ -215,11 +265,66 @@ impl AstExpr {
         }
     }
 
+    /// Collect the 0-based parameter indices used in this expression
+    /// (including inside EXISTS subqueries).
+    pub fn collect_params(&self, out: &mut std::collections::BTreeSet<usize>) {
+        match self {
+            AstExpr::Param(i) => {
+                out.insert(*i);
+            }
+            AstExpr::Column { .. } | AstExpr::Literal(_) | AstExpr::Interval { .. } => {}
+            AstExpr::Binary { left, right, .. } => {
+                left.collect_params(out);
+                right.collect_params(out);
+            }
+            AstExpr::Not(e) | AstExpr::Neg(e) => e.collect_params(out),
+            AstExpr::Like { expr, pattern, .. } => {
+                expr.collect_params(out);
+                pattern.collect_params(out);
+            }
+            AstExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.collect_params(out);
+                low.collect_params(out);
+                high.collect_params(out);
+            }
+            AstExpr::InList { expr, list, .. } => {
+                expr.collect_params(out);
+                for i in list {
+                    i.collect_params(out);
+                }
+            }
+            AstExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    c.collect_params(out);
+                    r.collect_params(out);
+                }
+                if let Some(e) = else_expr {
+                    e.collect_params(out);
+                }
+            }
+            AstExpr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.collect_params(out);
+                }
+            }
+            AstExpr::Exists { subquery, .. } => subquery.collect_params(out),
+            AstExpr::IsNull { expr, .. } => expr.collect_params(out),
+        }
+    }
+
     /// Does this expression (sub)tree contain an aggregate call?
     pub fn contains_agg(&self) -> bool {
         match self {
             AstExpr::Agg { .. } => true,
-            AstExpr::Column { .. } | AstExpr::Literal(_) | AstExpr::Interval { .. } => false,
+            AstExpr::Column { .. }
+            | AstExpr::Literal(_)
+            | AstExpr::Param(_)
+            | AstExpr::Interval { .. } => false,
             AstExpr::Binary { left, right, .. } => left.contains_agg() || right.contains_agg(),
             AstExpr::Not(e) | AstExpr::Neg(e) => e.contains_agg(),
             AstExpr::Like { expr, pattern, .. } => expr.contains_agg() || pattern.contains_agg(),

@@ -52,6 +52,7 @@ pub fn bind(
         catalog,
         options,
         tables: Vec::new(),
+        param_types: Vec::new(),
     }
     .run(stmt)
 }
@@ -88,6 +89,10 @@ struct Binder<'a> {
     catalog: &'a dyn CatalogView,
     options: &'a PlannerOptions,
     tables: Vec<BoundTable>,
+    /// Parameter types inferred from context before scalar binding
+    /// (`param_types[idx]` is `None` when no surrounding column or
+    /// literal gave a hint).
+    param_types: Vec<Option<DataType>>,
 }
 
 impl Binder<'_> {
@@ -114,6 +119,9 @@ impl Binder<'_> {
                 name: tr.name.clone(),
             });
         }
+        // 1b. Infer parameter types from context (needs the resolved
+        //     tables, must precede any scalar binding).
+        self.infer_stmt_param_types(stmt)?;
 
         // 2. Expand the projection list.
         let mut projections: Vec<(AstExpr, Option<String>)> = Vec::new();
@@ -350,6 +358,158 @@ impl Binder<'_> {
         Ok(plan)
     }
 
+    // ----- parameter typing --------------------------------------------
+
+    /// Infer parameter types before binding: a parameter compared with
+    /// (or arithmetically combined with) a column or literal takes that
+    /// side's type, LIKE operands are text, BETWEEN/IN members share the
+    /// tested expression's type. Parameters in positions with no usable
+    /// context stay untyped (`None`) — their execute-time values pass
+    /// through unchecked.
+    ///
+    /// Validates `$N` contiguity first ([`SelectStmt::param_count`]),
+    /// which also bounds the slot vector allocated below — `bind` may
+    /// be reached without a prior count check (e.g. EXPLAIN paths), so
+    /// a lone `$4000000000` must fail here, not allocate.
+    fn infer_stmt_param_types(&mut self, stmt: &SelectStmt) -> Result<()> {
+        let n = stmt.param_count()?;
+        if n == 0 {
+            return Ok(());
+        }
+        let mut types = vec![None; n];
+        self.walk_stmt_params(stmt, None, &mut types);
+        self.param_types = types;
+        Ok(())
+    }
+
+    fn walk_stmt_params(
+        &self,
+        stmt: &SelectStmt,
+        inner: Option<&Schema>,
+        out: &mut [Option<DataType>],
+    ) {
+        for item in &stmt.projections {
+            if let SelectItem::Expr { expr, .. } = item {
+                self.assign_param_types(expr, None, inner, out);
+            }
+        }
+        if let Some(w) = &stmt.where_clause {
+            self.assign_param_types(w, None, inner, out);
+        }
+        for g in &stmt.group_by {
+            self.assign_param_types(g, None, inner, out);
+        }
+        if let Some(h) = &stmt.having {
+            self.assign_param_types(h, None, inner, out);
+        }
+        for ob in &stmt.order_by {
+            self.assign_param_types(&ob.expr, None, inner, out);
+        }
+    }
+
+    /// Shallow type probe: columns and literals have a known type,
+    /// everything else contributes no hint. Unqualified names resolve
+    /// against an EXISTS subquery's inner schema first.
+    fn probe_type(&self, e: &AstExpr, inner: Option<&Schema>) -> Option<DataType> {
+        match e {
+            AstExpr::Column { table, name } => {
+                if table.is_none() {
+                    if let Some(s) = inner {
+                        if let Some(c) = s.index_of(name) {
+                            return Some(s.field(c).dtype);
+                        }
+                    }
+                }
+                match self.try_resolve(table.as_deref(), name) {
+                    Ok(Some((t, c))) => Some(self.tables[t].schema.field(c).dtype),
+                    _ => None,
+                }
+            }
+            AstExpr::Literal(v) => v.data_type(),
+            AstExpr::Neg(x) => self.probe_type(x, inner),
+            _ => None,
+        }
+    }
+
+    fn assign_param_types(
+        &self,
+        e: &AstExpr,
+        hint: Option<DataType>,
+        inner: Option<&Schema>,
+        out: &mut [Option<DataType>],
+    ) {
+        match e {
+            AstExpr::Param(i) => {
+                if let Some(slot) = out.get_mut(*i) {
+                    if slot.is_none() {
+                        *slot = hint;
+                    }
+                }
+            }
+            AstExpr::Column { .. } | AstExpr::Literal(_) | AstExpr::Interval { .. } => {}
+            AstExpr::Binary { op, left, right } => {
+                // Comparisons and arithmetic type a parameter from the
+                // opposite side; AND/OR sides are independent predicates.
+                let (lh, rh) = match op {
+                    AstBinOp::And | AstBinOp::Or => (None, None),
+                    _ => (self.probe_type(right, inner), self.probe_type(left, inner)),
+                };
+                self.assign_param_types(left, lh, inner, out);
+                self.assign_param_types(right, rh, inner, out);
+            }
+            AstExpr::Not(x) => self.assign_param_types(x, None, inner, out),
+            AstExpr::Neg(x) => self.assign_param_types(x, hint, inner, out),
+            AstExpr::Like { expr, pattern, .. } => {
+                self.assign_param_types(expr, Some(DataType::Text), inner, out);
+                self.assign_param_types(pattern, Some(DataType::Text), inner, out);
+            }
+            AstExpr::Between {
+                expr, low, high, ..
+            } => {
+                let t = self
+                    .probe_type(expr, inner)
+                    .or_else(|| self.probe_type(low, inner))
+                    .or_else(|| self.probe_type(high, inner));
+                self.assign_param_types(expr, t, inner, out);
+                self.assign_param_types(low, t, inner, out);
+                self.assign_param_types(high, t, inner, out);
+            }
+            AstExpr::InList { expr, list, .. } => {
+                let t = list.iter().find_map(|i| self.probe_type(i, inner));
+                self.assign_param_types(expr, t, inner, out);
+                let et = self.probe_type(expr, inner);
+                for i in list {
+                    self.assign_param_types(i, et, inner, out);
+                }
+            }
+            AstExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    self.assign_param_types(c, None, inner, out);
+                    self.assign_param_types(r, None, inner, out);
+                }
+                if let Some(x) = else_expr {
+                    self.assign_param_types(x, None, inner, out);
+                }
+            }
+            AstExpr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    self.assign_param_types(a, None, inner, out);
+                }
+            }
+            AstExpr::Exists { subquery, .. } => {
+                let inner_schema = subquery
+                    .from
+                    .first()
+                    .and_then(|tr| self.catalog.schema_of(&tr.name).ok());
+                self.walk_stmt_params(subquery, inner_schema.as_ref().or(inner), out);
+            }
+            AstExpr::IsNull { expr, .. } => self.assign_param_types(expr, None, inner, out),
+        }
+    }
+
     // ----- name resolution ---------------------------------------------
 
     /// Resolve a column to `(table idx, column idx)`, or `None` when the
@@ -408,7 +568,7 @@ impl Binder<'_> {
                 }
                 Ok(())
             }
-            AstExpr::Literal(_) | AstExpr::Interval { .. } => Ok(()),
+            AstExpr::Literal(_) | AstExpr::Param(_) | AstExpr::Interval { .. } => Ok(()),
             AstExpr::Binary { left, right, .. } => {
                 self.collect_usage(left, used)?;
                 self.collect_usage(right, used)
@@ -762,7 +922,7 @@ impl Binder<'_> {
             AstExpr::Column { table, name } => {
                 Ok(table.is_none() && inner.index_of(name).is_some())
             }
-            AstExpr::Literal(_) | AstExpr::Interval { .. } => Ok(true),
+            AstExpr::Literal(_) | AstExpr::Param(_) | AstExpr::Interval { .. } => Ok(true),
             AstExpr::Binary { left, right, .. } => {
                 Ok(self.is_inner_only(left, inner)? && self.is_inner_only(right, inner)?)
             }
@@ -1075,6 +1235,10 @@ impl Binder<'_> {
                     .unwrap_or_default()
             ))),
             AstExpr::Literal(v) => Ok(BoundExpr::Lit(v.clone())),
+            AstExpr::Param(i) => Ok(BoundExpr::Param {
+                idx: *i,
+                dtype: self.param_types.get(*i).copied().flatten(),
+            }),
             AstExpr::Interval { .. } => Err(NoDbError::plan("INTERVAL outside date arithmetic")),
             AstExpr::Binary { op, left, right } => {
                 let l = self.rewrite_agg_expr(
@@ -1178,6 +1342,10 @@ impl Binder<'_> {
         match e {
             AstExpr::Column { table, name } => Ok(BoundExpr::Col(resolve(table.as_deref(), name)?)),
             AstExpr::Literal(v) => Ok(BoundExpr::Lit(v.clone())),
+            AstExpr::Param(i) => Ok(BoundExpr::Param {
+                idx: *i,
+                dtype: self.param_types.get(*i).copied().flatten(),
+            }),
             AstExpr::Interval { .. } => Err(NoDbError::plan(
                 "INTERVAL is only supported in date ± interval arithmetic with literal dates",
             )),
@@ -1403,7 +1571,10 @@ fn collect_schema_usage(e: &AstExpr, schema: &Schema, used: &mut BTreeSet<usize>
                 used.insert(c);
             }
         }
-        AstExpr::Column { .. } | AstExpr::Literal(_) | AstExpr::Interval { .. } => {}
+        AstExpr::Column { .. }
+        | AstExpr::Literal(_)
+        | AstExpr::Param(_)
+        | AstExpr::Interval { .. } => {}
         AstExpr::Binary { left, right, .. } => {
             collect_schema_usage(left, schema, used);
             collect_schema_usage(right, schema, used);
@@ -1707,6 +1878,109 @@ mod tests {
         assert!(run("select a from t1 order by zzz").is_err());
         // Ambiguity: both tables have no common names here, so make one.
         assert!(run("select a from t1, t1").is_err()); // duplicate alias
+    }
+
+    #[test]
+    fn binds_parameters_with_inferred_types() {
+        let stmt = parse("select a from t1 where b < $1 and d >= $2").unwrap();
+        let p = bind(&stmt, &catalog(), &PlannerOptions::default()).unwrap();
+        // Types flow from the compared columns: b int, d date.
+        assert_eq!(
+            p.param_types(2),
+            vec![Some(DataType::Int32), Some(DataType::Date)]
+        );
+        match find_scan(&p, "t1") {
+            LogicalPlan::Scan { filters, .. } => {
+                assert_eq!(filters.len(), 2);
+                let shown: Vec<String> = filters.iter().map(|f| f.to_string()).collect();
+                assert!(shown.iter().any(|s| s.contains("$1")), "{shown:?}");
+                assert!(shown.iter().any(|s| s.contains("$2")), "{shown:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Substitution produces a parameter-free plan.
+        let sub = p.substitute_params(&[
+            Value::Int64(3),
+            Value::Date(nodb_common::Date::parse("1994-01-01").unwrap()),
+        ]);
+        assert!(!sub.explain().contains('$'), "{}", sub.explain());
+        // Parameters in aggregate context (HAVING) bind too.
+        let stmt = parse("select b, count(*) from t1 group by b having count(*) > ?").unwrap();
+        let p = bind(&stmt, &catalog(), &PlannerOptions::default()).unwrap();
+        assert_eq!(p.param_types(1).len(), 1);
+        // LIKE patterns must still be literals — a parameter is rejected
+        // at bind time, not at execute time.
+        let stmt = parse("select a from t1 where c like $1").unwrap();
+        assert!(bind(&stmt, &catalog(), &PlannerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn huge_param_index_fails_fast_in_bind() {
+        // `bind` is reachable without a prior param_count check (the
+        // EXPLAIN path); a lone $4000000000 must error on the gap, not
+        // allocate a 4-billion-slot type vector.
+        let stmt = parse("select a from t1 where b = $4000000000").unwrap();
+        let err = bind(&stmt, &catalog(), &PlannerOptions::default())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("parameter $1"), "{err}");
+    }
+
+    fn catalog_without_stats() -> MockCatalog {
+        let mut c = catalog();
+        for t in &mut c.tables {
+            t.2 = None;
+        }
+        c
+    }
+
+    #[test]
+    fn refresh_stats_unstales_a_cached_plan() {
+        use crate::optimizer::refresh_stats;
+        // A catalog where statistics reveal a huge group count.
+        let mut big = catalog_without_stats();
+        let mut st = TableStats::new();
+        st.set_row_count(2_000_000);
+        st.set_column(0, col_stats(1000, 4000)); // a
+        st.set_column(1, col_stats(1000, 4000)); // b
+        big.tables[0].2 = Some(st);
+
+        // Prepared cold: no statistics yet, so the binder guesses
+        // default NDVs and picks hash aggregation.
+        let stmt = parse("select a, b, count(*) from t1 group by a, b").unwrap();
+        let mut plan = bind(&stmt, &catalog_without_stats(), &PlannerOptions::default()).unwrap();
+        assert!(
+            plan.explain().contains("HashAggregate"),
+            "{}",
+            plan.explain()
+        );
+
+        // Executed later, after statistics were collected: the refresh
+        // pass re-estimates the scan from current stats and flips the
+        // strategy to sort aggregation (~1M estimated groups).
+        refresh_stats(&mut plan, &big, true);
+        assert!(
+            plan.explain().contains("SortAggregate"),
+            "{}",
+            plan.explain()
+        );
+        match find_scan(&plan, "t1") {
+            LogicalPlan::Scan { estimated_rows, .. } => {
+                assert_eq!(*estimated_rows, 2_000_000.0);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // With use_stats off the plan is left exactly as bound.
+        let mut frozen = bind(
+            &stmt,
+            &catalog_without_stats(),
+            &PlannerOptions { use_stats: false },
+        )
+        .unwrap();
+        let before = frozen.explain();
+        refresh_stats(&mut frozen, &big, false);
+        assert_eq!(before, frozen.explain());
     }
 
     #[test]

@@ -76,6 +76,17 @@ pub enum BoundExpr {
     Col(usize),
     /// Constant.
     Lit(Value),
+    /// Parameter placeholder, substituted with a constant at execute
+    /// time ([`BoundExpr::substitute_params`]). `dtype` is the type the
+    /// binder inferred from surrounding context (`None` when the context
+    /// gives no hint); execute-time values are checked/coerced against
+    /// it. A `Param` must never reach the evaluator.
+    Param {
+        /// 0-based parameter index.
+        idx: usize,
+        /// Bind-time inferred type, if any.
+        dtype: Option<DataType>,
+    },
     /// Binary operation.
     Binary {
         /// Operator.
@@ -166,7 +177,7 @@ impl BoundExpr {
             BoundExpr::Col(i) => {
                 out.insert(*i);
             }
-            BoundExpr::Lit(_) => {}
+            BoundExpr::Lit(_) | BoundExpr::Param { .. } => {}
             BoundExpr::Binary { left, right, .. } => {
                 left.referenced_columns(out);
                 right.referenced_columns(out);
@@ -202,6 +213,10 @@ impl BoundExpr {
         match self {
             BoundExpr::Col(i) => BoundExpr::Col(f(*i)),
             BoundExpr::Lit(v) => BoundExpr::Lit(v.clone()),
+            BoundExpr::Param { idx, dtype } => BoundExpr::Param {
+                idx: *idx,
+                dtype: *dtype,
+            },
             BoundExpr::Binary { op, left, right } => BoundExpr::Binary {
                 op: *op,
                 left: Box::new(left.map_columns(f)),
@@ -257,6 +272,121 @@ impl BoundExpr {
         }
     }
 
+    /// Replace every [`BoundExpr::Param`] with the corresponding
+    /// constant from `params`. An index past the end of `params`
+    /// survives as a `Param` (callers validate counts before
+    /// substituting; the evaluator rejects leftovers loudly).
+    pub fn substitute_params(&self, params: &[Value]) -> BoundExpr {
+        match self {
+            BoundExpr::Param { idx, dtype } => match params.get(*idx) {
+                Some(v) => BoundExpr::Lit(v.clone()),
+                None => BoundExpr::Param {
+                    idx: *idx,
+                    dtype: *dtype,
+                },
+            },
+            BoundExpr::Col(i) => BoundExpr::Col(*i),
+            BoundExpr::Lit(v) => BoundExpr::Lit(v.clone()),
+            BoundExpr::Binary { op, left, right } => BoundExpr::Binary {
+                op: *op,
+                left: Box::new(left.substitute_params(params)),
+                right: Box::new(right.substitute_params(params)),
+            },
+            BoundExpr::Unary { op, expr } => BoundExpr::Unary {
+                op: *op,
+                expr: Box::new(expr.substitute_params(params)),
+            },
+            BoundExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => BoundExpr::Like {
+                expr: Box::new(expr.substitute_params(params)),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            BoundExpr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => BoundExpr::Between {
+                expr: Box::new(expr.substitute_params(params)),
+                low: Box::new(low.substitute_params(params)),
+                high: Box::new(high.substitute_params(params)),
+                negated: *negated,
+            },
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
+                expr: Box::new(expr.substitute_params(params)),
+                list: list.clone(),
+                negated: *negated,
+            },
+            BoundExpr::Case {
+                branches,
+                else_expr,
+            } => BoundExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| (c.substitute_params(params), r.substitute_params(params)))
+                    .collect(),
+                else_expr: else_expr
+                    .as_ref()
+                    .map(|e| Box::new(e.substitute_params(params))),
+            },
+            BoundExpr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(expr.substitute_params(params)),
+                negated: *negated,
+            },
+        }
+    }
+
+    /// Record the bind-time type of every parameter in this expression
+    /// into `out[idx]` (first non-`None` wins; `out` must already be
+    /// sized to the statement's parameter count).
+    pub fn collect_param_types(&self, out: &mut [Option<DataType>]) {
+        match self {
+            BoundExpr::Param { idx, dtype } => {
+                if let Some(slot) = out.get_mut(*idx) {
+                    if slot.is_none() {
+                        *slot = *dtype;
+                    }
+                }
+            }
+            BoundExpr::Col(_) | BoundExpr::Lit(_) => {}
+            BoundExpr::Binary { left, right, .. } => {
+                left.collect_param_types(out);
+                right.collect_param_types(out);
+            }
+            BoundExpr::Unary { expr, .. }
+            | BoundExpr::Like { expr, .. }
+            | BoundExpr::InList { expr, .. }
+            | BoundExpr::IsNull { expr, .. } => expr.collect_param_types(out),
+            BoundExpr::Between {
+                expr, low, high, ..
+            } => {
+                expr.collect_param_types(out);
+                low.collect_param_types(out);
+                high.collect_param_types(out);
+            }
+            BoundExpr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, r) in branches {
+                    c.collect_param_types(out);
+                    r.collect_param_types(out);
+                }
+                if let Some(e) = else_expr {
+                    e.collect_param_types(out);
+                }
+            }
+        }
+    }
+
     /// Infer the result type given input column types. Comparisons and
     /// boolean combinators yield `Bool`; arithmetic widens to `Float64`
     /// when any side is a float or on division; `Date ± Int` stays `Date`.
@@ -264,6 +394,7 @@ impl BoundExpr {
         match self {
             BoundExpr::Col(i) => input.get(*i).copied().unwrap_or(DataType::Text),
             BoundExpr::Lit(v) => v.data_type().unwrap_or(DataType::Text),
+            BoundExpr::Param { dtype, .. } => dtype.unwrap_or(DataType::Text),
             BoundExpr::Binary { op, left, right } => {
                 if op.is_comparison() || matches!(op, BinOp::And | BinOp::Or) {
                     DataType::Bool
@@ -336,6 +467,7 @@ impl fmt::Display for BoundExpr {
         match self {
             BoundExpr::Col(i) => write!(f, "#{i}"),
             BoundExpr::Lit(v) => write!(f, "{v}"),
+            BoundExpr::Param { idx, .. } => write!(f, "${}", idx + 1),
             BoundExpr::Binary { op, left, right } => {
                 let sym = match op {
                     BinOp::Or => "OR",
@@ -493,6 +625,40 @@ mod tests {
             BoundExpr::conjunction(vec![]),
             BoundExpr::Lit(Value::Bool(true))
         );
+    }
+
+    #[test]
+    fn params_substitute_and_report_types() {
+        let e = BoundExpr::Binary {
+            op: BinOp::And,
+            left: Box::new(BoundExpr::Binary {
+                op: BinOp::Lt,
+                left: Box::new(BoundExpr::Col(0)),
+                right: Box::new(BoundExpr::Param {
+                    idx: 0,
+                    dtype: Some(DataType::Int64),
+                }),
+            }),
+            right: Box::new(BoundExpr::Between {
+                expr: Box::new(BoundExpr::Col(1)),
+                low: Box::new(BoundExpr::Param {
+                    idx: 1,
+                    dtype: Some(DataType::Float64),
+                }),
+                high: Box::new(BoundExpr::Lit(Value::Float64(9.0))),
+                negated: false,
+            }),
+        };
+        assert_eq!(e.to_string(), "((#0 < $1) AND #1 BETWEEN $2 AND 9.0)");
+        let mut types = vec![None; 2];
+        e.collect_param_types(&mut types);
+        assert_eq!(types, vec![Some(DataType::Int64), Some(DataType::Float64)]);
+        let s = e.substitute_params(&[Value::Int64(7), Value::Float64(1.5)]);
+        assert_eq!(s.to_string(), "((#0 < 7) AND #1 BETWEEN 1.5 AND 9.0)");
+        // Params never count as column references.
+        let mut cols = BTreeSet::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols.into_iter().collect::<Vec<_>>(), vec![0, 1]);
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub enum Token {
     Gt,
     /// `>=`
     GtEq,
+    /// `?` — a positional parameter placeholder (index assigned by the
+    /// parser in order of appearance).
+    Question,
+    /// `$N` — an explicitly numbered parameter placeholder (1-based).
+    Param(u32),
     /// `.`
     Dot,
 }
@@ -127,6 +132,31 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                     out.push(Token::Gt);
                     i += 1;
                 }
+            }
+            b'?' => {
+                out.push(Token::Question);
+                i += 1;
+            }
+            b'$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(NoDbError::sql(
+                        "expected a parameter number after `$` (e.g. `$1`)",
+                    ));
+                }
+                let text = std::str::from_utf8(&b[start..j]).unwrap();
+                let n: u32 = text
+                    .parse()
+                    .map_err(|_| NoDbError::sql(format!("bad parameter number `${text}`")))?;
+                if n == 0 {
+                    return Err(NoDbError::sql("parameter numbers start at $1"));
+                }
+                out.push(Token::Param(n));
+                i = j;
             }
             b'\'' => {
                 let mut s = String::new();
@@ -289,5 +319,16 @@ mod tests {
     fn rejects_bad_input() {
         assert!(lex("select 'unterminated").is_err());
         assert!(lex("select @").is_err());
+    }
+
+    #[test]
+    fn lexes_parameter_placeholders() {
+        let toks = lex("a = ? and b = $2").unwrap();
+        assert!(toks.contains(&Token::Question));
+        assert!(toks.contains(&Token::Param(2)));
+        // `$` needs digits, and numbering is 1-based.
+        assert!(lex("a = $").is_err());
+        assert!(lex("a = $0").is_err());
+        assert!(lex("a = $x").is_err());
     }
 }

@@ -11,7 +11,9 @@ use nodb_common::Value;
 use nodb_stats::{ColumnStats, TableStats, DEFAULT_EQ_SEL, DEFAULT_INEQ_SEL, DEFAULT_LIKE_SEL};
 
 use crate::ast::{AstBinOp, AstExpr};
+use crate::binder::CatalogView;
 use crate::expr::{BinOp, BoundExpr};
+use crate::plan::{AggStrategy, JoinKind, LogicalPlan};
 
 /// Row-count guess for tables without statistics.
 pub const DEFAULT_TABLE_ROWS: f64 = 1000.0;
@@ -315,6 +317,179 @@ pub fn join_cardinality(left_rows: f64, right_rows: f64, key_ndvs: &[(f64, f64)]
         card /= nl.max(nr).max(1.0);
     }
     card.max(1.0)
+}
+
+// ----- execute-time refresh (prepared statements) ------------------------
+
+/// Re-run the cheap, stats-driven half of optimization over an already
+/// bound plan — the execute-time pass of a prepared statement.
+///
+/// Binding fixes the things that cannot change without re-binding (join
+/// order, column layouts, pushed-down filters); what *can* go stale
+/// between executions of a cached plan is everything derived from the
+/// engine's on-the-fly statistics, which grow as queries touch the raw
+/// file. This pass walks the plan bottom-up and, when `use_stats` is on:
+///
+/// * recomputes every scan's `estimated_rows` from the *current* table
+///   statistics and the (by now parameter-substituted, hence concrete)
+///   pushed-down filters,
+/// * recomputes join estimates from refreshed inputs and current key
+///   NDVs, and
+/// * re-chooses the aggregation strategy (hash vs. sort) from current
+///   group-key NDVs — the paper's Figure 12 mechanism, applied at every
+///   execute instead of only at prepare time.
+///
+/// Returns the refreshed row estimate of the root. With `use_stats`
+/// off the plan is left exactly as bound (the "w/o statistics" regime).
+pub fn refresh_stats(plan: &mut LogicalPlan, catalog: &dyn CatalogView, use_stats: bool) -> f64 {
+    if !use_stats {
+        return plan_est(plan);
+    }
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            projection,
+            filters,
+            estimated_rows,
+            ..
+        } => {
+            let stats = catalog.stats_of(table);
+            let base = stats
+                .as_ref()
+                .and_then(|s| s.row_count())
+                .map_or(DEFAULT_TABLE_ROWS, |r| r as f64);
+            let sel = match stats.as_ref() {
+                Some(st) => conjunct_selectivity(
+                    filters,
+                    &ScanStatsLookup {
+                        stats: st,
+                        projection,
+                    },
+                ),
+                None => conjunct_selectivity(filters, &NoStats),
+            };
+            *estimated_rows = (base * sel).max(1.0);
+            *estimated_rows
+        }
+        LogicalPlan::Filter { input, .. } => refresh_stats(input, catalog, use_stats),
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            kind,
+            estimated_rows,
+            ..
+        } => {
+            let l = refresh_stats(left, catalog, use_stats);
+            let r = refresh_stats(right, catalog, use_stats);
+            *estimated_rows = match kind {
+                JoinKind::Inner => {
+                    let ndvs: Vec<(f64, f64)> = on
+                        .iter()
+                        .map(|&(lc, rc)| {
+                            (
+                                column_ndv(left, lc, catalog).unwrap_or(DEFAULT_NDV),
+                                column_ndv(right, rc, catalog).unwrap_or(DEFAULT_NDV),
+                            )
+                        })
+                        .collect();
+                    join_cardinality(l, r, &ndvs)
+                }
+                JoinKind::Semi | JoinKind::Anti => (l * 0.5).max(1.0),
+            };
+            *estimated_rows
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group,
+            strategy,
+            ..
+        } => {
+            let child = refresh_stats(input, catalog, use_stats);
+            if !group.is_empty() {
+                let mut groups = 1.0f64;
+                for &g in group.iter() {
+                    groups *= column_ndv(input, g, catalog)
+                        .unwrap_or(DEFAULT_NDV)
+                        .max(1.0);
+                }
+                let groups = groups.min(child.max(1.0));
+                *strategy = if groups <= HASH_AGG_GROUP_LIMIT {
+                    AggStrategy::Hash
+                } else {
+                    AggStrategy::Sort
+                };
+                groups
+            } else {
+                1.0
+            }
+        }
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Distinct { input } => refresh_stats(input, catalog, use_stats),
+        LogicalPlan::Limit { input, n } => {
+            let child = refresh_stats(input, catalog, use_stats);
+            child.min(*n as f64)
+        }
+    }
+}
+
+/// The row estimate already recorded on a plan (nearest annotated node).
+fn plan_est(plan: &LogicalPlan) -> f64 {
+    match plan {
+        LogicalPlan::Scan { estimated_rows, .. } | LogicalPlan::Join { estimated_rows, .. } => {
+            *estimated_rows
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Distinct { input } => plan_est(input),
+    }
+}
+
+/// Trace output ordinal `col` of `plan` down to a base-table column and
+/// return its *current* distinct-count, when the column reaches a scan
+/// leaf unchanged (through filters, join concatenation, identity
+/// projections and group keys).
+fn column_ndv(plan: &LogicalPlan, col: usize, catalog: &dyn CatalogView) -> Option<f64> {
+    match plan {
+        LogicalPlan::Scan {
+            table, projection, ..
+        } => {
+            let attr = *projection.get(col)? as u32;
+            catalog
+                .stats_of(table)
+                .and_then(|s| s.column(attr).map(|cs| cs.distinct()))
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Distinct { input } => column_ndv(input, col, catalog),
+        LogicalPlan::Join {
+            left, right, kind, ..
+        } => {
+            let n_left = left.schema().len();
+            if col < n_left {
+                column_ndv(left, col, catalog)
+            } else {
+                match kind {
+                    JoinKind::Inner => column_ndv(right, col - n_left, catalog),
+                    // Semi/anti joins output only left columns.
+                    JoinKind::Semi | JoinKind::Anti => None,
+                }
+            }
+        }
+        LogicalPlan::Project { input, exprs, .. } => match exprs.get(col)? {
+            BoundExpr::Col(i) => column_ndv(input, *i, catalog),
+            _ => None,
+        },
+        LogicalPlan::Aggregate { input, group, .. } => {
+            let &g = group.get(col)?;
+            column_ndv(input, g, catalog)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,7 +8,12 @@ use crate::lexer::{lex, Token};
 /// Parse one SELECT statement (a trailing `;` is allowed).
 pub fn parse(sql: &str) -> Result<SelectStmt> {
     let tokens = lex(sql)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_param: 0,
+        saw_dollar_param: false,
+    };
     let stmt = p.select_stmt()?;
     p.accept(&Token::Semi);
     if !p.at_end() {
@@ -23,6 +28,12 @@ pub fn parse(sql: &str) -> Result<SelectStmt> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Next index assigned to a `?` placeholder (they number themselves
+    /// in order of appearance, statement-wide).
+    next_param: usize,
+    /// Whether an explicit `$N` placeholder has been seen (the two
+    /// styles cannot be mixed — `?` numbering would become ambiguous).
+    saw_dollar_param: bool,
 }
 
 impl Parser {
@@ -429,6 +440,27 @@ impl Parser {
                 self.pos += 1;
                 Ok(AstExpr::Literal(Value::Text(s)))
             }
+            Some(Token::Question) => {
+                self.pos += 1;
+                if self.saw_dollar_param {
+                    return Err(NoDbError::sql(
+                        "cannot mix `?` and `$N` parameter placeholders in one statement",
+                    ));
+                }
+                let idx = self.next_param;
+                self.next_param += 1;
+                Ok(AstExpr::Param(idx))
+            }
+            Some(Token::Param(n)) => {
+                self.pos += 1;
+                if self.next_param > 0 {
+                    return Err(NoDbError::sql(
+                        "cannot mix `?` and `$N` parameter placeholders in one statement",
+                    ));
+                }
+                self.saw_dollar_param = true;
+                Ok(AstExpr::Param(n as usize - 1))
+            }
             Some(Token::LParen) => {
                 self.pos += 1;
                 let e = self.expr()?;
@@ -726,6 +758,29 @@ mod tests {
         // `t extra` is a valid aliased table, but trailing tokens after a
         // complete statement are rejected.
         assert!(parse("select a from t limit 1 2").is_err());
+    }
+
+    #[test]
+    fn parses_parameter_placeholders() {
+        // `?` numbers itself in order of appearance.
+        let s = parse("select a from t where b = ? and c < ?").unwrap();
+        let mut used = std::collections::BTreeSet::new();
+        s.collect_params(&mut used);
+        assert_eq!(used.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(s.param_count().unwrap(), 2);
+        // `$N` is explicit and reusable.
+        let s = parse("select a from t where b = $2 and c between $1 and $2").unwrap();
+        assert_eq!(s.param_count().unwrap(), 2);
+        // Gapped numbering is rejected at count time.
+        let s = parse("select a from t where b = $3").unwrap();
+        assert!(s.param_count().is_err());
+        // The two styles cannot be mixed.
+        assert!(parse("select a from t where b = ? and c = $1").is_err());
+        assert!(parse("select a from t where b = $1 and c = ?").is_err());
+        // Params inside EXISTS subqueries are statement-wide.
+        let s =
+            parse("select 1 from t where exists (select * from u where x = a and y = ?)").unwrap();
+        assert_eq!(s.param_count().unwrap(), 1);
     }
 
     #[test]

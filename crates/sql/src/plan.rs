@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use nodb_common::Schema;
+use nodb_common::{DataType, Schema, Value};
 
 use crate::expr::{AggExpr, BoundExpr};
 
@@ -142,6 +142,141 @@ impl LogicalPlan {
             LogicalPlan::Sort { input, .. } => input.schema(),
             LogicalPlan::Limit { input, .. } => input.schema(),
             LogicalPlan::Distinct { input } => input.schema(),
+        }
+    }
+
+    /// Deep-copy this plan with every [`BoundExpr::Param`] replaced by
+    /// the corresponding constant from `params` — the execute-time half
+    /// of a prepared statement. Structure, join order and schemas are
+    /// untouched; only expressions change.
+    pub fn substitute_params(&self, params: &[Value]) -> LogicalPlan {
+        let sub = |e: &BoundExpr| e.substitute_params(params);
+        match self {
+            LogicalPlan::Scan {
+                table,
+                projection,
+                filters,
+                schema,
+                estimated_rows,
+            } => LogicalPlan::Scan {
+                table: table.clone(),
+                projection: projection.clone(),
+                filters: filters.iter().map(sub).collect(),
+                schema: schema.clone(),
+                estimated_rows: *estimated_rows,
+            },
+            LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+                input: Box::new(input.substitute_params(params)),
+                predicate: sub(predicate),
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                residual,
+                kind,
+                schema,
+                estimated_rows,
+            } => LogicalPlan::Join {
+                left: Box::new(left.substitute_params(params)),
+                right: Box::new(right.substitute_params(params)),
+                on: on.clone(),
+                residual: residual.as_ref().map(sub),
+                kind: *kind,
+                schema: schema.clone(),
+                estimated_rows: *estimated_rows,
+            },
+            LogicalPlan::Aggregate {
+                input,
+                group,
+                aggs,
+                strategy,
+                schema,
+            } => LogicalPlan::Aggregate {
+                input: Box::new(input.substitute_params(params)),
+                group: group.clone(),
+                aggs: aggs
+                    .iter()
+                    .map(|a| AggExpr {
+                        func: a.func,
+                        arg: a.arg.as_ref().map(sub),
+                    })
+                    .collect(),
+                strategy: *strategy,
+                schema: schema.clone(),
+            },
+            LogicalPlan::Project {
+                input,
+                exprs,
+                schema,
+            } => LogicalPlan::Project {
+                input: Box::new(input.substitute_params(params)),
+                exprs: exprs.iter().map(sub).collect(),
+                schema: schema.clone(),
+            },
+            LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+                input: Box::new(input.substitute_params(params)),
+                keys: keys.clone(),
+            },
+            LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+                input: Box::new(input.substitute_params(params)),
+                n: *n,
+            },
+            LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+                input: Box::new(input.substitute_params(params)),
+            },
+        }
+    }
+
+    /// Bind-time inferred types of the statement's parameters, indexed
+    /// by parameter slot (`None` = no context hint; execute-time values
+    /// pass through unchecked).
+    pub fn param_types(&self, count: usize) -> Vec<Option<DataType>> {
+        let mut out = vec![None; count];
+        self.collect_param_types(&mut out);
+        out
+    }
+
+    fn collect_param_types(&self, out: &mut [Option<DataType>]) {
+        match self {
+            LogicalPlan::Scan { filters, .. } => {
+                for f in filters {
+                    f.collect_param_types(out);
+                }
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                predicate.collect_param_types(out);
+                input.collect_param_types(out);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                residual,
+                ..
+            } => {
+                if let Some(r) = residual {
+                    r.collect_param_types(out);
+                }
+                left.collect_param_types(out);
+                right.collect_param_types(out);
+            }
+            LogicalPlan::Aggregate { input, aggs, .. } => {
+                for a in aggs {
+                    if let Some(arg) = &a.arg {
+                        arg.collect_param_types(out);
+                    }
+                }
+                input.collect_param_types(out);
+            }
+            LogicalPlan::Project { input, exprs, .. } => {
+                for e in exprs {
+                    e.collect_param_types(out);
+                }
+                input.collect_param_types(out);
+            }
+            LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input } => input.collect_param_types(out),
         }
     }
 

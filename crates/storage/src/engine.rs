@@ -212,6 +212,31 @@ impl StorageEngine {
             .ok_or_else(|| NoDbError::catalog(format!("table `{name}` is not loaded")))
     }
 
+    /// Drop a loaded table: forget it, delete its heap file from disk
+    /// and release the pooled pages. Scans already running keep their
+    /// shared handle (and, on unix, their open file) and finish
+    /// normally; table ids are never reused, so their pooled pages can
+    /// never be confused with a later table's.
+    pub fn drop_table(&mut self, name: &str) -> Result<()> {
+        let table = self
+            .tables
+            .remove(name)
+            .ok_or_else(|| NoDbError::catalog(format!("table `{name}` is not loaded")))?;
+        drop(table);
+        // The heap and its sibling overflow file (HeapWriter::create
+        // always makes both; wide rows may put most bytes in the
+        // latter).
+        for ext in ["heap", "ovf"] {
+            let path = self.dir.join(format!("{name}.{ext}"));
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
     /// Drop the buffer pool contents (cold-cache experiment setting).
     pub fn clear_buffers(&self) {
         self.pool.lock().clear();

@@ -10,7 +10,7 @@
 //! engine builds its positional map and cache as a side effect.
 
 use nodb_common::{Schema, TempDir};
-use nodb_core::{AccessMode, NoDb, NoDbConfig};
+use nodb_core::{AccessMode, NoDb, NoDbConfig, Params};
 use nodb_csv::{CsvOptions, CsvWriter};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -55,11 +55,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         info.posmap_pointers, info.cache_bytes, info.stats_attrs
     );
 
-    // Second query over the same attributes is served from them.
-    let hot = db.query("select day, temp from readings where sensor = 'sensor-a'")?;
-    println!("\nsensor-a readings:");
-    for row in &hot.rows {
-        println!("{row}");
+    // Repeated queries amortize preparation too: prepared once, this
+    // statement re-executes with different parameters — no re-parse,
+    // no re-bind — and streams rows lazily from the cursor.
+    let stmt = db.prepare("select day, temp from readings where sensor = ?")?;
+    for sensor in ["sensor-a", "sensor-b"] {
+        println!("\n{sensor} readings:");
+        for row in stmt.execute(&Params::new().bind(sensor))? {
+            println!("{}", row?);
+        }
     }
     let m = db.metrics("readings")?;
     println!(
