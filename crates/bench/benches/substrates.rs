@@ -14,6 +14,8 @@ use nodb_exec::ops::{HashAggOp, HashJoinOp, Operator, RowsOp, SortAggOp};
 use nodb_exec::{eval, eval_predicate};
 use nodb_json::{JsonFormat, JsonlGen};
 use nodb_posmap::{BlockCollector, PosMapConfig, PositionalMap};
+use nodb_server::protocol::{read_frame, Frame};
+use nodb_server::{NodbClient, NodbServer, ServerConfig};
 use nodb_sql::expr::AggExpr;
 use nodb_sql::{AggFunc, BinOp, BoundExpr, JoinKind};
 use nodb_stats::StatsBuilder;
@@ -167,7 +169,7 @@ fn bench_exec(c: &mut Criterion) {
     });
     let like = BoundExpr::Like {
         expr: Box::new(BoundExpr::Col(2)),
-        pattern: "PROMO%".into(),
+        pattern: Box::new(BoundExpr::Lit(Value::Text("PROMO%".into()))),
         negated: false,
     };
     g.bench_function("eval_like", |b| {
@@ -544,6 +546,107 @@ fn bench_prepared(c: &mut Criterion) {
     g.finish();
 }
 
+/// The server path priced against its embedded equivalent: protocol
+/// frame codec micro-costs, then whole-query round-trips over loopback
+/// TCP — cold (aux dropped per iteration) and warm (map/cache-resident)
+/// — next to the same statement on the engine directly. The spread
+/// between `warm_query/tcp` and `warm_query/embedded` is the wire tax;
+/// `cold_scan/*` pairs gate the raw-scan path like every other group.
+fn bench_server(c: &mut Criterion) {
+    const ROWS: usize = 6_000;
+    let td = TempDir::new("nodb-bench-server").expect("tempdir");
+    let path = td.file("s.csv");
+    let spec = MicroGen::default().rows(ROWS).cols(20).seed(23);
+    spec.write_to(&path).expect("write csv");
+    let schema = spec.schema();
+    let query = "select c0, c9 from t where c4 < 500000000";
+
+    let mut g = c.benchmark_group("substrate_server");
+    g.sample_size(10);
+
+    // Protocol codec micro-costs: one 20-column row frame.
+    let row_frame = Frame::Row(Row((0..20).map(Value::Int64).collect()));
+    let row_bytes = row_frame.to_bytes();
+    g.throughput(Throughput::Bytes(row_bytes.len() as u64));
+    g.bench_function("encode_row", |b| {
+        let mut buf = Vec::with_capacity(row_bytes.len());
+        b.iter(|| {
+            buf.clear();
+            row_frame.encode(&mut buf);
+            buf.len()
+        });
+    });
+    g.bench_function("decode_row", |b| {
+        b.iter(|| {
+            read_frame(&mut &row_bytes[..])
+                .expect("read")
+                .expect("frame")
+        });
+    });
+
+    // Whole-query round-trips over loopback TCP vs the embedded engine.
+    let mut db = NoDb::new(NoDbConfig::postgres_raw()).expect("engine");
+    db.register_csv(
+        "t",
+        &path,
+        schema.clone(),
+        CsvOptions::default(),
+        AccessMode::InSitu,
+    )
+    .expect("register");
+    let db = std::sync::Arc::new(db);
+    let server = NodbServer::bind_tcp(
+        std::sync::Arc::clone(&db),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.serve());
+    let mut client = NodbClient::connect(&addr).expect("connect");
+
+    // Differential sanity outside the timed bodies.
+    let over_wire = client.query(query).expect("server query").rows;
+    let embedded = db.query(query).expect("embedded query").rows;
+    assert!(
+        !over_wire.is_empty() && over_wire == embedded,
+        "server result diverged from embedded"
+    );
+
+    g.bench_function("cold_scan/tcp", |b| {
+        b.iter_batched(
+            || db.drop_aux("t").expect("drop aux"),
+            |()| client.query(query).expect("query").rows.len(),
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("cold_scan/embedded", |b| {
+        b.iter_batched(
+            || db.drop_aux("t").expect("drop aux"),
+            |()| db.query(query).expect("query").rows.len(),
+            BatchSize::SmallInput,
+        );
+    });
+    // Warm once so both warm benchmarks read built structures.
+    db.drop_aux("t").expect("drop aux");
+    db.query(query).expect("warm-up");
+    g.bench_function("warm_query/tcp", |b| {
+        b.iter(|| client.query(query).expect("query").rows.len());
+    });
+    g.bench_function("warm_query/embedded", |b| {
+        b.iter(|| db.query(query).expect("query").rows.len());
+    });
+
+    client.close().expect("close");
+    handle.shutdown();
+    serving
+        .join()
+        .expect("server thread")
+        .expect("server result");
+    g.finish();
+}
+
 criterion_group!(
     substrates,
     bench_tokenizer,
@@ -556,6 +659,7 @@ criterion_group!(
     bench_scan_threads,
     bench_jsonl,
     bench_io_backend,
-    bench_prepared
+    bench_prepared,
+    bench_server
 );
 criterion_main!(substrates);

@@ -34,6 +34,13 @@ pub enum Command {
         /// `Some(on)` for `\timing on|off`, `None` for a bare toggle.
         setting: Option<bool>,
     },
+    /// Attach to a running `nodb-server`; subsequent SQL runs remotely.
+    Connect {
+        /// `host:port` for TCP or `unix:PATH` for a unix-domain socket.
+        target: String,
+    },
+    /// Detach from the server and run SQL locally again.
+    Disconnect,
     /// Print help.
     Help,
     /// Exit.
@@ -123,6 +130,11 @@ pub fn parse_line(input: &str) -> Result<Command, String> {
                 }),
                 Some(other) => Err(format!("usage: \\timing [on|off] (got `{other}`)")),
             },
+            Some("connect") => match toks.get(1) {
+                Some(t) => Ok(Command::Connect { target: t.clone() }),
+                None => Err("usage: \\connect HOST:PORT | unix:PATH".into()),
+            },
+            Some("disconnect") => Ok(Command::Disconnect),
             Some("help") => Ok(Command::Help),
             Some("quit") | Some("q") | Some("exit") => Ok(Command::Quit),
             other => Err(format!("unknown command {other:?} (\\help lists commands)")),
@@ -214,6 +226,24 @@ mod tests {
             }
         );
         assert!(parse_line("\\timing maybe").is_err());
+    }
+
+    #[test]
+    fn parses_connect_and_disconnect() {
+        assert_eq!(
+            parse_line("\\connect 127.0.0.1:5433").unwrap(),
+            Command::Connect {
+                target: "127.0.0.1:5433".into()
+            }
+        );
+        assert_eq!(
+            parse_line("\\connect unix:/tmp/nodb.sock").unwrap(),
+            Command::Connect {
+                target: "unix:/tmp/nodb.sock".into()
+            }
+        );
+        assert!(parse_line("\\connect").is_err());
+        assert_eq!(parse_line("\\disconnect").unwrap(), Command::Disconnect);
     }
 
     #[test]

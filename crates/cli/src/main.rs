@@ -18,6 +18,7 @@ use nodb_common::{IoBackend, Schema};
 use nodb_core::{AccessMode, NoDb, NoDbConfig};
 use nodb_csv::CsvOptions;
 use nodb_fits::FitsProvider;
+use nodb_server::NodbClient;
 
 mod commands;
 
@@ -75,6 +76,9 @@ fn main() {
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     let mut timing = false;
+    // `Some` while attached to a remote nodb-server via \connect; SQL
+    // then streams over the wire instead of the embedded engine.
+    let mut remote: Option<NodbClient> = None;
     loop {
         print!("nodb> ");
         let _ = std::io::stdout().flush();
@@ -109,7 +113,7 @@ fn main() {
             Ok(Command::Quit) => break,
             Ok(Command::Help) => print_help(),
             Ok(cmd) => {
-                if let Err(e) = execute(&mut db, cmd, &mut timing) {
+                if let Err(e) = execute(&mut db, &mut remote, cmd, &mut timing) {
                     eprintln!("error: {e}");
                 }
             }
@@ -120,10 +124,49 @@ fn main() {
 
 fn execute(
     db: &mut NoDb,
+    remote: &mut Option<NodbClient>,
     cmd: Command,
     timing: &mut bool,
 ) -> Result<(), Box<dyn std::error::Error>> {
     match cmd {
+        Command::Connect { target } => {
+            let client = NodbClient::connect(&target)?;
+            println!("connected to {} at {target}", client.server());
+            if let Some(old) = remote.replace(client) {
+                let _ = old.close();
+            }
+        }
+        Command::Disconnect => match remote.take() {
+            Some(client) => {
+                client.close()?;
+                println!("disconnected; SQL runs on the embedded engine again");
+            }
+            None => println!("not connected"),
+        },
+        Command::Sql { sql } if remote.is_some() => {
+            // Remote mode: stream frames off the wire. Identical output
+            // shape to the embedded path; the server's shared engine
+            // does the scanning, so other clients' queries warm ours.
+            let t = std::time::Instant::now();
+            let client = remote.as_mut().expect("guarded by remote.is_some()");
+            let stream = client.stream(&sql, &[])?;
+            let names: Vec<&str> = stream
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect();
+            println!("{}", names.join(" | "));
+            let mut n = 0usize;
+            for row in stream {
+                println!("{}", row?);
+                n += 1;
+            }
+            println!("({n} rows)");
+            if *timing {
+                println!("Time: {:.3} ms", t.elapsed().as_secs_f64() * 1e3);
+            }
+        }
         Command::Register {
             name,
             path,
@@ -210,6 +253,8 @@ fn print_help() {
          \\sep NAME PATH '|' \"col type, ...\"    register with a delimiter\n\
          \\explain SELECT ...                   show the query plan\n\
          \\metrics NAME                         show scan work counters\n\
+         \\connect HOST:PORT | unix:PATH        attach to a running nodb-server; SQL runs there\n\
+         \\disconnect                           detach and run SQL locally again\n\
          \\timing [on|off]                      toggle per-statement wall-clock reporting\n\
          \\help                                 this text\n\
          \\quit                                 exit\n\

@@ -29,6 +29,12 @@ pub enum NoDbError {
     /// Invalid engine configuration (bad knob value, unusable backend
     /// selection, malformed `NODB_*` environment override).
     Config(String),
+    /// Admission control rejected the request: the serving layer is at
+    /// its configured in-flight capacity (or connection limit) and the
+    /// caller should back off and retry. Deliberately a typed variant —
+    /// clients of `nodb-server` distinguish "busy, retry" from real
+    /// failures without string matching.
+    Busy(String),
     /// An internal invariant was violated; indicates a bug in this library.
     Internal(String),
 }
@@ -62,6 +68,11 @@ impl NoDbError {
     /// Shorthand constructor for [`NoDbError::Config`].
     pub fn config(msg: impl Into<String>) -> Self {
         NoDbError::Config(msg.into())
+    }
+
+    /// Shorthand constructor for [`NoDbError::Busy`].
+    pub fn busy(msg: impl Into<String>) -> Self {
+        NoDbError::Busy(msg.into())
     }
 
     /// Shorthand constructor for [`NoDbError::Internal`].
@@ -104,6 +115,7 @@ impl fmt::Display for NoDbError {
             NoDbError::Execution(m) => write!(f, "execution error: {m}"),
             NoDbError::Catalog(m) => write!(f, "catalog error: {m}"),
             NoDbError::Config(m) => write!(f, "config error: {m}"),
+            NoDbError::Busy(m) => write!(f, "busy: {m}"),
             NoDbError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -166,6 +178,7 @@ mod tests {
         assert!(matches!(NoDbError::execution("x"), NoDbError::Execution(_)));
         assert!(matches!(NoDbError::catalog("x"), NoDbError::Catalog(_)));
         assert!(matches!(NoDbError::config("x"), NoDbError::Config(_)));
+        assert!(matches!(NoDbError::busy("x"), NoDbError::Busy(_)));
         assert!(matches!(NoDbError::internal("x"), NoDbError::Internal(_)));
     }
 }

@@ -89,9 +89,28 @@ pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
             negated,
         } => {
             let v = eval(expr, row)?;
+            // Fast path: a constant pattern (the common case, and what
+            // every parameterized pattern becomes after substitution)
+            // is matched without re-evaluating or cloning it per row.
+            let computed;
+            let pat = match pattern.as_ref() {
+                BoundExpr::Lit(Value::Text(p)) => p.as_str(),
+                _ => match eval(pattern, row)? {
+                    Value::Null => return Ok(Value::Null),
+                    Value::Text(s) => {
+                        computed = s;
+                        computed.as_str()
+                    }
+                    other => {
+                        return Err(NoDbError::execution(format!(
+                            "LIKE pattern is non-text {other}"
+                        )))
+                    }
+                },
+            };
             match v {
                 Value::Null => Ok(Value::Null),
-                Value::Text(s) => Ok(Value::Bool(like_match(&s, pattern) != *negated)),
+                Value::Text(s) => Ok(Value::Bool(like_match(&s, pat) != *negated)),
                 other => Err(NoDbError::execution(format!("LIKE on non-text {other}"))),
             }
         }
@@ -333,10 +352,23 @@ mod tests {
         let r = row();
         let like = BoundExpr::Like {
             expr: Box::new(col(2)),
-            pattern: "PROMO%".into(),
+            pattern: Box::new(lit(Value::Text("PROMO%".into()))),
             negated: false,
         };
         assert_eq!(eval(&like, &r).unwrap(), Value::Bool(true));
+        // Non-literal pattern: evaluated per row; NULL pattern -> NULL.
+        let like_col = BoundExpr::Like {
+            expr: Box::new(col(2)),
+            pattern: Box::new(col(2)),
+            negated: false,
+        };
+        assert_eq!(eval(&like_col, &r).unwrap(), Value::Bool(true));
+        let like_null = BoundExpr::Like {
+            expr: Box::new(col(2)),
+            pattern: Box::new(lit(Value::Null)),
+            negated: false,
+        };
+        assert_eq!(eval(&like_null, &r).unwrap(), Value::Null);
         let between = BoundExpr::Between {
             expr: Box::new(col(0)),
             low: Box::new(lit(Value::Int64(5))),

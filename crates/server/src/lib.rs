@@ -1,0 +1,34 @@
+//! A concurrent query server for NoDB.
+//!
+//! The NoDB model (PostgresRaw, SIGMOD 2012) earns its keep when the
+//! adaptive auxiliary structures — positional maps, parsed-value
+//! caches, statistics — built by one query are reused by the next.
+//! A long-lived server multiplies that effect across *clients*: every
+//! connection shares one [`NoDb`](nodb_core::NoDb) instance, so the
+//! first client's cold scan warms the aux structures for everyone.
+//!
+//! Three pieces:
+//!
+//! - [`protocol`] — the length-prefixed wire format (SQL + params in,
+//!   typed rows out), bounds-checked and panic-free on garbage input.
+//! - [`server`] — a thread-per-connection blocking server over TCP or
+//!   unix sockets with per-connection prepared-statement caches, an
+//!   admission-control semaphore that answers `Busy` instead of
+//!   queueing unboundedly, and graceful shutdown that drains in-flight
+//!   cursors.
+//! - [`client`] — a small blocking client ([`NodbClient`]) used by the
+//!   CLI's `\connect` mode and by the soak tests.
+//!
+//! Rows are streamed frame-by-frame from the engine's lazy
+//! `QueryCursor`, so a client applying `LIMIT` — or simply hanging up —
+//! stops the raw-file scan at block granularity instead of paying for
+//! the whole file.
+
+pub mod client;
+mod conn;
+pub mod protocol;
+pub mod server;
+
+pub use client::{NodbClient, RowStream};
+pub use protocol::{ErrorKind, Frame, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use server::{NodbServer, ServerConfig, ServerHandle, ServerStats};

@@ -1,0 +1,164 @@
+//! Property-based robustness of the wire protocol.
+//!
+//! Two invariants, both load-bearing for a server exposed to arbitrary
+//! peers:
+//!
+//! 1. **Round-trip**: any well-formed frame decodes back to itself.
+//! 2. **No panic, no unbounded allocation**: any byte soup — truncated
+//!    frames, lying length prefixes, garbage tags, corrupted bodies —
+//!    yields a typed error (or a clean EOF), never a panic and never an
+//!    allocation sized by an attacker-controlled length field.
+
+use proptest::prelude::*;
+
+use nodb_common::{DataType, Date, NoDbError, Row, Value};
+use nodb_server::protocol::{read_frame, ErrorKind, Frame, MAX_FRAME_BYTES};
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i32>().prop_map(Value::Int32),
+        any::<i64>().prop_map(Value::Int64),
+        any::<i64>().prop_map(|b| Value::Float64(f64::from_bits(b as u64))),
+        proptest::collection::vec(any::<char>(), 0..40)
+            .prop_map(|cs| Value::Text(cs.into_iter().collect())),
+        any::<i32>().prop_map(|d| Value::Date(Date(d))),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn dtype_strategy() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Int32),
+        Just(DataType::Int64),
+        Just(DataType::Float64),
+        Just(DataType::Text),
+        Just(DataType::Date),
+        Just(DataType::Bool),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = ErrorKind> {
+    prop_oneof![
+        Just(ErrorKind::Io),
+        Just(ErrorKind::Parse),
+        Just(ErrorKind::Sql),
+        Just(ErrorKind::Plan),
+        Just(ErrorKind::Execution),
+        Just(ErrorKind::Catalog),
+        Just(ErrorKind::Config),
+        Just(ErrorKind::Internal),
+        Just(ErrorKind::Shutdown),
+    ]
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<char>(), 0..60).prop_map(|cs| cs.into_iter().collect())
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        (any::<u16>(), text_strategy())
+            .prop_map(|(version, server)| Frame::Hello { version, server }),
+        (
+            text_strategy(),
+            proptest::collection::vec(value_strategy(), 0..8)
+        )
+            .prop_map(|(sql, params)| Frame::Execute { sql, params }),
+        proptest::collection::vec((text_strategy(), dtype_strategy()), 0..10)
+            .prop_map(|columns| Frame::RowSchema { columns }),
+        proptest::collection::vec(value_strategy(), 0..12).prop_map(|vs| Frame::Row(Row(vs))),
+        any::<u64>().prop_map(|rows| Frame::Done { rows }),
+        (kind_strategy(), text_strategy())
+            .prop_map(|(kind, message)| Frame::Error { kind, message }),
+        text_strategy().prop_map(|message| Frame::Busy { message }),
+        Just(Frame::Goodbye),
+    ]
+}
+
+/// NaN-tolerant frame comparison: `Frame` derives `PartialEq`, under
+/// which `NaN != NaN`, but the wire carries floats bit-exactly — so
+/// compare Float64 payloads by bit pattern.
+fn frames_equal(a: &Frame, b: &Frame) -> bool {
+    fn values_equal(a: &[Value], b: &[Value]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| match (x, y) {
+                (Value::Float64(p), Value::Float64(q)) => p.to_bits() == q.to_bits(),
+                _ => x == y,
+            })
+    }
+    match (a, b) {
+        (
+            Frame::Execute {
+                sql: s1,
+                params: p1,
+            },
+            Frame::Execute {
+                sql: s2,
+                params: p2,
+            },
+        ) => s1 == s2 && values_equal(p1, p2),
+        (Frame::Row(Row(v1)), Frame::Row(Row(v2))) => values_equal(v1, v2),
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #[test]
+    fn any_frame_roundtrips(frame in frame_strategy()) {
+        let bytes = frame.to_bytes();
+        let back = read_frame(&mut &bytes[..]).unwrap().unwrap();
+        prop_assert!(frames_equal(&frame, &back), "{frame:?} != {back:?}");
+    }
+
+    #[test]
+    fn truncating_a_frame_never_panics(frame in frame_strategy(), cut_seed in any::<u16>()) {
+        let bytes = frame.to_bytes();
+        let cut = 1 + (cut_seed as usize) % (bytes.len().max(2) - 1);
+        match read_frame(&mut &bytes[..cut.min(bytes.len() - 1)]) {
+            // Every strict prefix is missing bytes somewhere: either the
+            // reader hits EOF mid-frame, or (when only trailing bytes of
+            // a multi-field body are gone) the decoder underruns.
+            Err(e) => prop_assert!(matches!(e, NoDbError::Parse(_)), "{e}"),
+            Ok(f) => prop_assert!(false, "decoded {f:?} from a truncated frame"),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Any outcome but a panic is acceptable; errors must be typed.
+        let mut reader = &bytes[..];
+        while let Ok(Some(_)) = read_frame(&mut reader) {}
+    }
+
+    #[test]
+    fn corrupting_one_byte_never_panics(frame in frame_strategy(), pos_seed in any::<u16>(), xor in 1u8..=255) {
+        let mut bytes = frame.to_bytes();
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] ^= xor;
+        // A corrupted length prefix may announce up to MAX_FRAME_BYTES
+        // and hit EOF; a corrupted body may still decode (e.g. a flipped
+        // bit inside an int payload) — both fine, as long as nothing
+        // panics and any error is typed.
+        let _ = read_frame(&mut &bytes[..]);
+    }
+
+    #[test]
+    fn lying_length_prefixes_are_bounded(len in any::<u32>(), body in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Hand-built frame: arbitrary announced length over a small body.
+        let mut bytes = len.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&body);
+        match read_frame(&mut &bytes[..]) {
+            Ok(_) => prop_assert!(len as usize <= body.len(), "read past the body"),
+            Err(e) => {
+                prop_assert!(
+                    matches!(e, NoDbError::Parse(_)),
+                    "lying prefix must give a typed parse error, got {e}"
+                );
+                if len > MAX_FRAME_BYTES {
+                    prop_assert!(e.to_string().contains("exceeds"), "{e}");
+                }
+            }
+        }
+    }
+}

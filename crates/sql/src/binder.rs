@@ -1392,16 +1392,23 @@ impl Binder<'_> {
                 negated,
             } => {
                 let bound = self.bind_scalar(expr, resolve)?;
-                match pattern.as_ref() {
-                    AstExpr::Literal(Value::Text(p)) => Ok(BoundExpr::Like {
-                        expr: Box::new(bound),
-                        pattern: p.clone(),
-                        negated: *negated,
-                    }),
-                    other => Err(NoDbError::plan(format!(
-                        "LIKE pattern must be a string literal, got {other:?}"
-                    ))),
+                // The pattern is any text expression: a literal, a
+                // parameter (`name LIKE ?`, typed Text by the inference
+                // pre-pass) or a computed value. Non-text literals are
+                // rejected here; non-text runtime values fail in eval.
+                let pattern = self.bind_scalar(pattern, resolve)?;
+                if let BoundExpr::Lit(v) = &pattern {
+                    if !matches!(v, Value::Text(_) | Value::Null) {
+                        return Err(NoDbError::plan(format!(
+                            "LIKE pattern must be text, got {v}"
+                        )));
+                    }
                 }
+                Ok(BoundExpr::Like {
+                    expr: Box::new(bound),
+                    pattern: Box::new(pattern),
+                    negated: *negated,
+                })
             }
             AstExpr::Between {
                 expr,
@@ -1420,21 +1427,52 @@ impl Binder<'_> {
                 negated,
             } => {
                 let bound = self.bind_scalar(expr, resolve)?;
-                let mut values = Vec::with_capacity(list.len());
-                for item in list {
-                    match self.bind_scalar(item, resolve)? {
-                        BoundExpr::Lit(v) => values.push(v),
-                        other => {
-                            return Err(NoDbError::plan(format!(
-                                "IN list items must be literals, got {other}"
-                            )))
-                        }
-                    }
+                let items = list
+                    .iter()
+                    .map(|item| self.bind_scalar(item, resolve))
+                    .collect::<Result<Vec<_>>>()?;
+                if items.iter().all(|i| matches!(i, BoundExpr::Lit(_))) {
+                    // All-literal lists keep the dedicated InList form
+                    // (single membership probe, stats-aware selectivity).
+                    let values = items
+                        .into_iter()
+                        .map(|i| match i {
+                            BoundExpr::Lit(v) => v,
+                            _ => unreachable!("checked above"),
+                        })
+                        .collect();
+                    return Ok(BoundExpr::InList {
+                        expr: Box::new(bound),
+                        list: values,
+                        negated: *negated,
+                    });
                 }
-                Ok(BoundExpr::InList {
-                    expr: Box::new(bound),
-                    list: values,
-                    negated: *negated,
+                // Lists with parameters (`grp IN (?, ?)`) or computed
+                // members desugar into an OR-chain of equalities, which
+                // has identical three-valued semantics: a NULL member
+                // compares as NULL, so a non-matching probe yields NULL
+                // (and NOT IN of it yields NULL), exactly like the
+                // membership form.
+                let ors = items
+                    .into_iter()
+                    .map(|item| BoundExpr::Binary {
+                        op: BinOp::Eq,
+                        left: Box::new(bound.clone()),
+                        right: Box::new(item),
+                    })
+                    .reduce(|a, b| BoundExpr::Binary {
+                        op: BinOp::Or,
+                        left: Box::new(a),
+                        right: Box::new(b),
+                    })
+                    .ok_or_else(|| NoDbError::plan("IN list cannot be empty"))?;
+                Ok(if *negated {
+                    BoundExpr::Unary {
+                        op: UnOp::Not,
+                        expr: Box::new(ors),
+                    }
+                } else {
+                    ors
                 })
             }
             AstExpr::Case {
@@ -1908,10 +1946,25 @@ mod tests {
         let stmt = parse("select b, count(*) from t1 group by b having count(*) > ?").unwrap();
         let p = bind(&stmt, &catalog(), &PlannerOptions::default()).unwrap();
         assert_eq!(p.param_types(1).len(), 1);
-        // LIKE patterns must still be literals — a parameter is rejected
-        // at bind time, not at execute time.
+        // LIKE patterns may be parameters; the slot is typed Text by
+        // the inference pre-pass and substitutes like any other.
         let stmt = parse("select a from t1 where c like $1").unwrap();
+        let p = bind(&stmt, &catalog(), &PlannerOptions::default()).unwrap();
+        assert_eq!(p.param_types(1), vec![Some(DataType::Text)]);
+        let sub = p.substitute_params(&[Value::Text("al%".into())]);
+        assert!(sub.explain().contains("LIKE 'al%'"), "{}", sub.explain());
+        // ... but a non-text literal pattern is still a bind-time error.
+        let stmt = parse("select a from t1 where c like 42").unwrap();
         assert!(bind(&stmt, &catalog(), &PlannerOptions::default()).is_err());
+        // Parameters inside IN lists bind (desugared to an OR-chain of
+        // equalities), typed from the tested column.
+        let stmt = parse("select a from t1 where b in (1, $1, 3)").unwrap();
+        let p = bind(&stmt, &catalog(), &PlannerOptions::default()).unwrap();
+        assert_eq!(p.param_types(1), vec![Some(DataType::Int32)]);
+        let sub = p.substitute_params(&[Value::Int32(2)]);
+        let shown = sub.explain();
+        assert!(!shown.contains('$'), "{shown}");
+        assert!(shown.contains("OR"), "{shown}");
     }
 
     #[test]

@@ -103,12 +103,15 @@ pub enum BoundExpr {
         /// Operand.
         expr: Box<BoundExpr>,
     },
-    /// LIKE with a constant pattern.
+    /// LIKE. The pattern is an arbitrary text expression: usually a
+    /// literal, but a [`BoundExpr::Param`] (`name LIKE ?`) or any other
+    /// text-valued expression works — evaluation compiles constant
+    /// patterns once and re-derives the matcher per row otherwise.
     Like {
         /// Tested expression.
         expr: Box<BoundExpr>,
-        /// Pattern.
-        pattern: String,
+        /// Pattern expression (text-typed).
+        pattern: Box<BoundExpr>,
         /// NOT LIKE.
         negated: bool,
     },
@@ -183,7 +186,10 @@ impl BoundExpr {
                 right.referenced_columns(out);
             }
             BoundExpr::Unary { expr, .. } => expr.referenced_columns(out),
-            BoundExpr::Like { expr, .. } => expr.referenced_columns(out),
+            BoundExpr::Like { expr, pattern, .. } => {
+                expr.referenced_columns(out);
+                pattern.referenced_columns(out);
+            }
             BoundExpr::Between {
                 expr, low, high, ..
             } => {
@@ -232,7 +238,7 @@ impl BoundExpr {
                 negated,
             } => BoundExpr::Like {
                 expr: Box::new(expr.map_columns(f)),
-                pattern: pattern.clone(),
+                pattern: Box::new(pattern.map_columns(f)),
                 negated: *negated,
             },
             BoundExpr::Between {
@@ -302,7 +308,7 @@ impl BoundExpr {
                 negated,
             } => BoundExpr::Like {
                 expr: Box::new(expr.substitute_params(params)),
-                pattern: pattern.clone(),
+                pattern: Box::new(pattern.substitute_params(params)),
                 negated: *negated,
             },
             BoundExpr::Between {
@@ -362,9 +368,12 @@ impl BoundExpr {
                 right.collect_param_types(out);
             }
             BoundExpr::Unary { expr, .. }
-            | BoundExpr::Like { expr, .. }
             | BoundExpr::InList { expr, .. }
             | BoundExpr::IsNull { expr, .. } => expr.collect_param_types(out),
+            BoundExpr::Like { expr, pattern, .. } => {
+                expr.collect_param_types(out);
+                pattern.collect_param_types(out);
+            }
             BoundExpr::Between {
                 expr, low, high, ..
             } => {
@@ -493,11 +502,14 @@ impl fmt::Display for BoundExpr {
                 expr,
                 pattern,
                 negated,
-            } => write!(
-                f,
-                "{expr} {}LIKE '{pattern}'",
-                if *negated { "NOT " } else { "" }
-            ),
+            } => {
+                write!(f, "{expr} {}LIKE ", if *negated { "NOT " } else { "" })?;
+                // Literal patterns keep the classic quoted rendering.
+                match pattern.as_ref() {
+                    BoundExpr::Lit(Value::Text(p)) => write!(f, "'{p}'"),
+                    other => write!(f, "{other}"),
+                }
+            }
             BoundExpr::Between {
                 expr,
                 low,

@@ -226,11 +226,17 @@ pub fn selectivity(e: &BoundExpr, lookup: &dyn ColumnStatsLookup) -> f64 {
             pattern,
             negated,
         } => {
-            let s = match expr.as_ref() {
-                BoundExpr::Col(c) => match lookup.column_stats(*c) {
-                    Some(st) => st.selectivity_like(pattern),
-                    None => DEFAULT_LIKE_SEL,
-                },
+            // Only a constant pattern can consult statistics; a
+            // parameterized or computed pattern estimates at the default
+            // (and is refreshed with the concrete value at execute time
+            // once parameters are substituted).
+            let s = match (expr.as_ref(), pattern.as_ref()) {
+                (BoundExpr::Col(c), BoundExpr::Lit(Value::Text(p))) => {
+                    match lookup.column_stats(*c) {
+                        Some(st) => st.selectivity_like(p),
+                        None => DEFAULT_LIKE_SEL,
+                    }
+                }
                 _ => DEFAULT_LIKE_SEL,
             };
             if *negated {

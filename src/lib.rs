@@ -21,4 +21,5 @@ pub use nodb_core as core;
 pub use nodb_csv as csv;
 pub use nodb_fits as fits;
 pub use nodb_json as json;
+pub use nodb_server as server;
 pub use nodb_tpch as tpch;

@@ -141,6 +141,28 @@ const CASES: &[Case] = &[
         literal: "select id from t where id = {0} or big < {1} order by id",
         bindings: &[&["17", "1000000000500"], &["4000", "1000000000000"]],
     },
+    // Parameters inside an IN list (desugared to an OR-chain at bind
+    // time) — the common "WHERE key IN (?, ?)" client shape.
+    Case {
+        prepared: "select id, grp from t where grp in (?, ?) order by id",
+        literal: "select id, grp from t where grp in ({0}, {1}) order by id",
+        bindings: &[
+            &["alpha", "gamma"],
+            &["beta", "beta"],
+            &["nope", "also-nope"],
+        ],
+    },
+    Case {
+        prepared: "select count(*) from t where id not in ($1, $2, $3)",
+        literal: "select count(*) from t where id not in ({0}, {1}, {2})",
+        bindings: &[&["0", "1", "2"], &["5999", "17", "40000"]],
+    },
+    // A parameter as the LIKE pattern, typed Text at bind time.
+    Case {
+        prepared: "select id from t where grp like ? order by id",
+        literal: "select id from t where grp like {0} order by id",
+        bindings: &[&["al%"], &["%ta"], &["%e%"], &["delta"]],
+    },
 ];
 
 /// Render one literal binding into the template (strings/dates quoted).
