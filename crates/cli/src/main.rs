@@ -56,6 +56,16 @@ fn main() {
                     }
                 }
             }
+            "--batch-rows" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) => config.batch_rows = n,
+                    None => {
+                        eprintln!("--batch-rows needs a row count (0 = row-at-a-time)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown argument `{other}` (see --help)");
                 std::process::exit(2);
@@ -241,11 +251,13 @@ fn execute(
 
 fn print_help() {
     println!(
-        "usage: nodb [--io-backend auto|read|mmap] [--scan-threads N]\n\
+        "usage: nodb [--io-backend auto|read|mmap] [--scan-threads N] [--batch-rows N]\n\
          \n\
          --io-backend B                        raw-file I/O substrate (default: auto — mmap\n\
          \x20                                     where supported; NODB_IO_BACKEND overrides)\n\
          --scan-threads N                      cold-scan worker threads (0 = one per core)\n\
+         --batch-rows N                        rows per vectorized batch (default 1024;\n\
+         \x20                                     0 = row-at-a-time; NODB_BATCH_ROWS overrides)\n\
          \n\
          \\register NAME PATH \"col type, ...\"   register a CSV file (in situ)\n\
          \\register NAME PATH.jsonl \"col type, ...\"  register a JSON Lines file (keys = column names)\n\

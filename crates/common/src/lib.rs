@@ -26,6 +26,7 @@ pub mod io;
 pub mod like;
 pub mod row;
 pub mod schema;
+pub mod swar;
 pub mod tempdir;
 pub mod types;
 pub mod value;

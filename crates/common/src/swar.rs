@@ -1,0 +1,330 @@
+//! SWAR (SIMD-within-a-register) byte scanning.
+//!
+//! The tokenizers' inner loops — find the next `\n`, the next delimiter,
+//! the next `"`/`\` — dominate cold-scan cost (NoDB §4.1: raw-file query
+//! cost is tokenizing + parsing). The build environment has no crates.io
+//! access, so instead of `memchr` these helpers hand-roll the classic
+//! `u64` word-at-a-time tricks: broadcast the needle into every byte lane,
+//! XOR so matches become zero bytes, then extract a per-byte match mask.
+//!
+//! The mask formula is the *exact* zero-byte test
+//!
+//! ```text
+//! zero_bytes(x) = !((x | 0x80..80) - 0x01..01 | x) & 0x80..80
+//! ```
+//!
+//! Every byte of `x | HI` is ≥ 0x80, so subtracting `0x01` per byte never
+//! borrows across lanes; bit 7 of a lane survives the `!(.. | x)` only
+//! when that byte of `x` is zero. Unlike the cheaper
+//! `(x - LO) & !x & HI` variant there are no false positives in lanes
+//! above the first match, which makes the mask safe for counting and for
+//! popping *every* match with `trailing_zeros`, not just the first.
+//!
+//! Words are loaded with [`u64::from_le_bytes`], so lane order matches
+//! byte order regardless of host endianness and the first match in memory
+//! is the lowest set bit of the mask.
+//!
+//! Everything here is safe Rust and branch-light; callers keep their
+//! byte-exact semantics (these are drop-in replacements for
+//! `iter().position(..)` loops, proven equivalent by proptests here and
+//! in the tokenizer crates).
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Load the 8 bytes at `bytes[i..i + 8]` as a little-endian word.
+#[inline(always)]
+fn word_at(bytes: &[u8], i: usize) -> u64 {
+    // The slice-to-array conversion compiles to a plain 8-byte load once
+    // the caller's `i + 8 <= len` bound check is in scope.
+    u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8-byte slice"))
+}
+
+/// Exact per-byte zero test: bit 7 of lane `k` is set iff byte `k` of
+/// `x` is zero. No false positives in any lane (see module docs).
+#[inline(always)]
+fn zero_bytes(x: u64) -> u64 {
+    !((x | HI).wrapping_sub(LO) | x) & HI
+}
+
+/// Broadcast a byte into all eight lanes.
+#[inline(always)]
+fn broadcast(b: u8) -> u64 {
+    u64::from(b) * LO
+}
+
+/// Per-byte match mask of `needle` (pre-broadcast) within a word.
+#[inline(always)]
+fn eq_mask(word: u64, broadcast_needle: u64) -> u64 {
+    zero_bytes(word ^ broadcast_needle)
+}
+
+/// Index of the first match in a word's mask (0..8).
+#[inline(always)]
+fn first_lane(mask: u64) -> usize {
+    (mask.trailing_zeros() >> 3) as usize
+}
+
+/// Offset of the first occurrence of `needle` in `haystack`.
+///
+/// Drop-in for `haystack.iter().position(|&b| b == needle)`.
+#[inline]
+pub fn find_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+    let n = haystack.len();
+    let bcast = broadcast(needle);
+    let mut i = 0;
+    while i + 8 <= n {
+        let mask = eq_mask(word_at(haystack, i), bcast);
+        if mask != 0 {
+            return Some(i + first_lane(mask));
+        }
+        i += 8;
+    }
+    while i < n {
+        if haystack[i] == needle {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Offset of the first occurrence of *either* `a` or `b` in `haystack`.
+///
+/// The JSON string scanner uses this to jump to the next `"` or `\` in
+/// one pass.
+#[inline]
+pub fn find_byte2(haystack: &[u8], a: u8, b: u8) -> Option<usize> {
+    let n = haystack.len();
+    let (ba, bb) = (broadcast(a), broadcast(b));
+    let mut i = 0;
+    while i + 8 <= n {
+        let w = word_at(haystack, i);
+        let mask = eq_mask(w, ba) | eq_mask(w, bb);
+        if mask != 0 {
+            return Some(i + first_lane(mask));
+        }
+        i += 8;
+    }
+    while i < n {
+        if haystack[i] == a || haystack[i] == b {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Number of occurrences of `needle` in `haystack`.
+///
+/// Drop-in for `haystack.iter().filter(|&&b| b == needle).count()`: each
+/// match contributes exactly one set bit (lane bit 7) to the word mask,
+/// so a popcount per word counts all eight lanes at once.
+#[inline]
+pub fn count_byte(haystack: &[u8], needle: u8) -> usize {
+    let n = haystack.len();
+    let bcast = broadcast(needle);
+    let mut count = 0usize;
+    let mut i = 0;
+    while i + 8 <= n {
+        count += eq_mask(word_at(haystack, i), bcast).count_ones() as usize;
+        i += 8;
+    }
+    while i < n {
+        count += usize::from(haystack[i] == needle);
+        i += 1;
+    }
+    count
+}
+
+/// Offset of the *last* occurrence of `needle` in `haystack`.
+///
+/// Drop-in for `haystack.iter().rposition(|&b| b == needle)`; backward
+/// incremental parsing (§4.2) walks lines right-to-left with this.
+#[inline]
+pub fn rfind_byte(haystack: &[u8], needle: u8) -> Option<usize> {
+    let n = haystack.len();
+    let bcast = broadcast(needle);
+    // Scalar tail first (the bytes past the last full word), then whole
+    // words right-to-left using leading_zeros to pick the highest lane.
+    let words_end = n - (n % 8);
+    let mut i = n;
+    while i > words_end {
+        i -= 1;
+        if haystack[i] == needle {
+            return Some(i);
+        }
+    }
+    while i >= 8 {
+        i -= 8;
+        let mask = eq_mask(word_at(haystack, i), bcast);
+        if mask != 0 {
+            return Some(i + 7 - (mask.leading_zeros() >> 3) as usize);
+        }
+    }
+    None
+}
+
+/// Iterator over every offset of `needle` in `haystack`, in order.
+///
+/// One word-load per 8 bytes; multiple matches inside a word pop from the
+/// saved mask without reloading. The tokenizer's delimiter loop is this
+/// iterator plus a push per match.
+#[derive(Debug, Clone)]
+pub struct ByteFinder<'a> {
+    haystack: &'a [u8],
+    bcast: u64,
+    needle: u8,
+    /// Start of the word the current `mask` was loaded from.
+    word_base: usize,
+    /// Remaining match bits of the word at `word_base`.
+    mask: u64,
+    /// Next unexamined offset (always ≥ `word_base + 8` once a word has
+    /// been consumed).
+    next: usize,
+}
+
+impl<'a> ByteFinder<'a> {
+    /// Scan `haystack` for `needle`.
+    pub fn new(haystack: &'a [u8], needle: u8) -> ByteFinder<'a> {
+        ByteFinder {
+            haystack,
+            bcast: broadcast(needle),
+            needle,
+            word_base: 0,
+            mask: 0,
+            next: 0,
+        }
+    }
+}
+
+impl Iterator for ByteFinder<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.mask != 0 {
+            let lane = first_lane(self.mask);
+            self.mask &= self.mask - 1;
+            return Some(self.word_base + lane);
+        }
+        let n = self.haystack.len();
+        while self.next + 8 <= n {
+            let mask = eq_mask(word_at(self.haystack, self.next), self.bcast);
+            self.word_base = self.next;
+            self.next += 8;
+            if mask != 0 {
+                self.mask = mask & (mask - 1);
+                return Some(self.word_base + first_lane(mask));
+            }
+        }
+        while self.next < n {
+            let i = self.next;
+            self.next += 1;
+            if self.haystack[i] == self.needle {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn scalar_find(hay: &[u8], needle: u8) -> Option<usize> {
+        hay.iter().position(|&b| b == needle)
+    }
+
+    #[test]
+    fn find_byte_matches_scalar_on_edges() {
+        assert_eq!(find_byte(b"", b'x'), None);
+        assert_eq!(find_byte(b"x", b'x'), Some(0));
+        assert_eq!(find_byte(b"abcdefg", b'g'), Some(6));
+        assert_eq!(find_byte(b"abcdefgh", b'h'), Some(7));
+        assert_eq!(find_byte(b"abcdefghi", b'i'), Some(8));
+        assert_eq!(find_byte(b"aaaaaaaaaaaaaaaa", b'b'), None);
+        // High-bit bytes must not trip the mask (the exact-formula case).
+        assert_eq!(find_byte(&[0x80; 16], 0x00), None);
+        assert_eq!(find_byte(&[0xff, 0x80, 0x7f, 0x00], 0x00), Some(3));
+    }
+
+    #[test]
+    fn find_byte2_picks_earliest_of_either() {
+        assert_eq!(find_byte2(b"hello\\world\"x", b'"', b'\\'), Some(5));
+        assert_eq!(find_byte2(b"hello\"world\\x", b'"', b'\\'), Some(5));
+        assert_eq!(find_byte2(b"plain text here!", b'"', b'\\'), None);
+        assert_eq!(find_byte2(b"", b'"', b'\\'), None);
+    }
+
+    #[test]
+    fn count_and_rfind_match_scalar() {
+        let hay = b"a,b,,cc,dddd,e,\xff,";
+        assert_eq!(
+            count_byte(hay, b','),
+            hay.iter().filter(|&&b| b == b',').count()
+        );
+        assert_eq!(rfind_byte(hay, b','), hay.iter().rposition(|&b| b == b','));
+        assert_eq!(rfind_byte(b"", b','), None);
+        assert_eq!(rfind_byte(b",", b','), Some(0));
+    }
+
+    #[test]
+    fn finder_yields_every_match_in_order() {
+        let hay = b",,aa,b,,dddd,e,,,x";
+        let got: Vec<usize> = ByteFinder::new(hay, b',').collect();
+        let want: Vec<usize> = hay
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b',')
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    proptest! {
+        /// SWAR find == scalar find over arbitrary bytes (all 256 values,
+        /// lengths straddling word boundaries).
+        #[test]
+        fn find_matches_scalar(hay in proptest::collection::vec(any::<u8>(), 0..64), needle in any::<u8>()) {
+            prop_assert_eq!(find_byte(&hay, needle), scalar_find(&hay, needle));
+        }
+
+        #[test]
+        fn find2_matches_scalar(
+            hay in proptest::collection::vec(any::<u8>(), 0..64),
+            a in any::<u8>(),
+            b in any::<u8>(),
+        ) {
+            let want = hay.iter().position(|&x| x == a || x == b);
+            prop_assert_eq!(find_byte2(&hay, a, b), want);
+        }
+
+    }
+
+    proptest! {
+        #[test]
+        fn count_matches_scalar(hay in proptest::collection::vec(any::<u8>(), 0..64), needle in any::<u8>()) {
+            prop_assert_eq!(count_byte(&hay, needle), hay.iter().filter(|&&b| b == needle).count());
+        }
+
+        #[test]
+        fn rfind_matches_scalar(hay in proptest::collection::vec(any::<u8>(), 0..64), needle in any::<u8>()) {
+            prop_assert_eq!(rfind_byte(&hay, needle), hay.iter().rposition(|&b| b == needle));
+        }
+
+        #[test]
+        fn finder_matches_scalar(hay in proptest::collection::vec(any::<u8>(), 0..64), needle in any::<u8>()) {
+            let got: Vec<usize> = ByteFinder::new(&hay, needle).collect();
+            let want: Vec<usize> = hay
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b == needle)
+                .map(|(i, _)| i)
+                .collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -2,7 +2,8 @@
 
 use std::path::PathBuf;
 
-use nodb_common::{ByteSize, IoBackend};
+use nodb_common::{ByteSize, IoBackend, NoDbError, Result};
+use nodb_exec::DEFAULT_BATCH_ROWS;
 use nodb_storage::EngineProfile;
 
 /// Which auxiliary structures an in-situ table maintains. The paper's
@@ -73,6 +74,17 @@ pub struct NoDbConfig {
     /// short read the `Read` backend degrades to; pick `Read` for files
     /// that may be rewritten under the engine.
     pub io_backend: IoBackend,
+    /// Rows per [`nodb_exec::ValueBatch`] on the vectorized execution
+    /// path (default 1024). Query cursors then pull column-major batches
+    /// through the operator tree — predicate evaluation, projection and
+    /// aggregation run per-column loops instead of per-row virtual
+    /// calls. `0` selects the classic row-at-a-time Volcano pull.
+    /// Results, scan metrics and auxiliary-structure contents are
+    /// bit-identical across settings (`tests/batch_equivalence.rs`).
+    /// The `NODB_BATCH_ROWS` environment variable overrides the
+    /// constructor default; a malformed value is rejected at `NoDb::new`
+    /// just like `NODB_IO_BACKEND`.
+    pub batch_rows: usize,
     /// Profile for tables registered in [`AccessMode::Loaded`].
     pub loaded_profile: EngineProfile,
     /// Buffer-pool capacity (pages) for loaded tables.
@@ -103,6 +115,10 @@ impl NoDbConfig {
             stats_sample_stride: 16,
             scan_threads: 1,
             io_backend: IoBackend::from_env_or_auto(),
+            batch_rows: batch_rows_from_env()
+                .ok()
+                .flatten()
+                .unwrap_or(DEFAULT_BATCH_ROWS),
             loaded_profile: EngineProfile::PostgresLike,
             pool_pages: 4096,
             data_dir: None,
@@ -151,6 +167,30 @@ impl NoDbConfig {
             enable_stats: false,
             ..Self::postgres_raw()
         }
+    }
+}
+
+/// The batch size requested by the `NODB_BATCH_ROWS` environment
+/// variable, or `None` when unset/empty. A non-numeric or non-UTF-8
+/// value is an error so a typo in a CI matrix cannot silently re-enable
+/// batching (or disable it) — engine construction (`NoDb::new`) surfaces
+/// it through the normal error path, mirroring `NODB_IO_BACKEND`. The
+/// configuration *default* swallows the error and falls back to
+/// [`DEFAULT_BATCH_ROWS`] so a malformed value cannot panic inside
+/// `Default`; the loud failure happens at construction.
+pub fn batch_rows_from_env() -> Result<Option<usize>> {
+    match std::env::var("NODB_BATCH_ROWS") {
+        Ok(s) if s.trim().is_empty() => Ok(None),
+        Ok(s) => s.trim().parse::<usize>().map(Some).map_err(|_| {
+            NoDbError::config(format!(
+                "invalid NODB_BATCH_ROWS `{}` (expected a row count; 0 disables batching)",
+                s.trim()
+            ))
+        }),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(NoDbError::config(
+            "NODB_BATCH_ROWS is set but not valid UTF-8",
+        )),
     }
 }
 

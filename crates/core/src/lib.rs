@@ -138,13 +138,14 @@ pub struct NoDb {
 impl NoDb {
     /// Create an engine.
     ///
-    /// Rejects a malformed `NODB_IO_BACKEND` environment value with
-    /// [`NoDbError::Config`]: config construction silently falls back to
-    /// `Auto` (it must stay infallible), so the typo is surfaced here,
-    /// on the normal error path, before any query can run under the
-    /// wrong substrate.
+    /// Rejects a malformed `NODB_IO_BACKEND` or `NODB_BATCH_ROWS`
+    /// environment value with [`NoDbError::Config`]: config construction
+    /// silently falls back to its defaults (it must stay infallible), so
+    /// the typo is surfaced here, on the normal error path, before any
+    /// query can run under the wrong substrate or pull style.
     pub fn new(config: NoDbConfig) -> Result<NoDb> {
         IoBackend::from_env()?;
+        crate::config::batch_rows_from_env()?;
         let (tmp, data_dir) = match &config.data_dir {
             Some(d) => {
                 std::fs::create_dir_all(d)?;
@@ -519,6 +520,10 @@ impl CatalogView for NoDb {
 }
 
 impl ExecCatalog for NoDb {
+    fn batch_rows(&self) -> usize {
+        self.config.batch_rows
+    }
+
     fn provider(&self, table: &str) -> Result<&dyn TableProvider> {
         let entry = self.entry(table)?;
         match &entry.provider {

@@ -53,7 +53,7 @@ use nodb_common::{
     ByteSource, DataType, IoBackend, LineFormat, NoDbError, Result, Row, Schema, Value,
 };
 use nodb_csv::lines::{split_line_aligned_src, ByteRange, LineReader, SlidingWindow};
-use nodb_exec::{eval_predicate, Operator};
+use nodb_exec::{eval_predicate, Operator, ValueBatch};
 use nodb_posmap::{AttrPositions, BlockCollector, SegmentCollector};
 use nodb_sql::BoundExpr;
 use nodb_stats::StatsBuilder;
@@ -375,12 +375,16 @@ impl InSituScanOp {
                 offer_stat(&self.ctx, &mut self.stat_builders, local, self.next_row, &v);
                 row_buf[local] = v;
             }
+            // Evaluate every conjunct against the buffer itself (moved
+            // into a `Row` shell and back) — no per-conjunct clone.
+            let probe = Row(std::mem::take(&mut row_buf));
             for f in &self.ctx.filters {
-                if !eval_predicate(f, &Row(row_buf.clone()))? {
+                if !eval_predicate(f, &probe)? {
                     ok = false;
                     break;
                 }
             }
+            row_buf = probe.0;
             if ok {
                 for li in 0..self.ctx.select_locals.len() {
                     let local = self.ctx.select_locals[li];
@@ -783,12 +787,14 @@ impl InSituScanOp {
                 }
                 row_buf[local] = v;
             }
+            let probe = Row(std::mem::take(&mut row_buf));
             for f in &self.ctx.filters {
-                if !eval_predicate(f, &Row(row_buf.clone()))? {
+                if !eval_predicate(f, &probe)? {
                     ok = false;
                     break;
                 }
             }
+            row_buf = probe.0;
             if !ok {
                 continue;
             }
@@ -918,6 +924,31 @@ impl Operator for InSituScanOp {
             }
         }
     }
+
+    /// Vectorized pull: hand out whatever qualifying rows the last block
+    /// pump produced, up to `max_rows`, as one column-major batch. Work
+    /// granularity is unchanged — a pump still tokenizes exactly one
+    /// positional-map block (or staged tail) like the row path, so scan
+    /// metrics and auxiliary-structure contents stay bit-identical; only
+    /// the per-row virtual-call/`Option` shuffle between operators is
+    /// amortized.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<ValueBatch>> {
+        let max = max_rows.max(1);
+        loop {
+            if !self.out.is_empty() {
+                let take = self.out.len().min(max);
+                let rows: Vec<Row> = self.out.drain(..take).collect();
+                return Ok(Some(ValueBatch::from_rows(rows)));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            self.pump()?;
+            if self.out.is_empty() && self.done {
+                return Ok(None);
+            }
+        }
+    }
 }
 
 // ----- chunk workers (parallel cold path) --------------------------------
@@ -1020,12 +1051,14 @@ fn scan_chunk(
             stage_chunk_value(ctx, stat_locals, &mut out, local, local_row, &v);
             row_buf[local] = v;
         }
+        let probe = Row(std::mem::take(&mut row_buf));
         for f in &ctx.filters {
-            if !eval_predicate(f, &Row(row_buf.clone()))? {
+            if !eval_predicate(f, &probe)? {
                 ok = false;
                 break;
             }
         }
+        row_buf = probe.0;
         if ok {
             for li in 0..ctx.select_locals.len() {
                 let local = ctx.select_locals[li];

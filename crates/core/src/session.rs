@@ -242,14 +242,17 @@ impl Statement<'_> {
             refresh_stats(&mut plan, self.db, true);
             let schema = plan.schema().clone();
             let op = build_plan(&plan, self.db)?;
-            Ok(QueryCursor::new(schema, RowCursor::new(op)))
+            Ok(QueryCursor::new(
+                schema,
+                RowCursor::with_batch(op, self.db.config.batch_rows),
+            ))
         } else {
             // The "w/o statistics" regime has nothing to refresh:
             // substitute while lowering, with no intermediate plan clone.
             let op = build_plan_with_params(&self.plan, self.db, &values)?;
             Ok(QueryCursor::new(
                 self.plan.schema().clone(),
-                RowCursor::new(op),
+                RowCursor::with_batch(op, self.db.config.batch_rows),
             ))
         }
     }

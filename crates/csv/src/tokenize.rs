@@ -5,6 +5,12 @@
 //! matches the paper's positional map, which stores positions of attribute
 //! starts and reconstructs a value as "the characters that appear between
 //! two positions" (§4.2).
+//!
+//! Delimiter searches go through the word-at-a-time scanners in
+//! [`nodb_common::swar`] rather than byte-at-a-time loops; proptests below
+//! pin them to scalar reference behavior.
+
+use nodb_common::swar;
 
 /// Tokenize the start offsets of fields `0..=upto`, appending them to
 /// `out`. Scanning stops as soon as the start of field `upto` is known —
@@ -20,13 +26,11 @@ pub fn tokenize_upto(line: &[u8], delim: u8, upto: usize, out: &mut Vec<u32>) ->
         return 1;
     }
     let mut found = 1;
-    for (i, &b) in line.iter().enumerate() {
-        if b == delim {
-            out.push(i as u32 + 1);
-            found += 1;
-            if found > upto {
-                break;
-            }
+    for i in swar::ByteFinder::new(line, delim) {
+        out.push(i as u32 + 1);
+        found += 1;
+        if found > upto {
+            break;
         }
     }
     out.len() - before
@@ -39,14 +43,14 @@ pub fn tokenize_all(line: &[u8], delim: u8, out: &mut Vec<u32>) -> usize {
 
 /// Number of fields on the line (1 + number of delimiters).
 pub fn count_fields(line: &[u8], delim: u8) -> usize {
-    1 + line.iter().filter(|&&b| b == delim).count()
+    1 + swar::count_byte(line, delim)
 }
 
 /// End offset (exclusive) of the field starting at `start`: scans forward
 /// to the next delimiter or end of line.
 pub fn field_end(line: &[u8], delim: u8, start: u32) -> u32 {
     let s = start as usize;
-    match line[s.min(line.len())..].iter().position(|&b| b == delim) {
+    match swar::find_byte(&line[s.min(line.len())..], delim) {
         Some(off) => (s + off) as u32,
         None => line.len() as u32,
     }
@@ -69,21 +73,14 @@ pub fn advance_forward(
     to_idx: usize,
 ) -> Option<u32> {
     debug_assert!(to_idx >= from_idx);
-    let mut remaining = to_idx - from_idx;
+    let remaining = to_idx - from_idx;
     if remaining == 0 {
         return Some(from_start);
     }
-    let mut i = from_start as usize;
-    while i < line.len() {
-        if line[i] == delim {
-            remaining -= 1;
-            if remaining == 0 {
-                return Some(i as u32 + 1);
-            }
-        }
-        i += 1;
-    }
-    None
+    let from = (from_start as usize).min(line.len());
+    swar::ByteFinder::new(&line[from..], delim)
+        .nth(remaining - 1)
+        .map(|i| (from + i) as u32 + 1)
 }
 
 /// Incremental *backward* parsing (§4.2: "jumps initially to the position
@@ -105,15 +102,13 @@ pub fn advance_backward(
     // `remaining` additional delimiters; the target field starts right
     // after the (remaining+1)-th delimiter counted from here.
     let mut seen = 0usize;
-    let mut i = from_start as usize;
-    while i > 0 {
-        i -= 1;
-        if line[i] == delim {
-            seen += 1;
-            if seen == remaining + 1 {
-                return Some(i as u32 + 1);
-            }
+    let mut end = from_start as usize;
+    while let Some(i) = swar::rfind_byte(&line[..end], delim) {
+        seen += 1;
+        if seen == remaining + 1 {
+            return Some(i as u32 + 1);
         }
+        end = i;
     }
     if seen == remaining {
         Some(0)
@@ -233,6 +228,150 @@ mod tests {
             prop_assert_eq!(starts.len(), fields.len());
             for (i, f) in fields.iter().enumerate() {
                 prop_assert_eq!(field_at(&line, b',', starts[i]), f.as_bytes());
+            }
+        }
+    }
+
+    /// The SWAR tokenizers against byte-at-a-time reference
+    /// implementations (the pre-SWAR code), over arbitrary bytes: all
+    /// 256 values appear, so CRLF pairs, quotes, unicode continuation
+    /// bytes and high-bit lanes are exercised, and lengths straddle the
+    /// 8-byte word boundary (empty and short tails included).
+    mod swar_vs_scalar {
+        use super::*;
+
+        fn ref_tokenize_upto(line: &[u8], delim: u8, upto: usize, out: &mut Vec<u32>) -> usize {
+            let before = out.len();
+            out.push(0);
+            if upto == 0 {
+                return 1;
+            }
+            let mut found = 1;
+            for (i, &b) in line.iter().enumerate() {
+                if b == delim {
+                    out.push(i as u32 + 1);
+                    found += 1;
+                    if found > upto {
+                        break;
+                    }
+                }
+            }
+            out.len() - before
+        }
+
+        fn ref_advance_forward(
+            line: &[u8],
+            delim: u8,
+            from_start: u32,
+            from_idx: usize,
+            to_idx: usize,
+        ) -> Option<u32> {
+            let mut remaining = to_idx - from_idx;
+            if remaining == 0 {
+                return Some(from_start);
+            }
+            let mut i = from_start as usize;
+            while i < line.len() {
+                if line[i] == delim {
+                    remaining -= 1;
+                    if remaining == 0 {
+                        return Some(i as u32 + 1);
+                    }
+                }
+                i += 1;
+            }
+            None
+        }
+
+        fn ref_advance_backward(
+            line: &[u8],
+            delim: u8,
+            from_start: u32,
+            from_idx: usize,
+            to_idx: usize,
+        ) -> Option<u32> {
+            let remaining = from_idx - to_idx;
+            if remaining == 0 {
+                return Some(from_start);
+            }
+            let mut seen = 0usize;
+            let mut i = from_start as usize;
+            while i > 0 {
+                i -= 1;
+                if line[i] == delim {
+                    seen += 1;
+                    if seen == remaining + 1 {
+                        return Some(i as u32 + 1);
+                    }
+                }
+            }
+            if seen == remaining {
+                Some(0)
+            } else {
+                None
+            }
+        }
+
+        /// Arbitrary bytes with the delimiter mixed in often enough for
+        /// multi-match words.
+        fn raw_line() -> impl Strategy<Value = Vec<u8>> {
+            proptest::collection::vec(
+                prop_oneof![Just(b','), Just(b'\r'), Just(b'"'), any::<u8>()],
+                0..80,
+            )
+        }
+
+        proptest! {
+            #[test]
+            fn tokenize_matches_reference(line in raw_line(), upto in 0usize..12) {
+                let mut got = Vec::new();
+                let mut want = Vec::new();
+                let n_got = tokenize_upto(&line, b',', upto, &mut got);
+                let n_want = ref_tokenize_upto(&line, b',', upto, &mut want);
+                prop_assert_eq!(n_got, n_want);
+                prop_assert_eq!(got, want);
+            }
+
+            #[test]
+            fn count_fields_matches_reference(line in raw_line()) {
+                let want = 1 + line.iter().filter(|&&b| b == b',').count();
+                prop_assert_eq!(count_fields(&line, b','), want);
+            }
+
+            #[test]
+            fn field_end_matches_reference(line in raw_line(), start in 0usize..90) {
+                prop_assume!(start <= line.len());
+                let want = match line[start..].iter().position(|&b| b == b',') {
+                    Some(off) => (start + off) as u32,
+                    None => line.len() as u32,
+                };
+                prop_assert_eq!(field_end(&line, b',', start as u32), want);
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn navigation_matches_reference(
+                line in raw_line(),
+                from in 0usize..10,
+                to in 0usize..10,
+            ) {
+                let mut starts = Vec::new();
+                tokenize_all(&line, b',', &mut starts);
+                let n = starts.len();
+                prop_assume!(from < n && to < n);
+                let anchor = starts[from];
+                if to >= from {
+                    prop_assert_eq!(
+                        advance_forward(&line, b',', anchor, from, to),
+                        ref_advance_forward(&line, b',', anchor, from, to)
+                    );
+                } else {
+                    prop_assert_eq!(
+                        advance_backward(&line, b',', anchor, from, to),
+                        ref_advance_backward(&line, b',', anchor, from, to)
+                    );
+                }
             }
         }
     }

@@ -1,0 +1,198 @@
+//! Column-major row batches for vectorized execution.
+//!
+//! The Volcano row-at-a-time pull ("each tuple is then passed one-by-one
+//! through the operators", §3) pays a virtual call and a `Vec` allocation
+//! per tuple. A [`ValueBatch`] amortizes both: operators exchange up to
+//! [`DEFAULT_BATCH_ROWS`] rows at a time, stored column-major so
+//! predicate evaluation, projection, and aggregation run tight per-column
+//! loops (see `eval::eval_batch`).
+//!
+//! Batches carry exactly the same [`Value`]s the row path would produce —
+//! the batch pull path is required to be bit-identical to `next_row`, and
+//! `tests/batch_equivalence.rs` holds it to that.
+
+use nodb_common::{Row, Value};
+
+/// Default number of rows per batch (the `NoDbConfig::batch_rows`
+/// default; 0 there selects the row-at-a-time path).
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// A column-major batch of rows.
+///
+/// All columns have length [`num_rows`](ValueBatch::num_rows); a batch
+/// may have zero columns and still carry a row count (a `COUNT(*)` scan
+/// projects no columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueBatch {
+    cols: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl ValueBatch {
+    /// An empty batch of `n_cols` columns with room for `cap` rows each.
+    pub fn with_capacity(n_cols: usize, cap: usize) -> ValueBatch {
+        ValueBatch {
+            cols: (0..n_cols).map(|_| Vec::with_capacity(cap)).collect(),
+            rows: 0,
+        }
+    }
+
+    /// Build from pre-filled columns (all of length `rows`).
+    pub fn from_cols(cols: Vec<Vec<Value>>, rows: usize) -> ValueBatch {
+        debug_assert!(cols.iter().all(|c| c.len() == rows));
+        ValueBatch { cols, rows }
+    }
+
+    /// Transpose a row-major vector (all rows the same width).
+    pub fn from_rows(rows: Vec<Row>) -> ValueBatch {
+        let n_rows = rows.len();
+        let n_cols = rows.first().map_or(0, Row::len);
+        let mut cols: Vec<Vec<Value>> = (0..n_cols).map(|_| Vec::with_capacity(n_rows)).collect();
+        for row in rows {
+            debug_assert_eq!(row.len(), n_cols);
+            for (col, v) in cols.iter_mut().zip(row.0) {
+                col.push(v);
+            }
+        }
+        ValueBatch { cols, rows: n_rows }
+    }
+
+    /// Number of rows in the batch.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns in the batch.
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// No rows?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The values of column `i` (panics if out of range, like `Row::get`).
+    pub fn col(&self, i: usize) -> &[Value] {
+        &self.cols[i]
+    }
+
+    /// Append one row by moving its values in.
+    pub fn push_row(&mut self, row: Row) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        for (col, v) in self.cols.iter_mut().zip(row.0) {
+            col.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Append one row by cloning a value slice (scan emission reuses its
+    /// row buffer across rows).
+    pub fn push_row_cloned(&mut self, vals: &[Value]) {
+        debug_assert_eq!(vals.len(), self.cols.len());
+        for (col, v) in self.cols.iter_mut().zip(vals) {
+            col.push(v.clone());
+        }
+        self.rows += 1;
+    }
+
+    /// The values of row `r`, cloned (scalar-eval fallbacks).
+    pub fn row_values(&self, r: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c[r].clone()).collect()
+    }
+
+    /// Transpose back to rows, moving the values out.
+    pub fn into_rows(self) -> Vec<Row> {
+        let mut rows: Vec<Row> = (0..self.rows)
+            .map(|_| Row::with_capacity(self.cols.len()))
+            .collect();
+        for col in self.cols {
+            for (row, v) in rows.iter_mut().zip(col) {
+                row.push(v);
+            }
+        }
+        rows
+    }
+
+    /// Keep only the rows where `keep` is true (`kept` = number of
+    /// trues, precounted by the caller to size the output exactly).
+    pub fn retain_rows(self, keep: &[bool], kept: usize) -> ValueBatch {
+        debug_assert_eq!(keep.len(), self.rows);
+        let cols = self
+            .cols
+            .into_iter()
+            .map(|col| {
+                let mut out = Vec::with_capacity(kept);
+                for (v, &k) in col.into_iter().zip(keep) {
+                    if k {
+                        out.push(v);
+                    }
+                }
+                out
+            })
+            .collect();
+        ValueBatch { cols, rows: kept }
+    }
+
+    /// Drop all rows past the first `n` (no-op when `n >= num_rows`).
+    pub fn truncate(&mut self, n: usize) {
+        if n < self.rows {
+            for col in &mut self.cols {
+                col.truncate(n);
+            }
+            self.rows = n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> ValueBatch {
+        ValueBatch::from_rows(vec![
+            Row(vec![Value::Int64(1), Value::Text("a".into())]),
+            Row(vec![Value::Int64(2), Value::Text("b".into())]),
+            Row(vec![Value::Int64(3), Value::Text("c".into())]),
+        ])
+    }
+
+    #[test]
+    fn round_trips_rows() {
+        let b = batch();
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.num_cols(), 2);
+        assert_eq!(b.col(0)[1], Value::Int64(2));
+        let rows = b.into_rows();
+        assert_eq!(rows[2], Row(vec![Value::Int64(3), Value::Text("c".into())]));
+    }
+
+    #[test]
+    fn zero_column_batches_carry_row_counts() {
+        let b = ValueBatch::from_rows(vec![Row::new(), Row::new()]);
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.num_cols(), 0);
+        assert_eq!(b.into_rows(), vec![Row::new(), Row::new()]);
+    }
+
+    #[test]
+    fn retain_and_truncate() {
+        let b = batch().retain_rows(&[true, false, true], 2);
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.col(0), &[Value::Int64(1), Value::Int64(3)]);
+        let mut b = batch();
+        b.truncate(1);
+        assert_eq!(b.num_rows(), 1);
+        assert_eq!(b.col(1), &[Value::Text("a".into())]);
+    }
+
+    #[test]
+    fn push_row_variants_agree() {
+        let mut a = ValueBatch::with_capacity(1, 2);
+        a.push_row(Row(vec![Value::Int64(7)]));
+        a.push_row_cloned(&[Value::Int64(8)]);
+        assert_eq!(a.num_rows(), 2);
+        assert_eq!(a.col(0), &[Value::Int64(7), Value::Int64(8)]);
+        assert_eq!(a.row_values(1), vec![Value::Int64(8)]);
+    }
+}

@@ -31,6 +31,14 @@ pub trait TableProvider: Send + Sync {
 pub trait ExecCatalog {
     /// Provider for `table`.
     fn provider(&self, table: &str) -> Result<&dyn TableProvider>;
+
+    /// Rows per batch for the vectorized execution path (0 = classic
+    /// row-at-a-time). Blocking operators that drain their own input
+    /// (the aggregations) are built with this batch size; streaming
+    /// operators follow whatever pull style their consumer uses.
+    fn batch_rows(&self) -> usize {
+        0
+    }
 }
 
 /// Build an executable operator tree.
@@ -102,15 +110,20 @@ pub fn build_plan_with_params(
                     arg: a.arg.as_ref().map(sub),
                 })
                 .collect();
+            let batch = catalog.batch_rows();
             Ok(match strategy {
                 AggStrategy::Plain => {
                     if !group.is_empty() {
                         return Err(NoDbError::internal("plain aggregation with group keys"));
                     }
-                    Box::new(PlainAggOp::new(child, aggs))
+                    Box::new(PlainAggOp::new(child, aggs).batched(batch))
                 }
-                AggStrategy::Hash => Box::new(HashAggOp::new(child, group.clone(), aggs)),
-                AggStrategy::Sort => Box::new(SortAggOp::new(child, group.clone(), aggs)),
+                AggStrategy::Hash => {
+                    Box::new(HashAggOp::new(child, group.clone(), aggs).batched(batch))
+                }
+                AggStrategy::Sort => {
+                    Box::new(SortAggOp::new(child, group.clone(), aggs).batched(batch))
+                }
             })
         }
         LogicalPlan::Project { input, exprs, .. } => Ok(Box::new(ProjectOp::new(

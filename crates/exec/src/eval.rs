@@ -4,6 +4,8 @@ use nodb_common::like::like_match;
 use nodb_common::{NoDbError, Result, Row, Value};
 use nodb_sql::{BinOp, BoundExpr, UnOp};
 
+use crate::batch::ValueBatch;
+
 /// Evaluate an expression against a row. NULL propagates through
 /// arithmetic and comparisons; AND/OR follow Kleene logic.
 pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
@@ -179,6 +181,342 @@ pub fn eval(expr: &BoundExpr, row: &Row) -> Result<Value> {
 /// Evaluate as a WHERE predicate: TRUE passes; FALSE and NULL reject.
 pub fn eval_predicate(expr: &BoundExpr, row: &Row) -> Result<bool> {
     Ok(eval(expr, row)? == Value::Bool(true))
+}
+
+// ----- vectorized evaluation --------------------------------------------
+
+/// Evaluate an expression over every row of a batch, one tight loop per
+/// operator node instead of one tree walk per row.
+///
+/// Produces exactly the values `eval` would produce row by row. The
+/// short-circuit rules are preserved *per row* via selection masks: the
+/// right side of an `AND` is only evaluated for rows whose left side is
+/// not FALSE (so `x <> 0 AND 10 / x > 1` never divides by zero), and
+/// `CASE` branch results are only evaluated for rows their condition
+/// selected. The set of (row, subexpression) pairs evaluated is identical
+/// to the row path's; only the *order* differs (column-wise rather than
+/// row-wise), so when several rows would error, which error surfaces
+/// first may differ — a query errors under batch evaluation iff it errors
+/// under row evaluation.
+pub fn eval_batch(expr: &BoundExpr, batch: &ValueBatch) -> Result<Vec<Value>> {
+    eval_batch_masked(expr, batch, None)
+}
+
+/// Evaluate as a WHERE predicate over a whole batch: per row, TRUE passes.
+pub fn eval_predicate_batch(expr: &BoundExpr, batch: &ValueBatch) -> Result<Vec<bool>> {
+    Ok(eval_batch(expr, batch)?
+        .into_iter()
+        .map(|v| v == Value::Bool(true))
+        .collect())
+}
+
+/// Is row `r` selected by the (optional) mask?
+#[inline]
+fn active(mask: Option<&[bool]>, r: usize) -> bool {
+    mask.is_none_or(|m| m[r])
+}
+
+/// Masked batch evaluation: rows deselected by `mask` yield `Null`
+/// *without being evaluated* — the mechanism behind per-row
+/// short-circuiting. Callers never read deselected lanes.
+fn eval_batch_masked(
+    expr: &BoundExpr,
+    batch: &ValueBatch,
+    mask: Option<&[bool]>,
+) -> Result<Vec<Value>> {
+    let n = batch.num_rows();
+    match expr {
+        BoundExpr::Col(i) => {
+            if *i >= batch.num_cols() {
+                return Err(NoDbError::internal(format!("column #{i} out of range")));
+            }
+            let col = batch.col(*i);
+            Ok((0..n)
+                .map(|r| {
+                    if active(mask, r) {
+                        col[r].clone()
+                    } else {
+                        Value::Null
+                    }
+                })
+                .collect())
+        }
+        BoundExpr::Lit(v) => Ok(vec![v.clone(); n]),
+        BoundExpr::Param { idx, .. } => Err(NoDbError::internal(format!(
+            "unsubstituted parameter ${} reached the executor (prepared statements must \
+             substitute parameters before building the operator tree)",
+            idx + 1
+        ))),
+        BoundExpr::Binary { op, left, right } => match op {
+            BinOp::And => {
+                let l = eval_batch_masked(left, batch, mask)?;
+                // Rows whose left side is FALSE short-circuit: the right
+                // side must not run for them (it may error).
+                let need: Vec<bool> = (0..n)
+                    .map(|r| active(mask, r) && l[r] != Value::Bool(false))
+                    .collect();
+                let r_vals = if need.contains(&true) {
+                    eval_batch_masked(right, batch, Some(&need))?
+                } else {
+                    vec![Value::Null; n]
+                };
+                Ok((0..n)
+                    .map(|r| {
+                        if !active(mask, r) {
+                            Value::Null
+                        } else if l[r] == Value::Bool(false) {
+                            Value::Bool(false)
+                        } else {
+                            match (bool3(&l[r]), bool3(&r_vals[r])) {
+                                (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                                (Some(true), Some(true)) => Value::Bool(true),
+                                _ => Value::Null,
+                            }
+                        }
+                    })
+                    .collect())
+            }
+            BinOp::Or => {
+                let l = eval_batch_masked(left, batch, mask)?;
+                let need: Vec<bool> = (0..n)
+                    .map(|r| active(mask, r) && l[r] != Value::Bool(true))
+                    .collect();
+                let r_vals = if need.contains(&true) {
+                    eval_batch_masked(right, batch, Some(&need))?
+                } else {
+                    vec![Value::Null; n]
+                };
+                Ok((0..n)
+                    .map(|r| {
+                        if !active(mask, r) {
+                            Value::Null
+                        } else if l[r] == Value::Bool(true) {
+                            Value::Bool(true)
+                        } else {
+                            match (bool3(&l[r]), bool3(&r_vals[r])) {
+                                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                                (Some(false), Some(false)) => Value::Bool(false),
+                                _ => Value::Null,
+                            }
+                        }
+                    })
+                    .collect())
+            }
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                let l = eval_batch_masked(left, batch, mask)?;
+                let r_vals = eval_batch_masked(right, batch, mask)?;
+                Ok((0..n)
+                    .map(|r| {
+                        if !active(mask, r) {
+                            return Value::Null;
+                        }
+                        match l[r].sql_cmp(&r_vals[r]) {
+                            None => Value::Null,
+                            Some(ord) => Value::Bool(match op {
+                                BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                                BinOp::NotEq => ord != std::cmp::Ordering::Equal,
+                                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                                BinOp::LtEq => ord != std::cmp::Ordering::Greater,
+                                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                                BinOp::GtEq => ord != std::cmp::Ordering::Less,
+                                _ => unreachable!("comparison ops only"),
+                            }),
+                        }
+                    })
+                    .collect())
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                let l = eval_batch_masked(left, batch, mask)?;
+                let r_vals = eval_batch_masked(right, batch, mask)?;
+                let mut out = Vec::with_capacity(n);
+                for r in 0..n {
+                    out.push(if active(mask, r) {
+                        arith(*op, &l[r], &r_vals[r])?
+                    } else {
+                        Value::Null
+                    });
+                }
+                Ok(out)
+            }
+        },
+        BoundExpr::Unary { op, expr } => {
+            let vals = eval_batch_masked(expr, batch, mask)?;
+            let mut out = Vec::with_capacity(n);
+            for (r, v) in vals.into_iter().enumerate() {
+                if !active(mask, r) {
+                    out.push(Value::Null);
+                    continue;
+                }
+                out.push(match op {
+                    UnOp::Not => match bool3(&v) {
+                        Some(b) => Value::Bool(!b),
+                        None => Value::Null,
+                    },
+                    UnOp::Neg => match v {
+                        Value::Null => Value::Null,
+                        Value::Int32(x) => Value::Int32(-x),
+                        Value::Int64(x) => Value::Int64(-x),
+                        Value::Float64(x) => Value::Float64(-x),
+                        other => {
+                            return Err(NoDbError::execution(format!("cannot negate {other}")))
+                        }
+                    },
+                });
+            }
+            Ok(out)
+        }
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let vals = eval_batch_masked(expr, batch, mask)?;
+            // Constant pattern (the common case) matches straight off the
+            // literal; otherwise the pattern column is evaluated per row
+            // exactly like the scalar path.
+            let pat_vals = match pattern.as_ref() {
+                BoundExpr::Lit(Value::Text(_)) => None,
+                _ => Some(eval_batch_masked(pattern, batch, mask)?),
+            };
+            let mut out = Vec::with_capacity(n);
+            for (r, v) in vals.into_iter().enumerate() {
+                if !active(mask, r) {
+                    out.push(Value::Null);
+                    continue;
+                }
+                let pat: &str = match (pattern.as_ref(), &pat_vals) {
+                    (BoundExpr::Lit(Value::Text(p)), _) => p.as_str(),
+                    (_, Some(pv)) => match &pv[r] {
+                        Value::Null => {
+                            out.push(Value::Null);
+                            continue;
+                        }
+                        Value::Text(s) => s.as_str(),
+                        other => {
+                            return Err(NoDbError::execution(format!(
+                                "LIKE pattern is non-text {other}"
+                            )))
+                        }
+                    },
+                    _ => unreachable!("pat_vals is Some for non-literal patterns"),
+                };
+                out.push(match v {
+                    Value::Null => Value::Null,
+                    Value::Text(s) => Value::Bool(like_match(&s, pat) != *negated),
+                    other => return Err(NoDbError::execution(format!("LIKE on non-text {other}"))),
+                });
+            }
+            Ok(out)
+        }
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let vals = eval_batch_masked(expr, batch, mask)?;
+            let lo = eval_batch_masked(low, batch, mask)?;
+            let hi = eval_batch_masked(high, batch, mask)?;
+            Ok((0..n)
+                .map(|r| {
+                    if !active(mask, r) {
+                        return Value::Null;
+                    }
+                    let ge = vals[r]
+                        .sql_cmp(&lo[r])
+                        .map(|o| o != std::cmp::Ordering::Less);
+                    let le = vals[r]
+                        .sql_cmp(&hi[r])
+                        .map(|o| o != std::cmp::Ordering::Greater);
+                    match (ge, le) {
+                        (Some(a), Some(b)) => Value::Bool((a && b) != *negated),
+                        _ => Value::Null,
+                    }
+                })
+                .collect())
+        }
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let vals = eval_batch_masked(expr, batch, mask)?;
+            Ok(vals
+                .into_iter()
+                .enumerate()
+                .map(|(r, v)| {
+                    if !active(mask, r) || v.is_null() {
+                        return Value::Null;
+                    }
+                    let mut saw_null = false;
+                    for cand in list {
+                        match v.sql_cmp(cand) {
+                            Some(std::cmp::Ordering::Equal) => return Value::Bool(!*negated),
+                            None if cand.is_null() => saw_null = true,
+                            _ => {}
+                        }
+                    }
+                    if saw_null {
+                        Value::Null
+                    } else {
+                        Value::Bool(*negated)
+                    }
+                })
+                .collect())
+        }
+        BoundExpr::Case {
+            branches,
+            else_expr,
+        } => {
+            // Mask cascade: each branch's condition runs only for rows no
+            // earlier branch took; its result runs only for rows it took.
+            let mut remaining: Vec<bool> = (0..n).map(|r| active(mask, r)).collect();
+            let mut out = vec![Value::Null; n];
+            for (cond, res) in branches {
+                if !remaining.contains(&true) {
+                    break;
+                }
+                let c = eval_batch_masked(cond, batch, Some(&remaining))?;
+                let taken: Vec<bool> = (0..n)
+                    .map(|r| remaining[r] && c[r] == Value::Bool(true))
+                    .collect();
+                if taken.contains(&true) {
+                    let vals = eval_batch_masked(res, batch, Some(&taken))?;
+                    for (r, v) in vals.into_iter().enumerate() {
+                        if taken[r] {
+                            out[r] = v;
+                            remaining[r] = false;
+                        }
+                    }
+                }
+            }
+            if let Some(e) = else_expr {
+                if remaining.contains(&true) {
+                    let vals = eval_batch_masked(e, batch, Some(&remaining))?;
+                    for (r, v) in vals.into_iter().enumerate() {
+                        if remaining[r] {
+                            out[r] = v;
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        BoundExpr::IsNull { expr, negated } => {
+            let vals = eval_batch_masked(expr, batch, mask)?;
+            Ok(vals
+                .into_iter()
+                .enumerate()
+                .map(|(r, v)| {
+                    if active(mask, r) {
+                        Value::Bool(v.is_null() != *negated)
+                    } else {
+                        Value::Null
+                    }
+                })
+                .collect())
+        }
+    }
 }
 
 fn bool3(v: &Value) -> Option<bool> {
@@ -442,5 +780,167 @@ mod tests {
             negated: true,
         };
         assert_eq!(eval(&isnotnull, &r).unwrap(), Value::Bool(true));
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Col(i)
+    }
+
+    fn lit(v: Value) -> BoundExpr {
+        BoundExpr::Lit(v)
+    }
+
+    fn bin(op: BinOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    fn sample_batch() -> ValueBatch {
+        ValueBatch::from_rows(vec![
+            Row(vec![Value::Int64(0), Value::Text("PROMO A".into())]),
+            Row(vec![Value::Int64(4), Value::Null]),
+            Row(vec![Value::Null, Value::Text("ECONOMY".into())]),
+            Row(vec![Value::Int64(-3), Value::Text("PROMO B".into())]),
+        ])
+    }
+
+    /// Batch evaluation must equal row-at-a-time evaluation value for
+    /// value on every expression shape.
+    fn assert_matches_row_eval(e: &BoundExpr) {
+        let b = sample_batch();
+        let got = eval_batch(e, &b).unwrap();
+        for r in 0..b.num_rows() {
+            let row = Row(b.row_values(r));
+            assert_eq!(got[r], eval(e, &row).unwrap(), "row {r} of {e:?}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_row_eval_across_shapes() {
+        let shapes = vec![
+            col(0),
+            lit(Value::Int64(7)),
+            bin(BinOp::Gt, col(0), lit(Value::Int64(1))),
+            bin(BinOp::Add, col(0), col(0)),
+            bin(
+                BinOp::And,
+                bin(BinOp::Gt, col(0), lit(Value::Int64(0))),
+                bin(BinOp::Lt, col(0), lit(Value::Int64(10))),
+            ),
+            bin(
+                BinOp::Or,
+                bin(BinOp::Lt, col(0), lit(Value::Int64(0))),
+                bin(BinOp::Gt, col(0), lit(Value::Int64(3))),
+            ),
+            BoundExpr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(col(0)),
+            },
+            BoundExpr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(bin(BinOp::Eq, col(0), lit(Value::Int64(4)))),
+            },
+            BoundExpr::Like {
+                expr: Box::new(col(1)),
+                pattern: Box::new(lit(Value::Text("PROMO%".into()))),
+                negated: false,
+            },
+            BoundExpr::Like {
+                expr: Box::new(col(1)),
+                pattern: Box::new(col(1)),
+                negated: true,
+            },
+            BoundExpr::Between {
+                expr: Box::new(col(0)),
+                low: Box::new(lit(Value::Int64(0))),
+                high: Box::new(lit(Value::Int64(4))),
+                negated: false,
+            },
+            BoundExpr::InList {
+                expr: Box::new(col(0)),
+                list: vec![Value::Int64(4), Value::Null],
+                negated: false,
+            },
+            BoundExpr::Case {
+                branches: vec![
+                    (
+                        bin(BinOp::Gt, col(0), lit(Value::Int64(0))),
+                        lit(Value::Text("pos".into())),
+                    ),
+                    (
+                        bin(BinOp::Lt, col(0), lit(Value::Int64(0))),
+                        lit(Value::Text("neg".into())),
+                    ),
+                ],
+                else_expr: Some(Box::new(lit(Value::Text("zero".into())))),
+            },
+            BoundExpr::IsNull {
+                expr: Box::new(col(1)),
+                negated: false,
+            },
+        ];
+        for e in &shapes {
+            assert_matches_row_eval(e);
+        }
+    }
+
+    #[test]
+    fn and_short_circuit_skips_errors_per_row() {
+        // x <> 0 AND 10 / x > 1: the row with x = 0 must not divide.
+        let e = bin(
+            BinOp::And,
+            bin(BinOp::NotEq, col(0), lit(Value::Int64(0))),
+            bin(
+                BinOp::Gt,
+                bin(BinOp::Div, lit(Value::Int64(10)), col(0)),
+                lit(Value::Int64(1)),
+            ),
+        );
+        assert_matches_row_eval(&e);
+        // ... and OR short-circuits the same way.
+        let e = bin(
+            BinOp::Or,
+            bin(BinOp::Eq, col(0), lit(Value::Int64(0))),
+            bin(
+                BinOp::Gt,
+                bin(BinOp::Div, lit(Value::Int64(10)), col(0)),
+                lit(Value::Int64(1)),
+            ),
+        );
+        assert_matches_row_eval(&e);
+    }
+
+    #[test]
+    fn batch_errors_when_any_active_row_errors() {
+        let b = sample_batch();
+        // Unguarded division: row 0 has x = 0, so the batch must error
+        // just as the row path does when it reaches that row.
+        let e = bin(BinOp::Div, lit(Value::Int64(10)), col(0));
+        assert!(eval_batch(&e, &b).is_err());
+    }
+
+    #[test]
+    fn predicate_batch_matches_row_predicate() {
+        let b = sample_batch();
+        let e = bin(BinOp::Gt, col(0), lit(Value::Int64(0)));
+        let got = eval_predicate_batch(&e, &b).unwrap();
+        for r in 0..b.num_rows() {
+            let row = Row(b.row_values(r));
+            assert_eq!(got[r], eval_predicate(&e, &row).unwrap());
+        }
+    }
+
+    #[test]
+    fn out_of_range_column_errors() {
+        let b = sample_batch();
+        assert!(eval_batch(&col(9), &b).is_err());
     }
 }

@@ -1,4 +1,6 @@
-//! Physical operators (pull-based, one tuple per `next_row` call).
+//! Physical operators: pull-based, one tuple per `next_row` call — or one
+//! column-major [`ValueBatch`] per `next_batch` call on the vectorized
+//! path (both paths produce bit-identical rows).
 
 use std::collections::HashMap;
 
@@ -6,13 +8,40 @@ use nodb_common::{NoDbError, Result, Row, Value};
 use nodb_sql::expr::AggExpr;
 use nodb_sql::{AggFunc, BoundExpr, JoinKind, SortKey};
 
-use crate::eval::{eval, eval_predicate};
+use crate::batch::ValueBatch;
+use crate::eval::{eval, eval_batch, eval_predicate, eval_predicate_batch};
 use crate::key::GroupKey;
 
-/// The operator interface: a stream of rows.
+/// The operator interface: a stream of rows, pullable one tuple or one
+/// column-major batch at a time.
 pub trait Operator {
     /// The next output tuple, or `None` when exhausted.
     fn next_row(&mut self) -> Result<Option<Row>>;
+
+    /// The next batch of up to `max_rows` rows (≥ 1), or `None` when
+    /// exhausted. Batches carry exactly the rows `next_row` would have
+    /// produced, in order; a batch is never empty.
+    ///
+    /// The default adapter pulls rows one by one and transposes — any
+    /// operator works under a batching consumer, while the hot operators
+    /// (scan, filter, project, limit, the aggregations) override this
+    /// with tight per-column loops. Callers should pick one pull style
+    /// per operator tree and stick to it.
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<ValueBatch>> {
+        let max = max_rows.max(1);
+        let mut rows = Vec::new();
+        while rows.len() < max {
+            match self.next_row()? {
+                Some(r) => rows.push(r),
+                None => break,
+            }
+        }
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(ValueBatch::from_rows(rows)))
+        }
+    }
 }
 
 /// Boxed operator.
@@ -60,6 +89,23 @@ impl Operator for FilterOp {
         }
         Ok(None)
     }
+
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<ValueBatch>> {
+        loop {
+            let Some(batch) = self.input.next_batch(max_rows)? else {
+                return Ok(None);
+            };
+            let keep = eval_predicate_batch(&self.predicate, &batch)?;
+            let kept = keep.iter().filter(|&&k| k).count();
+            if kept == 0 {
+                continue; // fully filtered batch: pull the next one
+            }
+            if kept == batch.num_rows() {
+                return Ok(Some(batch));
+            }
+            return Ok(Some(batch.retain_rows(&keep, kept)));
+        }
+    }
 }
 
 /// Projection: computes expressions over each input row.
@@ -85,6 +131,20 @@ impl Operator for ProjectOp {
                     out.push(eval(e, &r)?);
                 }
                 Ok(Some(out))
+            }
+        }
+    }
+
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<ValueBatch>> {
+        match self.input.next_batch(max_rows)? {
+            None => Ok(None),
+            Some(batch) => {
+                let cols = self
+                    .exprs
+                    .iter()
+                    .map(|e| eval_batch(e, &batch))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Some(ValueBatch::from_cols(cols, batch.num_rows())))
             }
         }
     }
@@ -116,6 +176,25 @@ impl Operator for LimitOp {
             Some(r) => {
                 self.remaining -= 1;
                 Ok(Some(r))
+            }
+        }
+    }
+
+    fn next_batch(&mut self, max_rows: usize) -> Result<Option<ValueBatch>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        // Ask for no more than the limit still allows, so the source does
+        // no more block-granular scan work than the row path would.
+        let want = max_rows.min(usize::try_from(self.remaining).unwrap_or(usize::MAX));
+        match self.input.next_batch(want)? {
+            None => Ok(None),
+            Some(mut batch) => {
+                if (batch.num_rows() as u64) > self.remaining {
+                    batch.truncate(self.remaining as usize);
+                }
+                self.remaining -= batch.num_rows() as u64;
+                Ok(Some(batch))
             }
         }
     }
@@ -508,24 +587,62 @@ fn update_accs(accs: &mut [Acc], aggs: &[AggExpr], row: &Row) -> Result<()> {
     Ok(())
 }
 
+/// Argument columns for a batch: one evaluated column per aggregate with
+/// an argument (`None` = COUNT(*)). Each accumulator then consumes its
+/// column in row order, so float accumulation order — and therefore every
+/// result bit — matches the row-at-a-time path.
+fn eval_agg_args(aggs: &[AggExpr], batch: &ValueBatch) -> Result<Vec<Option<Vec<Value>>>> {
+    aggs.iter()
+        .map(|a| a.arg.as_ref().map(|e| eval_batch(e, batch)).transpose())
+        .collect()
+}
+
+/// Fold one batch into a plain (ungrouped) accumulator set.
+fn update_accs_batch(accs: &mut [Acc], args: &[Option<Vec<Value>>], n_rows: usize) -> Result<()> {
+    for (acc, arg) in accs.iter_mut().zip(args) {
+        match arg {
+            None => {
+                for _ in 0..n_rows {
+                    acc.update(None)?;
+                }
+            }
+            Some(col) => {
+                for v in col {
+                    acc.update(Some(v))?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Hash aggregation: one hash-table pass, groups emitted in first-seen
 /// order.
 pub struct HashAggOp {
     input: Option<BoxOp>,
     group: Vec<usize>,
     aggs: Vec<AggExpr>,
+    batch_rows: usize,
     out: Option<std::vec::IntoIter<Row>>,
 }
 
 impl HashAggOp {
-    /// Create a hash aggregation.
+    /// Create a hash aggregation (row-at-a-time input drain).
     pub fn new(input: BoxOp, group: Vec<usize>, aggs: Vec<AggExpr>) -> HashAggOp {
         HashAggOp {
             input: Some(input),
             group,
             aggs,
+            batch_rows: 0,
             out: None,
         }
+    }
+
+    /// Drain the input in batches of `n` rows (0 keeps the row drain);
+    /// aggregate arguments are then evaluated one column per batch.
+    pub fn batched(mut self, n: usize) -> HashAggOp {
+        self.batch_rows = n;
+        self
     }
 }
 
@@ -535,20 +652,45 @@ impl Operator for HashAggOp {
             let mut input = self.input.take().expect("agg input consumed once");
             let mut index: HashMap<GroupKey, usize> = HashMap::new();
             let mut groups: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
-            while let Some(r) = input.next_row()? {
-                let key = GroupKey::from_values(self.group.iter().map(|&i| r.get(i)));
-                let slot = match index.get(&key) {
-                    Some(&s) => s,
-                    None => {
-                        let key_vals: Vec<Value> =
-                            self.group.iter().map(|&i| r.get(i).clone()).collect();
-                        let accs: Vec<Acc> = self.aggs.iter().map(|a| Acc::new(a.func)).collect();
-                        groups.push((key_vals, accs));
-                        index.insert(key, groups.len() - 1);
-                        groups.len() - 1
+            if self.batch_rows > 0 {
+                while let Some(b) = input.next_batch(self.batch_rows)? {
+                    let args = eval_agg_args(&self.aggs, &b)?;
+                    for r in 0..b.num_rows() {
+                        let key = GroupKey::from_values(self.group.iter().map(|&i| &b.col(i)[r]));
+                        let slot = match index.get(&key) {
+                            Some(&s) => s,
+                            None => {
+                                let key_vals: Vec<Value> =
+                                    self.group.iter().map(|&i| b.col(i)[r].clone()).collect();
+                                let accs: Vec<Acc> =
+                                    self.aggs.iter().map(|a| Acc::new(a.func)).collect();
+                                groups.push((key_vals, accs));
+                                index.insert(key, groups.len() - 1);
+                                groups.len() - 1
+                            }
+                        };
+                        for (acc, arg) in groups[slot].1.iter_mut().zip(&args) {
+                            acc.update(arg.as_ref().map(|col| &col[r]))?;
+                        }
                     }
-                };
-                update_accs(&mut groups[slot].1, &self.aggs, &r)?;
+                }
+            } else {
+                while let Some(r) = input.next_row()? {
+                    let key = GroupKey::from_values(self.group.iter().map(|&i| r.get(i)));
+                    let slot = match index.get(&key) {
+                        Some(&s) => s,
+                        None => {
+                            let key_vals: Vec<Value> =
+                                self.group.iter().map(|&i| r.get(i).clone()).collect();
+                            let accs: Vec<Acc> =
+                                self.aggs.iter().map(|a| Acc::new(a.func)).collect();
+                            groups.push((key_vals, accs));
+                            index.insert(key, groups.len() - 1);
+                            groups.len() - 1
+                        }
+                    };
+                    update_accs(&mut groups[slot].1, &self.aggs, &r)?;
+                }
             }
             let rows: Vec<Row> = groups
                 .into_iter()
@@ -574,18 +716,26 @@ pub struct SortAggOp {
     input: Option<BoxOp>,
     group: Vec<usize>,
     aggs: Vec<AggExpr>,
+    batch_rows: usize,
     out: Option<std::vec::IntoIter<Row>>,
 }
 
 impl SortAggOp {
-    /// Create a sort aggregation.
+    /// Create a sort aggregation (row-at-a-time input drain).
     pub fn new(input: BoxOp, group: Vec<usize>, aggs: Vec<AggExpr>) -> SortAggOp {
         SortAggOp {
             input: Some(input),
             group,
             aggs,
+            batch_rows: 0,
             out: None,
         }
+    }
+
+    /// Drain the input in batches of `n` rows (0 keeps the row drain).
+    pub fn batched(mut self, n: usize) -> SortAggOp {
+        self.batch_rows = n;
+        self
     }
 }
 
@@ -594,8 +744,14 @@ impl Operator for SortAggOp {
         if self.out.is_none() {
             let mut input = self.input.take().expect("agg input consumed once");
             let mut rows = Vec::new();
-            while let Some(r) = input.next_row()? {
-                rows.push(r);
+            if self.batch_rows > 0 {
+                while let Some(b) = input.next_batch(self.batch_rows)? {
+                    rows.extend(b.into_rows());
+                }
+            } else {
+                while let Some(r) = input.next_row()? {
+                    rows.push(r);
+                }
             }
             let group = self.group.clone();
             rows.sort_by(|a, b| {
@@ -641,17 +797,26 @@ impl Operator for SortAggOp {
 pub struct PlainAggOp {
     input: Option<BoxOp>,
     aggs: Vec<AggExpr>,
+    batch_rows: usize,
     done: bool,
 }
 
 impl PlainAggOp {
-    /// Create a plain aggregation.
+    /// Create a plain aggregation (row-at-a-time input drain).
     pub fn new(input: BoxOp, aggs: Vec<AggExpr>) -> PlainAggOp {
         PlainAggOp {
             input: Some(input),
             aggs,
+            batch_rows: 0,
             done: false,
         }
+    }
+
+    /// Drain the input in batches of `n` rows (0 keeps the row drain);
+    /// aggregate arguments are then evaluated one column per batch.
+    pub fn batched(mut self, n: usize) -> PlainAggOp {
+        self.batch_rows = n;
+        self
     }
 }
 
@@ -663,8 +828,15 @@ impl Operator for PlainAggOp {
         self.done = true;
         let mut input = self.input.take().expect("agg input consumed once");
         let mut accs: Vec<Acc> = self.aggs.iter().map(|a| Acc::new(a.func)).collect();
-        while let Some(r) = input.next_row()? {
-            update_accs(&mut accs, &self.aggs, &r)?;
+        if self.batch_rows > 0 {
+            while let Some(b) = input.next_batch(self.batch_rows)? {
+                let args = eval_agg_args(&self.aggs, &b)?;
+                update_accs_batch(&mut accs, &args, b.num_rows())?;
+            }
+        } else {
+            while let Some(r) = input.next_row()? {
+                update_accs(&mut accs, &self.aggs, &r)?;
+            }
         }
         Ok(Some(Row(accs.into_iter().map(Acc::finalize).collect())))
     }

@@ -27,7 +27,7 @@
 
 use std::collections::HashMap;
 
-use nodb_common::{DataType, LineFormat, NoDbError, Result, Schema, Value, NO_POSITION};
+use nodb_common::{swar, DataType, LineFormat, NoDbError, Result, Schema, Value, NO_POSITION};
 
 /// JSON Lines records whose top-level keys name the attributes of a
 /// declared schema.
@@ -230,17 +230,19 @@ fn expect_end(line: &[u8], i: usize) -> Result<()> {
 /// quote, whether any escape was seen).
 fn scan_string(line: &[u8], start: usize) -> Result<(usize, bool)> {
     debug_assert_eq!(line.get(start), Some(&b'"'));
+    // SWAR jump to the next structural byte: everything between a `"` and
+    // a `\` is plain string payload the scanner never has to look at.
     let mut i = start + 1;
     let mut escaped = false;
-    while i < line.len() {
-        match line[i] {
-            b'"' => return Ok((i + 1, escaped)),
-            b'\\' => {
-                escaped = true;
-                i += 2;
-            }
-            _ => i += 1,
+    while let Some(off) = swar::find_byte2(&line[i.min(line.len())..], b'"', b'\\') {
+        let j = i + off;
+        if line[j] == b'"' {
+            return Ok((j + 1, escaped));
         }
+        // Backslash: the escaped byte after it is skipped unexamined, so
+        // an escaped quote never terminates the scan.
+        escaped = true;
+        i = j + 2;
     }
     Err(NoDbError::parse(format!(
         "unterminated string starting at offset {start}"
@@ -588,5 +590,88 @@ mod tests {
         // From any anchor, advance lands where full tokenization does.
         assert_eq!(f.advance(line, pos[0], 0, 2).unwrap(), pos[2]);
         assert_eq!(f.advance(line, pos[2], 2, 1).unwrap(), NO_POSITION);
+    }
+}
+
+/// The SWAR string scanner against a byte-at-a-time reference (the
+/// pre-SWAR loop), over arbitrary string payloads: escapes (including
+/// trailing lone backslashes), escaped quotes, unicode multi-byte
+/// sequences, and tails straddling the 8-byte word boundary.
+#[cfg(test)]
+mod swar_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ref_scan_string(line: &[u8], start: usize) -> Result<(usize, bool)> {
+        let mut i = start + 1;
+        let mut escaped = false;
+        while i < line.len() {
+            match line[i] {
+                b'"' => return Ok((i + 1, escaped)),
+                b'\\' => {
+                    escaped = true;
+                    i += 2;
+                }
+                _ => i += 1,
+            }
+        }
+        Err(NoDbError::parse(format!(
+            "unterminated string starting at offset {start}"
+        )))
+    }
+
+    /// String payloads heavy in structural bytes, plus arbitrary bytes
+    /// (so unicode continuation bytes and every lane value appear).
+    fn payload() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(
+            prop_oneof![Just(b'"'), Just(b'\\'), Just(0xe2u8), any::<u8>()],
+            0..64,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn scan_string_matches_reference(tail in payload(), close in any::<bool>()) {
+            let mut line = vec![b'"'];
+            line.extend_from_slice(&tail);
+            if close {
+                line.push(b'"');
+            }
+            let got = scan_string(&line, 0);
+            let want = ref_scan_string(&line, 0);
+            match (got, want) {
+                (Ok(g), Ok(w)) => prop_assert_eq!(g, w),
+                (Err(_), Err(_)) => {}
+                (g, w) => prop_assert!(false, "diverged: {:?} vs {:?}", g, w),
+            }
+        }
+
+        /// End-to-end: positions_upto + parse_at over escaped/unicode
+        /// strings keep behaving like the schema walk they replace.
+        #[test]
+        fn parse_round_trips_escaped_strings(s in "[a-z\"\\\\\u{e9}\u{4e16} ]{0,24}") {
+            let encoded = {
+                let mut e = String::from("{\"k\":\"");
+                for c in s.chars() {
+                    match c {
+                        '"' => e.push_str("\\\""),
+                        '\\' => e.push_str("\\\\"),
+                        c => e.push(c),
+                    }
+                }
+                e.push_str("\"}");
+                e
+            };
+            let f = JsonFormat::new(vec!["k".to_string()]);
+            let mut out = Vec::new();
+            let n = f.positions_upto(encoded.as_bytes(), 0, &mut out).unwrap();
+            prop_assert_eq!(n, 1);
+            let v = f
+                .parse_at(encoded.as_bytes(), out[0], DataType::Text)
+                .unwrap();
+            // The empty string is NULL, matching the empty CSV field.
+            let want = if s.is_empty() { Value::Null } else { Value::Text(s) };
+            prop_assert_eq!(v, want);
+        }
     }
 }
