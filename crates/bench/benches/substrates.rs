@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 use nodb_cache::{CacheConfig, ColumnBuilder, RawCache};
-use nodb_common::{DataType, IoBackend, LineFormat, Row, Schema, TempDir, Value};
+use nodb_common::{ByteSize, DataType, IoBackend, LineFormat, Row, Schema, TempDir, Value};
 use nodb_core::{AccessMode, NoDb, NoDbConfig, Params};
 use nodb_csv::tokenize;
 use nodb_csv::{CsvOptions, MicroGen};
@@ -754,6 +754,77 @@ fn bench_server(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cost of living under an auxiliary-structure budget (ISSUE 8): the
+/// same warm workload on an unbudgeted engine, one whose budgets never
+/// bind (pure enforcement overhead — should be noise), and one capped
+/// at half the measured working set (evicted state is re-read from the
+/// raw file, pricing the budget's I/O tax). Cold scans bound the
+/// build-plus-enforce path. Row counts are asserted identical outside
+/// the timed bodies.
+fn bench_budget(c: &mut Criterion) {
+    const ROWS: usize = 8_000;
+    let td = TempDir::new("nodb-bench-budget").expect("tempdir");
+    let csv_path = td.file("b.csv");
+    let csv_spec = MicroGen::default().rows(ROWS).cols(20).seed(23);
+    csv_spec.write_to(&csv_path).expect("write csv");
+    let csv_schema = csv_spec.schema();
+    let query = "select c0, c9 from t where c4 < 500000000";
+
+    let engine = |posmap: Option<ByteSize>, cache: Option<ByteSize>| {
+        let mut cfg = NoDbConfig::postgres_raw();
+        cfg.scan_threads = 1;
+        cfg.io_backend = IoBackend::Read;
+        cfg.posmap_budget = posmap;
+        cfg.cache_budget = cache;
+        let mut db = NoDb::new(cfg).expect("engine");
+        db.register_csv(
+            "t",
+            &csv_path,
+            csv_schema.clone(),
+            CsvOptions::default(),
+            AccessMode::InSitu,
+        )
+        .expect("register");
+        db
+    };
+
+    // Measure the unbudgeted working set to size the binding budgets.
+    let free = engine(None, None);
+    let expected = free.query(query).expect("probe").rows.len();
+    assert!(expected > 0 && expected < ROWS);
+    let aux = free.aux_info("t").expect("aux");
+    let half_pm = ByteSize((aux.posmap_bytes / 2) as u64);
+    let half_cache = ByteSize((aux.cache_bytes / 2) as u64);
+    let slack = Some(ByteSize::gb(1));
+
+    let mut g = c.benchmark_group("substrate_budget");
+    g.sample_size(10);
+    for (name, db) in [
+        ("unbudgeted", free),
+        ("slack_budget", engine(slack, slack)),
+        ("half_working_set", engine(Some(half_pm), Some(half_cache))),
+    ] {
+        assert_eq!(
+            db.query(query).expect("query").rows.len(),
+            expected,
+            "{name}"
+        );
+        g.bench_function(format!("cold_scan/{name}"), |b| {
+            b.iter_batched(
+                || db.drop_aux("t").expect("drop aux"),
+                |()| db.query(query).expect("query").rows.len(),
+                BatchSize::SmallInput,
+            );
+        });
+        db.drop_aux("t").expect("drop aux");
+        db.query(query).expect("warm-up");
+        g.bench_function(format!("warm_scan/{name}"), |b| {
+            b.iter(|| db.query(query).expect("query").rows.len());
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     substrates,
     bench_tokenizer,
@@ -768,6 +839,7 @@ criterion_group!(
     bench_io_backend,
     bench_prepared,
     bench_batch,
-    bench_server
+    bench_server,
+    bench_budget
 );
 criterion_main!(substrates);

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use nodb_common::ByteSize;
+use nodb_common::{ByteSize, WorkloadLog};
 
 use crate::column::CachedColumn;
 
@@ -14,9 +14,15 @@ pub struct CacheConfig {
     /// Byte budget; `None` = unlimited ("the size of the cache is a
     /// parameter that can be tuned depending on the resources", §4.3).
     pub budget: Option<ByteSize>,
-    /// How strongly conversion cost protects an entry from eviction, in
-    /// LRU clock ticks per cost unit. 0 = plain LRU.
+    /// How strongly conversion cost protects an entry from eviction.
+    /// Without a workload log: LRU clock ticks per cost unit (0 = plain
+    /// LRU). With one: 0 drops conversion cost from the heat priority.
     pub cost_weight: u64,
+    /// Per-attribute access-frequency log. When present, budget
+    /// evictions pick the victim by workload-heat × conversion-cost
+    /// (coldest, cheapest-to-rebuild column first; recency breaks
+    /// ties) instead of pure recency.
+    pub workload: Option<Arc<WorkloadLog>>,
 }
 
 impl Default for CacheConfig {
@@ -24,6 +30,7 @@ impl Default for CacheConfig {
         CacheConfig {
             budget: None,
             cost_weight: 16,
+            workload: None,
         }
     }
 }
@@ -195,40 +202,73 @@ impl RawCache {
         self.bytes = 0;
     }
 
+    /// Eviction priority of one entry: the *minimum* goes first. Without
+    /// a workload log: recency plus a conversion-cost bonus (the
+    /// original cost-aware LRU). With one: workload-heat ×
+    /// conversion-cost, recency only breaking ties — a column the
+    /// workload hammers survives a burst of one-off touches to cold
+    /// columns.
+    fn eviction_priority(&self, e: &Entry) -> (u64, u64) {
+        let cost = e.col.dtype.conversion_cost() as u64;
+        let touch = e.last_touch.load(Ordering::Relaxed);
+        match &self.cfg.workload {
+            Some(w) => {
+                let heat = w.heat(e.col.attr) + 1;
+                let primary = if self.cfg.cost_weight > 0 {
+                    heat.saturating_mul(cost)
+                } else {
+                    heat
+                };
+                (primary, touch)
+            }
+            None => (touch + cost * self.cfg.cost_weight, 0),
+        }
+    }
+
+    fn remove_entry(&mut self, key: (u64, u32)) {
+        if let Some(e) = self.entries.remove(&key) {
+            self.bytes -= e.col.bytes();
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Evict until within budget. The most recent insert (`protect`) is
-    /// only evicted if it alone exceeds the budget.
+    /// only evicted if it alone exceeds the budget — and in that case it
+    /// is evicted *first*, before anything else: an impossible-to-fit
+    /// column must not drain every other entry on its way out (it would
+    /// wipe well-used columns and re-trigger on every later scan of the
+    /// same column).
     fn enforce_budget(&mut self, protect: (u64, u32)) {
         let Some(budget) = self.cfg.budget else {
             return;
         };
         let budget = budget.bytes() as usize;
+        if self.bytes <= budget {
+            return;
+        }
+        if self
+            .entries
+            .get(&protect)
+            .is_some_and(|e| e.col.bytes() > budget)
+        {
+            self.remove_entry(protect);
+        }
         while self.bytes > budget && self.entries.len() > 1 {
-            // Victim: minimal last_touch + cost bonus. Expensive-to-convert
-            // types survive longer at equal recency (§4.3).
             let victim = self
                 .entries
                 .iter()
                 .filter(|(k, _)| **k != protect)
-                .min_by_key(|(_, e)| {
-                    e.last_touch.load(Ordering::Relaxed)
-                        + e.col.dtype.conversion_cost() as u64 * self.cfg.cost_weight
-                })
+                .min_by_key(|(_, e)| self.eviction_priority(e))
                 .map(|(k, _)| *k);
             match victim {
-                Some(k) => {
-                    if let Some(e) = self.entries.remove(&k) {
-                        self.bytes -= e.col.bytes();
-                        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
+                Some(k) => self.remove_entry(k),
                 None => break,
             }
         }
         if self.bytes > budget && self.entries.len() == 1 {
-            // A single oversized entry: honour the budget strictly.
-            if let Some(e) = self.entries.remove(&protect) {
-                self.bytes -= e.col.bytes();
-                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            // A single oversized survivor: honour the budget strictly.
+            if let Some(k) = self.entries.keys().next().copied() {
+                self.remove_entry(k);
             }
         }
     }
@@ -292,6 +332,7 @@ mod tests {
         let cfg = CacheConfig {
             budget: Some(ByteSize((one * 2 + one / 2) as u64)),
             cost_weight: 0, // plain LRU for determinism here
+            workload: None,
         };
         let mut c = RawCache::new(cfg);
         c.insert(full_col(0, 0, DataType::Int32, 256));
@@ -315,6 +356,7 @@ mod tests {
         let cfg = CacheConfig {
             budget: Some(ByteSize(budget as u64)),
             cost_weight: 1000,
+            workload: None,
         };
         let mut c = RawCache::new(cfg);
         c.insert(tcol);
@@ -331,6 +373,7 @@ mod tests {
         let cfg = CacheConfig {
             budget: Some(ByteSize((col.bytes() / 2) as u64)),
             cost_weight: 0,
+            workload: None,
         };
         let mut c = RawCache::new(cfg);
         c.insert(col);
@@ -344,6 +387,7 @@ mod tests {
         let cfg = CacheConfig {
             budget: Some(ByteSize((col.bytes() * 2) as u64)),
             cost_weight: 0,
+            workload: None,
         };
         let mut c = RawCache::new(cfg);
         assert_eq!(c.utilization(), 0.0);
@@ -358,5 +402,124 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_insert_does_not_drain_the_cache() {
+        // Regression: an insert larger than the whole budget used to
+        // evict every *other* entry first, then drop itself — wiping the
+        // cache and thrashing on every later scan of the same column.
+        let small = full_col(0, 0, DataType::Int32, 64).bytes();
+        let cfg = CacheConfig {
+            budget: Some(ByteSize((small * 3) as u64)),
+            cost_weight: 0,
+            workload: None,
+        };
+        let mut c = RawCache::new(cfg);
+        c.insert(full_col(0, 0, DataType::Int32, 64));
+        c.insert(full_col(1, 0, DataType::Int32, 64));
+        let bytes_before = c.bytes();
+        c.insert(full_col(2, 1, DataType::Int32, 4096)); // > whole budget
+        assert!(c.peek(0, 0).is_some(), "resident entries must survive");
+        assert!(c.peek(1, 0).is_some(), "resident entries must survive");
+        assert!(c.peek(2, 1).is_none(), "the oversized column is rejected");
+        assert_eq!(c.bytes(), bytes_before);
+        assert_eq!(c.stats().evictions, 1, "only the oversized entry goes");
+        // And it thrashes nothing when it comes around again.
+        c.insert(full_col(2, 1, DataType::Int32, 4096));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn workload_heat_overrides_recency() {
+        // Attr 0 is hot (many scans), attr 1 cold (one). Under pure LRU
+        // the *least recently touched* entry — the hot one below — would
+        // be evicted; with the workload log the cold column goes instead.
+        let log = Arc::new(WorkloadLog::new());
+        for _ in 0..50 {
+            log.record_touches(&[0]);
+        }
+        log.record_touches(&[1]);
+        let one = full_col(0, 0, DataType::Int32, 256).bytes();
+        let cfg = CacheConfig {
+            budget: Some(ByteSize((one * 2 + one / 2) as u64)),
+            cost_weight: 0,
+            workload: Some(Arc::clone(&log)),
+        };
+        let mut c = RawCache::new(cfg);
+        c.insert(full_col(0, 0, DataType::Int32, 256)); // hot attr
+        c.insert(full_col(1, 1, DataType::Int32, 256)); // cold attr
+        let _ = c.get(1, 1); // cold is now the most recently used
+        c.insert(full_col(2, 0, DataType::Int32, 256)); // forces one eviction
+        assert!(c.peek(0, 0).is_some(), "hot column survives");
+        assert!(
+            c.peek(1, 1).is_none(),
+            "cold column evicted despite recency"
+        );
+        assert!(c.peek(2, 0).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn heat_ties_break_by_recency() {
+        // Equal heat (no touches at all) degrades to LRU order.
+        let cfg = CacheConfig {
+            budget: Some(ByteSize(
+                (full_col(0, 0, DataType::Int32, 256).bytes() * 2) as u64,
+            )),
+            cost_weight: 0,
+            workload: Some(Arc::new(WorkloadLog::new())),
+        };
+        let mut c = RawCache::new(cfg);
+        c.insert(full_col(0, 0, DataType::Int32, 256));
+        c.insert(full_col(1, 0, DataType::Int32, 256));
+        let _ = c.get(0, 0); // block 1 becomes LRU
+        c.insert(full_col(2, 0, DataType::Int32, 256));
+        assert!(c.peek(0, 0).is_some());
+        assert!(c.peek(1, 0).is_none(), "LRU tie-break");
+    }
+
+    #[test]
+    fn evictions_stay_consistent_under_concurrent_recency_stamps() {
+        // Readers hammer get_shared (atomic recency stamps + hit/miss
+        // counters under a shared lock) while a writer inserts past the
+        // budget. The books must balance: every inserted entry is either
+        // still resident or counted exactly once as an eviction.
+        use std::sync::RwLock;
+        let one = full_col(0, 0, DataType::Int32, 256).bytes();
+        let cache = Arc::new(RwLock::new(RawCache::new(CacheConfig {
+            budget: Some(ByteSize((one * 4) as u64)),
+            cost_weight: 0,
+            workload: None,
+        })));
+        const INSERTS: u64 = 64;
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..2000u64 {
+                        let g = cache.read().unwrap();
+                        let _ = g.get_shared((i + t) % INSERTS, 0);
+                    }
+                });
+            }
+            for b in 0..INSERTS {
+                cache
+                    .write()
+                    .unwrap()
+                    .insert(full_col(b, 0, DataType::Int32, 256));
+            }
+        });
+        let g = cache.read().unwrap();
+        let stats = g.stats();
+        assert_eq!(stats.inserts, INSERTS);
+        assert_eq!(stats.merges, 0);
+        assert_eq!(
+            stats.inserts,
+            g.len() as u64 + stats.evictions,
+            "inserted = resident + evicted"
+        );
+        assert!(g.bytes() <= one * 4);
     }
 }

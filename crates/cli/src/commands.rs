@@ -19,6 +19,12 @@ pub enum Command {
         /// Table name.
         table: String,
     },
+    /// Show the full resource-accounting view: scan metrics, phase
+    /// timings, auxiliary footprints and per-column workload heat.
+    Stats {
+        /// Table name.
+        table: String,
+    },
     /// Show a plan.
     Explain {
         /// Query text.
@@ -110,6 +116,10 @@ pub fn parse_line(input: &str) -> Result<Command, String> {
             Some("metrics") => match toks.get(1) {
                 Some(t) => Ok(Command::Metrics { table: t.clone() }),
                 None => Err("usage: \\metrics NAME".into()),
+            },
+            Some("stats") => match toks.get(1) {
+                Some(t) => Ok(Command::Stats { table: t.clone() }),
+                None => Err("usage: \\stats NAME".into()),
             },
             Some("explain") => {
                 let sql = rest.trim_start_matches("explain").trim();
@@ -260,5 +270,16 @@ mod tests {
         ));
         assert!(parse_line("\\metrics").is_err());
         assert!(parse_line("\\bogus").is_err());
+    }
+
+    #[test]
+    fn parses_stats() {
+        assert_eq!(
+            parse_line("\\stats events").unwrap(),
+            Command::Stats {
+                table: "events".into()
+            }
+        );
+        assert!(parse_line("\\stats").is_err());
     }
 }

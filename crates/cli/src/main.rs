@@ -14,11 +14,11 @@
 use std::io::{BufRead, Write};
 use std::path::Path;
 
-use nodb_common::{IoBackend, Schema};
+use nodb_common::{ByteSize, IoBackend, Schema};
 use nodb_core::{AccessMode, NoDb, NoDbConfig};
 use nodb_csv::CsvOptions;
 use nodb_fits::FitsProvider;
-use nodb_server::NodbClient;
+use nodb_server::{collect_stats, NodbClient, StatsPayload};
 
 mod commands;
 
@@ -62,6 +62,26 @@ fn main() {
                     Some(n) => config.batch_rows = n,
                     None => {
                         eprintln!("--batch-rows needs a row count (0 = row-at-a-time)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--posmap-budget" => {
+                i += 1;
+                match args.get(i).map(|s| ByteSize::parse(s)) {
+                    Some(Ok(b)) => config.posmap_budget = Some(b),
+                    _ => {
+                        eprintln!("--posmap-budget needs a byte size (e.g. 64MB, 1.5GB)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--cache-budget" => {
+                i += 1;
+                match args.get(i).map(|s| ByteSize::parse(s)) {
+                    Some(Ok(b)) => config.cache_budget = Some(b),
+                    _ => {
+                        eprintln!("--cache-budget needs a byte size (e.g. 64MB, 1.5GB)");
                         std::process::exit(2);
                     }
                 }
@@ -177,6 +197,11 @@ fn execute(
                 println!("Time: {:.3} ms", t.elapsed().as_secs_f64() * 1e3);
             }
         }
+        Command::Register { .. } if remote.is_some() => {
+            return Err("\\register is not available while connected to a server; \
+                        register tables with nodb-server --register, or \\disconnect first"
+                .into());
+        }
         Command::Register {
             name,
             path,
@@ -202,23 +227,21 @@ fn execute(
             println!("registered `{name}` -> {path}");
         }
         Command::Metrics { table } => {
-            let m = db.metrics(&table)?;
-            let i = db.aux_info(&table)?;
-            println!(
-                "scans={} rows_emitted={} tokenized={} parsed={} from_cache={} \
-                 via_map={} via_anchor={}",
-                m.scans,
-                m.rows_emitted,
-                m.fields_tokenized,
-                m.fields_parsed,
-                m.fields_from_cache,
-                m.fields_via_map,
-                m.fields_via_anchor
-            );
-            println!(
-                "posmap: {} pointers / {} bytes; cache: {} bytes; stats on {} attrs",
-                i.posmap_pointers, i.posmap_bytes, i.cache_bytes, i.stats_attrs
-            );
+            // While \connect'ed, read the *server's* engine over the
+            // Stats frame — the embedded engine has done no work, and
+            // printing its zeros for a remote table would be a lie.
+            let p = fetch_stats(db, remote, &table)?;
+            print_metrics(&p);
+        }
+        Command::Stats { table } => {
+            let p = fetch_stats(db, remote, &table)?;
+            print_metrics(&p);
+            print_profile(&p);
+        }
+        Command::Explain { .. } if remote.is_some() => {
+            return Err("\\explain is not available while connected to a server; \
+                        \\disconnect to plan against the embedded engine"
+                .into());
         }
         Command::Explain { sql } => {
             print!("{}", db.explain(&sql)?);
@@ -249,15 +272,81 @@ fn execute(
     Ok(())
 }
 
+/// One observability snapshot for `table`, from wherever SQL currently
+/// runs: the server's shared engine when `\connect`ed (over the Stats
+/// frame), the embedded engine otherwise. Both paths produce the same
+/// [`StatsPayload`], so `\metrics` / `\stats` render identically.
+fn fetch_stats(
+    db: &NoDb,
+    remote: &mut Option<NodbClient>,
+    table: &str,
+) -> Result<StatsPayload, Box<dyn std::error::Error>> {
+    match remote.as_mut() {
+        Some(client) => Ok(client.table_stats(table)?),
+        None => Ok(collect_stats(db, table)?),
+    }
+}
+
+fn print_metrics(p: &StatsPayload) {
+    println!(
+        "scans={} rows_emitted={} tokenized={} parsed={} from_cache={} \
+         via_map={} via_anchor={}",
+        p.scans,
+        p.rows_emitted,
+        p.fields_tokenized,
+        p.fields_parsed,
+        p.fields_from_cache,
+        p.fields_via_map,
+        p.fields_via_anchor
+    );
+    println!(
+        "posmap: {} pointers / {} bytes; cache: {} bytes ({:.1}% of budget); stats on {} attrs",
+        p.posmap_pointers,
+        p.posmap_bytes,
+        p.cache_bytes,
+        p.cache_utilization * 100.0,
+        p.stats_attrs
+    );
+}
+
+fn print_profile(p: &StatsPayload) {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!(
+        "phase: io {:.3} ms / {} bytes; tokenize {:.3} ms / {} bytes; \
+         parse {:.3} ms / {} values",
+        ms(p.io_ns),
+        p.io_bytes,
+        ms(p.tokenize_ns),
+        p.tokenize_bytes,
+        ms(p.parse_ns),
+        p.parse_values
+    );
+    if p.heats.is_empty() {
+        println!("workload: no column touches recorded");
+    } else {
+        let cols: Vec<String> = p
+            .heats
+            .iter()
+            .map(|(attr, heat)| format!("#{attr}={heat}"))
+            .collect();
+        println!("workload heat (decayed touches): {}", cols.join(" "));
+    }
+}
+
 fn print_help() {
     println!(
         "usage: nodb [--io-backend auto|read|mmap] [--scan-threads N] [--batch-rows N]\n\
+         \x20          [--posmap-budget SIZE] [--cache-budget SIZE]\n\
          \n\
          --io-backend B                        raw-file I/O substrate (default: auto — mmap\n\
          \x20                                     where supported; NODB_IO_BACKEND overrides)\n\
          --scan-threads N                      cold-scan worker threads (0 = one per core)\n\
          --batch-rows N                        rows per vectorized batch (default 1024;\n\
          \x20                                     0 = row-at-a-time; NODB_BATCH_ROWS overrides)\n\
+         --posmap-budget SIZE                  positional-map memory cap per table, e.g. 64MB\n\
+         \x20                                     (default unbounded; NODB_POSMAP_BUDGET overrides)\n\
+         --cache-budget SIZE                   parsed-value cache cap per table, e.g. 256MB\n\
+         \x20                                     (default unbounded; NODB_CACHE_BUDGET overrides)\n\
          \n\
          \\register NAME PATH \"col type, ...\"   register a CSV file (in situ)\n\
          \\register NAME PATH.jsonl \"col type, ...\"  register a JSON Lines file (keys = column names)\n\
@@ -265,6 +354,8 @@ fn print_help() {
          \\sep NAME PATH '|' \"col type, ...\"    register with a delimiter\n\
          \\explain SELECT ...                   show the query plan\n\
          \\metrics NAME                         show scan work counters\n\
+         \\stats NAME                           counters + phase timings + workload heat\n\
+         \x20                                     (local, or the server's when \\connect'ed)\n\
          \\connect HOST:PORT | unix:PATH        attach to a running nodb-server; SQL runs there\n\
          \\disconnect                           detach and run SQL locally again\n\
          \\timing [on|off]                      toggle per-statement wall-clock reporting\n\

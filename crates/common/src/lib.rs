@@ -30,6 +30,7 @@ pub mod swar;
 pub mod tempdir;
 pub mod types;
 pub mod value;
+pub mod workload;
 
 pub use bytesize::ByteSize;
 pub use date::Date;
@@ -41,3 +42,4 @@ pub use schema::{Field, Schema};
 pub use tempdir::TempDir;
 pub use types::DataType;
 pub use value::Value;
+pub use workload::WorkloadLog;

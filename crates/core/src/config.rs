@@ -22,8 +22,15 @@ pub struct NoDbConfig {
     /// Collect statistics on the fly and let the planner use them (§4.4).
     pub enable_stats: bool,
     /// Storage threshold for the positional map (attribute chunks).
+    /// `None` (the default) never evicts. The `NODB_POSMAP_BUDGET`
+    /// environment variable (a [`ByteSize`], e.g. `64MB`) overrides the
+    /// constructor default; a malformed value is rejected at
+    /// [`NoDb::new`](crate::NoDb::new) like `NODB_IO_BACKEND`.
     pub posmap_budget: Option<ByteSize>,
-    /// Byte budget for the cache.
+    /// Byte budget for the cache. `None` (the default) never evicts.
+    /// The `NODB_CACHE_BUDGET` environment variable overrides the
+    /// constructor default, with the same loud-failure contract as
+    /// `NODB_POSMAP_BUDGET`.
     pub cache_budget: Option<ByteSize>,
     /// How strongly conversion cost protects cache entries from eviction
     /// (LRU clock ticks per cost unit; 0 = plain LRU). §4.3: "the
@@ -107,8 +114,8 @@ impl NoDbConfig {
             enable_posmap: true,
             enable_cache: true,
             enable_stats: true,
-            posmap_budget: None,
-            cache_budget: None,
+            posmap_budget: posmap_budget_from_env().ok().flatten(),
+            cache_budget: cache_budget_from_env().ok().flatten(),
             cache_cost_weight: 16,
             posmap_block_rows: 4096,
             posmap_spill_dir: None,
@@ -191,6 +198,35 @@ pub fn batch_rows_from_env() -> Result<Option<usize>> {
         Err(std::env::VarError::NotUnicode(_)) => Err(NoDbError::config(
             "NODB_BATCH_ROWS is set but not valid UTF-8",
         )),
+    }
+}
+
+/// The positional-map budget requested by the `NODB_POSMAP_BUDGET`
+/// environment variable, or `None` when unset/empty. Parsed with
+/// [`ByteSize::parse`] (`512`, `64kb`, `14.3MB`, ...); a malformed value
+/// is an error surfaced at `NoDb::new`, with the same
+/// silent-fallback-in-`Default` contract as [`batch_rows_from_env`].
+pub fn posmap_budget_from_env() -> Result<Option<ByteSize>> {
+    budget_from_env("NODB_POSMAP_BUDGET")
+}
+
+/// The cache budget requested by the `NODB_CACHE_BUDGET` environment
+/// variable, or `None` when unset/empty. Same contract as
+/// [`posmap_budget_from_env`].
+pub fn cache_budget_from_env() -> Result<Option<ByteSize>> {
+    budget_from_env("NODB_CACHE_BUDGET")
+}
+
+fn budget_from_env(var: &str) -> Result<Option<ByteSize>> {
+    match std::env::var(var) {
+        Ok(s) if s.trim().is_empty() => Ok(None),
+        Ok(s) => ByteSize::parse(s.trim())
+            .map(Some)
+            .map_err(|e| NoDbError::config(format!("invalid {var}: {e}"))),
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(_)) => Err(NoDbError::config(format!(
+            "{var} is set but not valid UTF-8"
+        ))),
     }
 }
 

@@ -40,6 +40,7 @@
 
 pub mod config;
 pub mod idle;
+pub mod profile;
 pub mod runtime;
 pub mod scan;
 pub mod session;
@@ -47,6 +48,7 @@ pub mod session;
 pub use config::{AccessMode, NoDbConfig};
 pub use idle::{IdleFocus, IdleReport};
 pub use nodb_common::IoBackend;
+pub use profile::{PhaseProfile, PhaseProfileAtomic, QueryProfile};
 pub use runtime::{RawTableRuntime, ScanMetrics, ScanMetricsAtomic};
 pub use scan::{AuxFlags, InSituScanOp};
 pub use session::{Params, QueryCursor, Statement};
@@ -138,14 +140,17 @@ pub struct NoDb {
 impl NoDb {
     /// Create an engine.
     ///
-    /// Rejects a malformed `NODB_IO_BACKEND` or `NODB_BATCH_ROWS`
-    /// environment value with [`NoDbError::Config`]: config construction
-    /// silently falls back to its defaults (it must stay infallible), so
-    /// the typo is surfaced here, on the normal error path, before any
-    /// query can run under the wrong substrate or pull style.
+    /// Rejects a malformed `NODB_IO_BACKEND`, `NODB_BATCH_ROWS`,
+    /// `NODB_POSMAP_BUDGET` or `NODB_CACHE_BUDGET` environment value
+    /// with [`NoDbError::Config`]: config construction silently falls
+    /// back to its defaults (it must stay infallible), so the typo is
+    /// surfaced here, on the normal error path, before any query can run
+    /// under the wrong substrate, pull style or budget.
     pub fn new(config: NoDbConfig) -> Result<NoDb> {
         IoBackend::from_env()?;
         crate::config::batch_rows_from_env()?;
+        crate::config::posmap_budget_from_env()?;
+        crate::config::cache_budget_from_env()?;
         let (tmp, data_dir) = match &config.data_dir {
             Some(d) => {
                 std::fs::create_dir_all(d)?;
@@ -428,6 +433,33 @@ impl NoDb {
         let entry = self.entry(table)?;
         match &entry.runtime {
             Some(rt) => Ok(rt.metrics.snapshot()),
+            None => Err(NoDbError::catalog(format!(
+                "table `{table}` has no in-situ runtime"
+            ))),
+        }
+    }
+
+    /// Cumulative per-phase resource profile for an in-situ table
+    /// (sampled wall-clock estimates plus exact byte/value volumes; see
+    /// [`PhaseProfile`]).
+    pub fn profile(&self, table: &str) -> Result<PhaseProfile> {
+        let entry = self.entry(table)?;
+        match &entry.runtime {
+            Some(rt) => Ok(rt.profile.snapshot()),
+            None => Err(NoDbError::catalog(format!(
+                "table `{table}` has no in-situ runtime"
+            ))),
+        }
+    }
+
+    /// Per-attribute workload heat for an in-situ table: the decayed
+    /// access-frequency counters the budgeted cache/posmap eviction
+    /// policies consult, indexed by table attribute ordinal (attributes
+    /// never touched may be absent from the tail).
+    pub fn workload_heats(&self, table: &str) -> Result<Vec<u64>> {
+        let entry = self.entry(table)?;
+        match &entry.runtime {
+            Some(rt) => Ok(rt.workload.heats()),
             None => Err(NoDbError::catalog(format!(
                 "table `{table}` has no in-situ runtime"
             ))),

@@ -10,15 +10,17 @@
 //! write-locked critical sections.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use nodb_cache::{CacheConfig, RawCache};
-use nodb_common::Result;
+use nodb_common::{Result, WorkloadLog};
 use nodb_posmap::{PosMapConfig, PositionalMap};
 use nodb_stats::TableStats;
 
 use crate::config::NoDbConfig;
+use crate::profile::PhaseProfileAtomic;
 
 /// Cumulative work counters for one raw table. Benchmarks and tests use
 /// these to verify *why* performance changes (e.g. the second query
@@ -122,6 +124,12 @@ pub struct RawTableRuntime {
     pub stats: Mutex<TableStats>,
     /// Work counters.
     pub metrics: ScanMetricsAtomic,
+    /// Cumulative per-phase wall-clock and bytes for scans of this table
+    /// (kept out of [`ScanMetrics`] so the latter stays deterministic).
+    pub profile: PhaseProfileAtomic,
+    /// Per-attribute access-frequency log; scans record touches here and
+    /// the budgeted cache/posmap eviction policies consult it.
+    pub workload: Arc<WorkloadLog>,
     /// File length when the auxiliary structures were last valid (append
     /// / in-place-edit detection, §4.5).
     file_len_seen: Mutex<u64>,
@@ -130,18 +138,23 @@ pub struct RawTableRuntime {
 impl RawTableRuntime {
     /// Fresh runtime from the engine configuration.
     pub fn new(cfg: &NoDbConfig) -> RawTableRuntime {
+        let workload = Arc::new(WorkloadLog::new());
         RawTableRuntime {
             posmap: RwLock::new(PositionalMap::new(PosMapConfig {
                 block_rows: cfg.posmap_block_rows,
                 budget: cfg.posmap_budget,
                 spill_dir: cfg.posmap_spill_dir.clone(),
+                workload: Some(Arc::clone(&workload)),
             })),
             cache: RwLock::new(RawCache::new(CacheConfig {
                 budget: cfg.cache_budget,
                 cost_weight: cfg.cache_cost_weight,
+                workload: Some(Arc::clone(&workload)),
             })),
             stats: Mutex::new(TableStats::new()),
             metrics: ScanMetricsAtomic::default(),
+            profile: PhaseProfileAtomic::default(),
+            workload,
             file_len_seen: Mutex::new(0),
         }
     }

@@ -58,6 +58,7 @@ use nodb_posmap::{AttrPositions, BlockCollector, SegmentCollector};
 use nodb_sql::BoundExpr;
 use nodb_stats::StatsBuilder;
 
+use crate::profile::{self, PhaseProfile, PhaseProfileAtomic, SampledClock};
 use crate::runtime::{RawTableRuntime, ScanMetrics};
 
 /// Which auxiliary structures this scan may read and write.
@@ -113,6 +114,12 @@ pub struct InSituScanOp {
     threads: usize,
     ctx: Ctx,
 
+    /// The accumulator of the query this scan belongs to, captured from
+    /// the thread-local installed by `Statement::execute` at operator
+    /// construction time (`None` for scans built outside a query, e.g.
+    /// idle-time exploitation).
+    query_profile: Option<Arc<PhaseProfileAtomic>>,
+
     prepared: bool,
     done: bool,
     out: VecDeque<Row>,
@@ -166,6 +173,7 @@ impl InSituScanOp {
                 select_locals: Vec::new(),
                 sample_stride: sample_stride.max(1),
             },
+            query_profile: profile::current_query(),
             prepared: false,
             done: false,
             out: VecDeque::new(),
@@ -194,6 +202,12 @@ impl InSituScanOp {
             .filter(|i| !where_set.contains(i))
             .collect();
 
+        // Workload log: one touch per projected attribute per scan (file
+        // ordinals, not projection-local ones). Pure observation — with
+        // no budget set nothing ever consults it.
+        let touched: Vec<u32> = self.ctx.projection.iter().map(|&a| a as u32).collect();
+        self.runtime.workload.record_touches(&touched);
+
         // Statistics: only for attributes whose values this scan parses
         // for *every* tuple (WHERE attributes always; SELECT attributes
         // only when there is no predicate), and without stats yet.
@@ -214,6 +228,19 @@ impl InSituScanOp {
         }
         self.prepared = true;
         Ok(())
+    }
+
+    /// Publish a block's/pass's locally accumulated phase deltas to the
+    /// table's cumulative profile and (when this scan belongs to a
+    /// query) the query's.
+    fn add_profile(&self, p: &PhaseProfile) {
+        if p.is_empty() {
+            return;
+        }
+        self.runtime.profile.add(p);
+        if let Some(q) = &self.query_profile {
+            q.add(p);
+        }
     }
 
     /// Sequential-tokenization region: rows past the end-of-line
@@ -274,6 +301,8 @@ impl InSituScanOp {
             self.reader = Some(reader);
         }
         let mut metrics = ScanMetrics::default();
+        let mut prof = PhaseProfile::default();
+        let mut clock = SampledClock::default();
         let mut line = Vec::new();
         let mut starts: Vec<u32> = Vec::with_capacity(max_attr + 1);
         // Keep every position tokenized along the way (§4.2, "all
@@ -298,7 +327,10 @@ impl InSituScanOp {
 
         while self.next_row < block_end {
             let reader = self.reader.as_mut().expect("created above");
-            let Some(line_start) = reader.next_line(&mut line)? else {
+            clock.start(self.next_row);
+            let fetched = reader.next_line(&mut line)?;
+            clock.stop(&mut prof.io_ns);
+            let Some(line_start) = fetched else {
                 // Completing fixes the row count, so only do it when our
                 // records actually reached the index (not when we were
                 // continuing privately past a dropped index).
@@ -328,6 +360,7 @@ impl InSituScanOp {
                 continue;
             }
             starts.clear();
+            clock.start(self.next_row);
             let found = self
                 .ctx
                 .format
@@ -335,6 +368,7 @@ impl InSituScanOp {
                 .map_err(|e| {
                     e.at_raw_location(&self.ctx.path, Some(self.next_row), Some(line_start))
                 })?;
+            clock.stop(&mut prof.tokenize_ns);
             if found < max_attr + 1 {
                 return Err(NoDbError::parse(format!(
                     "record has {found} fields, need at least {}",
@@ -356,6 +390,7 @@ impl InSituScanOp {
             for v in row_buf.iter_mut() {
                 *v = Value::Null;
             }
+            clock.start(self.next_row);
             let mut ok = true;
             for li in 0..self.ctx.where_locals.len() {
                 let local = self.ctx.where_locals[li];
@@ -407,6 +442,7 @@ impl InSituScanOp {
                 self.out.push_back(Row(row_buf.clone()));
                 metrics.rows_emitted += 1;
             }
+            clock.stop(&mut prof.parse_ns);
             self.next_row += 1;
         }
 
@@ -436,6 +472,11 @@ impl InSituScanOp {
                 cache.insert(b.build());
             }
         }
+        // Sequential tokenization reads exactly the bytes it tokenizes.
+        prof.io_bytes = metrics.bytes_tokenized;
+        prof.tokenize_bytes = metrics.bytes_tokenized;
+        prof.parse_values = metrics.fields_parsed;
+        self.add_profile(&prof);
         runtime.metrics.add(&metrics);
         Ok(())
     }
@@ -527,6 +568,7 @@ impl InSituScanOp {
         // write section), then block-aligned map chunks and cache
         // columns.
         let mut metrics = ScanMetrics::default();
+        let mut prof = PhaseProfile::default();
         let mut seg_acc: Option<SegmentCollector> = None;
         let mut stage_acc: Option<ChunkStage> = None;
         let mut rows_so_far: u64 = 0;
@@ -559,6 +601,7 @@ impl InSituScanOp {
                 }
                 self.out.extend(o.emitted);
                 metrics.merge(&o.metrics);
+                prof.merge(&o.profile);
                 rows_so_far += n_rows;
             }
             if let Some(pm) = pm.as_mut() {
@@ -586,6 +629,7 @@ impl InSituScanOp {
                 }
             }
         }
+        self.add_profile(&prof);
         runtime.metrics.add(&metrics);
         self.next_row = first_row + rows_so_far;
         self.done = true;
@@ -598,6 +642,8 @@ impl InSituScanOp {
     fn process_mapped_block(&mut self) -> Result<()> {
         let runtime = Arc::clone(&self.runtime);
         let mut metrics = ScanMetrics::default();
+        let mut prof = PhaseProfile::default();
+        let mut clock = SampledClock::default();
         let needed: Vec<u32> = self.ctx.projection.iter().map(|&a| a as u32).collect();
 
         struct Snapshot {
@@ -730,14 +776,18 @@ impl InSituScanOp {
                     end_bound
                 };
                 line_buf.clear();
+                clock.start(r as u64);
                 let w = self.window.as_mut().expect("opened above");
                 let s = w.slice(line_start, (line_end - line_start) as usize)?;
                 line_buf.extend_from_slice(s);
+                clock.stop(&mut prof.io_ns);
+                prof.io_bytes += line_end - line_start;
                 while matches!(line_buf.last(), Some(b'\n') | Some(b'\r')) {
                     line_buf.pop();
                 }
             }
             let line: &[u8] = &line_buf;
+            clock.start(r as u64);
 
             // When collecting a new combination chunk, positions for all
             // needed attributes are resolved up front (the paper's
@@ -796,6 +846,7 @@ impl InSituScanOp {
             }
             row_buf = probe.0;
             if !ok {
+                clock.stop(&mut prof.parse_ns);
                 continue;
             }
             for li in 0..self.ctx.select_locals.len() {
@@ -823,6 +874,7 @@ impl InSituScanOp {
             }
             self.out.push_back(Row(row_buf.clone()));
             metrics.rows_emitted += 1;
+            clock.stop(&mut prof.parse_ns);
         }
 
         if let Some(c) = collector {
@@ -843,6 +895,8 @@ impl InSituScanOp {
                 }
             }
         }
+        prof.parse_values = metrics.fields_parsed;
+        self.add_profile(&prof);
         runtime.metrics.add(&metrics);
         self.next_row = cov_end;
         self.resume_byte = end_bound;
@@ -971,6 +1025,8 @@ struct ChunkScan {
     stat_samples: Vec<Vec<Value>>,
     /// Work done by this worker.
     metrics: ScanMetrics,
+    /// Phase timings/volumes accumulated by this worker.
+    profile: PhaseProfile,
 }
 
 /// Tokenize/parse one line-aligned chunk into private staging. Runs on a
@@ -1002,12 +1058,18 @@ fn scan_chunk(
         }),
         stat_samples: vec![Vec::new(); stat_locals.len()],
         metrics: ScanMetrics::default(),
+        profile: PhaseProfile::default(),
     };
+    let mut clock = SampledClock::default();
     let mut line = Vec::new();
     let mut starts: Vec<u32> = Vec::with_capacity(max_attr + 1);
     let mut row_buf: Vec<Value> = vec![Value::Null; ctx.projection.len()];
     let mut local_row: u32 = 0;
-    while let Some(line_start) = reader.next_line(&mut line)? {
+    loop {
+        clock.start(local_row as u64);
+        let fetched = reader.next_line(&mut line)?;
+        clock.stop(&mut out.profile.io_ns);
+        let Some(line_start) = fetched else { break };
         out.line_starts.push(line_start);
         out.metrics.bytes_tokenized += line.len() as u64 + 1;
         if ctx.projection.is_empty() {
@@ -1017,10 +1079,12 @@ fn scan_chunk(
             continue;
         }
         starts.clear();
+        clock.start(local_row as u64);
         let found = ctx
             .format
             .positions_upto(&line, max_attr, &mut starts)
             .map_err(|e| e.at_raw_location(&ctx.path, None, Some(line_start)))?;
+        clock.stop(&mut out.profile.tokenize_ns);
         if found < max_attr + 1 {
             return Err(NoDbError::parse(format!(
                 "record has {found} fields, need at least {}",
@@ -1036,6 +1100,7 @@ fn scan_chunk(
         for v in row_buf.iter_mut() {
             *v = Value::Null;
         }
+        clock.start(local_row as u64);
         let mut ok = true;
         for li in 0..ctx.where_locals.len() {
             let local = ctx.where_locals[li];
@@ -1077,8 +1142,12 @@ fn scan_chunk(
             out.emitted.push(Row(row_buf.clone()));
             out.metrics.rows_emitted += 1;
         }
+        clock.stop(&mut out.profile.parse_ns);
         local_row += 1;
     }
+    out.profile.io_bytes = out.metrics.bytes_tokenized;
+    out.profile.tokenize_bytes = out.metrics.bytes_tokenized;
+    out.profile.parse_values = out.metrics.fields_parsed;
     Ok(out)
 }
 

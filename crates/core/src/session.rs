@@ -46,11 +46,14 @@
 //! # }
 //! ```
 
+use std::sync::Arc;
+
 use nodb_common::{DataType, Date, NoDbError, Result, Row, Schema, Value};
 use nodb_exec::{build_plan, build_plan_with_params, RowCursor};
 use nodb_sql::binder::PlannerOptions;
 use nodb_sql::{parser, refresh_stats, LogicalPlan};
 
+use crate::profile::{self, PhaseProfileAtomic, QueryProfile, SampledClock};
 use crate::{NoDb, QueryResult};
 
 /// Positional parameter values for one execution of a [`Statement`].
@@ -235,6 +238,12 @@ impl Statement<'_> {
     /// group count known — the plan never goes stale).
     pub fn execute(&self, params: &Params) -> Result<QueryCursor> {
         let values = self.bind_values(params)?;
+        // Per-query resource accounting: install this execution's
+        // accumulator in the thread-local for the duration of plan
+        // lowering — scan operators (constructed inside `build_plan*`)
+        // capture it and attribute their phase work to this query.
+        let scan_profile = Arc::new(PhaseProfileAtomic::default());
+        let _scope = profile::enter_query(Arc::clone(&scan_profile));
         if self.db.config.enable_stats {
             // Substitute first so the refreshed estimates see concrete
             // constants (value-aware selectivities), then refresh.
@@ -245,6 +254,7 @@ impl Statement<'_> {
             Ok(QueryCursor::new(
                 schema,
                 RowCursor::with_batch(op, self.db.config.batch_rows),
+                scan_profile,
             ))
         } else {
             // The "w/o statistics" regime has nothing to refresh:
@@ -253,6 +263,7 @@ impl Statement<'_> {
             Ok(QueryCursor::new(
                 self.plan.schema().clone(),
                 RowCursor::with_batch(op, self.db.config.batch_rows),
+                scan_profile,
             ))
         }
     }
@@ -362,11 +373,41 @@ fn coerce_param(idx: usize, v: &Value, want: Option<DataType>) -> Result<Value> 
 pub struct QueryCursor {
     schema: Schema,
     rows: RowCursor,
+    /// Raw-scan phase accounting for this query (shared with the scan
+    /// operators inside the tree).
+    scan_profile: Arc<PhaseProfileAtomic>,
+    /// Sampled cursor-iteration time (see [`QueryProfile::exec_ns`]).
+    exec_ns: u64,
+    exec_clock: SampledClock,
+    rows_returned: u64,
 }
 
 impl QueryCursor {
-    pub(crate) fn new(schema: Schema, rows: RowCursor) -> QueryCursor {
-        QueryCursor { schema, rows }
+    pub(crate) fn new(
+        schema: Schema,
+        rows: RowCursor,
+        scan_profile: Arc<PhaseProfileAtomic>,
+    ) -> QueryCursor {
+        QueryCursor {
+            schema,
+            rows,
+            scan_profile,
+            exec_ns: 0,
+            exec_clock: SampledClock::default(),
+            rows_returned: 0,
+        }
+    }
+
+    /// What this query has spent so far, phase by phase: the raw-scan
+    /// work it drove (across every table it touched) plus sampled
+    /// cursor-iteration time and the rows returned. Valid at any point —
+    /// mid-stream, after exhaustion, or on an abandoned cursor.
+    pub fn profile(&self) -> QueryProfile {
+        QueryProfile {
+            scan: self.scan_profile.snapshot(),
+            exec_ns: self.exec_ns,
+            rows: self.rows_returned,
+        }
     }
 
     /// Output schema (names from aliases, inferred types).
@@ -386,12 +427,20 @@ impl QueryCursor {
     /// Drain the cursor into a materialized [`QueryResult`] (the
     /// classic [`NoDb::query`] shape). Fails on the first row error.
     pub fn collect(self) -> Result<QueryResult> {
-        let QueryCursor { schema, rows } = self;
+        Ok(self.collect_with_profile()?.0)
+    }
+
+    /// Drain the cursor like [`QueryCursor::collect`], additionally
+    /// returning the query's final [`QueryProfile`] (which `collect`
+    /// consumes along with the cursor).
+    pub fn collect_with_profile(mut self) -> Result<(QueryResult, QueryProfile)> {
         let mut out = Vec::new();
-        for r in rows {
+        for r in self.by_ref() {
             out.push(r?);
         }
-        Ok(QueryResult { schema, rows: out })
+        let profile = self.profile();
+        let QueryCursor { schema, .. } = self;
+        Ok((QueryResult { schema, rows: out }, profile))
     }
 }
 
@@ -399,7 +448,13 @@ impl Iterator for QueryCursor {
     type Item = Result<Row>;
 
     fn next(&mut self) -> Option<Result<Row>> {
-        self.rows.next()
+        self.exec_clock.start(self.rows_returned);
+        let r = self.rows.next();
+        self.exec_clock.stop(&mut self.exec_ns);
+        if matches!(r, Some(Ok(_))) {
+            self.rows_returned += 1;
+        }
+        r
     }
 }
 

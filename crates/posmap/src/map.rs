@@ -3,8 +3,9 @@
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use nodb_common::{ByteSize, Result};
+use nodb_common::{ByteSize, Result, WorkloadLog};
 
 use crate::chunk::Chunk;
 use crate::eol::EolIndex;
@@ -26,6 +27,11 @@ pub struct PosMapConfig {
     /// reloaded on access instead of being re-built by re-parsing (§4.2,
     /// "writing parts of the positional map from memory to disk").
     pub spill_dir: Option<PathBuf>,
+    /// Per-attribute access-frequency log. When present, budget
+    /// evictions pick the chunk whose hottest attribute is coldest
+    /// (recency breaking ties) instead of pure LRU, so the map retains
+    /// what the workload actually navigates by.
+    pub workload: Option<Arc<WorkloadLog>>,
 }
 
 impl Default for PosMapConfig {
@@ -34,6 +40,7 @@ impl Default for PosMapConfig {
             block_rows: 4096,
             budget: None,
             spill_dir: None,
+            workload: None,
         }
     }
 }
@@ -454,19 +461,37 @@ impl PositionalMap {
             return;
         };
         let budget = budget.bytes() as usize;
+        // One heat snapshot per enforcement pass (the log is shared and
+        // briefly locked per call).
+        let heats: Option<Vec<u64>> = self.cfg.workload.as_ref().map(|w| w.heats());
         while self.bytes_in_mem > budget {
-            // Find LRU in-memory chunk, excluding `protect` unless it is
-            // the only one left.
-            let mut victim: Option<(usize, u64)> = None;
+            // Find the next victim among in-memory chunks, excluding
+            // `protect` unless it is the only one left. Without a
+            // workload log the victim is the LRU chunk; with one it is
+            // the chunk whose hottest attribute is coldest (recency
+            // breaking ties).
+            let mut victim: Option<(usize, (u64, u64))> = None;
             let mut in_mem = 0usize;
             for (id, s) in self.slots.iter().enumerate() {
-                if matches!(s.state, SlotState::InMem(_)) {
+                if let SlotState::InMem(c) = &s.state {
                     in_mem += 1;
                     if id != protect {
                         let touch = s.last_touch.load(Ordering::Relaxed);
+                        let key = match &heats {
+                            Some(h) => {
+                                let heat = c
+                                    .attrs
+                                    .iter()
+                                    .map(|&a| h.get(a as usize).copied().unwrap_or(0))
+                                    .max()
+                                    .unwrap_or(0);
+                                (heat + 1, touch)
+                            }
+                            None => (touch, 0),
+                        };
                         match victim {
-                            Some((_, t)) if t <= touch => {}
-                            _ => victim = Some((id, touch)),
+                            Some((_, k)) if k <= key => {}
+                            _ => victim = Some((id, key)),
                         }
                     }
                 }
@@ -614,6 +639,35 @@ mod tests {
             AttrPositions::Exact(_)
         ));
         assert!(m.fetch_block(1, &[1]).entries[0].is_none());
+    }
+
+    #[test]
+    fn workload_heat_overrides_lru() {
+        let log = Arc::new(WorkloadLog::new());
+        for _ in 0..50 {
+            log.record_touches(&[1]); // attr 1 is hot
+        }
+        log.record_touches(&[2]); // attr 2 is cold
+        let cfg = PosMapConfig {
+            budget: Some(ByteSize(200)),
+            workload: Some(Arc::clone(&log)),
+            ..Default::default()
+        };
+        let mut m = PositionalMap::new(cfg);
+        m.insert(chunk(0, &[1], 16, 0)); // hot attribute
+        m.insert(chunk(1, &[2], 16, 0)); // cold attribute
+                                         // Touch the cold chunk so pure LRU would evict the hot one.
+        let _ = m.fetch_block(1, &[2]);
+        m.insert(chunk(2, &[1], 16, 0));
+        assert!(m.bytes_in_memory() <= 200);
+        assert!(
+            matches!(m.fetch_block(0, &[1]).entries[0], AttrPositions::Exact(_)),
+            "chunk of the hot attribute survives"
+        );
+        assert!(
+            m.fetch_block(1, &[2]).entries[0].is_none(),
+            "chunk of the cold attribute evicted despite recency"
+        );
     }
 
     #[test]

@@ -13,7 +13,9 @@ use nodb_common::{NoDbError, Result, Row, Schema, Value};
 use nodb_core::QueryResult;
 
 use crate::conn::Conn;
-use crate::protocol::{read_frame, schema_of_columns, write_frame, Frame, PROTOCOL_VERSION};
+use crate::protocol::{
+    read_frame, schema_of_columns, write_frame, Frame, StatsPayload, PROTOCOL_VERSION,
+};
 
 /// Blocking connection to a running `nodb-server`.
 pub struct NodbClient {
@@ -109,6 +111,28 @@ impl NodbClient {
             Frame::Error { kind, message } => Err(kind.to_error(message)),
             other => Err(NoDbError::parse(format!(
                 "expected RowSchema, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the server-side observability view of `table`: scan
+    /// metrics, auxiliary footprints, phase profile and workload heat
+    /// (the CLI's `\stats` / `\metrics` over `\connect`). An unknown
+    /// table surfaces as the server's typed [`NoDbError::Catalog`].
+    pub fn table_stats(&mut self, table: &str) -> Result<StatsPayload> {
+        if self.poisoned {
+            return Err(NoDbError::config(
+                "connection was severed by an abandoned row stream; reconnect",
+            ));
+        }
+        self.send(&Frame::Stats {
+            table: table.to_string(),
+        })?;
+        match self.read()? {
+            Frame::StatsReport(p) => Ok(p),
+            Frame::Error { kind, message } => Err(kind.to_error(message)),
+            other => Err(NoDbError::parse(format!(
+                "expected StatsReport, got {other:?}"
             ))),
         }
     }

@@ -30,5 +30,5 @@ pub mod protocol;
 pub mod server;
 
 pub use client::{NodbClient, RowStream};
-pub use protocol::{ErrorKind, Frame, MAX_FRAME_BYTES, PROTOCOL_VERSION};
-pub use server::{NodbServer, ServerConfig, ServerHandle, ServerStats};
+pub use protocol::{ErrorKind, Frame, StatsPayload, MAX_FRAME_BYTES, PROTOCOL_VERSION};
+pub use server::{collect_stats, NodbServer, ServerConfig, ServerHandle, ServerStats};

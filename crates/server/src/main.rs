@@ -15,7 +15,7 @@ use std::io::BufRead;
 use std::path::Path;
 use std::sync::Arc;
 
-use nodb_common::{IoBackend, Schema};
+use nodb_common::{ByteSize, IoBackend, Schema};
 use nodb_core::{AccessMode, NoDb, NoDbConfig};
 use nodb_csv::CsvOptions;
 use nodb_server::{NodbServer, ServerConfig};
@@ -69,6 +69,22 @@ fn main() {
                 config.scan_threads = require(&args, i, "--scan-threads needs a count")
                     .parse()
                     .unwrap_or_else(|_| die("--scan-threads needs a count (0 = one per core)"));
+            }
+            "--posmap-budget" => {
+                i += 1;
+                let raw = require(&args, i, "--posmap-budget needs a byte size (e.g. 64MB)");
+                match ByteSize::parse(&raw) {
+                    Ok(b) => config.posmap_budget = Some(b),
+                    Err(_) => die("--posmap-budget needs a byte size (e.g. 64MB, 1.5GB)"),
+                }
+            }
+            "--cache-budget" => {
+                i += 1;
+                let raw = require(&args, i, "--cache-budget needs a byte size (e.g. 256MB)");
+                match ByteSize::parse(&raw) {
+                    Ok(b) => config.cache_budget = Some(b),
+                    Err(_) => die("--cache-budget needs a byte size (e.g. 256MB, 1.5GB)"),
+                }
             }
             "--register" => {
                 let name = require(&args, i + 1, "--register needs NAME PATH SCHEMA");
@@ -216,6 +232,10 @@ options:
   --max-connections N       open connections before Busy-at-accept (default 64)
   --io-backend B            auto | read | mmap (default: NODB_IO_BACKEND or auto)
   --scan-threads N          raw-scan worker threads, 0 = one per core
+  --posmap-budget SIZE      positional-map memory cap per table, e.g. 64MB
+                            (default unbounded; NODB_POSMAP_BUDGET overrides)
+  --cache-budget SIZE       parsed-value cache cap per table, e.g. 256MB
+                            (default unbounded; NODB_CACHE_BUDGET overrides)
 
 stdin commands while serving: stats, shutdown (EOF also shuts down)"
     );

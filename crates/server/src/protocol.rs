@@ -25,6 +25,9 @@
 //!           Done { rows }
 //!        |  Error { kind, message }    (statement failed)
 //!        |  Busy { message }           (admission control rejected it)
+//! client -> Stats { table }            (observability request)
+//! server -> StatsReport(payload)       (counters + footprints + phases)
+//!        |  Error { kind, message }    (e.g. unknown table)
 //! client -> Goodbye                    (clean close)
 //! ```
 //!
@@ -42,7 +45,9 @@ use nodb_common::{DataType, Date, Field, NoDbError, Result, Row, Schema, Value};
 
 /// Protocol version carried in [`Frame::Hello`]. Bump on incompatible
 /// frame-layout changes; the client refuses mismatched servers.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2 added the `Stats` / `StatsReport` observability frames.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on the announced frame length (tag + payload), checked
 /// before any payload allocation. One frame carries one row (or one SQL
@@ -98,9 +103,69 @@ pub enum Frame {
         /// What was saturated.
         message: String,
     },
+    /// Request the server-side observability view of one table: scan
+    /// metrics, auxiliary footprints, phase profile and workload heat.
+    Stats {
+        /// The registered table name.
+        table: String,
+    },
+    /// Reply to [`Frame::Stats`].
+    StatsReport(StatsPayload),
     /// Clean end of the conversation (sent by the client before
     /// closing, and by the server to idle connections during shutdown).
     Goodbye,
+}
+
+/// Everything a `Stats` request reports about one in-situ table: the
+/// engine's [`ScanMetrics`](nodb_core::ScanMetrics) counters, the
+/// auxiliary-structure footprint
+/// ([`AuxInfo`](nodb_core::AuxInfo)-shaped), the cumulative
+/// [`PhaseProfile`](nodb_core::PhaseProfile), and the per-attribute
+/// workload heat driving budgeted evictions. Plain wire-friendly fields
+/// so the payload can outlive engine-struct changes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsPayload {
+    /// Queries that scanned the table.
+    pub scans: u64,
+    /// Tuples emitted to query plans.
+    pub rows_emitted: u64,
+    /// Fields located by scanning characters.
+    pub fields_tokenized: u64,
+    /// Fields located by jumping straight to a map position.
+    pub fields_via_map: u64,
+    /// Fields located by incremental parsing from a map anchor.
+    pub fields_via_anchor: u64,
+    /// Field values converted from ASCII to binary.
+    pub fields_parsed: u64,
+    /// Field values served from the binary cache.
+    pub fields_from_cache: u64,
+    /// Bytes of raw file consumed by sequential tokenization.
+    pub bytes_tokenized: u64,
+    /// Positional-map bytes in memory.
+    pub posmap_bytes: u64,
+    /// Total positional pointers held.
+    pub posmap_pointers: u64,
+    /// Cache bytes in memory.
+    pub cache_bytes: u64,
+    /// Cache utilization in `[0, 1]` (0 when no budget set).
+    pub cache_utilization: f64,
+    /// Attributes with collected statistics.
+    pub stats_attrs: u64,
+    /// Estimated nanoseconds fetching raw bytes.
+    pub io_ns: u64,
+    /// Raw-file bytes fetched.
+    pub io_bytes: u64,
+    /// Estimated nanoseconds tokenizing.
+    pub tokenize_ns: u64,
+    /// Bytes consumed by tokenization.
+    pub tokenize_bytes: u64,
+    /// Estimated nanoseconds converting values.
+    pub parse_ns: u64,
+    /// Field values converted.
+    pub parse_values: u64,
+    /// `(attribute ordinal, decayed touch count)` for attributes with
+    /// nonzero workload heat, ascending by ordinal.
+    pub heats: Vec<(u32, u64)>,
 }
 
 /// Wire encoding of [`NoDbError`] categories (one byte in an
@@ -180,12 +245,14 @@ impl ErrorKind {
 // Frame tags. Client->server: 0x0_, server->client: 0x1_.
 const TAG_EXECUTE: u8 = 0x01;
 const TAG_GOODBYE: u8 = 0x02;
+const TAG_STATS: u8 = 0x03;
 const TAG_HELLO: u8 = 0x10;
 const TAG_SCHEMA: u8 = 0x11;
 const TAG_ROW: u8 = 0x12;
 const TAG_DONE: u8 = 0x13;
 const TAG_ERROR: u8 = 0x14;
 const TAG_BUSY: u8 = 0x15;
+const TAG_STATS_REPORT: u8 = 0x16;
 
 // Value tags.
 const VAL_NULL: u8 = 0;
@@ -320,6 +387,41 @@ impl Frame {
                 out.push(TAG_BUSY);
                 put_str(out, message);
             }
+            Frame::Stats { table } => {
+                out.push(TAG_STATS);
+                put_str(out, table);
+            }
+            Frame::StatsReport(p) => {
+                out.push(TAG_STATS_REPORT);
+                for v in [
+                    p.scans,
+                    p.rows_emitted,
+                    p.fields_tokenized,
+                    p.fields_via_map,
+                    p.fields_via_anchor,
+                    p.fields_parsed,
+                    p.fields_from_cache,
+                    p.bytes_tokenized,
+                    p.posmap_bytes,
+                    p.posmap_pointers,
+                    p.cache_bytes,
+                    p.cache_utilization.to_bits(),
+                    p.stats_attrs,
+                    p.io_ns,
+                    p.io_bytes,
+                    p.tokenize_ns,
+                    p.tokenize_bytes,
+                    p.parse_ns,
+                    p.parse_values,
+                ] {
+                    put_u64(out, v);
+                }
+                put_u32(out, p.heats.len() as u32);
+                for (attr, heat) in &p.heats {
+                    put_u32(out, *attr);
+                    put_u64(out, *heat);
+                }
+            }
             Frame::Goodbye => out.push(TAG_GOODBYE),
         }
         let body = (out.len() - len_at - 4) as u32;
@@ -379,6 +481,39 @@ impl Frame {
             TAG_BUSY => Frame::Busy {
                 message: r.string()?,
             },
+            TAG_STATS => Frame::Stats { table: r.string()? },
+            TAG_STATS_REPORT => {
+                let mut p = StatsPayload {
+                    scans: r.u64()?,
+                    rows_emitted: r.u64()?,
+                    fields_tokenized: r.u64()?,
+                    fields_via_map: r.u64()?,
+                    fields_via_anchor: r.u64()?,
+                    fields_parsed: r.u64()?,
+                    fields_from_cache: r.u64()?,
+                    bytes_tokenized: r.u64()?,
+                    posmap_bytes: r.u64()?,
+                    posmap_pointers: r.u64()?,
+                    cache_bytes: r.u64()?,
+                    cache_utilization: f64::from_bits(r.u64()?),
+                    stats_attrs: r.u64()?,
+                    io_ns: r.u64()?,
+                    io_bytes: r.u64()?,
+                    tokenize_ns: r.u64()?,
+                    tokenize_bytes: r.u64()?,
+                    parse_ns: r.u64()?,
+                    parse_values: r.u64()?,
+                    heats: Vec::new(),
+                };
+                let n = r.u32()? as usize;
+                p.heats.reserve(n.min(r.remaining()));
+                for _ in 0..n {
+                    let attr = r.u32()?;
+                    let heat = r.u64()?;
+                    p.heats.push((attr, heat));
+                }
+                Frame::StatsReport(p)
+            }
             TAG_GOODBYE => Frame::Goodbye,
             other => return Err(wire_err(format!("unknown frame tag {other:#04x}"))),
         };
@@ -657,7 +792,47 @@ mod tests {
         roundtrip(Frame::Busy {
             message: "8 queries in flight".into(),
         });
+        roundtrip(Frame::Stats {
+            table: "lineitem".into(),
+        });
+        roundtrip(Frame::StatsReport(StatsPayload {
+            scans: 3,
+            rows_emitted: 1_000_000,
+            fields_tokenized: 42,
+            fields_via_map: 7,
+            fields_via_anchor: 5,
+            fields_parsed: 99,
+            fields_from_cache: 11,
+            bytes_tokenized: 1 << 33,
+            posmap_bytes: 4096,
+            posmap_pointers: 1024,
+            cache_bytes: 8192,
+            cache_utilization: 0.75,
+            stats_attrs: 4,
+            io_ns: 17,
+            io_bytes: 1 << 20,
+            tokenize_ns: 23,
+            tokenize_bytes: 1 << 19,
+            parse_ns: 29,
+            parse_values: 31,
+            heats: vec![(0, 12), (3, 1), (u32::MAX, u64::MAX)],
+        }));
+        roundtrip(Frame::StatsReport(StatsPayload::default()));
         roundtrip(Frame::Goodbye);
+    }
+
+    #[test]
+    fn truncated_stats_report_is_a_typed_error() {
+        let bytes = Frame::StatsReport(StatsPayload {
+            heats: vec![(1, 2)],
+            ..StatsPayload::default()
+        })
+        .to_bytes();
+        // Strip the length prefix, then cut the body everywhere.
+        let body = &bytes[4..];
+        for cut in 1..body.len() {
+            assert!(Frame::decode(&body[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

@@ -39,8 +39,49 @@ use nodb_core::{NoDb, Params, Statement};
 
 use crate::conn::Conn;
 use crate::protocol::{
-    read_frame_timeout, schema_frame, write_frame, ErrorKind, Frame, PROTOCOL_VERSION,
+    read_frame_timeout, schema_frame, write_frame, ErrorKind, Frame, StatsPayload, PROTOCOL_VERSION,
 };
+
+/// Build the observability view of one in-situ table that a
+/// [`Frame::Stats`] request returns: scan metrics, auxiliary footprint,
+/// cumulative phase profile and workload heat, all read from the same
+/// engine snapshot the embedded accessors expose. Shared by the server's
+/// request handler and the CLI's local `\stats` view so both render
+/// identical numbers.
+pub fn collect_stats(db: &NoDb, table: &str) -> Result<StatsPayload> {
+    let m = db.metrics(table)?;
+    let aux = db.aux_info(table)?;
+    let prof = db.profile(table)?;
+    let heats = db
+        .workload_heats(table)?
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, h)| h > 0)
+        .map(|(a, h)| (a as u32, h))
+        .collect();
+    Ok(StatsPayload {
+        scans: m.scans,
+        rows_emitted: m.rows_emitted,
+        fields_tokenized: m.fields_tokenized,
+        fields_via_map: m.fields_via_map,
+        fields_via_anchor: m.fields_via_anchor,
+        fields_parsed: m.fields_parsed,
+        fields_from_cache: m.fields_from_cache,
+        bytes_tokenized: m.bytes_tokenized,
+        posmap_bytes: aux.posmap_bytes as u64,
+        posmap_pointers: aux.posmap_pointers,
+        cache_bytes: aux.cache_bytes as u64,
+        cache_utilization: aux.cache_utilization,
+        stats_attrs: aux.stats_attrs as u64,
+        io_ns: prof.io_ns,
+        io_bytes: prof.io_bytes,
+        tokenize_ns: prof.tokenize_ns,
+        tokenize_bytes: prof.tokenize_bytes,
+        parse_ns: prof.parse_ns,
+        parse_values: prof.parse_values,
+        heats,
+    })
+}
 
 /// Tuning knobs for [`NodbServer`].
 #[derive(Debug, Clone)]
@@ -446,6 +487,21 @@ fn handle_connection(
                 let outcome = run_statement(db, state, &mut statements, conn, sql, params);
                 state.release();
                 outcome?;
+            }
+            Inbound::Frame(Frame::Stats { table }) => {
+                // Observability is read-only and cheap (atomic loads and
+                // short shared-lock sections), so it bypasses admission
+                // control: a saturated server must stay inspectable.
+                match collect_stats(db, &table) {
+                    Ok(p) => write_frame(conn, &Frame::StatsReport(p))?,
+                    Err(e) => write_frame(
+                        conn,
+                        &Frame::Error {
+                            kind: ErrorKind::of(&e),
+                            message: e.to_string(),
+                        },
+                    )?,
+                }
             }
             Inbound::Frame(other) => {
                 // Server-to-client frames arriving at the server are a

@@ -12,7 +12,7 @@
 use proptest::prelude::*;
 
 use nodb_common::{DataType, Date, NoDbError, Row, Value};
-use nodb_server::protocol::{read_frame, ErrorKind, Frame, MAX_FRAME_BYTES};
+use nodb_server::protocol::{read_frame, ErrorKind, Frame, StatsPayload, MAX_FRAME_BYTES};
 
 fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -56,6 +56,35 @@ fn text_strategy() -> impl Strategy<Value = String> {
     proptest::collection::vec(any::<char>(), 0..60).prop_map(|cs| cs.into_iter().collect())
 }
 
+fn stats_payload_strategy() -> impl Strategy<Value = StatsPayload> {
+    (
+        proptest::collection::vec(any::<u64>(), 19),
+        proptest::collection::vec((any::<u32>(), any::<u64>()), 0..8),
+    )
+        .prop_map(|(v, heats)| StatsPayload {
+            scans: v[0],
+            rows_emitted: v[1],
+            fields_tokenized: v[2],
+            fields_via_map: v[3],
+            fields_via_anchor: v[4],
+            fields_parsed: v[5],
+            fields_from_cache: v[6],
+            bytes_tokenized: v[7],
+            posmap_bytes: v[8],
+            posmap_pointers: v[9],
+            cache_bytes: v[10],
+            cache_utilization: f64::from_bits(v[11]),
+            stats_attrs: v[12],
+            io_ns: v[13],
+            io_bytes: v[14],
+            tokenize_ns: v[15],
+            tokenize_bytes: v[16],
+            parse_ns: v[17],
+            parse_values: v[18],
+            heats,
+        })
+}
+
 fn frame_strategy() -> impl Strategy<Value = Frame> {
     prop_oneof![
         (any::<u16>(), text_strategy())
@@ -72,6 +101,8 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         (kind_strategy(), text_strategy())
             .prop_map(|(kind, message)| Frame::Error { kind, message }),
         text_strategy().prop_map(|message| Frame::Busy { message }),
+        text_strategy().prop_map(|table| Frame::Stats { table }),
+        stats_payload_strategy().prop_map(Frame::StatsReport),
         Just(Frame::Goodbye),
     ]
 }
@@ -99,6 +130,15 @@ fn frames_equal(a: &Frame, b: &Frame) -> bool {
             },
         ) => s1 == s2 && values_equal(p1, p2),
         (Frame::Row(Row(v1)), Frame::Row(Row(v2))) => values_equal(v1, v2),
+        (Frame::StatsReport(p1), Frame::StatsReport(p2)) => {
+            // `cache_utilization` travels bit-exactly; compare it by bit
+            // pattern (the derived PartialEq would fail on NaN) and the
+            // rest structurally with the float zeroed out.
+            let (mut q1, mut q2) = (p1.clone(), p2.clone());
+            q1.cache_utilization = 0.0;
+            q2.cache_utilization = 0.0;
+            q1 == q2 && p1.cache_utilization.to_bits() == p2.cache_utilization.to_bits()
+        }
         _ => a == b,
     }
 }
