@@ -14,7 +14,7 @@
 use std::io::{BufRead, Write};
 use std::path::Path;
 
-use nodb_common::{ByteSize, IoBackend, Schema};
+use nodb_common::{knob, Schema};
 use nodb_core::{AccessMode, NoDb, NoDbConfig};
 use nodb_csv::CsvOptions;
 use nodb_fits::FitsProvider;
@@ -26,8 +26,10 @@ use commands::{parse_line, Command};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // Engine knobs from flags (the NODB_IO_BACKEND environment variable
-    // seeds the default; --io-backend wins).
+    // Engine knobs: every flag below comes from the shared registry
+    // (`nodb_common::knob`) — environment variables seed the config
+    // defaults, an explicit flag wins, and both surfaces share one
+    // parser, so a typo'd value or flag name fails loudly here.
     let mut config = NoDbConfig::postgres_raw();
     let mut i = 0;
     while i < args.len() {
@@ -36,60 +38,20 @@ fn main() {
                 print_help();
                 return;
             }
-            "--io-backend" => {
-                i += 1;
-                match args.get(i).map(|s| IoBackend::parse(s)) {
-                    Some(Ok(b)) => config.io_backend = b,
-                    _ => {
-                        eprintln!("--io-backend needs one of: auto, read, mmap");
+            flag => match knob::find_flag(flag) {
+                Some(k) => {
+                    i += 1;
+                    let raw = args.get(i).cloned().unwrap_or_default();
+                    if let Err(e) = config.set_knob(k.name, &raw) {
+                        eprintln!("{e}");
                         std::process::exit(2);
                     }
                 }
-            }
-            "--scan-threads" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
-                    Some(n) => config.scan_threads = n,
-                    None => {
-                        eprintln!("--scan-threads needs a count (0 = one per core)");
-                        std::process::exit(2);
-                    }
+                None => {
+                    eprintln!("{} (see --help)", knob::unknown_flag_error(flag));
+                    std::process::exit(2);
                 }
-            }
-            "--batch-rows" => {
-                i += 1;
-                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
-                    Some(n) => config.batch_rows = n,
-                    None => {
-                        eprintln!("--batch-rows needs a row count (0 = row-at-a-time)");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--posmap-budget" => {
-                i += 1;
-                match args.get(i).map(|s| ByteSize::parse(s)) {
-                    Some(Ok(b)) => config.posmap_budget = Some(b),
-                    _ => {
-                        eprintln!("--posmap-budget needs a byte size (e.g. 64MB, 1.5GB)");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--cache-budget" => {
-                i += 1;
-                match args.get(i).map(|s| ByteSize::parse(s)) {
-                    Some(Ok(b)) => config.cache_budget = Some(b),
-                    _ => {
-                        eprintln!("--cache-budget needs a byte size (e.g. 64MB, 1.5GB)");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            other => {
-                eprintln!("unknown argument `{other}` (see --help)");
-                std::process::exit(2);
-            }
+            },
         }
         i += 1;
     }
@@ -244,7 +206,13 @@ fn execute(
                 .into());
         }
         Command::Explain { sql } => {
-            print!("{}", db.explain(&sql)?);
+            // Typed plan: the tree text is the classic rendering; the
+            // rewrite trace is extra shell-only context below it.
+            let plan = db.explain_plan(&sql)?;
+            print!("{}", plan.render());
+            if !plan.applied_rules.is_empty() {
+                println!("Rewrites applied: {}", plan.applied_rules.join(", "));
+            }
         }
         Command::Sql { sql } => {
             // Stream from the cursor: rows print as the scan produces
@@ -334,20 +302,15 @@ fn print_profile(p: &StatsPayload) {
 }
 
 fn print_help() {
+    let flags: Vec<String> = knob::all()
+        .into_iter()
+        .map(|k| format!("[{} {}]", k.flag, k.value_hint))
+        .collect();
+    println!("usage: nodb {}\n", flags.join(" "));
+    println!("engine knobs (flag wins over its environment variable):");
+    print!("{}", NoDbConfig::knob_help());
     println!(
-        "usage: nodb [--io-backend auto|read|mmap] [--scan-threads N] [--batch-rows N]\n\
-         \x20          [--posmap-budget SIZE] [--cache-budget SIZE]\n\
-         \n\
-         --io-backend B                        raw-file I/O substrate (default: auto — mmap\n\
-         \x20                                     where supported; NODB_IO_BACKEND overrides)\n\
-         --scan-threads N                      cold-scan worker threads (0 = one per core)\n\
-         --batch-rows N                        rows per vectorized batch (default 1024;\n\
-         \x20                                     0 = row-at-a-time; NODB_BATCH_ROWS overrides)\n\
-         --posmap-budget SIZE                  positional-map memory cap per table, e.g. 64MB\n\
-         \x20                                     (default unbounded; NODB_POSMAP_BUDGET overrides)\n\
-         --cache-budget SIZE                   parsed-value cache cap per table, e.g. 256MB\n\
-         \x20                                     (default unbounded; NODB_CACHE_BUDGET overrides)\n\
-         \n\
+        "\n\
          \\register NAME PATH \"col type, ...\"   register a CSV file (in situ)\n\
          \\register NAME PATH.jsonl \"col type, ...\"  register a JSON Lines file (keys = column names)\n\
          \\register NAME PATH.fits              register a FITS binary table\n\

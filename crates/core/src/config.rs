@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use nodb_common::{ByteSize, IoBackend, NoDbError, Result};
+use nodb_common::{knob, ByteSize, IoBackend, Result};
 use nodb_exec::DEFAULT_BATCH_ROWS;
 use nodb_storage::EngineProfile;
 
@@ -21,6 +21,15 @@ pub struct NoDbConfig {
     pub enable_cache: bool,
     /// Collect statistics on the fly and let the planner use them (§4.4).
     pub enable_stats: bool,
+    /// Run the rewrite-rule pipeline (constant folding, boolean
+    /// simplification, projection pruning, predicate pushdown) between
+    /// binding and planning, and let in-situ scans evaluate pushed
+    /// predicates against raw field slices before full-row conversion.
+    /// Results are bit-identical either way
+    /// (`tests/pushdown_equivalence.rs`); off exists for differential
+    /// testing and perf attribution. The `NODB_REWRITE` environment
+    /// variable (`on`/`off`) overrides the constructor default.
+    pub enable_rewrite: bool,
     /// Storage threshold for the positional map (attribute chunks).
     /// `None` (the default) never evicts. The `NODB_POSMAP_BUDGET`
     /// environment variable (a [`ByteSize`], e.g. `64MB`) overrides the
@@ -114,18 +123,16 @@ impl NoDbConfig {
             enable_posmap: true,
             enable_cache: true,
             enable_stats: true,
-            posmap_budget: posmap_budget_from_env().ok().flatten(),
-            cache_budget: cache_budget_from_env().ok().flatten(),
+            enable_rewrite: knob::REWRITE.env_default().unwrap_or(true),
+            posmap_budget: knob::POSMAP_BUDGET.env_default(),
+            cache_budget: knob::CACHE_BUDGET.env_default(),
             cache_cost_weight: 16,
             posmap_block_rows: 4096,
             posmap_spill_dir: None,
             stats_sample_stride: 16,
-            scan_threads: 1,
-            io_backend: IoBackend::from_env_or_auto(),
-            batch_rows: batch_rows_from_env()
-                .ok()
-                .flatten()
-                .unwrap_or(DEFAULT_BATCH_ROWS),
+            scan_threads: knob::SCAN_THREADS.env_default().unwrap_or(1),
+            io_backend: knob::IO_BACKEND.env_default().unwrap_or(IoBackend::Auto),
+            batch_rows: knob::BATCH_ROWS.env_default().unwrap_or(DEFAULT_BATCH_ROWS),
             loaded_profile: EngineProfile::PostgresLike,
             pool_pages: 4096,
             data_dir: None,
@@ -177,57 +184,78 @@ impl NoDbConfig {
     }
 }
 
-/// The batch size requested by the `NODB_BATCH_ROWS` environment
-/// variable, or `None` when unset/empty. A non-numeric or non-UTF-8
-/// value is an error so a typo in a CI matrix cannot silently re-enable
-/// batching (or disable it) — engine construction (`NoDb::new`) surfaces
-/// it through the normal error path, mirroring `NODB_IO_BACKEND`. The
-/// configuration *default* swallows the error and falls back to
-/// [`DEFAULT_BATCH_ROWS`] so a malformed value cannot panic inside
-/// `Default`; the loud failure happens at construction.
-pub fn batch_rows_from_env() -> Result<Option<usize>> {
-    match std::env::var("NODB_BATCH_ROWS") {
-        Ok(s) if s.trim().is_empty() => Ok(None),
-        Ok(s) => s.trim().parse::<usize>().map(Some).map_err(|_| {
-            NoDbError::config(format!(
-                "invalid NODB_BATCH_ROWS `{}` (expected a row count; 0 disables batching)",
-                s.trim()
-            ))
-        }),
-        Err(std::env::VarError::NotPresent) => Ok(None),
-        Err(std::env::VarError::NotUnicode(_)) => Err(NoDbError::config(
-            "NODB_BATCH_ROWS is set but not valid UTF-8",
-        )),
+impl NoDbConfig {
+    /// Set one field from a [`knob`] registry entry by
+    /// its canonical name (the CLI flag minus the dashes), parsing and
+    /// validating `raw` through the same routine the environment variable
+    /// uses. Binaries drive their generated flag tables through this, so
+    /// a new knob needs exactly one `match` arm here to reach every
+    /// surface.
+    pub fn set_knob(&mut self, name: &str, raw: &str) -> Result<()> {
+        match name {
+            "io-backend" => self.io_backend = knob::IO_BACKEND.parse(raw)?,
+            "scan-threads" => self.scan_threads = knob::SCAN_THREADS.parse(raw)?,
+            "batch-rows" => self.batch_rows = knob::BATCH_ROWS.parse(raw)?,
+            "posmap-budget" => self.posmap_budget = Some(knob::POSMAP_BUDGET.parse(raw)?),
+            "cache-budget" => self.cache_budget = Some(knob::CACHE_BUDGET.parse(raw)?),
+            "rewrite" => self.enable_rewrite = knob::REWRITE.parse(raw)?,
+            other => {
+                return Err(nodb_common::NoDbError::config(format!(
+                    "unknown knob `{other}`"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Usage lines for every registered knob (`--flag VALUE  help`),
+    /// aligned for a `--help` screen. Both binaries print this, so the
+    /// docs can never drift from the parsers.
+    pub fn knob_help() -> String {
+        let width = knob::all()
+            .into_iter()
+            .map(|k| k.flag.len() + 1 + k.value_hint.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for k in knob::all() {
+            let head = format!("{} {}", k.flag, k.value_hint);
+            out.push_str(&format!(
+                "  {head:<width$}   {help} [env: {env}]\n",
+                help = k.help,
+                env = k.env
+            ));
+        }
+        out
     }
 }
 
+/// The batch size requested by the `NODB_BATCH_ROWS` environment
+/// variable, or `None` when unset/empty. Delegates to
+/// [`knob::BATCH_ROWS`]; a non-numeric or non-UTF-8 value is an error so
+/// a typo in a CI matrix cannot silently re-enable batching (or disable
+/// it) — engine construction (`NoDb::new`) surfaces it through
+/// [`knob::validate_env`]. The configuration *default* swallows the
+/// error and falls back to [`DEFAULT_BATCH_ROWS`] so a malformed value
+/// cannot panic inside `Default`; the loud failure happens at
+/// construction.
+pub fn batch_rows_from_env() -> Result<Option<usize>> {
+    knob::BATCH_ROWS.from_env()
+}
+
 /// The positional-map budget requested by the `NODB_POSMAP_BUDGET`
-/// environment variable, or `None` when unset/empty. Parsed with
-/// [`ByteSize::parse`] (`512`, `64kb`, `14.3MB`, ...); a malformed value
-/// is an error surfaced at `NoDb::new`, with the same
-/// silent-fallback-in-`Default` contract as [`batch_rows_from_env`].
+/// environment variable, or `None` when unset/empty. Delegates to
+/// [`knob::POSMAP_BUDGET`] (`512`, `64kb`, `14.3MB`, ...), same
+/// loud-failure contract as [`batch_rows_from_env`].
 pub fn posmap_budget_from_env() -> Result<Option<ByteSize>> {
-    budget_from_env("NODB_POSMAP_BUDGET")
+    knob::POSMAP_BUDGET.from_env()
 }
 
 /// The cache budget requested by the `NODB_CACHE_BUDGET` environment
 /// variable, or `None` when unset/empty. Same contract as
 /// [`posmap_budget_from_env`].
 pub fn cache_budget_from_env() -> Result<Option<ByteSize>> {
-    budget_from_env("NODB_CACHE_BUDGET")
-}
-
-fn budget_from_env(var: &str) -> Result<Option<ByteSize>> {
-    match std::env::var(var) {
-        Ok(s) if s.trim().is_empty() => Ok(None),
-        Ok(s) => ByteSize::parse(s.trim())
-            .map(Some)
-            .map_err(|e| NoDbError::config(format!("invalid {var}: {e}"))),
-        Err(std::env::VarError::NotPresent) => Ok(None),
-        Err(std::env::VarError::NotUnicode(_)) => Err(NoDbError::config(format!(
-            "{var} is set but not valid UTF-8"
-        ))),
-    }
+    knob::CACHE_BUDGET.from_env()
 }
 
 /// How a registered table is accessed.

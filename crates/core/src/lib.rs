@@ -40,6 +40,7 @@
 
 pub mod config;
 pub mod idle;
+pub mod pred;
 pub mod profile;
 pub mod runtime;
 pub mod scan;
@@ -48,6 +49,8 @@ pub mod session;
 pub use config::{AccessMode, NoDbConfig};
 pub use idle::{IdleFocus, IdleReport};
 pub use nodb_common::IoBackend;
+pub use nodb_sql::explain::{ExplainNode, ExplainPlan};
+pub use pred::{LikeShape, PredItem, PredOp, ScanPredicate};
 pub use profile::{PhaseProfile, PhaseProfileAtomic, QueryProfile};
 pub use runtime::{RawTableRuntime, ScanMetrics, ScanMetricsAtomic};
 pub use scan::{AuxFlags, InSituScanOp};
@@ -63,7 +66,7 @@ use nodb_csv::{tokenize, CsvFormat, CsvOptions};
 use nodb_exec::{BoxOp, ExecCatalog, TableProvider};
 use nodb_json::JsonFormat;
 use nodb_sql::binder::{CatalogView, PlannerOptions};
-use nodb_sql::{plan_query, BoundExpr, LogicalPlan};
+use nodb_sql::{plan_query_traced, BoundExpr, LogicalPlan};
 use nodb_stats::{StatsBuilder, TableStats};
 use nodb_storage::{LoadReport, LoadedTable, StorageEngine};
 
@@ -140,17 +143,16 @@ pub struct NoDb {
 impl NoDb {
     /// Create an engine.
     ///
-    /// Rejects a malformed `NODB_IO_BACKEND`, `NODB_BATCH_ROWS`,
-    /// `NODB_POSMAP_BUDGET` or `NODB_CACHE_BUDGET` environment value
-    /// with [`NoDbError::Config`]: config construction silently falls
-    /// back to its defaults (it must stay infallible), so the typo is
-    /// surfaced here, on the normal error path, before any query can run
-    /// under the wrong substrate, pull style or budget.
+    /// Rejects a malformed value in any registered knob's environment
+    /// variable (`NODB_IO_BACKEND`, `NODB_SCAN_THREADS`,
+    /// `NODB_BATCH_ROWS`, `NODB_POSMAP_BUDGET`, `NODB_CACHE_BUDGET`,
+    /// `NODB_REWRITE` — see [`nodb_common::knob`]) with
+    /// [`NoDbError::Config`]: config construction silently falls back to
+    /// its defaults (it must stay infallible), so the typo is surfaced
+    /// here, on the normal error path, before any query can run under
+    /// the wrong substrate, pull style or budget.
     pub fn new(config: NoDbConfig) -> Result<NoDb> {
-        IoBackend::from_env()?;
-        crate::config::batch_rows_from_env()?;
-        crate::config::posmap_budget_from_env()?;
-        crate::config::cache_budget_from_env()?;
+        nodb_common::knob::validate_env()?;
         let (tmp, data_dir) = match &config.data_dir {
             Some(d) => {
                 std::fs::create_dir_all(d)?;
@@ -257,6 +259,7 @@ impl NoDb {
                     stride: self.config.stats_sample_stride,
                     threads: self.config.effective_scan_threads(),
                     io: self.config.effective_io_backend(),
+                    pushdown: self.config.enable_rewrite,
                 };
                 TableEntry {
                     schema,
@@ -276,6 +279,7 @@ impl NoDb {
                     format,
                     has_header,
                     io: self.config.effective_io_backend(),
+                    pushdown: self.config.enable_rewrite,
                 })),
                 runtime: None,
                 path: Some(path.to_path_buf()),
@@ -415,15 +419,35 @@ impl NoDb {
         self.prepare(sql)?.execute(&Params::new())?.collect()
     }
 
-    /// Plan a query without executing it.
+    /// Plan a query without executing it (rewrite rules applied when
+    /// [`NoDbConfig::enable_rewrite`] is on).
     pub fn plan(&self, sql: &str) -> Result<LogicalPlan> {
-        let options = PlannerOptions {
-            use_stats: self.config.enable_stats,
-        };
-        plan_query(sql, self, &options)
+        Ok(self.plan_traced(sql)?.0)
     }
 
-    /// EXPLAIN-style plan rendering.
+    /// [`NoDb::plan`] plus the names of the rewrite rules that fired, in
+    /// application order (empty when the rewriter is off or nothing
+    /// matched).
+    pub fn plan_traced(&self, sql: &str) -> Result<(LogicalPlan, Vec<&'static str>)> {
+        let options = PlannerOptions {
+            use_stats: self.config.enable_stats,
+            rewrite: self.config.enable_rewrite,
+        };
+        plan_query_traced(sql, self, &options)
+    }
+
+    /// EXPLAIN as a typed plan tree ([`ExplainPlan`]): structured nodes
+    /// carrying the scan projections, pushed-down filters and estimated
+    /// cardinalities, plus the rewrite rules that fired. `render()` on
+    /// the result reproduces [`NoDb::explain`]'s text exactly.
+    pub fn explain_plan(&self, sql: &str) -> Result<ExplainPlan> {
+        let (plan, rules) = self.plan_traced(sql)?;
+        Ok(ExplainPlan::from_plan(&plan, rules))
+    }
+
+    /// EXPLAIN-style plan rendering (the tree only; use
+    /// [`NoDb::explain_plan`] for the structured form and applied-rule
+    /// trace).
     pub fn explain(&self, sql: &str) -> Result<String> {
         Ok(self.plan(sql)?.explain())
     }
@@ -585,23 +609,29 @@ pub(crate) struct InSituProvider {
     /// Resolved I/O substrate for every scan of this table
     /// (`NoDbConfig::effective_io_backend`).
     io: nodb_common::IoBackend,
+    /// Let scans compile pushed-down filters into raw-field predicates
+    /// (`NoDbConfig::enable_rewrite`).
+    pushdown: bool,
 }
 
 impl InSituProvider {
     fn make_scan(&self, projection: Vec<usize>, filters: Vec<BoundExpr>, threads: usize) -> BoxOp {
-        Box::new(InSituScanOp::new(
-            Arc::clone(&self.runtime),
-            self.path.clone(),
-            self.schema.clone(),
-            Arc::clone(&self.format),
-            self.has_header,
-            projection,
-            filters,
-            self.flags,
-            self.stride,
-            threads,
-            self.io,
-        ))
+        Box::new(
+            InSituScanOp::new(
+                Arc::clone(&self.runtime),
+                self.path.clone(),
+                self.schema.clone(),
+                Arc::clone(&self.format),
+                self.has_header,
+                projection,
+                filters,
+                self.flags,
+                self.stride,
+                threads,
+                self.io,
+            )
+            .with_pushdown(self.pushdown),
+        )
     }
 
     /// A projection-only scan used by idle-time exploitation: same flags
@@ -632,29 +662,33 @@ struct ExternalProvider {
     format: Arc<dyn LineFormat>,
     has_header: bool,
     io: nodb_common::IoBackend,
+    pushdown: bool,
 }
 
 impl TableProvider for ExternalProvider {
     fn scan(&self, projection: &[usize], filters: &[BoundExpr]) -> Result<BoxOp> {
         let throwaway = Arc::new(RawTableRuntime::new(&NoDbConfig::baseline()));
-        Ok(Box::new(InSituScanOp::new(
-            throwaway,
-            self.path.clone(),
-            self.schema.clone(),
-            Arc::clone(&self.format),
-            self.has_header,
-            projection.to_vec(),
-            filters.to_vec(),
-            AuxFlags {
-                posmap: false,
-                cache: false,
-                eol: false,
-                stats: false,
-            },
-            u64::MAX,
-            1,
-            self.io,
-        )))
+        Ok(Box::new(
+            InSituScanOp::new(
+                throwaway,
+                self.path.clone(),
+                self.schema.clone(),
+                Arc::clone(&self.format),
+                self.has_header,
+                projection.to_vec(),
+                filters.to_vec(),
+                AuxFlags {
+                    posmap: false,
+                    cache: false,
+                    eol: false,
+                    stats: false,
+                },
+                u64::MAX,
+                1,
+                self.io,
+            )
+            .with_pushdown(self.pushdown),
+        ))
     }
 }
 

@@ -58,6 +58,7 @@ use nodb_posmap::{AttrPositions, BlockCollector, SegmentCollector};
 use nodb_sql::BoundExpr;
 use nodb_stats::StatsBuilder;
 
+use crate::pred::ScanPredicate;
 use crate::profile::{self, PhaseProfile, PhaseProfileAtomic, SampledClock};
 use crate::runtime::{RawTableRuntime, ScanMetrics};
 
@@ -98,6 +99,10 @@ struct Ctx {
     where_locals: Vec<usize>,
     select_locals: Vec<usize>,
     sample_stride: u64,
+    /// Compiled early-reject screen (pushdown enabled and at least one
+    /// conjunct compiled). Cold passes consult it only when no auxiliary
+    /// structure is being populated — see [`InSituScanOp::with_pushdown`].
+    pred: Option<ScanPredicate>,
 }
 
 impl Ctx {
@@ -131,6 +136,10 @@ pub struct InSituScanOp {
     /// rebuilt underneath it (re-records are ignored as out-of-order).
     resume_byte: u64,
     stat_builders: Vec<(usize, StatsBuilder)>,
+    /// Whether filters may be compiled into a [`ScanPredicate`]
+    /// early-reject screen (off by default; see
+    /// [`InSituScanOp::with_pushdown`]).
+    pushdown: bool,
 }
 
 impl InSituScanOp {
@@ -172,6 +181,7 @@ impl InSituScanOp {
                 where_locals: Vec::new(),
                 select_locals: Vec::new(),
                 sample_stride: sample_stride.max(1),
+                pred: None,
             },
             query_profile: profile::current_query(),
             prepared: false,
@@ -182,7 +192,23 @@ impl InSituScanOp {
             next_row: 0,
             resume_byte: 0,
             stat_builders: Vec::new(),
+            pushdown: false,
         }
+    }
+
+    /// Enable predicate pushdown into tokenization: compile eligible
+    /// filter conjuncts into a [`ScanPredicate`] and, on passes that
+    /// populate no auxiliary structure (no positional-map collection, no
+    /// cache staging, no statistics building), tokenize each record only
+    /// up to the predicate frontier, test, and skip the rest of the
+    /// record on a miss. Rows, auxiliary structures, and emitted values
+    /// are identical either way; the only observable differences are the
+    /// `rows_rejected_early`/`fields_skipped_early` metrics and that
+    /// malformed content in fields past the frontier of a rejected row
+    /// no longer raises a parse error (the work that never happened).
+    pub fn with_pushdown(mut self, on: bool) -> InSituScanOp {
+        self.pushdown = on;
+        self
     }
 
     fn prepare(&mut self) -> Result<()> {
@@ -201,6 +227,11 @@ impl InSituScanOp {
         self.ctx.select_locals = (0..self.ctx.projection.len())
             .filter(|i| !where_set.contains(i))
             .collect();
+
+        if self.pushdown && !self.ctx.projection.is_empty() {
+            let ctx = &self.ctx;
+            self.ctx.pred = ScanPredicate::compile(&ctx.filters, &ctx.projection, |l| ctx.dtype(l));
+        }
 
         // Workload log: one touch per projected attribute per scan (file
         // ordinals, not projection-local ones). Pure observation — with
@@ -324,6 +355,11 @@ impl InSituScanOp {
         let mut staged: Vec<Vec<(u32, Value)>> =
             (0..self.ctx.projection.len()).map(|_| Vec::new()).collect();
         let mut row_buf: Vec<Value> = vec![Value::Null; self.ctx.projection.len()];
+        // Early rejection is only sound when this pass populates no
+        // auxiliary structure: map collection and cache staging need
+        // every row's full attribute frontier, statistics need every
+        // row's WHERE values.
+        let lean = collector.is_none() && !self.flags.cache && self.stat_builders.is_empty();
 
         while self.next_row < block_end {
             let reader = self.reader.as_mut().expect("created above");
@@ -360,14 +396,77 @@ impl InSituScanOp {
                 continue;
             }
             starts.clear();
-            clock.start(self.next_row);
-            let found = self
-                .ctx
-                .format
-                .positions_upto(&line, max_attr, &mut starts)
-                .map_err(|e| {
-                    e.at_raw_location(&self.ctx.path, Some(self.next_row), Some(line_start))
+            // Pushdown fast path: tokenize only up to the predicate
+            // frontier, test, and skip the rest of the record on a miss.
+            let mut prefix_found = None;
+            if let Some(pred) = self.ctx.pred.as_ref().filter(|_| lean) {
+                clock.start(self.next_row);
+                let pfound = self
+                    .ctx
+                    .format
+                    .positions_upto(&line, pred.max_attr(), &mut starts)
+                    .map_err(|e| {
+                        e.at_raw_location(&self.ctx.path, Some(self.next_row), Some(line_start))
+                    })?;
+                clock.stop(&mut prof.tokenize_ns);
+                if pfound < pred.max_attr() + 1 {
+                    return Err(NoDbError::parse(format!(
+                        "record has {pfound} fields, need at least {}",
+                        pred.max_attr() + 1
+                    ))
+                    .at_raw_location(
+                        &self.ctx.path,
+                        Some(self.next_row),
+                        Some(line_start),
+                    ));
+                }
+                metrics.fields_tokenized += pfound as u64;
+                clock.start(self.next_row);
+                let ctx = &self.ctx;
+                let row_id = self.next_row;
+                let keep = pred.matches(&*ctx.format, &line, &starts, &mut |local, start| {
+                    parse_value(
+                        ctx,
+                        &line,
+                        start,
+                        local,
+                        Some(row_id),
+                        line_start,
+                        &mut metrics,
+                    )
                 })?;
+                clock.stop(&mut prof.parse_ns);
+                if !keep {
+                    metrics.rows_rejected_early += 1;
+                    metrics.fields_skipped_early += (max_attr - pred.max_attr()) as u64;
+                    self.next_row += 1;
+                    continue;
+                }
+                prefix_found = Some(pfound);
+            }
+            clock.start(self.next_row);
+            let found = match prefix_found {
+                // The row survived the screen: grow tokenization from
+                // the predicate frontier to the projection frontier.
+                Some(pfound) => {
+                    let total = self
+                        .ctx
+                        .format
+                        .positions_extend(&line, max_attr, &mut starts)
+                        .map_err(|e| {
+                            e.at_raw_location(&self.ctx.path, Some(self.next_row), Some(line_start))
+                        })?;
+                    metrics.fields_tokenized += total.saturating_sub(pfound) as u64;
+                    total
+                }
+                None => self
+                    .ctx
+                    .format
+                    .positions_upto(&line, max_attr, &mut starts)
+                    .map_err(|e| {
+                        e.at_raw_location(&self.ctx.path, Some(self.next_row), Some(line_start))
+                    })?,
+            };
             clock.stop(&mut prof.tokenize_ns);
             if found < max_attr + 1 {
                 return Err(NoDbError::parse(format!(
@@ -380,7 +479,9 @@ impl InSituScanOp {
                     Some(line_start),
                 ));
             }
-            metrics.fields_tokenized += found as u64;
+            if prefix_found.is_none() {
+                metrics.fields_tokenized += found as u64;
+            }
             if let Some(c) = collector.as_mut() {
                 c.push_row(&starts);
             }
@@ -750,6 +851,11 @@ impl InSituScanOp {
                 }
             })
             .collect();
+        // Early rejection in the warm path: sound only when nothing is
+        // being collected, cached, or sampled this block (same condition
+        // as the cold passes, evaluated against this block's builders).
+        let lean =
+            !collect && self.stat_builders.is_empty() && cache_builders.iter().all(|b| b.is_none());
         // When every needed column is completely cached (or the query
         // needs no columns at all — COUNT(*) over an indexed region) and
         // no chunk is being collected, the raw file is not touched — the
@@ -814,6 +920,35 @@ impl InSituScanOp {
             }
             let row_id = block_start + r as u64;
             let mut ok = true;
+            // Compiled-predicate screen: convert only the tested columns
+            // (cache first, then map-assisted positions) and skip the
+            // row's remaining WHERE/SELECT conversions on a miss.
+            if let Some(pred) = self.ctx.pred.as_ref().filter(|_| lean) {
+                for item in pred.items() {
+                    let (v, _) = value_for(
+                        &self.ctx,
+                        line,
+                        &needed,
+                        item.local,
+                        &entries,
+                        &cached,
+                        r,
+                        None,
+                        row_id,
+                        line_start,
+                        &mut metrics,
+                    )?;
+                    if !item.op.test_value(&v)? {
+                        ok = false;
+                        break;
+                    }
+                }
+                if !ok {
+                    metrics.rows_rejected_early += 1;
+                    clock.stop(&mut prof.parse_ns);
+                    continue;
+                }
+            }
             for li in 0..self.ctx.where_locals.len() {
                 let local = self.ctx.where_locals[li];
                 let (v, from_cache) = value_for(
@@ -1065,6 +1200,9 @@ fn scan_chunk(
     let mut starts: Vec<u32> = Vec::with_capacity(max_attr + 1);
     let mut row_buf: Vec<Value> = vec![Value::Null; ctx.projection.len()];
     let mut local_row: u32 = 0;
+    // Same soundness condition as the sequential pass: early rejection
+    // only when this worker stages no auxiliary structure.
+    let lean = out.posmap.is_none() && out.cache.is_none() && stat_locals.is_empty();
     loop {
         clock.start(local_row as u64);
         let fetched = reader.next_line(&mut line)?;
@@ -1079,11 +1217,51 @@ fn scan_chunk(
             continue;
         }
         starts.clear();
+        let mut prefix_found = None;
+        if let Some(pred) = ctx.pred.as_ref().filter(|_| lean) {
+            clock.start(local_row as u64);
+            let pfound = ctx
+                .format
+                .positions_upto(&line, pred.max_attr(), &mut starts)
+                .map_err(|e| e.at_raw_location(&ctx.path, None, Some(line_start)))?;
+            clock.stop(&mut out.profile.tokenize_ns);
+            if pfound < pred.max_attr() + 1 {
+                return Err(NoDbError::parse(format!(
+                    "record has {pfound} fields, need at least {}",
+                    pred.max_attr() + 1
+                ))
+                .at_raw_location(&ctx.path, None, Some(line_start)));
+            }
+            out.metrics.fields_tokenized += pfound as u64;
+            clock.start(local_row as u64);
+            let metrics = &mut out.metrics;
+            let keep = pred.matches(&*ctx.format, &line, &starts, &mut |local, start| {
+                parse_value(ctx, &line, start, local, None, line_start, metrics)
+            })?;
+            clock.stop(&mut out.profile.parse_ns);
+            if !keep {
+                out.metrics.rows_rejected_early += 1;
+                out.metrics.fields_skipped_early += (max_attr - pred.max_attr()) as u64;
+                local_row += 1;
+                continue;
+            }
+            prefix_found = Some(pfound);
+        }
         clock.start(local_row as u64);
-        let found = ctx
-            .format
-            .positions_upto(&line, max_attr, &mut starts)
-            .map_err(|e| e.at_raw_location(&ctx.path, None, Some(line_start)))?;
+        let found = match prefix_found {
+            Some(pfound) => {
+                let total = ctx
+                    .format
+                    .positions_extend(&line, max_attr, &mut starts)
+                    .map_err(|e| e.at_raw_location(&ctx.path, None, Some(line_start)))?;
+                out.metrics.fields_tokenized += total.saturating_sub(pfound) as u64;
+                total
+            }
+            None => ctx
+                .format
+                .positions_upto(&line, max_attr, &mut starts)
+                .map_err(|e| e.at_raw_location(&ctx.path, None, Some(line_start)))?,
+        };
         clock.stop(&mut out.profile.tokenize_ns);
         if found < max_attr + 1 {
             return Err(NoDbError::parse(format!(
@@ -1092,7 +1270,9 @@ fn scan_chunk(
             ))
             .at_raw_location(&ctx.path, None, Some(line_start)));
         }
-        out.metrics.fields_tokenized += found as u64;
+        if prefix_found.is_none() {
+            out.metrics.fields_tokenized += found as u64;
+        }
         if let Some(c) = out.posmap.as_mut() {
             c.push_row(&starts);
         }

@@ -51,6 +51,8 @@ use std::sync::Arc;
 use nodb_common::{DataType, Date, NoDbError, Result, Row, Schema, Value};
 use nodb_exec::{build_plan, build_plan_with_params, RowCursor};
 use nodb_sql::binder::PlannerOptions;
+use nodb_sql::explain::ExplainPlan;
+use nodb_sql::rewrite::RulePipeline;
 use nodb_sql::{parser, refresh_stats, LogicalPlan};
 
 use crate::profile::{self, PhaseProfileAtomic, QueryProfile, SampledClock};
@@ -154,6 +156,9 @@ pub struct Statement<'db> {
     db: &'db NoDb,
     sql: String,
     plan: LogicalPlan,
+    /// Names of the rewrite rules that fired at prepare time, in
+    /// application order (empty when the rewriter is off).
+    applied_rules: Vec<&'static str>,
     param_count: usize,
     param_types: Vec<Option<DataType>>,
 }
@@ -174,13 +179,20 @@ impl NoDb {
         let param_count = stmt.param_count()?;
         let options = PlannerOptions {
             use_stats: self.config.enable_stats,
+            rewrite: self.config.enable_rewrite,
         };
-        let plan = nodb_sql::binder::bind(&stmt, self, &options)?;
+        let mut plan = nodb_sql::binder::bind(&stmt, self, &options)?;
+        let applied_rules = if self.config.enable_rewrite {
+            RulePipeline::standard().run(&mut plan)
+        } else {
+            Vec::new()
+        };
         let param_types = plan.param_types(param_count);
         Ok(Statement {
             db: self,
             sql: sql.to_string(),
             plan,
+            applied_rules,
             param_count,
             param_types,
         })
@@ -273,14 +285,23 @@ impl Statement<'_> {
         self.execute(params)?.collect()
     }
 
+    /// Names of the rewrite rules that fired when this statement was
+    /// prepared, in application order (empty when
+    /// [`crate::NoDbConfig::enable_rewrite`] is off or nothing matched).
+    pub fn applied_rules(&self) -> &[&'static str] {
+        &self.applied_rules
+    }
+
     /// EXPLAIN this statement as it would run *now*: parameters
     /// substituted and estimates/strategies refreshed from current
-    /// statistics, without executing anything.
-    pub fn explain(&self, params: &Params) -> Result<String> {
+    /// statistics, without executing anything. Returns the typed
+    /// [`ExplainPlan`] tree — `render()` it for the classic text form —
+    /// carrying the rewrite rules that fired at prepare time.
+    pub fn explain(&self, params: &Params) -> Result<ExplainPlan> {
         let values = self.bind_values(params)?;
         let mut plan = self.plan.substitute_params(&values);
         refresh_stats(&mut plan, self.db, self.db.config.enable_stats);
-        Ok(plan.explain())
+        Ok(ExplainPlan::from_plan(&plan, self.applied_rules.clone()))
     }
 
     /// Validate count and types, returning the coerced values.

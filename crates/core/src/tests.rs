@@ -352,7 +352,14 @@ fn drop_aux_resets_and_rebuilds() {
 #[test]
 fn selective_parsing_skips_nonqualifying_select_attrs() {
     let (_td, p, schema) = micro_file(1000, 10);
-    let db = engine_with(NoDbConfig::baseline(), &p, &schema, AccessMode::InSitu);
+    // Rewrite off: predicate pushdown would additionally test c1 on the
+    // raw slice before the filter re-parses it for qualifying rows
+    // (counted honestly in fields_parsed, proved in
+    // tests/pushdown_equivalence.rs); this test pins the *selective
+    // parsing* baseline the paper describes.
+    let mut cfg = NoDbConfig::baseline();
+    cfg.enable_rewrite = false;
+    let db = engine_with(cfg, &p, &schema, AccessMode::InSitu);
     // ~10% selectivity filter: SELECT attribute c7 should be parsed only
     // for qualifying rows.
     db.query("select c7 from t where c1 < 100000000").unwrap();
@@ -767,13 +774,13 @@ fn statement_explain_reflects_current_stats() {
     let db = engine_with(NoDbConfig::postgres_raw(), &p, &schema, AccessMode::InSitu);
     let stmt = db.prepare("select c0 from t where c1 < ?").unwrap();
     let params = crate::Params::new().bind(500_000_000i64);
-    let cold = stmt.explain(&params).unwrap();
+    let cold = stmt.explain(&params).unwrap().render();
     // No statistics yet: the default 1000-row table guess times the
     // default inequality selectivity.
     assert!(cold.contains("~333 rows"), "default estimate: {cold}");
     // Execute once: the scan collects statistics on the fly.
     stmt.query(&params).unwrap();
-    let warm = stmt.explain(&params).unwrap();
+    let warm = stmt.explain(&params).unwrap().render();
     assert!(
         !warm.contains("~333 rows") && warm.contains("Scan t"),
         "estimates must pick up adaptive stats: {warm}"

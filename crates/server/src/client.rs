@@ -180,6 +180,48 @@ impl RowStream<'_> {
         &self.schema
     }
 
+    /// Abort the stream without severing the connection: send
+    /// [`Frame::Cancel`], drain whatever row frames were already in
+    /// flight, and wait for the server's `Cancelled` acknowledgement.
+    /// Returns the number of rows the server streamed before stopping.
+    /// The server drops its cursor — the same early-stop path an
+    /// abandoned cursor takes, so the raw scan halts at block
+    /// granularity — but unlike dropping the [`RowStream`], the client
+    /// is *not* poisoned: the connection carries further statements.
+    ///
+    /// If the stream finishes (`Done`) or fails (`Error`) before the
+    /// server sees the `Cancel`, the server acknowledges the stale
+    /// cancel anyway; this method consumes that acknowledgement, so the
+    /// conversation is in sync either way. A statement error observed
+    /// while cancelling is returned after the handshake completes.
+    pub fn cancel(mut self) -> Result<u64> {
+        if self.done {
+            return Ok(self.rows); // already complete; nothing in flight
+        }
+        self.client.send(&Frame::Cancel)?;
+        let mut failed: Option<NoDbError> = None;
+        loop {
+            match self.client.read()? {
+                // Rows (and possibly the stream's own terminator) that
+                // were in flight before the server saw the Cancel.
+                Frame::Row(_) | Frame::Done { .. } => {}
+                Frame::Error { kind, message } => failed = Some(kind.to_error(message)),
+                Frame::Cancelled { rows } => {
+                    self.done = true;
+                    return match failed {
+                        Some(e) => Err(e),
+                        None => Ok(rows),
+                    };
+                }
+                other => {
+                    return Err(NoDbError::parse(format!(
+                        "expected Cancelled, got {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
     /// Drain the stream into a [`QueryResult`] (the shape the embedded
     /// `NoDb::query` returns, so results are directly comparable).
     pub fn collect_result(mut self) -> Result<QueryResult> {

@@ -15,7 +15,7 @@ use std::io::BufRead;
 use std::path::Path;
 use std::sync::Arc;
 
-use nodb_common::{ByteSize, IoBackend, Schema};
+use nodb_common::{knob, Schema};
 use nodb_core::{AccessMode, NoDb, NoDbConfig};
 use nodb_csv::CsvOptions;
 use nodb_server::{NodbServer, ServerConfig};
@@ -57,35 +57,6 @@ fn main() {
                         .parse()
                         .unwrap_or_else(|_| die("--max-connections needs a count"));
             }
-            "--io-backend" => {
-                i += 1;
-                match IoBackend::parse(&require(&args, i, "--io-backend needs a value")) {
-                    Ok(b) => config.io_backend = b,
-                    Err(_) => die("--io-backend needs one of: auto, read, mmap"),
-                }
-            }
-            "--scan-threads" => {
-                i += 1;
-                config.scan_threads = require(&args, i, "--scan-threads needs a count")
-                    .parse()
-                    .unwrap_or_else(|_| die("--scan-threads needs a count (0 = one per core)"));
-            }
-            "--posmap-budget" => {
-                i += 1;
-                let raw = require(&args, i, "--posmap-budget needs a byte size (e.g. 64MB)");
-                match ByteSize::parse(&raw) {
-                    Ok(b) => config.posmap_budget = Some(b),
-                    Err(_) => die("--posmap-budget needs a byte size (e.g. 64MB, 1.5GB)"),
-                }
-            }
-            "--cache-budget" => {
-                i += 1;
-                let raw = require(&args, i, "--cache-budget needs a byte size (e.g. 256MB)");
-                match ByteSize::parse(&raw) {
-                    Ok(b) => config.cache_budget = Some(b),
-                    Err(_) => die("--cache-budget needs a byte size (e.g. 256MB, 1.5GB)"),
-                }
-            }
             "--register" => {
                 let name = require(&args, i + 1, "--register needs NAME PATH SCHEMA");
                 let path = require(&args, i + 2, "--register needs NAME PATH SCHEMA");
@@ -93,10 +64,22 @@ fn main() {
                 tables.push((name, path, schema));
                 i += 3;
             }
-            other => {
-                eprintln!("unknown argument `{other}` (see --help)");
-                std::process::exit(2);
-            }
+            // Engine knobs come from the shared registry
+            // (`nodb_common::knob`): one parser for the flag and its
+            // environment variable, loud errors for typos in either.
+            flag => match knob::find_flag(flag) {
+                Some(k) => {
+                    i += 1;
+                    let raw = require(&args, i, "flag needs a value");
+                    if let Err(e) = config.set_knob(k.name, &raw) {
+                        die(&e.to_string());
+                    }
+                }
+                None => {
+                    eprintln!("{} (see --help)", knob::unknown_flag_error(flag));
+                    std::process::exit(2);
+                }
+            },
         }
         i += 1;
     }
@@ -230,13 +213,10 @@ options:
                             format by extension: .jsonl/.ndjson, else CSV
   --max-inflight N          queries running concurrently before Busy (default 8)
   --max-connections N       open connections before Busy-at-accept (default 64)
-  --io-backend B            auto | read | mmap (default: NODB_IO_BACKEND or auto)
-  --scan-threads N          raw-scan worker threads, 0 = one per core
-  --posmap-budget SIZE      positional-map memory cap per table, e.g. 64MB
-                            (default unbounded; NODB_POSMAP_BUDGET overrides)
-  --cache-budget SIZE       parsed-value cache cap per table, e.g. 256MB
-                            (default unbounded; NODB_CACHE_BUDGET overrides)
 
-stdin commands while serving: stats, shutdown (EOF also shuts down)"
+engine knobs (flag wins over its environment variable):
+{}
+stdin commands while serving: stats, shutdown (EOF also shuts down)",
+        NoDbConfig::knob_help()
     );
 }

@@ -28,6 +28,8 @@
 //! client -> Stats { table }            (observability request)
 //! server -> StatsReport(payload)       (counters + footprints + phases)
 //!        |  Error { kind, message }    (e.g. unknown table)
+//! client -> Cancel                     (abort the in-flight row stream)
+//! server -> Cancelled { rows }         (stream stopped; connection reusable)
 //! client -> Goodbye                    (clean close)
 //! ```
 //!
@@ -35,6 +37,16 @@
 //! [`QueryCursor`](nodb_core::QueryCursor): a client that stops reading
 //! (or disconnects) makes the server's writes fail, which drops the
 //! cursor and stops the underlying raw-file scan at block granularity.
+//!
+//! `Cancel` is the polite version of that disconnect: the client keeps
+//! draining row frames while the server, which polls for inbound frames
+//! at each flush boundary, drops its cursor (the same early-stop path an
+//! abandoned cursor takes) and answers `Cancelled` with the number of
+//! rows it had streamed. Because the server might finish the stream
+//! before noticing, a `Cancel` that arrives *between* statements is
+//! answered with `Cancelled { rows: 0 }` — so a client that sent
+//! `Cancel` always reads exactly one `Cancelled`, whether or not it won
+//! the race, and the connection stays usable either way.
 //!
 //! Every decoder returns a typed [`NoDbError`] on truncated input,
 //! unknown tags, bad lengths or invalid UTF-8 — never a panic.
@@ -47,7 +59,8 @@ use nodb_common::{DataType, Date, Field, NoDbError, Result, Row, Schema, Value};
 /// frame-layout changes; the client refuses mismatched servers.
 ///
 /// v2 added the `Stats` / `StatsReport` observability frames.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// v3 added the `Cancel` / `Cancelled` in-flight-stream abort frames.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound on the announced frame length (tag + payload), checked
 /// before any payload allocation. One frame carries one row (or one SQL
@@ -111,6 +124,19 @@ pub enum Frame {
     },
     /// Reply to [`Frame::Stats`].
     StatsReport(StatsPayload),
+    /// Abort the in-flight row stream without severing the connection.
+    /// The server drops its cursor (stopping the raw scan the way an
+    /// abandoned cursor does) and answers [`Frame::Cancelled`]; sent
+    /// between statements it is a no-op that still gets its `Cancelled`,
+    /// so the client always reads exactly one acknowledgement.
+    Cancel,
+    /// Acknowledges a [`Frame::Cancel`]: the stream (if any) is stopped
+    /// and the connection is ready for the next request.
+    Cancelled {
+        /// `Row` frames streamed before the cancellation took effect
+        /// (0 when the `Cancel` arrived between statements).
+        rows: u64,
+    },
     /// Clean end of the conversation (sent by the client before
     /// closing, and by the server to idle connections during shutdown).
     Goodbye,
@@ -246,6 +272,7 @@ impl ErrorKind {
 const TAG_EXECUTE: u8 = 0x01;
 const TAG_GOODBYE: u8 = 0x02;
 const TAG_STATS: u8 = 0x03;
+const TAG_CANCEL: u8 = 0x04;
 const TAG_HELLO: u8 = 0x10;
 const TAG_SCHEMA: u8 = 0x11;
 const TAG_ROW: u8 = 0x12;
@@ -253,6 +280,7 @@ const TAG_DONE: u8 = 0x13;
 const TAG_ERROR: u8 = 0x14;
 const TAG_BUSY: u8 = 0x15;
 const TAG_STATS_REPORT: u8 = 0x16;
+const TAG_CANCELLED: u8 = 0x17;
 
 // Value tags.
 const VAL_NULL: u8 = 0;
@@ -422,6 +450,11 @@ impl Frame {
                     put_u64(out, *heat);
                 }
             }
+            Frame::Cancel => out.push(TAG_CANCEL),
+            Frame::Cancelled { rows } => {
+                out.push(TAG_CANCELLED);
+                put_u64(out, *rows);
+            }
             Frame::Goodbye => out.push(TAG_GOODBYE),
         }
         let body = (out.len() - len_at - 4) as u32;
@@ -514,6 +547,8 @@ impl Frame {
                 }
                 Frame::StatsReport(p)
             }
+            TAG_CANCEL => Frame::Cancel,
+            TAG_CANCELLED => Frame::Cancelled { rows: r.u64()? },
             TAG_GOODBYE => Frame::Goodbye,
             other => return Err(wire_err(format!("unknown frame tag {other:#04x}"))),
         };
@@ -818,6 +853,8 @@ mod tests {
             heats: vec![(0, 12), (3, 1), (u32::MAX, u64::MAX)],
         }));
         roundtrip(Frame::StatsReport(StatsPayload::default()));
+        roundtrip(Frame::Cancel);
+        roundtrip(Frame::Cancelled { rows: 12_345 });
         roundtrip(Frame::Goodbye);
     }
 

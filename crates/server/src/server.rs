@@ -126,6 +126,8 @@ pub struct ServerStats {
     pub queries_rejected: u64,
     /// Statements that reached the engine and came back with an error.
     pub queries_failed: u64,
+    /// Row streams aborted by a client `Cancel` frame.
+    pub queries_cancelled: u64,
 }
 
 struct State {
@@ -138,6 +140,7 @@ struct State {
     queries_executed: AtomicU64,
     queries_rejected: AtomicU64,
     queries_failed: AtomicU64,
+    queries_cancelled: AtomicU64,
 }
 
 impl State {
@@ -152,6 +155,7 @@ impl State {
             queries_executed: AtomicU64::new(0),
             queries_rejected: AtomicU64::new(0),
             queries_failed: AtomicU64::new(0),
+            queries_cancelled: AtomicU64::new(0),
         }
     }
 
@@ -180,6 +184,7 @@ impl State {
             queries_executed: self.queries_executed.load(Ordering::Relaxed),
             queries_rejected: self.queries_rejected.load(Ordering::Relaxed),
             queries_failed: self.queries_failed.load(Ordering::Relaxed),
+            queries_cancelled: self.queries_cancelled.load(Ordering::Relaxed),
         }
     }
 }
@@ -484,9 +489,16 @@ fn handle_connection(
                     )?;
                     continue;
                 }
-                let outcome = run_statement(db, state, &mut statements, conn, sql, params);
+                let outcome = run_statement(db, state, config, &mut statements, conn, sql, params);
                 state.release();
                 outcome?;
+            }
+            Inbound::Frame(Frame::Cancel) => {
+                // The stream this Cancel aimed at already finished (the
+                // client lost the race with Done). Acknowledge anyway so
+                // the client's cancel handshake always reads exactly one
+                // Cancelled, then carry on.
+                write_frame(conn, &Frame::Cancelled { rows: 0 })?;
             }
             Inbound::Frame(Frame::Stats { table }) => {
                 // Observability is read-only and cheap (atomic loads and
@@ -524,9 +536,36 @@ fn handle_connection(
 /// one buffer's worth of rows.
 const FLUSH_BYTES: usize = 32 * 1024;
 
+/// Poll for an inbound frame mid-stream without stalling the row flow:
+/// a ~1 ms read window at each flush boundary. Returns `true` when the
+/// client sent [`Frame::Cancel`]; anything else inbound mid-stream is a
+/// protocol violation (requests are not pipelined) and surfaces as an
+/// error, which closes the connection.
+fn poll_cancel(conn: &mut Conn, config: &ServerConfig) -> Result<bool> {
+    conn.set_read_timeout(Some(Duration::from_millis(1)))?;
+    let polled = match read_frame_timeout(conn) {
+        Ok(Some(Frame::Cancel)) => Ok(true),
+        Ok(Some(other)) => Err(NoDbError::parse(format!(
+            "unexpected frame mid-stream: {other:?}"
+        ))),
+        Ok(None) => Err(NoDbError::parse("connection closed mid-stream".to_string())),
+        Err(NoDbError::Io(e))
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            Ok(false)
+        }
+        Err(e) => Err(e),
+    };
+    conn.set_read_timeout(Some(config.poll_interval))?;
+    polled
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_statement<'db>(
     db: &'db NoDb,
     state: &State,
+    config: &ServerConfig,
     statements: &mut HashMap<String, Statement<'db>>,
     conn: &mut Conn,
     sql: String,
@@ -574,6 +613,8 @@ fn run_statement<'db>(
     // Streaming loop: a failed write (client hung up) propagates `Err`
     // out of this function, dropping `cursor` mid-iteration — which is
     // precisely what stops the underlying raw scan at block granularity.
+    // A polite `Cancel` frame takes the same cursor-drop path, but the
+    // connection survives: flush what was streamed, acknowledge, return.
     for row in cursor {
         match row {
             Ok(r) => {
@@ -582,6 +623,11 @@ fn run_statement<'db>(
                 if buf.len() >= FLUSH_BYTES {
                     conn.write_all(&buf)?;
                     buf.clear();
+                    if poll_cancel(conn, config)? {
+                        state.queries_cancelled.fetch_add(1, Ordering::Relaxed);
+                        write_frame(conn, &Frame::Cancelled { rows })?;
+                        return Ok(());
+                    }
                 }
             }
             Err(e) => {

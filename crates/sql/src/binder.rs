@@ -34,11 +34,18 @@ pub struct PlannerOptions {
     /// aggregation strategy. Off = the paper's "w/o statistics" regime
     /// (Figure 12): as-written join order, pessimistic sort aggregation.
     pub use_stats: bool,
+    /// Run the [`crate::rewrite::RulePipeline`] after binding. Off =
+    /// the bound plan executes exactly as written, which also disables
+    /// the scan layer's raw-slice predicate fast path downstream.
+    pub rewrite: bool,
 }
 
 impl Default for PlannerOptions {
     fn default() -> Self {
-        PlannerOptions { use_stats: true }
+        PlannerOptions {
+            use_stats: true,
+            rewrite: true,
+        }
     }
 }
 
@@ -1710,7 +1717,10 @@ mod tests {
         bind(
             &parse(sql).unwrap(),
             &catalog(),
-            &PlannerOptions { use_stats: false },
+            &PlannerOptions {
+                use_stats: false,
+                ..Default::default()
+            },
         )
         .unwrap()
     }
@@ -2028,7 +2038,10 @@ mod tests {
         let mut frozen = bind(
             &stmt,
             &catalog_without_stats(),
-            &PlannerOptions { use_stats: false },
+            &PlannerOptions {
+                use_stats: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         let before = frozen.explain();

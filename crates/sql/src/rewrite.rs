@@ -1,0 +1,1553 @@
+//! Rewrite-rule pipeline: composable, semantics-preserving plan
+//! rewrites that run **between binding and the stats-driven strategy
+//! pass**.
+//!
+//! The binder fixes what cannot change without re-binding (join order,
+//! column layouts, the initial scan-filter classification);
+//! [`crate::optimizer::refresh_stats`] re-derives everything
+//! statistics-driven at every execute. This module is the third leg: a
+//! [`RulePipeline`] of ordered [`RewriteRule`]s run to a fixed point
+//! over the bound plan, so that
+//!
+//! * constant subexpressions fold away ([`FoldConstants`]),
+//! * boolean structure simplifies — `NOT` pushes through comparisons
+//!   and De Morgan, identity/absorbing literals drop out, tautological
+//!   conjuncts vanish and contradictions collapse a predicate to FALSE
+//!   ([`SimplifyBool`]),
+//! * predicates migrate toward the scans, through projections, sorts,
+//!   DISTINCT, joins and group-keyed aggregates
+//!   ([`PushDownPredicates`]), and
+//! * scan projections narrow to the columns the rest of the plan still
+//!   needs ([`PruneProjections`]) — selective tuple formation starts
+//!   from the smallest possible attribute set.
+//!
+//! Every rewrite is an *identity on observable behavior*: the same
+//! rows, and — because SQL expressions can raise runtime errors
+//! (division by zero, overflow, `LIKE` on non-text) — the same errors.
+//! Rewrites that would elide or reorder a subexpression require it to
+//! be *pure* (incapable of erroring; see `is_pure`); anything else is left in
+//! place. Three-valued logic is preserved throughout: `x AND TRUE → x`
+//! holds for `x ∈ {TRUE, FALSE, NULL}`, and conjunct-level tautology
+//! and contradiction elimination only fires in *predicate position*,
+//! where FALSE and NULL both reject.
+
+use std::collections::BTreeSet;
+
+use nodb_common::Value;
+
+use crate::expr::{BinOp, BoundExpr, UnOp};
+use crate::plan::LogicalPlan;
+
+/// One rewrite pass. `apply` mutates the plan in place and reports
+/// whether anything changed — the pipeline uses that to find its fixed
+/// point and to record which rules fired for EXPLAIN.
+pub trait RewriteRule {
+    /// Stable rule name, surfaced in `ExplainPlan::applied_rules`.
+    fn name(&self) -> &'static str;
+    /// Rewrite `plan`; return `true` iff the plan changed.
+    fn apply(&self, plan: &mut LogicalPlan) -> bool;
+}
+
+/// Hard cap on fixed-point sweeps; the standard rules all strictly
+/// shrink the plan (fewer nodes, smaller expressions, narrower
+/// projections), so this is a backstop against a buggy rule cycling,
+/// not a budget real plans reach.
+const MAX_SWEEPS: usize = 8;
+
+/// An ordered list of rewrite rules run to a fixed point.
+pub struct RulePipeline {
+    rules: Vec<Box<dyn RewriteRule>>,
+}
+
+impl RulePipeline {
+    /// The standard pass order: fold constants so boolean
+    /// simplification sees literals, simplify so pushdown sees bare
+    /// conjuncts, push predicates down, then prune what projection the
+    /// moved predicates no longer pin.
+    pub fn standard() -> RulePipeline {
+        RulePipeline {
+            rules: vec![
+                Box::new(FoldConstants),
+                Box::new(SimplifyBool),
+                Box::new(PushDownPredicates),
+                Box::new(PruneProjections),
+            ],
+        }
+    }
+
+    /// A pipeline with no rules (the `enable_rewrite = false` regime).
+    pub fn disabled() -> RulePipeline {
+        RulePipeline { rules: Vec::new() }
+    }
+
+    /// Run every rule in order, repeating until a full sweep changes
+    /// nothing. Returns the names of the rules that fired, in first-
+    /// application order, without duplicates.
+    pub fn run(&self, plan: &mut LogicalPlan) -> Vec<&'static str> {
+        let mut applied: Vec<&'static str> = Vec::new();
+        for _ in 0..MAX_SWEEPS {
+            let mut changed = false;
+            for rule in &self.rules {
+                if rule.apply(plan) {
+                    changed = true;
+                    if !applied.contains(&rule.name()) {
+                        applied.push(rule.name());
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        applied
+    }
+}
+
+// ----- purity ------------------------------------------------------------
+
+/// Can evaluating `e` ever raise a runtime error? Comparisons, boolean
+/// combinators, `IS NULL`, `BETWEEN` and `IN` are total (incomparable
+/// values yield NULL, never an error); arithmetic (overflow, division
+/// by zero), `LIKE` (non-text operand) and `CASE` (arbitrary branch
+/// expressions) are not. Rewrites may only *elide* or *reorder* pure
+/// subexpressions.
+fn is_pure(e: &BoundExpr) -> bool {
+    match e {
+        BoundExpr::Col(_) | BoundExpr::Lit(_) | BoundExpr::Param { .. } => true,
+        BoundExpr::Binary { op, left, right } => match op {
+            BinOp::And | BinOp::Or => is_pure(left) && is_pure(right),
+            op if op.is_comparison() => is_pure(left) && is_pure(right),
+            _ => false,
+        },
+        BoundExpr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => is_pure(expr),
+        BoundExpr::Unary { op: UnOp::Neg, .. } => false,
+        BoundExpr::Like { .. } | BoundExpr::Case { .. } => false,
+        BoundExpr::Between {
+            expr, low, high, ..
+        } => is_pure(expr) && is_pure(low) && is_pure(high),
+        BoundExpr::InList { expr, .. } => is_pure(expr),
+        BoundExpr::IsNull { expr, .. } => is_pure(expr),
+    }
+}
+
+// ----- constant folding --------------------------------------------------
+
+/// Fold constant subexpressions to literals. Folding mirrors the
+/// executor's evaluation rules exactly and *refuses* to fold anything
+/// that would error at runtime (division by zero, integer overflow),
+/// so the error still surfaces when the query runs.
+pub struct FoldConstants;
+
+impl RewriteRule for FoldConstants {
+    fn name(&self) -> &'static str {
+        "fold_constants"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        rewrite_exprs(plan, &mut |e| fold_expr(e))
+    }
+}
+
+fn lit(e: &BoundExpr) -> Option<&Value> {
+    match e {
+        BoundExpr::Lit(v) => Some(v),
+        _ => None,
+    }
+}
+
+/// One bottom-up folding pass over an expression; returns the folded
+/// replacement, or `None` when nothing changed.
+fn fold_expr(e: &BoundExpr) -> Option<BoundExpr> {
+    match e {
+        BoundExpr::Binary { op, left, right } => {
+            let (l, r) = (lit(left)?, lit(right)?);
+            if op.is_comparison() {
+                return Some(BoundExpr::Lit(match l.sql_cmp(r) {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(match op {
+                        BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                        BinOp::NotEq => ord != std::cmp::Ordering::Equal,
+                        BinOp::Lt => ord == std::cmp::Ordering::Less,
+                        BinOp::LtEq => ord != std::cmp::Ordering::Greater,
+                        BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                        BinOp::GtEq => ord != std::cmp::Ordering::Less,
+                        _ => unreachable!("comparison ops only"),
+                    }),
+                }));
+            }
+            const_arith(*op, l, r).map(BoundExpr::Lit)
+        }
+        BoundExpr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => match lit(expr)? {
+            Value::Bool(b) => Some(BoundExpr::Lit(Value::Bool(!b))),
+            Value::Null => Some(BoundExpr::Lit(Value::Null)),
+            _ => None,
+        },
+        BoundExpr::Unary {
+            op: UnOp::Neg,
+            expr,
+        } => match lit(expr)? {
+            Value::Null => Some(BoundExpr::Lit(Value::Null)),
+            Value::Int32(x) => x.checked_neg().map(|v| BoundExpr::Lit(Value::Int32(v))),
+            Value::Int64(x) => x.checked_neg().map(|v| BoundExpr::Lit(Value::Int64(v))),
+            Value::Float64(x) => Some(BoundExpr::Lit(Value::Float64(-x))),
+            _ => None,
+        },
+        BoundExpr::IsNull { expr, negated } => {
+            let v = lit(expr)?;
+            Some(BoundExpr::Lit(Value::Bool(v.is_null() != *negated)))
+        }
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let (v, lo, hi) = (lit(expr)?, lit(low)?, lit(high)?);
+            let ge = v.sql_cmp(lo).map(|o| o != std::cmp::Ordering::Less);
+            let le = v.sql_cmp(hi).map(|o| o != std::cmp::Ordering::Greater);
+            Some(BoundExpr::Lit(match (ge, le) {
+                (Some(a), Some(b)) => Value::Bool((a && b) != *negated),
+                _ => Value::Null,
+            }))
+        }
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = lit(expr)?;
+            if v.is_null() {
+                return Some(BoundExpr::Lit(Value::Null));
+            }
+            let mut saw_null = false;
+            for cand in list {
+                match v.sql_cmp(cand) {
+                    Some(std::cmp::Ordering::Equal) => {
+                        return Some(BoundExpr::Lit(Value::Bool(!*negated)))
+                    }
+                    None if cand.is_null() => saw_null = true,
+                    _ => {}
+                }
+            }
+            Some(BoundExpr::Lit(if saw_null {
+                Value::Null
+            } else {
+                Value::Bool(*negated)
+            }))
+        }
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            // Only text × text folds; a constant non-text operand would
+            // error at runtime and must keep doing so.
+            match (lit(expr)?, lit(pattern)?) {
+                (Value::Null, _) | (_, Value::Null) => Some(BoundExpr::Lit(Value::Null)),
+                (Value::Text(s), Value::Text(p)) => Some(BoundExpr::Lit(Value::Bool(
+                    nodb_common::like::like_match(s, p) != *negated,
+                ))),
+                _ => None,
+            }
+        }
+        BoundExpr::Case {
+            branches,
+            else_expr,
+        } => {
+            // Drop branches whose condition is constant-not-TRUE; when
+            // the leading remaining condition is constant TRUE, the CASE
+            // *is* that branch's result.
+            let mut kept: Vec<(BoundExpr, BoundExpr)> = Vec::new();
+            let mut changed = false;
+            for (c, r) in branches {
+                match lit(c) {
+                    Some(Value::Bool(true)) if kept.is_empty() => {
+                        return Some(r.clone());
+                    }
+                    Some(Value::Bool(false)) | Some(Value::Null) => {
+                        changed = true;
+                    }
+                    _ => kept.push((c.clone(), r.clone())),
+                }
+            }
+            if kept.is_empty() {
+                return Some(match else_expr {
+                    Some(e) => (**e).clone(),
+                    None => BoundExpr::Lit(Value::Null),
+                });
+            }
+            if changed {
+                Some(BoundExpr::Case {
+                    branches: kept,
+                    else_expr: else_expr.clone(),
+                })
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Constant arithmetic, mirroring the executor's coercions exactly:
+/// integers stay checked 64-bit, any float operand (or division)
+/// widens to `f64`, `Date ± days` stays a date. Returns `None` for
+/// anything that would error at runtime so the error is preserved.
+fn const_arith(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
+    if l.is_null() || r.is_null() {
+        return Some(Value::Null);
+    }
+    if let (Value::Date(d), Some(n)) = (l, r.as_i64()) {
+        if !matches!(r, Value::Float64(_)) {
+            match op {
+                BinOp::Add => return Some(Value::Date(d.add_days(n as i32))),
+                BinOp::Sub => {
+                    if let Value::Date(d2) = r {
+                        return Some(Value::Int64((d.days() - d2.days()) as i64));
+                    }
+                    return Some(Value::Date(d.add_days(-(n as i32))));
+                }
+                _ => {}
+            }
+        }
+    }
+    let use_float =
+        matches!(l, Value::Float64(_)) || matches!(r, Value::Float64(_)) || op == BinOp::Div;
+    if use_float {
+        let (a, b) = (l.as_f64()?, r.as_f64()?);
+        let v = match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => {
+                if b == 0.0 {
+                    // Division by zero errors at runtime; don't fold it
+                    // away.
+                    return None;
+                }
+                a / b
+            }
+            _ => return None,
+        };
+        Some(Value::Float64(v))
+    } else {
+        let (a, b) = (l.as_i64()?, r.as_i64()?);
+        let v = match op {
+            BinOp::Add => a.checked_add(b),
+            BinOp::Sub => a.checked_sub(b),
+            BinOp::Mul => a.checked_mul(b),
+            _ => return None,
+        }?;
+        Some(Value::Int64(v))
+    }
+}
+
+// ----- boolean simplification --------------------------------------------
+
+/// Simplify boolean structure: identity/absorbing literals on `AND`/
+/// `OR`, `NOT` pushed through negatable nodes (double negation, De
+/// Morgan, comparison inversion, `NOT LIKE`/`NOT BETWEEN`/`NOT IN`/
+/// `IS NOT NULL` flips), and — in predicate position only — tautology
+/// and contradiction elimination over conjunct lists.
+pub struct SimplifyBool;
+
+impl RewriteRule for SimplifyBool {
+    fn name(&self) -> &'static str {
+        "simplify_bool"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        let mut changed = rewrite_exprs(plan, &mut |e| simplify_expr(e));
+        changed |= simplify_predicates(plan);
+        changed
+    }
+}
+
+/// One top-level simplification step (children are already simplified
+/// by the bottom-up driver). Returns `None` when nothing applies.
+fn simplify_expr(e: &BoundExpr) -> Option<BoundExpr> {
+    match e {
+        BoundExpr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => match (lit(left), lit(right)) {
+            // TRUE is the AND identity for all of {TRUE, FALSE, NULL}.
+            (Some(Value::Bool(true)), _) => Some((**right).clone()),
+            (_, Some(Value::Bool(true))) => Some((**left).clone()),
+            // FALSE on the left short-circuits; on the right it may
+            // only absorb a side that cannot error.
+            (Some(Value::Bool(false)), _) => Some(BoundExpr::Lit(Value::Bool(false))),
+            (_, Some(Value::Bool(false))) if is_pure(left) => {
+                Some(BoundExpr::Lit(Value::Bool(false)))
+            }
+            _ => None,
+        },
+        BoundExpr::Binary {
+            op: BinOp::Or,
+            left,
+            right,
+        } => match (lit(left), lit(right)) {
+            (Some(Value::Bool(false)), _) => Some((**right).clone()),
+            (_, Some(Value::Bool(false))) => Some((**left).clone()),
+            (Some(Value::Bool(true)), _) => Some(BoundExpr::Lit(Value::Bool(true))),
+            (_, Some(Value::Bool(true))) if is_pure(left) => {
+                Some(BoundExpr::Lit(Value::Bool(true)))
+            }
+            _ => None,
+        },
+        BoundExpr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => push_not(expr),
+        _ => None,
+    }
+}
+
+/// Push one `NOT` through its operand. All rewrites here are exact in
+/// three-valued logic: a NULL operand stays NULL on both sides.
+fn push_not(inner: &BoundExpr) -> Option<BoundExpr> {
+    match inner {
+        // Double negation.
+        BoundExpr::Unary {
+            op: UnOp::Not,
+            expr,
+        } => Some((**expr).clone()),
+        // De Morgan.
+        BoundExpr::Binary {
+            op: op @ (BinOp::And | BinOp::Or),
+            left,
+            right,
+        } => Some(BoundExpr::Binary {
+            op: if *op == BinOp::And {
+                BinOp::Or
+            } else {
+                BinOp::And
+            },
+            left: Box::new(BoundExpr::Unary {
+                op: UnOp::Not,
+                expr: left.clone(),
+            }),
+            right: Box::new(BoundExpr::Unary {
+                op: UnOp::Not,
+                expr: right.clone(),
+            }),
+        }),
+        // Comparison inversion (incomparable operands are NULL under
+        // both the original and the inverted operator).
+        BoundExpr::Binary { op, left, right } if op.is_comparison() => {
+            let inv = match op {
+                BinOp::Eq => BinOp::NotEq,
+                BinOp::NotEq => BinOp::Eq,
+                BinOp::Lt => BinOp::GtEq,
+                BinOp::LtEq => BinOp::Gt,
+                BinOp::Gt => BinOp::LtEq,
+                BinOp::GtEq => BinOp::Lt,
+                _ => unreachable!("comparison ops only"),
+            };
+            Some(BoundExpr::Binary {
+                op: inv,
+                left: left.clone(),
+                right: right.clone(),
+            })
+        }
+        BoundExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Some(BoundExpr::Like {
+            expr: expr.clone(),
+            pattern: pattern.clone(),
+            negated: !*negated,
+        }),
+        BoundExpr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Some(BoundExpr::Between {
+            expr: expr.clone(),
+            low: low.clone(),
+            high: high.clone(),
+            negated: !*negated,
+        }),
+        BoundExpr::InList {
+            expr,
+            list,
+            negated,
+        } => Some(BoundExpr::InList {
+            expr: expr.clone(),
+            list: list.clone(),
+            negated: !*negated,
+        }),
+        BoundExpr::IsNull { expr, negated } => Some(BoundExpr::IsNull {
+            expr: expr.clone(),
+            negated: !*negated,
+        }),
+        _ => None,
+    }
+}
+
+/// Conjunct-level cleanup in predicate position, where FALSE and NULL
+/// both reject a row: drop TRUE conjuncts, collapse to FALSE when any
+/// conjunct is constant-FALSE/NULL or when two conjuncts contradict —
+/// but only when the *other* conjuncts are pure, so no runtime error
+/// is elided.
+fn simplify_predicates(plan: &mut LogicalPlan) -> bool {
+    let mut changed = false;
+    match plan {
+        LogicalPlan::Scan { filters, .. } => {
+            changed |= simplify_conjuncts(filters);
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut conjuncts = Vec::new();
+            split_bound_conjuncts(predicate, &mut conjuncts);
+            let had = conjuncts.len();
+            let collapsed = simplify_conjuncts(&mut conjuncts);
+            if collapsed || conjuncts.len() != had {
+                *predicate = BoundExpr::conjunction(conjuncts);
+                changed = true;
+            }
+            // A filter reduced to TRUE disappears entirely.
+            if matches!(predicate, BoundExpr::Lit(Value::Bool(true))) {
+                let child = std::mem::replace(input.as_mut(), placeholder());
+                *plan = child;
+                changed = true;
+                // The replaced node may itself hold predicates.
+                changed |= simplify_predicates(plan);
+                return changed;
+            }
+            changed |= simplify_predicates(input);
+        }
+        LogicalPlan::Join { left, right, .. } => {
+            changed |= simplify_predicates(left);
+            changed |= simplify_predicates(right);
+        }
+        LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Distinct { input } => {
+            changed |= simplify_predicates(input);
+        }
+    }
+    changed
+}
+
+/// A throwaway node used only as `mem::replace` filler while splicing.
+fn placeholder() -> LogicalPlan {
+    LogicalPlan::Scan {
+        table: String::new(),
+        projection: Vec::new(),
+        filters: Vec::new(),
+        schema: nodb_common::Schema::new(Vec::new()).expect("empty schema"),
+        estimated_rows: 0.0,
+    }
+}
+
+/// Split a bound expression into top-level AND conjuncts.
+fn split_bound_conjuncts(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
+    match e {
+        BoundExpr::Binary {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            split_bound_conjuncts(left, out);
+            split_bound_conjuncts(right, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Simplify a conjunct list in predicate position. Returns `true` when
+/// the list changed.
+fn simplify_conjuncts(conjuncts: &mut Vec<BoundExpr>) -> bool {
+    let mut changed = false;
+    // Drop TRUE conjuncts (tautologies) unless that would empty a list
+    // that started non-empty — an empty filter list means "no filter",
+    // which is the same thing, so dropping is fine for scans; Filter
+    // callers rebuild via `conjunction` (empty ⇒ TRUE) and splice the
+    // node out.
+    let before = conjuncts.len();
+    conjuncts.retain(|c| !matches!(c, BoundExpr::Lit(Value::Bool(true))));
+    changed |= conjuncts.len() != before;
+
+    let all_pure = conjuncts.iter().all(is_pure);
+    if !all_pure {
+        return changed;
+    }
+    // Constant FALSE/NULL conjunct ⇒ the whole predicate rejects.
+    let constant_reject = conjuncts.iter().any(|c| {
+        matches!(
+            c,
+            BoundExpr::Lit(Value::Bool(false)) | BoundExpr::Lit(Value::Null)
+        )
+    });
+    if (constant_reject || has_contradiction(conjuncts))
+        && (conjuncts.len() != 1 || !matches!(conjuncts[0], BoundExpr::Lit(Value::Bool(false))))
+    {
+        conjuncts.clear();
+        conjuncts.push(BoundExpr::Lit(Value::Bool(false)));
+        changed = true;
+    }
+    changed
+}
+
+/// Do two pure conjuncts of the form `#c <op> lit` contradict each
+/// other (no value of `#c` can satisfy both)? In predicate position a
+/// NULL `#c` already rejects, so the check only needs the non-null
+/// ranges.
+fn has_contradiction(conjuncts: &[BoundExpr]) -> bool {
+    // (col, op, value) triples for simple comparisons, normalized to
+    // the column on the left.
+    let mut simple: Vec<(usize, BinOp, &Value)> = Vec::new();
+    for c in conjuncts {
+        if let BoundExpr::Binary { op, left, right } = c {
+            if !op.is_comparison() {
+                continue;
+            }
+            match (left.as_ref(), right.as_ref()) {
+                (BoundExpr::Col(i), BoundExpr::Lit(v)) if !v.is_null() => {
+                    simple.push((*i, *op, v));
+                }
+                (BoundExpr::Lit(v), BoundExpr::Col(i)) if !v.is_null() => {
+                    let flipped = match op {
+                        BinOp::Lt => BinOp::Gt,
+                        BinOp::LtEq => BinOp::GtEq,
+                        BinOp::Gt => BinOp::Lt,
+                        BinOp::GtEq => BinOp::LtEq,
+                        other => *other,
+                    };
+                    simple.push((*i, flipped, v));
+                }
+                _ => {}
+            }
+        }
+    }
+    for (i, &(ca, oa, va)) in simple.iter().enumerate() {
+        for &(cb, ob, vb) in &simple[i + 1..] {
+            if ca != cb {
+                continue;
+            }
+            let Some(ord) = va.sql_cmp(vb) else {
+                continue;
+            };
+            use std::cmp::Ordering::*;
+            let conflict = match (oa, ob, ord) {
+                // c = a AND c = b with a ≠ b.
+                (BinOp::Eq, BinOp::Eq, Less | Greater) => true,
+                // c = a AND c < b with a ≥ b (and symmetric shapes).
+                (BinOp::Eq, BinOp::Lt, Equal | Greater) => true,
+                (BinOp::Lt, BinOp::Eq, Equal | Less) => true,
+                (BinOp::Eq, BinOp::LtEq, Greater) => true,
+                (BinOp::LtEq, BinOp::Eq, Less) => true,
+                (BinOp::Eq, BinOp::Gt, Equal | Less) => true,
+                (BinOp::Gt, BinOp::Eq, Equal | Greater) => true,
+                (BinOp::Eq, BinOp::GtEq, Less) => true,
+                (BinOp::GtEq, BinOp::Eq, Greater) => true,
+                // c < a AND c > b needs a > b; c < a AND c ≥ b needs a > b; …
+                (BinOp::Lt | BinOp::LtEq, BinOp::Gt | BinOp::GtEq, Less) => true,
+                (BinOp::Lt, BinOp::Gt | BinOp::GtEq, Equal) => true,
+                (BinOp::LtEq, BinOp::Gt, Equal) => true,
+                (BinOp::Gt | BinOp::GtEq, BinOp::Lt | BinOp::LtEq, Greater) => true,
+                (BinOp::Gt, BinOp::Lt | BinOp::LtEq, Equal) => true,
+                (BinOp::GtEq, BinOp::Lt, Equal) => true,
+                _ => false,
+            };
+            if conflict {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ----- predicate pushdown ------------------------------------------------
+
+/// Move residual `Filter` nodes toward the leaves: into scan filter
+/// lists, below projections over plain columns, below sorts and
+/// DISTINCT, into the matching side of a join, and below group-keyed
+/// aggregates (the HAVING-on-keys shape). Conjuncts that cannot move
+/// stay exactly where they were.
+pub struct PushDownPredicates;
+
+impl RewriteRule for PushDownPredicates {
+    fn name(&self) -> &'static str {
+        "push_down_predicates"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        push_down(plan)
+    }
+}
+
+fn push_down(plan: &mut LogicalPlan) -> bool {
+    let mut changed = false;
+    if let LogicalPlan::Filter { input, predicate } = plan {
+        match input.as_mut() {
+            // Filter over Filter: merge into one conjunction (inner
+            // conjuncts first — they evaluated first before the merge).
+            LogicalPlan::Filter {
+                input: inner_input,
+                predicate: inner_pred,
+            } => {
+                let merged = BoundExpr::and(inner_pred.clone(), predicate.clone());
+                let grand = std::mem::replace(inner_input.as_mut(), placeholder());
+                *plan = LogicalPlan::Filter {
+                    input: Box::new(grand),
+                    predicate: merged,
+                };
+                changed = true;
+            }
+            // Filter over Scan: the predicate speaks the scan's output
+            // ordinals already — append its conjuncts to the pushed-
+            // down list.
+            LogicalPlan::Scan { filters, .. } => {
+                split_bound_conjuncts(predicate, filters);
+                let scan = std::mem::replace(input.as_mut(), placeholder());
+                *plan = scan;
+                changed = true;
+            }
+            // Filter over Project: when every column the predicate
+            // touches projects a plain column (or the predicate is
+            // constant), rebase it below the projection.
+            LogicalPlan::Project {
+                input: proj_input,
+                exprs,
+                schema,
+            } => {
+                let mut cols = BTreeSet::new();
+                predicate.referenced_columns(&mut cols);
+                let rebasable = cols
+                    .iter()
+                    .all(|&c| matches!(exprs.get(c), Some(BoundExpr::Col(_))));
+                if rebasable {
+                    let rebased = predicate.map_columns(&|c| match exprs.get(c) {
+                        Some(BoundExpr::Col(i)) => *i,
+                        _ => unreachable!("rebasable checked"),
+                    });
+                    let grand = std::mem::replace(proj_input.as_mut(), placeholder());
+                    *plan = LogicalPlan::Project {
+                        input: Box::new(LogicalPlan::Filter {
+                            input: Box::new(grand),
+                            predicate: rebased,
+                        }),
+                        exprs: std::mem::take(exprs),
+                        schema: schema.clone(),
+                    };
+                    changed = true;
+                }
+            }
+            // Filter over Sort / Distinct: swap (both are row-value
+            // preserving, so filtering first keeps the same survivors).
+            LogicalPlan::Sort {
+                input: sort_input,
+                keys,
+            } => {
+                let grand = std::mem::replace(sort_input.as_mut(), placeholder());
+                *plan = LogicalPlan::Sort {
+                    input: Box::new(LogicalPlan::Filter {
+                        input: Box::new(grand),
+                        predicate: predicate.clone(),
+                    }),
+                    keys: std::mem::take(keys),
+                };
+                changed = true;
+            }
+            LogicalPlan::Distinct { input: d_input } => {
+                let grand = std::mem::replace(d_input.as_mut(), placeholder());
+                *plan = LogicalPlan::Distinct {
+                    input: Box::new(LogicalPlan::Filter {
+                        input: Box::new(grand),
+                        predicate: predicate.clone(),
+                    }),
+                };
+                changed = true;
+            }
+            // Filter over Join: route single-sided conjuncts into the
+            // matching input; mixed conjuncts stay above.
+            LogicalPlan::Join {
+                left, right, kind, ..
+            } => {
+                let left_n = left.schema().len();
+                let mut conjuncts = Vec::new();
+                split_bound_conjuncts(predicate, &mut conjuncts);
+                let mut to_left = Vec::new();
+                let mut to_right = Vec::new();
+                let mut stay = Vec::new();
+                for c in conjuncts {
+                    let mut cols = BTreeSet::new();
+                    c.referenced_columns(&mut cols);
+                    if cols.iter().all(|&i| i < left_n) {
+                        to_left.push(c);
+                    } else if matches!(kind, crate::plan::JoinKind::Inner)
+                        && cols.iter().all(|&i| i >= left_n)
+                    {
+                        to_right.push(c.map_columns(&|i| i - left_n));
+                    } else {
+                        stay.push(c);
+                    }
+                }
+                if !to_left.is_empty() || !to_right.is_empty() {
+                    if !to_left.is_empty() {
+                        let l = std::mem::replace(left.as_mut(), placeholder());
+                        **left = LogicalPlan::Filter {
+                            input: Box::new(l),
+                            predicate: BoundExpr::conjunction(to_left),
+                        };
+                    }
+                    if !to_right.is_empty() {
+                        let r = std::mem::replace(right.as_mut(), placeholder());
+                        **right = LogicalPlan::Filter {
+                            input: Box::new(r),
+                            predicate: BoundExpr::conjunction(to_right),
+                        };
+                    }
+                    let join = std::mem::replace(input.as_mut(), placeholder());
+                    if stay.is_empty() {
+                        *plan = join;
+                    } else {
+                        *plan = LogicalPlan::Filter {
+                            input: Box::new(join),
+                            predicate: BoundExpr::conjunction(stay),
+                        };
+                    }
+                    changed = true;
+                }
+            }
+            // Filter over a group-keyed Aggregate: pure conjuncts that
+            // only touch group-key outputs filter the groups iff they
+            // filter the input rows — push them below. (A global
+            // aggregate emits its row unconditionally; never push.)
+            LogicalPlan::Aggregate {
+                input: agg_input,
+                group,
+                ..
+            } => {
+                if !group.is_empty() {
+                    let mut conjuncts = Vec::new();
+                    split_bound_conjuncts(predicate, &mut conjuncts);
+                    let key_count = group.len();
+                    let (push, stay): (Vec<_>, Vec<_>) = conjuncts.into_iter().partition(|c| {
+                        let mut cols = BTreeSet::new();
+                        c.referenced_columns(&mut cols);
+                        is_pure(c) && cols.iter().all(|&i| i < key_count)
+                    });
+                    if !push.is_empty() {
+                        let rebased = push
+                            .into_iter()
+                            .map(|c| c.map_columns(&|i| group[i]))
+                            .collect::<Vec<_>>();
+                        let grand = std::mem::replace(agg_input.as_mut(), placeholder());
+                        **agg_input = LogicalPlan::Filter {
+                            input: Box::new(grand),
+                            predicate: BoundExpr::conjunction(rebased),
+                        };
+                        let agg = std::mem::replace(input.as_mut(), placeholder());
+                        if stay.is_empty() {
+                            *plan = agg;
+                        } else {
+                            *plan = LogicalPlan::Filter {
+                                input: Box::new(agg),
+                                predicate: BoundExpr::conjunction(stay),
+                            };
+                        }
+                        changed = true;
+                    }
+                }
+            }
+            // Filter over Limit must not move (it would change which
+            // rows the limit keeps).
+            LogicalPlan::Limit { .. } => {}
+        }
+    }
+    // Recurse into whatever children the (possibly rewritten) node has.
+    match plan {
+        LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Distinct { input } => {
+            changed |= push_down(input);
+        }
+        LogicalPlan::Join { left, right, .. } => {
+            changed |= push_down(left);
+            changed |= push_down(right);
+        }
+    }
+    changed
+}
+
+// ----- projection pruning ------------------------------------------------
+
+/// Narrow scan projections to the columns the plan above still uses.
+/// The binder already projects only referenced columns, so this fires
+/// when an earlier rewrite removed the last reference (a folded-away
+/// filter, a pushed predicate) — keeping selective tuple formation
+/// minimal after the other rules have run.
+pub struct PruneProjections;
+
+impl RewriteRule for PruneProjections {
+    fn name(&self) -> &'static str {
+        "prune_projections"
+    }
+
+    fn apply(&self, plan: &mut LogicalPlan) -> bool {
+        // The root's output layout is the query's result shape: every
+        // column is required.
+        let mut changed = false;
+        prune(plan, None, &mut changed);
+        changed
+    }
+}
+
+/// Prune `plan` given the set of output ordinals its parent needs
+/// (`None` = all of them). Returns `Some(mapping)` — old output
+/// ordinal → new — when this subtree's output layout changed, `None`
+/// when it is untouched. Callers must remap any expressions bound to
+/// this node's output through the mapping. `changed` is set when any
+/// node in the subtree mutated, including ones (Project, Aggregate)
+/// that absorb a child's mapping without altering their own layout.
+fn prune(
+    plan: &mut LogicalPlan,
+    required: Option<&BTreeSet<usize>>,
+    changed: &mut bool,
+) -> Option<Vec<usize>> {
+    match plan {
+        LogicalPlan::Scan {
+            projection,
+            filters,
+            schema,
+            ..
+        } => {
+            let req = required?;
+            let mut used: BTreeSet<usize> = req.clone();
+            for f in filters.iter() {
+                f.referenced_columns(&mut used);
+            }
+            if used.len() == projection.len() {
+                return None;
+            }
+            // Keep used ordinals in their current (ascending-attribute)
+            // order; build old → new.
+            let kept: Vec<usize> = (0..projection.len()).filter(|i| used.contains(i)).collect();
+            let Ok(narrowed) = schema.project(&kept) else {
+                return None;
+            };
+            let mut mapping = vec![usize::MAX; projection.len()];
+            for (new, &old) in kept.iter().enumerate() {
+                mapping[old] = new;
+            }
+            *projection = kept.iter().map(|&i| projection[i]).collect();
+            *schema = narrowed;
+            let remap = |i: usize| mapping[i];
+            for f in filters.iter_mut() {
+                *f = f.map_columns(&remap);
+            }
+            *changed = true;
+            Some(mapping)
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let child_req = required.map(|req| {
+                let mut r = req.clone();
+                predicate.referenced_columns(&mut r);
+                r
+            });
+            let mapping = prune(input, child_req.as_ref(), changed)?;
+            *predicate = predicate.map_columns(&|i| mapping[i]);
+            Some(mapping)
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let mut used = BTreeSet::new();
+            for e in exprs.iter() {
+                e.referenced_columns(&mut used);
+            }
+            let mapping = prune(input, Some(&used), changed)?;
+            for e in exprs.iter_mut() {
+                *e = e.map_columns(&|i| mapping[i]);
+            }
+            // The projection's own output layout is unchanged.
+            None
+        }
+        LogicalPlan::Aggregate {
+            input, group, aggs, ..
+        } => {
+            let mut used: BTreeSet<usize> = group.iter().copied().collect();
+            for a in aggs.iter() {
+                if let Some(arg) = &a.arg {
+                    arg.referenced_columns(&mut used);
+                }
+            }
+            let mapping = prune(input, Some(&used), changed)?;
+            for g in group.iter_mut() {
+                *g = mapping[*g];
+            }
+            for a in aggs.iter_mut() {
+                if let Some(arg) = &mut a.arg {
+                    *arg = arg.map_columns(&|i| mapping[i]);
+                }
+            }
+            None
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child_req = required.map(|req| {
+                let mut r = req.clone();
+                for k in keys.iter() {
+                    r.insert(k.col);
+                }
+                r
+            });
+            let mapping = prune(input, child_req.as_ref(), changed)?;
+            for k in keys.iter_mut() {
+                k.col = mapping[k.col];
+            }
+            Some(mapping)
+        }
+        LogicalPlan::Limit { input, .. } => prune(input, required, changed),
+        LogicalPlan::Distinct { input } => {
+            // DISTINCT deduplicates whole output rows: dropping a column
+            // could merge rows, so everything below stays required.
+            prune(input, None, changed);
+            None
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            residual,
+            kind,
+            schema,
+            ..
+        } => {
+            let req = required?;
+            let left_n = left.schema().len();
+            let mut l_req: BTreeSet<usize> = BTreeSet::new();
+            let mut r_req: BTreeSet<usize> = BTreeSet::new();
+            for &i in req {
+                if i < left_n {
+                    l_req.insert(i);
+                } else {
+                    r_req.insert(i - left_n);
+                }
+            }
+            for &(lc, rc) in on.iter() {
+                l_req.insert(lc);
+                r_req.insert(rc);
+            }
+            if let Some(r) = residual {
+                let mut all = BTreeSet::new();
+                r.referenced_columns(&mut all);
+                for i in all {
+                    if i < left_n {
+                        l_req.insert(i);
+                    } else {
+                        r_req.insert(i - left_n);
+                    }
+                }
+            }
+            let lm = prune(left, Some(&l_req), changed);
+            let rm = prune(right, Some(&r_req), changed);
+            if lm.is_none() && rm.is_none() {
+                return None;
+            }
+            let new_left_n = left.schema().len();
+            let lmap = |i: usize| lm.as_ref().map_or(i, |m| m[i]);
+            let rmap = |i: usize| rm.as_ref().map_or(i, |m| m[i]);
+            for (lc, rc) in on.iter_mut() {
+                *lc = lmap(*lc);
+                *rc = rmap(*rc);
+            }
+            let full = |i: usize| {
+                if i < left_n {
+                    lmap(i)
+                } else {
+                    new_left_n + rmap(i - left_n)
+                }
+            };
+            if let Some(r) = residual {
+                *r = r.map_columns(&full);
+            }
+            // Rebuild the output schema and the parent-facing mapping.
+            let out_len = match kind {
+                crate::plan::JoinKind::Inner => new_left_n + right.schema().len(),
+                crate::plan::JoinKind::Semi | crate::plan::JoinKind::Anti => new_left_n,
+            };
+            let old_out_len = schema.len();
+            let mut mapping = vec![usize::MAX; old_out_len];
+            for (old, slot) in mapping.iter_mut().enumerate() {
+                let side_kept = if old < left_n {
+                    lm.as_ref().is_none_or(|m| m[old] != usize::MAX)
+                } else {
+                    rm.as_ref().is_none_or(|m| m[old - left_n] != usize::MAX)
+                };
+                if side_kept {
+                    let v = full(old);
+                    if v < out_len {
+                        *slot = v;
+                    }
+                }
+            }
+            let mut fields = Vec::with_capacity(out_len);
+            for f in left.schema().fields() {
+                fields.push(f.clone());
+            }
+            if matches!(kind, crate::plan::JoinKind::Inner) {
+                for f in right.schema().fields() {
+                    fields.push(f.clone());
+                }
+            }
+            // Binder-built join schemas carry alias-qualified names, so
+            // a subset of them stays duplicate-free.
+            *schema = nodb_common::Schema::new(fields).expect("pruned join schema");
+            Some(mapping)
+        }
+    }
+}
+
+// ----- expression-walk driver --------------------------------------------
+
+/// Apply `f` bottom-up over every expression in the plan; `f` returns
+/// `Some(replacement)` when a node folds. Returns whether anything
+/// changed.
+fn rewrite_exprs(
+    plan: &mut LogicalPlan,
+    f: &mut impl FnMut(&BoundExpr) -> Option<BoundExpr>,
+) -> bool {
+    let mut changed = false;
+    let mut apply = |e: &mut BoundExpr| {
+        changed |= rewrite_expr(e, f);
+    };
+    match plan {
+        LogicalPlan::Scan { filters, .. } => {
+            for e in filters {
+                apply(e);
+            }
+        }
+        LogicalPlan::Filter { predicate, .. } => apply(predicate),
+        LogicalPlan::Join { residual, .. } => {
+            if let Some(r) = residual {
+                apply(r);
+            }
+        }
+        LogicalPlan::Aggregate { aggs, .. } => {
+            for a in aggs {
+                if let Some(arg) = &mut a.arg {
+                    apply(arg);
+                }
+            }
+        }
+        LogicalPlan::Project { exprs, .. } => {
+            for e in exprs {
+                apply(e);
+            }
+        }
+        LogicalPlan::Sort { .. } | LogicalPlan::Limit { .. } | LogicalPlan::Distinct { .. } => {}
+    }
+    match plan {
+        LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Distinct { input } => {
+            changed |= rewrite_exprs(input, f);
+        }
+        LogicalPlan::Join { left, right, .. } => {
+            changed |= rewrite_exprs(left, f);
+            changed |= rewrite_exprs(right, f);
+        }
+    }
+    changed
+}
+
+/// Bottom-up rewrite of one expression tree.
+fn rewrite_expr(e: &mut BoundExpr, f: &mut impl FnMut(&BoundExpr) -> Option<BoundExpr>) -> bool {
+    let mut changed = false;
+    match e {
+        BoundExpr::Col(_) | BoundExpr::Lit(_) | BoundExpr::Param { .. } => {}
+        BoundExpr::Binary { left, right, .. } => {
+            changed |= rewrite_expr(left, f);
+            changed |= rewrite_expr(right, f);
+        }
+        BoundExpr::Unary { expr, .. } => changed |= rewrite_expr(expr, f),
+        BoundExpr::Like { expr, pattern, .. } => {
+            changed |= rewrite_expr(expr, f);
+            changed |= rewrite_expr(pattern, f);
+        }
+        BoundExpr::Between {
+            expr, low, high, ..
+        } => {
+            changed |= rewrite_expr(expr, f);
+            changed |= rewrite_expr(low, f);
+            changed |= rewrite_expr(high, f);
+        }
+        BoundExpr::InList { expr, .. } | BoundExpr::IsNull { expr, .. } => {
+            changed |= rewrite_expr(expr, f);
+        }
+        BoundExpr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (c, r) in branches.iter_mut() {
+                changed |= rewrite_expr(c, f);
+                changed |= rewrite_expr(r, f);
+            }
+            if let Some(el) = else_expr {
+                changed |= rewrite_expr(el, f);
+            }
+        }
+    }
+    if let Some(new) = f(e) {
+        *e = new;
+        changed = true;
+        // The replacement may enable another fold at this node (e.g.
+        // NOT pushed through an AND exposes NOT-of-comparison children).
+        while let Some(again) = f(e) {
+            *e = again;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nodb_common::{DataType, Schema};
+
+    fn col(i: usize) -> BoundExpr {
+        BoundExpr::Col(i)
+    }
+
+    fn int(v: i64) -> BoundExpr {
+        BoundExpr::Lit(Value::Int64(v))
+    }
+
+    fn bin(op: BinOp, l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    fn not(e: BoundExpr) -> BoundExpr {
+        BoundExpr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(e),
+        }
+    }
+
+    fn scan_with(filters: Vec<BoundExpr>, width: usize) -> LogicalPlan {
+        let fields: Vec<(String, DataType)> = (0..width)
+            .map(|i| (format!("c{i}"), DataType::Int64))
+            .collect();
+        let pairs: Vec<(&str, DataType)> = fields.iter().map(|(n, d)| (n.as_str(), *d)).collect();
+        LogicalPlan::Scan {
+            table: "t".into(),
+            projection: (0..width).collect(),
+            filters,
+            schema: Schema::from_pairs(&pairs).unwrap(),
+            estimated_rows: 100.0,
+        }
+    }
+
+    fn run(plan: &mut LogicalPlan) -> Vec<&'static str> {
+        RulePipeline::standard().run(plan)
+    }
+
+    #[test]
+    fn folds_constant_comparison_and_arith() {
+        let mut plan = scan_with(
+            vec![bin(BinOp::Lt, col(0), bin(BinOp::Add, int(2), int(3)))],
+            2,
+        );
+        let applied = run(&mut plan);
+        assert!(applied.contains(&"fold_constants"), "{applied:?}");
+        match &plan {
+            LogicalPlan::Scan { filters, .. } => {
+                assert_eq!(filters[0].to_string(), "(#0 < 5)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_by_zero_never_folds() {
+        let e = bin(BinOp::Div, int(1), int(0));
+        assert!(fold_expr(&e).is_none());
+        let of = bin(BinOp::Mul, int(i64::MAX), int(2));
+        assert!(fold_expr(&of).is_none());
+    }
+
+    #[test]
+    fn tautology_drops_and_contradiction_collapses() {
+        // WHERE c0 < 5 AND 1 = 1 → the tautology disappears.
+        let mut plan = scan_with(
+            vec![
+                bin(BinOp::Lt, col(0), int(5)),
+                bin(BinOp::Eq, int(1), int(1)),
+            ],
+            1,
+        );
+        run(&mut plan);
+        match &plan {
+            LogicalPlan::Scan { filters, .. } => {
+                assert_eq!(filters.len(), 1);
+                assert_eq!(filters[0].to_string(), "(#0 < 5)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // WHERE c0 < 5 AND c0 > 9 → FALSE.
+        let mut plan = scan_with(
+            vec![
+                bin(BinOp::Lt, col(0), int(5)),
+                bin(BinOp::Gt, col(0), int(9)),
+            ],
+            1,
+        );
+        run(&mut plan);
+        match &plan {
+            LogicalPlan::Scan { filters, .. } => {
+                assert_eq!(filters.as_slice(), &[BoundExpr::Lit(Value::Bool(false))]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_pushes_through_comparisons_and_demorgan() {
+        // NOT (a < 5 AND b = 3)  →  a >= 5 OR b <> 3.
+        let e = not(bin(
+            BinOp::And,
+            bin(BinOp::Lt, col(0), int(5)),
+            bin(BinOp::Eq, col(1), int(3)),
+        ));
+        let mut plan = scan_with(vec![e], 2);
+        run(&mut plan);
+        match &plan {
+            LogicalPlan::Scan { filters, .. } => {
+                assert_eq!(filters[0].to_string(), "((#0 >= 5) OR (#1 <> 3))");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_and_negated_flips() {
+        let mut plan = scan_with(
+            vec![
+                not(not(bin(BinOp::Eq, col(0), int(1)))),
+                not(BoundExpr::IsNull {
+                    expr: Box::new(col(0)),
+                    negated: false,
+                }),
+            ],
+            1,
+        );
+        run(&mut plan);
+        match &plan {
+            LogicalPlan::Scan { filters, .. } => {
+                assert_eq!(filters[0].to_string(), "(#0 = 1)");
+                assert_eq!(filters[1].to_string(), "#0 IS NOT NULL");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn true_filter_node_is_spliced_out() {
+        let scan = scan_with(vec![], 1);
+        let mut plan = LogicalPlan::Filter {
+            input: Box::new(scan),
+            predicate: bin(BinOp::Eq, int(7), int(7)),
+        };
+        let applied = run(&mut plan);
+        assert!(matches!(plan, LogicalPlan::Scan { .. }), "{plan:?}");
+        assert!(applied.contains(&"simplify_bool"), "{applied:?}");
+    }
+
+    #[test]
+    fn filter_over_scan_pushes_into_filter_list() {
+        let scan = scan_with(vec![bin(BinOp::Gt, col(1), int(0))], 2);
+        let mut plan = LogicalPlan::Filter {
+            input: Box::new(scan),
+            predicate: bin(BinOp::Lt, col(0), int(9)),
+        };
+        let applied = run(&mut plan);
+        assert!(applied.contains(&"push_down_predicates"), "{applied:?}");
+        match &plan {
+            LogicalPlan::Scan { filters, .. } => {
+                assert_eq!(filters.len(), 2);
+                assert_eq!(filters[1].to_string(), "(#0 < 9)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_pushes_below_sort_and_project() {
+        let scan = scan_with(vec![], 2);
+        let project = LogicalPlan::Project {
+            input: Box::new(scan),
+            exprs: vec![col(1), col(0)],
+            schema: Schema::from_pairs(&[("b", DataType::Int64), ("a", DataType::Int64)]).unwrap(),
+        };
+        let sort = LogicalPlan::Sort {
+            input: Box::new(project),
+            keys: vec![crate::plan::SortKey {
+                col: 0,
+                desc: false,
+            }],
+        };
+        let mut plan = LogicalPlan::Filter {
+            input: Box::new(sort),
+            predicate: bin(BinOp::Gt, col(0), int(3)),
+        };
+        run(&mut plan);
+        // The predicate lands in the scan's filter list, rebased through
+        // the projection's column swap (#0 above = #1 below).
+        let rendered = plan.explain();
+        assert!(
+            rendered.contains("filters=[(#1 > 3)]"),
+            "pushdown missed:\n{rendered}"
+        );
+        assert!(!rendered.contains("Filter"), "{rendered}");
+    }
+
+    #[test]
+    fn join_filter_routes_to_sides() {
+        let left = scan_with(vec![], 2);
+        let right = scan_with(vec![], 2);
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Int64),
+            ("b", DataType::Int64),
+            ("c", DataType::Int64),
+            ("d", DataType::Int64),
+        ])
+        .unwrap();
+        let join = LogicalPlan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            on: vec![(0, 0)],
+            residual: None,
+            kind: crate::plan::JoinKind::Inner,
+            schema,
+            estimated_rows: 100.0,
+        };
+        let mut plan = LogicalPlan::Filter {
+            input: Box::new(join),
+            predicate: bin(
+                BinOp::And,
+                bin(BinOp::Lt, col(1), int(5)),
+                bin(BinOp::Gt, col(3), int(7)),
+            ),
+        };
+        run(&mut plan);
+        let rendered = plan.explain();
+        assert!(rendered.contains("filters=[(#1 < 5)]"), "{rendered}");
+        assert!(rendered.contains("filters=[(#1 > 7)]"), "{rendered}");
+    }
+
+    #[test]
+    fn having_on_group_keys_pushes_below_aggregate() {
+        let scan = scan_with(vec![], 2);
+        let agg = LogicalPlan::Aggregate {
+            input: Box::new(scan),
+            group: vec![1],
+            aggs: vec![crate::expr::AggExpr {
+                func: crate::expr::AggFunc::Count,
+                arg: None,
+            }],
+            strategy: crate::plan::AggStrategy::Hash,
+            schema: Schema::from_pairs(&[("b", DataType::Int64), ("n", DataType::Int64)]).unwrap(),
+        };
+        let mut plan = LogicalPlan::Filter {
+            input: Box::new(agg),
+            predicate: bin(BinOp::Eq, col(0), int(4)),
+        };
+        run(&mut plan);
+        let rendered = plan.explain();
+        // The key predicate lands on the scan (rebased to input ordinal
+        // 1), projection pruning then narrows the scan to that single
+        // attribute, and the aggregate keeps its shape.
+        assert!(rendered.contains("Scan t proj=[1]"), "{rendered}");
+        assert!(rendered.contains("filters=[(#0 = 4)]"), "{rendered}");
+        assert!(rendered.contains("HashAggregate"), "{rendered}");
+    }
+
+    #[test]
+    fn pruning_narrows_scan_after_filter_vanishes() {
+        // SELECT sum(c0) with a tautological filter on c2: once the
+        // filter folds away, c2 leaves the scan projection.
+        let scan = scan_with(vec![bin(BinOp::Eq, col(2), col(2))], 3);
+        // `c2 = c2` is NOT a tautology under NULLs, so it must survive;
+        // use a constant tautology instead to trigger pruning.
+        let _ = scan;
+        let scan = scan_with(vec![bin(BinOp::Lt, int(1), int(5))], 3);
+        let mut plan = LogicalPlan::Aggregate {
+            input: Box::new(scan),
+            group: vec![],
+            aggs: vec![crate::expr::AggExpr {
+                func: crate::expr::AggFunc::Sum,
+                arg: Some(col(0)),
+            }],
+            strategy: crate::plan::AggStrategy::Plain,
+            schema: Schema::from_pairs(&[("s", DataType::Int64)]).unwrap(),
+        };
+        let applied = run(&mut plan);
+        assert!(applied.contains(&"prune_projections"), "{applied:?}");
+        match &plan {
+            LogicalPlan::Aggregate { input, aggs, .. } => {
+                match input.as_ref() {
+                    LogicalPlan::Scan {
+                        projection,
+                        filters,
+                        ..
+                    } => {
+                        assert_eq!(projection.as_slice(), &[0]);
+                        assert!(filters.is_empty(), "{filters:?}");
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                assert_eq!(aggs[0].arg.as_ref().unwrap().to_string(), "#0");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impure_conjuncts_keep_constant_false_from_collapsing() {
+        // (c0 / c1 > 1) AND FALSE — the division can error, so the
+        // whole predicate must NOT collapse to FALSE.
+        let div = bin(BinOp::Gt, bin(BinOp::Div, col(0), col(1)), int(1));
+        let mut conjuncts = vec![div.clone(), BoundExpr::Lit(Value::Bool(false))];
+        simplify_conjuncts(&mut conjuncts);
+        assert_eq!(conjuncts.len(), 2, "{conjuncts:?}");
+        // All-pure version collapses.
+        let mut conjuncts = vec![
+            bin(BinOp::Gt, col(0), int(1)),
+            BoundExpr::Lit(Value::Bool(false)),
+        ];
+        simplify_conjuncts(&mut conjuncts);
+        assert_eq!(conjuncts.as_slice(), &[BoundExpr::Lit(Value::Bool(false))]);
+    }
+
+    #[test]
+    fn pipeline_reaches_fixed_point_and_reports_rules() {
+        let mut plan = scan_with(vec![], 1);
+        assert!(run(&mut plan).is_empty());
+        let mut plan = scan_with(vec![not(bin(BinOp::Lt, col(0), int(5)))], 1);
+        let applied = run(&mut plan);
+        assert_eq!(applied, vec!["simplify_bool"]);
+    }
+}

@@ -154,6 +154,92 @@ fn assert_bit_identical(got: &nodb::core::QueryResult, want: &nodb::core::QueryR
     }
 }
 
+/// A `Cancel` frame mid-stream must stop the server's raw scan early
+/// (the cursor-drop path), keep the connection usable for further
+/// statements, and be visible in the server's counters — unlike the
+/// sever-the-socket fallback, which poisons the client.
+#[test]
+fn cancel_aborts_stream_without_severing_the_connection() {
+    const BIG_ROWS: usize = 150_000;
+    let td = TempDir::new("nodb-cancel").unwrap();
+    let schema = Schema::parse(SCHEMA).unwrap();
+    let csv = td.file("wide.csv");
+    let mut w = CsvWriter::create(&csv, CsvOptions::default()).unwrap();
+    for i in 0..BIG_ROWS {
+        w.write_row(&Row(vec![
+            Value::Int32(i as i32),
+            Value::Text(format!("g{}", i % 5)),
+            Value::Float64(i as f64 / 8.0),
+            Value::Int64(1_000_000_000_000 + i as i64),
+        ]))
+        .unwrap();
+    }
+    w.finish().unwrap();
+
+    let mut db = NoDb::new(NoDbConfig::postgres_raw()).unwrap();
+    db.register_csv(
+        "wide",
+        &csv,
+        schema,
+        CsvOptions::default(),
+        AccessMode::InSitu,
+    )
+    .unwrap();
+    let shared = Arc::new(db);
+    let server =
+        NodbServer::bind_tcp(Arc::clone(&shared), "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.serve());
+
+    let mut client = NodbClient::connect(&addr).unwrap();
+    // No ORDER BY: sorting would drain the whole scan before the first
+    // row leaves the server, and there would be nothing left to cancel.
+    let mut stream = client
+        .stream("select id, grp, score, big from wide", &[])
+        .unwrap();
+    for row in stream.by_ref().take(100) {
+        row.unwrap();
+    }
+    let streamed = stream.cancel().unwrap();
+    assert!(
+        streamed >= 100,
+        "server must have streamed at least what the client read, got {streamed}"
+    );
+
+    // The scan stopped early: the table emitted far fewer tuples than it
+    // holds. (Read before the follow-up query, which scans everything.)
+    let emitted = shared.metrics("wide").unwrap().rows_emitted;
+    assert!(
+        emitted < BIG_ROWS as u64,
+        "cancel did not stop the scan: {emitted} of {BIG_ROWS} rows emitted"
+    );
+
+    // The connection survives and carries further statements.
+    let r = client.query("select count(*) from wide").unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int64(BIG_ROWS as i64));
+
+    // A cancel that loses the race (stream already done) still works:
+    // exactly one Cancelled comes back and the connection stays in sync.
+    let mut s = client
+        .stream("select id from wide where id < 3", &[])
+        .unwrap();
+    for row in s.by_ref() {
+        row.unwrap();
+    }
+    assert_eq!(s.cancel().unwrap(), 3);
+    let r = client
+        .query("select count(*) from wide where id < 10")
+        .unwrap();
+    assert_eq!(r.rows[0].get(0), &Value::Int64(10));
+
+    client.close().unwrap();
+    handle.shutdown();
+    let stats = serving.join().unwrap().unwrap();
+    assert_eq!(stats.queries_cancelled, 1, "{stats:?}");
+    assert_eq!(stats.queries_failed, 0, "{stats:?}");
+}
+
 #[test]
 fn soak_many_clients_share_one_engine() {
     let f = fixture();
