@@ -1,0 +1,50 @@
+//! Lossy-`as`-cast arm: in the designated offset-arithmetic files (the
+//! wire protocol's frame encoding, the positional map's offset stores)
+//! an `as` cast to a narrower integer type silently truncates. Each such
+//! cast must either be replaced with checked `try_into` + a typed error,
+//! or carry a `// CAST:` comment proving the value fits (within 3 lines
+//! above or on the site's line).
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{in_spans, test_spans};
+use crate::report::Finding;
+use crate::scan_util::{line_text, tokens};
+use crate::SourceFile;
+
+/// Integer targets that are narrowing on the 64-bit platforms CI runs.
+const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Run the cast arm over one designated file.
+pub fn run(sf: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let toks = tokens(&sf.lexed.mask);
+    let tests = test_spans(&sf.lexed.mask);
+    let cast_lines: BTreeSet<usize> = sf.lexed.comment_lines_with("CAST:").into_iter().collect();
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "as" || in_spans(&tests, t.line) {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1).map(|t| t.text) else {
+            continue;
+        };
+        if !NARROW.contains(&target) {
+            continue;
+        }
+        let justified = (t.line.saturating_sub(3)..=t.line).any(|l| cast_lines.contains(&l));
+        if !justified {
+            findings.push(Finding {
+                lint: "cast",
+                file: sf.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "potentially lossy `as {target}` in offset/length arithmetic — \
+                     use `{target}::try_from(…)` with a typed error, or justify \
+                     with a `// CAST:` comment"
+                ),
+                waiver_key: Some(line_text(&sf.src, t.line)),
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,177 @@
+//! A minimal TOML-subset reader for the committed allowlist files.
+//!
+//! The build environment has no crates.io access, so the linter reads
+//! its own allowlists with a hand-rolled parser covering exactly the
+//! subset the tool emits: `[[array-of-tables]]` headers and
+//! `key = "string"` pairs. Anything outside that subset is a loud error
+//! — an allowlist that cannot be parsed must fail the run, never be
+//! silently ignored.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One `[[section]]` entry: its keys and the line it starts on.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Section name (the `name` in `[[name]]`).
+    pub section: String,
+    /// 1-based line of the `[[…]]` header (for error messages).
+    pub line: usize,
+    /// `key = "value"` pairs in declaration order.
+    pub fields: BTreeMap<String, String>,
+}
+
+impl Entry {
+    /// Fetch a required field; a missing field is a format error.
+    pub fn require(&self, key: &str) -> Result<&str, ParseError> {
+        self.fields.get(key).map(|s| s.as_str()).ok_or(ParseError {
+            line: self.line,
+            msg: format!(
+                "entry `[[{}]]` is missing required key `{key}`",
+                self.section
+            ),
+        })
+    }
+}
+
+/// Parse failure: line and message.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+/// Parse the allowlist subset of TOML: blank lines, `#` comments,
+/// `[[section]]` headers, and `key = "quoted string"` pairs (with
+/// `\"` / `\\` escapes). Everything else is an error.
+pub fn parse(input: &str) -> Result<Vec<Entry>, ParseError> {
+    let mut entries: Vec<Entry> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            entries.push(Entry {
+                section: name.trim().to_string(),
+                line: lineno,
+                fields: BTreeMap::new(),
+            });
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(ParseError {
+                line: lineno,
+                msg: format!("expected `key = \"value\"` or `[[section]]`, got `{line}`"),
+            });
+        };
+        let key = line[..eq].trim();
+        let val = line[eq + 1..].trim();
+        if key.is_empty() || !key.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
+            return Err(ParseError {
+                line: lineno,
+                msg: format!("invalid key `{key}`"),
+            });
+        }
+        let Some(entry) = entries.last_mut() else {
+            return Err(ParseError {
+                line: lineno,
+                msg: "key/value pair before any [[section]] header".into(),
+            });
+        };
+        let unquoted = unquote(val).ok_or(ParseError {
+            line: lineno,
+            msg: format!("value for `{key}` must be a double-quoted string, got `{val}`"),
+        })?;
+        if entry.fields.insert(key.to_string(), unquoted).is_some() {
+            return Err(ParseError {
+                line: lineno,
+                msg: format!("duplicate key `{key}` in one entry"),
+            });
+        }
+    }
+    Ok(entries)
+}
+
+fn unquote(v: &str) -> Option<String> {
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                _ => return None,
+            }
+        } else if c == '"' {
+            // An unescaped interior quote means `v` wasn't one string.
+            return None;
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Quote a string for emission in the subset this module parses.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let src = "# header\n[[unsafe]]\nfile = \"a/b.rs\"\nhash = \"fnv64:12ab\"\n\n[[unsafe]]\nfile = \"c.rs\"\nhash = \"fnv64:34cd\"\n";
+        let entries = parse(src).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].require("file").unwrap(), "a/b.rs");
+        assert_eq!(entries[1].require("hash").unwrap(), "fnv64:34cd");
+        assert!(entries[0].require("missing").is_err());
+    }
+
+    #[test]
+    fn escapes() {
+        let entries = parse("[[w]]\nkey = \"a \\\"b\\\" \\\\ c\"\n").unwrap();
+        assert_eq!(entries[0].require("key").unwrap(), "a \"b\" \\ c");
+        let q = quote("a \"b\" \\ c");
+        assert_eq!(
+            parse(&format!("[[w]]\nk = {q}\n")).unwrap()[0].fields["k"],
+            "a \"b\" \\ c"
+        );
+    }
+
+    #[test]
+    fn malformed_is_loud() {
+        assert!(parse("key = \"orphan\"\n").is_err());
+        assert!(parse("[[w]]\nkey = unquoted\n").is_err());
+        assert!(parse("[[w]]\nnot a pair\n").is_err());
+        assert!(parse("[[w]]\nk = \"a\"\nk = \"b\"\n").is_err());
+    }
+}

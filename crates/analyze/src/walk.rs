@@ -1,0 +1,47 @@
+//! Workspace file discovery: every `.rs` file under the configured
+//! roots, skipping build output and the linter's own seeded-violation
+//! fixtures.
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Collect every `.rs` file under `root/<sub>` for each configured
+/// subdirectory, as paths relative to `root`, sorted for deterministic
+/// reports. Missing subdirectories are skipped (a fixture tree need not
+/// mirror the full workspace layout).
+pub fn rust_files(root: &Path, subdirs: &[&str]) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for sub in subdirs {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            visit(&dir, &mut out)?;
+        }
+    }
+    let mut rel: Vec<PathBuf> = out
+        .into_iter()
+        .filter_map(|p| p.strip_prefix(root).ok().map(PathBuf::from))
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn visit(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<std::io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for e in entries {
+        let path = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            visit(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Seeded violation for the `atomic-ordering` arm: a `Relaxed` access
+//! with no `// ORDERING:` justification anywhere in the function.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn justified(c: &AtomicU64) -> u64 {
+    // ORDERING: observability snapshot; staleness is acceptable.
+    c.load(Ordering::Relaxed)
+}

@@ -1,0 +1,15 @@
+//! Seeded violation for the `cast` arm (this file is configured as an
+//! offset-arithmetic module): an unexplained narrowing `as` cast.
+
+pub fn narrow(x: usize) -> u16 {
+    x as u16
+}
+
+pub fn widen(x: u16) -> u64 {
+    x as u64
+}
+
+pub fn explained(x: usize) -> u32 {
+    // CAST: x is a block-local offset < 2^16 by construction.
+    x as u32
+}

@@ -1,0 +1,21 @@
+//! Seeded violations for the `lock-order` arm: `stats` (rank 3) is held
+//! while `posmap` (rank 1) is acquired — a DAG inversion — and `cache`
+//! is re-acquired while already held — a self-deadlock.
+
+pub fn inverted(rt: &Runtime) -> u32 {
+    let s = rt.stats.lock();
+    let p = rt.posmap.read();
+    *p + *s
+}
+
+pub fn reentrant(rt: &Runtime) -> u32 {
+    let a = rt.cache.read();
+    let b = rt.cache.read();
+    *a + *b
+}
+
+pub fn fine(rt: &Runtime) -> u32 {
+    let p = rt.posmap.read();
+    let s = rt.stats.lock();
+    *p + *s
+}

@@ -1,0 +1,23 @@
+//! Seeded violations for the `panic-path` arm (this file is configured
+//! as a hot-path module): `unwrap`, `expect`, a panicking macro, and a
+//! fixed-offset slice index — four findings. The `#[cfg(test)]` module
+//! must stay exempt.
+
+pub fn four_panics(buf: &[u8], opt: Option<u32>) -> u32 {
+    let first = buf[0];
+    if first == 0 {
+        panic!("zero");
+    }
+    let a = opt.unwrap();
+    let b = std::str::from_utf8(buf).expect("utf8");
+    a + b.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

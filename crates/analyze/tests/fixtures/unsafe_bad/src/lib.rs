@@ -1,0 +1,7 @@
+//! Seeded violations for the `unsafe` arm: a site with no adjacent
+//! justification comment and no entry in the (absent) audit file —
+//! two findings.
+
+pub fn first_byte(buf: &[u8]) -> u8 {
+    unsafe { *buf.get_unchecked(0) }
+}

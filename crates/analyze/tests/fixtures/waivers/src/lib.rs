@@ -1,0 +1,7 @@
+//! Waiver-machinery fixture: one cast violation that the committed
+//! waivers.toml suppresses, while the same file also carries a stale
+//! waiver (matching nothing) that must itself become a finding.
+
+pub fn narrow(x: usize) -> u16 {
+    x as u16
+}

@@ -673,13 +673,13 @@ fn bench_server(c: &mut Criterion) {
 
     // Protocol codec micro-costs: one 20-column row frame.
     let row_frame = Frame::Row(Row((0..20).map(Value::Int64).collect()));
-    let row_bytes = row_frame.to_bytes();
+    let row_bytes = row_frame.to_bytes().expect("encode");
     g.throughput(Throughput::Bytes(row_bytes.len() as u64));
     g.bench_function("encode_row", |b| {
         let mut buf = Vec::with_capacity(row_bytes.len());
         b.iter(|| {
             buf.clear();
-            row_frame.encode(&mut buf);
+            row_frame.encode(&mut buf).expect("encode");
             buf.len()
         });
     });

@@ -17,6 +17,9 @@ impl TempDir {
     pub fn new(prefix: &str) -> std::io::Result<TempDir> {
         let pid = std::process::id();
         loop {
+            // ORDERING: uniqueness only needs each thread to observe a
+            // distinct counter value, which fetch_add guarantees at any
+            // ordering; no other memory is published through it.
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
             let nanos = std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)

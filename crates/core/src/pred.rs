@@ -318,7 +318,11 @@ fn cmp_matches(op: BinOp, ord: Ordering) -> bool {
         BinOp::LtEq => ord != Ordering::Greater,
         BinOp::Gt => ord == Ordering::Greater,
         BinOp::GtEq => ord != Ordering::Less,
-        other => unreachable!("non-comparison op {other:?} in compiled predicate"),
+        // `compile_conjunct` only builds `PredOp::Cmp` from comparison
+        // ops (and BETWEEN's GtEq/LtEq), so no other op can reach here.
+        // The screen is an early-reject in front of the full filter
+        // evaluation, so passing the row through is always sound.
+        _ => true,
     }
 }
 

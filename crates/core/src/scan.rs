@@ -111,6 +111,14 @@ impl Ctx {
     }
 }
 
+/// Unwrap an `Option` held by a control-flow invariant (a lock guard
+/// taken when a flag is set, a reader opened earlier in the pass) with a
+/// located internal error instead of a panic — hot-path modules are
+/// panic-free (enforced by `nodb-analyze`'s panic-path arm).
+fn held<T>(opt: Option<T>, what: &'static str) -> Result<T> {
+    opt.ok_or_else(|| NoDbError::internal(format!("scan invariant violated: {what}")))
+}
+
 /// The in-situ scan operator.
 pub struct InSituScanOp {
     runtime: Arc<RawTableRuntime>,
@@ -131,6 +139,10 @@ pub struct InSituScanOp {
     window: Option<SlidingWindow>,
     reader: Option<LineReader>,
     next_row: u64,
+    /// Positional-map block granularity, read once in [`prepare`] (the
+    /// value is fixed at runtime construction) so sequential passes
+    /// never re-acquire the map lock for it mid-block.
+    block_rows: u64,
     /// Byte offset of row `next_row` whenever `reader` is `None` — lets
     /// the scan continue privately if the shared EOL index is dropped or
     /// rebuilt underneath it (re-records are ignored as out-of-order).
@@ -190,6 +202,7 @@ impl InSituScanOp {
             window: None,
             reader: None,
             next_row: 0,
+            block_rows: 0,
             resume_byte: 0,
             stat_builders: Vec::new(),
             pushdown: false,
@@ -218,6 +231,10 @@ impl InSituScanOp {
             scans: 1,
             ..ScanMetrics::default()
         });
+        // Block granularity is fixed at runtime construction; read it
+        // here (posmap before stats, per the lock DAG) instead of
+        // re-acquiring the map lock inside the block loop.
+        self.block_rows = self.runtime.posmap.read().block_rows() as u64;
 
         let mut where_set = std::collections::BTreeSet::new();
         for f in &self.ctx.filters {
@@ -293,14 +310,15 @@ impl InSituScanOp {
             // Re-check under the write lock: a concurrent scan may have
             // indexed past us while we waited, in which case the mapped
             // path (or the done check) takes over on the next pump turn.
-            if pm.as_ref().expect("eol implies lock").eol().indexed_rows() > self.next_row {
+            if held(pm.as_ref(), "eol flag implies posmap lock")?
+                .eol()
+                .indexed_rows()
+                > self.next_row
+            {
                 return Ok(());
             }
         }
-        let block_rows = match pm.as_ref() {
-            Some(pm) => pm.block_rows(),
-            None => runtime.posmap.read().block_rows(),
-        } as u64;
+        let block_rows = self.block_rows;
         let max_attr = self.ctx.projection.last().copied().unwrap_or(0);
         let block = self.next_row / block_rows;
         let block_end = (block + 1) * block_rows;
@@ -323,8 +341,7 @@ impl InSituScanOp {
                 // that data row 0 starts after the header.
                 let mut hdr = Vec::new();
                 if reader.next_line(&mut hdr)?.is_some() && self.flags.eol {
-                    pm.as_mut()
-                        .expect("eol implies lock")
+                    held(pm.as_mut(), "eol flag implies posmap lock")?
                         .eol_mut()
                         .set_base(reader.offset());
                 }
@@ -362,7 +379,7 @@ impl InSituScanOp {
         let lean = collector.is_none() && !self.flags.cache && self.stat_builders.is_empty();
 
         while self.next_row < block_end {
-            let reader = self.reader.as_mut().expect("created above");
+            let reader = held(self.reader.as_mut(), "reader opened above")?;
             clock.start(self.next_row);
             let fetched = reader.next_line(&mut line)?;
             clock.stop(&mut prof.io_ns);
@@ -371,7 +388,7 @@ impl InSituScanOp {
                 // records actually reached the index (not when we were
                 // continuing privately past a dropped index).
                 if self.flags.eol {
-                    let pm = pm.as_mut().expect("eol implies lock");
+                    let pm = held(pm.as_mut(), "eol flag implies posmap lock")?;
                     if pm.eol().indexed_rows() == self.next_row {
                         pm.eol_mut().set_complete();
                     }
@@ -381,11 +398,9 @@ impl InSituScanOp {
             };
             let next_start = reader.offset();
             if self.flags.eol {
-                pm.as_mut().expect("eol implies lock").eol_mut().record(
-                    self.next_row,
-                    line_start,
-                    next_start,
-                );
+                held(pm.as_mut(), "eol flag implies posmap lock")?
+                    .eol_mut()
+                    .record(self.next_row, line_start, next_start);
             }
             metrics.bytes_tokenized += line.len() as u64 + 1;
             if self.ctx.projection.is_empty() {
@@ -550,7 +565,7 @@ impl InSituScanOp {
         let rows_seen = (self.next_row - block * block_rows) as usize;
         if let Some(c) = collector {
             if c.rows() > 0 {
-                pm.as_mut().expect("posmap implies lock").insert(c.build());
+                held(pm.as_mut(), "posmap flag implies posmap lock")?.insert(c.build());
             }
         }
         drop(pm);
@@ -883,7 +898,7 @@ impl InSituScanOp {
                 };
                 line_buf.clear();
                 clock.start(r as u64);
-                let w = self.window.as_mut().expect("opened above");
+                let w = held(self.window.as_mut(), "window opened above")?;
                 let s = w.slice(line_start, (line_end - line_start) as usize)?;
                 line_buf.extend_from_slice(s);
                 clock.stop(&mut prof.io_ns);

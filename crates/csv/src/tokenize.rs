@@ -48,14 +48,14 @@ pub fn tokenize_all(line: &[u8], delim: u8, out: &mut Vec<u32>) -> usize {
 /// a pushed-down predicate grows tokenization only for rows it keeps —
 /// the already-scanned prefix is never re-scanned.
 pub fn tokenize_resume(line: &[u8], delim: u8, upto: usize, out: &mut Vec<u32>) -> usize {
-    if out.is_empty() {
+    let Some(&last) = out.last() else {
         return tokenize_upto(line, delim, upto, out);
-    }
+    };
     let mut found = out.len();
     if found > upto {
         return found;
     }
-    let base = *out.last().expect("non-empty starts") as usize;
+    let base = last as usize;
     for i in swar::ByteFinder::new(&line[base.min(line.len())..], delim) {
         out.push((base + i) as u32 + 1);
         found += 1;

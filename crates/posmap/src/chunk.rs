@@ -35,6 +35,7 @@ impl OffsetStore {
     /// Offset at flat index `i`.
     pub fn get(&self, i: usize) -> u32 {
         match self {
+            // CAST: u16 → u32 widens; no truncation possible.
             OffsetStore::U16(v) => v[i] as u32,
             OffsetStore::U32(v) => v[i],
         }
@@ -93,6 +94,7 @@ impl Chunk {
     pub fn serialize(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.block.to_le_bytes());
         out.extend_from_slice(&self.rows.to_le_bytes());
+        // CAST: attrs are u32 file ordinals, so their count fits u32.
         out.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
         match &self.offsets {
             OffsetStore::U16(_) => out.push(2),
@@ -225,6 +227,8 @@ impl BlockCollector {
 
     /// Finish, narrowing to 16-bit storage when possible.
     pub fn build(self) -> Chunk {
+        // CAST: u16::MAX widens to u32 for the comparison; the per-offset
+        // narrowing below only runs when every offset ≤ u16::MAX.
         let offsets = if self.max_offset <= u16::MAX as u32 {
             OffsetStore::U16(self.staged.iter().map(|&o| o as u16).collect())
         } else {

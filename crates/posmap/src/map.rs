@@ -239,6 +239,7 @@ impl PositionalMap {
             let entry = match hit {
                 Some(slot) => match self.column_of(slot, attr, clock) {
                     Some(col) => {
+                        // CAST: columns hold ≤ block_rows (u32) positions; len fits u32.
                         rows = rows.max(col.len() as u32);
                         AttrPositions::Exact(col)
                     }
@@ -250,6 +251,7 @@ impl PositionalMap {
                         Some((anchor_attr, slot)) => {
                             match self.column_of(slot, anchor_attr, clock) {
                                 Some(col) => {
+                                    // CAST: columns hold ≤ block_rows (u32) positions; len fits u32.
                                     rows = rows.max(col.len() as u32);
                                     AttrPositions::Anchor {
                                         anchor_attr,
@@ -286,6 +288,7 @@ impl PositionalMap {
             let entry = match hit {
                 Some(slot) => match self.column_of_shared(slot, attr, clock)? {
                     Some(col) => {
+                        // CAST: columns hold ≤ block_rows (u32) positions; len fits u32.
                         rows = rows.max(col.len() as u32);
                         AttrPositions::Exact(col)
                     }
@@ -295,6 +298,7 @@ impl PositionalMap {
                     Some((anchor_attr, slot)) => {
                         match self.column_of_shared(slot, anchor_attr, clock)? {
                             Some(col) => {
+                                // CAST: columns hold ≤ block_rows (u32) positions; len fits u32.
                                 rows = rows.max(col.len() as u32);
                                 AttrPositions::Anchor {
                                     anchor_attr,

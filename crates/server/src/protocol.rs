@@ -332,12 +332,28 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<()> {
+    let n = u32::try_from(s.len()).map_err(|_| {
+        wire_err(format!(
+            "string of {} bytes exceeds the u32 length field",
+            s.len()
+        ))
+    })?;
+    put_u32(out, n);
     out.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
-fn put_value(out: &mut Vec<u8>, v: &Value) {
+/// Encode a collection count into a `u16` wire field, rejecting
+/// collections the field cannot represent instead of truncating.
+fn put_count_u16(out: &mut Vec<u8>, n: usize, what: &str) -> Result<()> {
+    let v = u16::try_from(n)
+        .map_err(|_| wire_err(format!("{what} count {n} exceeds the u16 wire field")))?;
+    put_u16(out, v);
+    Ok(())
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) -> Result<()> {
     match v {
         Value::Null => out.push(VAL_NULL),
         Value::Int32(x) => {
@@ -354,7 +370,7 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
         }
         Value::Text(s) => {
             out.push(VAL_TEXT);
-            put_str(out, s);
+            put_str(out, s)?;
         }
         Value::Date(d) => {
             out.push(VAL_DATE);
@@ -362,44 +378,69 @@ fn put_value(out: &mut Vec<u8>, v: &Value) {
         }
         Value::Bool(b) => {
             out.push(VAL_BOOL);
-            out.push(*b as u8);
+            out.push(u8::from(*b));
         }
     }
+    Ok(())
 }
 
 impl Frame {
     /// Append this frame's full wire form — length prefix, tag, payload
-    /// — to `out`.
-    pub fn encode(&self, out: &mut Vec<u8>) {
+    /// — to `out`. Fails (restoring `out` to its original length) when a
+    /// string, count or body length overflows its wire field — checked
+    /// conversions, never silent truncation.
+    pub fn encode(&self, out: &mut Vec<u8>) -> Result<()> {
         let len_at = out.len();
         put_u32(out, 0); // patched below
+        if let Err(e) = self.encode_body(out) {
+            out.truncate(len_at);
+            return Err(e);
+        }
+        let body_len = out.len() - len_at - 4;
+        match u32::try_from(body_len) {
+            Ok(n) if n <= MAX_FRAME_BYTES => {
+                out[len_at..len_at + 4].copy_from_slice(&n.to_le_bytes());
+                Ok(())
+            }
+            _ => {
+                out.truncate(len_at);
+                Err(wire_err(format!(
+                    "encoded frame body of {body_len} bytes exceeds the \
+                     {MAX_FRAME_BYTES}-byte cap"
+                )))
+            }
+        }
+    }
+
+    /// The tag + payload of [`Frame::encode`], without the length prefix.
+    fn encode_body(&self, out: &mut Vec<u8>) -> Result<()> {
         match self {
             Frame::Hello { version, server } => {
                 out.push(TAG_HELLO);
                 put_u16(out, *version);
-                put_str(out, server);
+                put_str(out, server)?;
             }
             Frame::Execute { sql, params } => {
                 out.push(TAG_EXECUTE);
-                put_str(out, sql);
-                put_u16(out, params.len() as u16);
+                put_str(out, sql)?;
+                put_count_u16(out, params.len(), "parameter")?;
                 for p in params {
-                    put_value(out, p);
+                    put_value(out, p)?;
                 }
             }
             Frame::RowSchema { columns } => {
                 out.push(TAG_SCHEMA);
-                put_u16(out, columns.len() as u16);
+                put_count_u16(out, columns.len(), "column")?;
                 for (name, dtype) in columns {
-                    put_str(out, name);
+                    put_str(out, name)?;
                     out.push(dtype_to_u8(*dtype));
                 }
             }
             Frame::Row(row) => {
                 out.push(TAG_ROW);
-                put_u16(out, row.values().len() as u16);
+                put_count_u16(out, row.values().len(), "row value")?;
                 for v in row.values() {
-                    put_value(out, v);
+                    put_value(out, v)?;
                 }
             }
             Frame::Done { rows } => {
@@ -408,16 +449,18 @@ impl Frame {
             }
             Frame::Error { kind, message } => {
                 out.push(TAG_ERROR);
+                // CAST: ErrorKind is #[repr(u8)] with explicit
+                // discriminants 0..=8 — the discriminant is the wire byte.
                 out.push(*kind as u8);
-                put_str(out, message);
+                put_str(out, message)?;
             }
             Frame::Busy { message } => {
                 out.push(TAG_BUSY);
-                put_str(out, message);
+                put_str(out, message)?;
             }
             Frame::Stats { table } => {
                 out.push(TAG_STATS);
-                put_str(out, table);
+                put_str(out, table)?;
             }
             Frame::StatsReport(p) => {
                 out.push(TAG_STATS_REPORT);
@@ -444,7 +487,9 @@ impl Frame {
                 ] {
                     put_u64(out, v);
                 }
-                put_u32(out, p.heats.len() as u32);
+                let n = u32::try_from(p.heats.len())
+                    .map_err(|_| wire_err("heat count exceeds the u32 wire field"))?;
+                put_u32(out, n);
                 for (attr, heat) in &p.heats {
                     put_u32(out, *attr);
                     put_u64(out, *heat);
@@ -457,15 +502,14 @@ impl Frame {
             }
             Frame::Goodbye => out.push(TAG_GOODBYE),
         }
-        let body = (out.len() - len_at - 4) as u32;
-        out[len_at..len_at + 4].copy_from_slice(&body.to_le_bytes());
+        Ok(())
     }
 
     /// Encode into a fresh buffer (convenience for one-off frames).
-    pub fn to_bytes(&self) -> Vec<u8> {
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
         let mut out = Vec::new();
-        self.encode(&mut out);
-        out
+        self.encode(&mut out)?;
+        Ok(out)
     }
 
     /// Decode one frame body (tag + payload, *without* the length
@@ -675,7 +719,7 @@ fn eof_err(e: std::io::Error, what: &str) -> NoDbError {
 
 /// Write one frame to `w` (single `write_all` of the encoded bytes).
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
-    w.write_all(&frame.to_bytes())?;
+    w.write_all(&frame.to_bytes()?)?;
     Ok(())
 }
 
@@ -784,7 +828,7 @@ mod tests {
     use super::*;
 
     fn roundtrip(f: Frame) {
-        let bytes = f.to_bytes();
+        let bytes = f.to_bytes().expect("encode");
         let got = read_frame(&mut &bytes[..]).expect("read").expect("frame");
         assert_eq!(got, f);
     }
@@ -864,7 +908,8 @@ mod tests {
             heats: vec![(1, 2)],
             ..StatsPayload::default()
         })
-        .to_bytes();
+        .to_bytes()
+        .expect("encode");
         // Strip the length prefix, then cut the body everywhere.
         let body = &bytes[4..];
         for cut in 1..body.len() {
@@ -874,7 +919,9 @@ mod tests {
 
     #[test]
     fn nan_float_survives_bitwise() {
-        let bytes = Frame::Row(Row(vec![Value::Float64(f64::NAN)])).to_bytes();
+        let bytes = Frame::Row(Row(vec![Value::Float64(f64::NAN)]))
+            .to_bytes()
+            .expect("encode");
         let got = read_frame(&mut &bytes[..]).unwrap().unwrap();
         match got {
             Frame::Row(Row(vs)) => match vs[0] {
@@ -888,7 +935,7 @@ mod tests {
     #[test]
     fn clean_eof_is_none_mid_frame_is_error() {
         assert!(read_frame(&mut &[][..]).unwrap().is_none());
-        let bytes = Frame::Goodbye.to_bytes();
+        let bytes = Frame::Goodbye.to_bytes().expect("encode");
         for cut in 1..bytes.len() {
             let err = read_frame(&mut &bytes[..cut]).unwrap_err();
             assert!(matches!(err, NoDbError::Parse(_)), "cut {cut}: {err}");

@@ -608,7 +608,7 @@ fn run_statement<'db>(
     };
 
     let mut buf = Vec::with_capacity(FLUSH_BYTES + 4096);
-    schema_frame(cursor.schema()).encode(&mut buf);
+    schema_frame(cursor.schema()).encode(&mut buf)?;
     let mut rows: u64 = 0;
     // Streaming loop: a failed write (client hung up) propagates `Err`
     // out of this function, dropping `cursor` mid-iteration — which is
@@ -618,7 +618,7 @@ fn run_statement<'db>(
     for row in cursor {
         match row {
             Ok(r) => {
-                Frame::Row(r).encode(&mut buf);
+                Frame::Row(r).encode(&mut buf)?;
                 rows += 1;
                 if buf.len() >= FLUSH_BYTES {
                     conn.write_all(&buf)?;
@@ -636,13 +636,13 @@ fn run_statement<'db>(
                     kind: ErrorKind::of(&e),
                     message: e.to_string(),
                 }
-                .encode(&mut buf);
+                .encode(&mut buf)?;
                 conn.write_all(&buf)?;
                 return Ok(());
             }
         }
     }
-    Frame::Done { rows }.encode(&mut buf);
+    Frame::Done { rows }.encode(&mut buf)?;
     conn.write_all(&buf)?;
     Ok(())
 }

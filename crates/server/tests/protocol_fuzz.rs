@@ -146,14 +146,14 @@ fn frames_equal(a: &Frame, b: &Frame) -> bool {
 proptest! {
     #[test]
     fn any_frame_roundtrips(frame in frame_strategy()) {
-        let bytes = frame.to_bytes();
+        let bytes = frame.to_bytes().expect("encode");
         let back = read_frame(&mut &bytes[..]).unwrap().unwrap();
         prop_assert!(frames_equal(&frame, &back), "{frame:?} != {back:?}");
     }
 
     #[test]
     fn truncating_a_frame_never_panics(frame in frame_strategy(), cut_seed in any::<u16>()) {
-        let bytes = frame.to_bytes();
+        let bytes = frame.to_bytes().expect("encode");
         let cut = 1 + (cut_seed as usize) % (bytes.len().max(2) - 1);
         match read_frame(&mut &bytes[..cut.min(bytes.len() - 1)]) {
             // Every strict prefix is missing bytes somewhere: either the
@@ -173,7 +173,7 @@ proptest! {
 
     #[test]
     fn corrupting_one_byte_never_panics(frame in frame_strategy(), pos_seed in any::<u16>(), xor in 1u8..=255) {
-        let mut bytes = frame.to_bytes();
+        let mut bytes = frame.to_bytes().expect("encode");
         let pos = (pos_seed as usize) % bytes.len();
         bytes[pos] ^= xor;
         // A corrupted length prefix may announce up to MAX_FRAME_BYTES
